@@ -1,0 +1,70 @@
+"""EXP-A1..A3 benchmark — ablation sweeps over the paper's constants.
+
+Times full gatherings while sweeping the start interval L, the merge
+length cap k_max and the viewing path length V; the recorded `rounds`
+extra-info reproduces the ablation tables of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.config import Parameters
+from repro.core.simulator import gather
+from repro.chains import square_ring
+
+SIDE = 24
+
+
+@pytest.mark.parametrize("interval", [7, 13, 21])
+def test_start_interval(benchmark, interval):
+    params = Parameters(start_interval=interval)
+
+    def run():
+        return gather(square_ring(SIDE), params=params, engine="vectorized")
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["L"] = interval
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+@pytest.mark.parametrize("k_max", [5, 8, 10])
+def test_merge_cap(benchmark, k_max):
+    # k_max < passing_distance + 2 loses liveness: a good pair enters the
+    # run-passing operation before its middle segment becomes mergeable
+    # (EXP-A2 documents the stall); benchmark the live range only.
+    params = Parameters(k_max=k_max)
+
+    def run():
+        return gather(square_ring(SIDE), params=params, engine="vectorized",
+                      max_rounds=4000)
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["k_max"] = k_max
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def test_merge_cap_liveness_boundary(benchmark):
+    """The k_max = 3 stall itself, timed to its (bounded) budget."""
+    params = Parameters(k_max=3)
+
+    def run():
+        return gather(square_ring(12), params=params, engine="vectorized",
+                      max_rounds=800)
+
+    result = benchmark(run)
+    benchmark.extra_info["gathered"] = result.gathered
+
+
+@pytest.mark.parametrize("viewing", [7, 11, 15])
+def test_viewing_range(benchmark, viewing):
+    params = Parameters(viewing_path_length=viewing)
+
+    def run():
+        return gather(square_ring(SIDE), params=params, engine="vectorized",
+                      max_rounds=6000)
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["V"] = viewing
+    benchmark.extra_info["rounds"] = result.rounds

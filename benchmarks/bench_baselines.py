@@ -1,0 +1,58 @@
+"""EXP-B1/B2 benchmark — baselines vs the local algorithm.
+
+Regenerates the strategy comparison (local vs global vision vs compass)
+and the Manhattan-Hopper open-chain shortening, timing each strategy on
+the same inputs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.simulator import gather
+from repro.chains import square_ring
+from repro.baselines import (
+    gather_compass, gather_global_vision, shorten_open_chain,
+)
+
+SIDE = 32
+
+
+def test_local_algorithm(benchmark):
+    result = benchmark(lambda: gather(square_ring(SIDE), engine="vectorized"))
+    assert result.gathered
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def test_global_vision_baseline(benchmark):
+    result = benchmark(lambda: gather_global_vision(square_ring(SIDE)))
+    assert result.gathered
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def test_compass_baseline(benchmark):
+    result = benchmark(lambda: gather_compass(square_ring(SIDE)))
+    assert result.gathered
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def _open_chain(n, seed=9):
+    rng = random.Random(seed)
+    pts = [(0, 0)]
+    for _ in range(n - 1):
+        x, y = pts[-1]
+        dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
+        pts.append((x + dx, y + dy))
+    return pts
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_manhattan_hopper(benchmark, n):
+    pts = _open_chain(n)
+
+    def run():
+        return shorten_open_chain(list(pts))
+
+    ok, rounds, chain = benchmark(run)
+    assert ok and chain.is_taut()
+    benchmark.extra_info["rounds"] = rounds

@@ -1,0 +1,61 @@
+"""EXP-P1 benchmark — reference vs vectorised engine.
+
+The hpc-parallel engineering benchmark: merge detection is the per-round
+hot loop; the NumPy detector should win with growing n.  Also times the
+full round pipeline under both engines.
+"""
+
+import pytest
+
+from repro.core.patterns import find_merge_patterns
+from repro.core.engine_vectorized import find_merge_patterns_np
+from repro.core.simulator import Simulator
+from repro.chains import crenellation, square_ring
+
+DETECTOR_SIZES = [64, 256, 1024]
+
+
+def _merge_rich_chain(n_teeth):
+    return crenellation(teeth=n_teeth, tooth_width=1, base_height=13)
+
+
+@pytest.mark.parametrize("teeth", DETECTOR_SIZES)
+def test_detector_reference(benchmark, teeth):
+    pts = _merge_rich_chain(teeth)
+    patterns = benchmark(find_merge_patterns, pts, 10)
+    benchmark.extra_info["n"] = len(pts)
+    assert patterns
+
+
+@pytest.mark.parametrize("teeth", DETECTOR_SIZES)
+def test_detector_vectorized(benchmark, teeth):
+    pts = _merge_rich_chain(teeth)
+    patterns = benchmark(find_merge_patterns_np, pts, 10)
+    benchmark.extra_info["n"] = len(pts)
+    assert patterns
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_full_gathering_by_engine(benchmark, engine):
+    pts = square_ring(40)
+
+    def run():
+        return Simulator(list(pts), engine=engine,
+                         check_invariants=False).run()
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_large_ring_by_engine(benchmark, engine, bench_large):
+    side = 120 if bench_large else 60
+
+    def run():
+        return Simulator(square_ring(side), engine=engine,
+                         check_invariants=False).run()
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["n"] = result.initial_n

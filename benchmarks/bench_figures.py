@@ -1,0 +1,77 @@
+"""EXP-FIG benchmark — the figure mechanics as timed micro-operations.
+
+Times the local operations each figure depicts: merge planning (Fig. 1-3),
+run-start scanning (Fig. 5), run decisions (Fig. 6/8/11), and a short
+wave of the full round pipeline (Fig. 9).
+"""
+
+import pytest
+
+from repro.grid.lattice import EAST
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS as P
+from repro.core.engine import Engine
+from repro.core.algorithm import decide_run
+from repro.core.merges import plan_merges
+from repro.core.patterns import find_merge_patterns, run_start_decisions
+from repro.core.view import ChainWindow
+from repro.chains import crenellation, rectangle_ring, square_ring, stairway_octagon
+
+
+def test_fig2_merge_detection(benchmark):
+    """Fig. 1-2: merge pattern scan over a merge-rich chain."""
+    pts = crenellation(teeth=24, tooth_width=1, base_height=13)
+    patterns = benchmark(find_merge_patterns, pts, P.effective_k_max)
+    assert len(patterns) >= 24
+
+
+def test_fig3_overlap_planning(benchmark):
+    """Fig. 3: hop combination over overlapping patterns."""
+    pts = crenellation(teeth=24, tooth_width=1, base_height=13)
+    chain = ClosedChain(pts)
+
+    def plan():
+        return plan_merges(chain.positions, chain.ids, P.effective_k_max)
+
+    result = benchmark(plan)
+    assert result.any and result.conflicts == 0
+
+
+def test_fig5_run_start_scan(benchmark):
+    """Fig. 5: run-start detection over a full mergeless ring."""
+    chain = ClosedChain(stairway_octagon(24, 4))
+
+    def scan():
+        found = 0
+        for i in range(chain.n):
+            found += len(run_start_decisions(
+                ChainWindow(chain, i, P.viewing_path_length)))
+        return found
+
+    assert benchmark(scan) == 8
+
+
+def test_fig6_run_decision(benchmark):
+    """Fig. 6/11a: one reshapement decision."""
+    chain = ClosedChain(rectangle_ring(40, 13))
+    engine = Engine(chain, P, check_invariants=False)
+    run = engine.registry.start(chain.id_at(0), 1, EAST, 0)
+    window = ChainWindow(chain, 0, P.viewing_path_length,
+                         engine.registry.runs_lookup())
+
+    dec = benchmark(decide_run, run, window, P, set())
+    assert dec.hop == (1, 1)
+
+
+def test_fig9_wave_pipeline(benchmark):
+    """Fig. 9: one full 13-round wave on a mergeless ring."""
+    base = ClosedChain(square_ring(40))
+
+    def wave():
+        engine = Engine(base.copy(), P, check_invariants=False)
+        for _ in range(13):
+            engine.step()
+        return engine
+
+    engine = benchmark(wave)
+    assert engine.round_index == 13

@@ -1,0 +1,45 @@
+"""EXP-L1..L3 benchmark — lemma verification workloads.
+
+Times the good-pair census of Lemma 1 (Fig. 17/18) and a full traced
+gathering with every run invariant of Lemma 3 checked each round.
+"""
+
+import pytest
+
+from repro.core.chain import ClosedChain
+from repro.core.simulator import Simulator
+from repro.chains import square_ring, stairway_octagon
+from repro.analysis import classify_pairs, merge_free_intervals
+from repro.analysis.good_pairs import good_pair_exists
+
+
+def test_lemma1_good_pair_census(benchmark):
+    chain = ClosedChain(stairway_octagon(24, 4))
+
+    pairs = benchmark(classify_pairs, chain)
+    assert any(p.good for p in pairs)
+
+
+def test_lemma1_existence_check(benchmark):
+    chain = ClosedChain(square_ring(48))
+    assert benchmark(good_pair_exists, chain)
+
+
+def test_lemma2_merge_interval_audit(benchmark):
+    sim = Simulator(square_ring(24), check_invariants=False, record_trace=True)
+    result = sim.run()
+
+    gaps = benchmark(merge_free_intervals, result.reports)
+    assert max(gaps) <= result.initial_n + 26
+
+
+def test_lemma3_checked_gathering(benchmark):
+    """Full gathering with every model invariant armed (Lemma 3)."""
+    pts = stairway_octagon(16, 3)
+
+    def run():
+        sim = Simulator(list(pts), check_invariants=True)
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.gathered

@@ -1,0 +1,28 @@
+"""EXP-S1 benchmark — SSYNC ablation workloads.
+
+Times runs-until-break under partial activation and the FSYNC baseline
+through the same scheduler machinery.
+"""
+
+import pytest
+
+from repro.chains import crenellation, needle
+from repro.schedulers import (
+    FullActivation, RandomActivation, run_ssync,
+)
+
+
+def test_fsync_baseline_through_scheduler(benchmark):
+    out = benchmark(lambda: run_ssync(needle(30), FullActivation()))
+    assert out.gathered and out.survived
+
+
+@pytest.mark.parametrize("p", [0.9, 0.5])
+def test_partial_activation_until_break(benchmark, p):
+    def run():
+        return run_ssync(crenellation(6), RandomActivation(p, seed=1),
+                         max_rounds=600)
+
+    out = benchmark(run)
+    assert out.broke
+    benchmark.extra_info["break_round"] = out.break_round

@@ -1,0 +1,62 @@
+"""EXP-TBL1 benchmark — termination-condition workloads.
+
+Times gatherings on the chains whose dynamics exercise each Table-1
+condition (conditions 4/5 arise on the L-shape and zig-zag families),
+asserting the conditions actually fired.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.runs import StopReason
+from repro.core.simulator import Simulator
+from repro.chains import l_shape, square_ring
+
+
+def _cond5_witness():
+    path = os.path.join(os.path.dirname(__file__), "..", "src", "repro",
+                        "experiments", "data", "cond5_witness.json")
+    with open(path, "r", encoding="utf-8") as fh:
+        return [tuple(p) for p in json.load(fh)["positions"]]
+
+
+def _reason_counts(result):
+    counts = {}
+    for rep in result.reports:
+        for reason, k in rep.runs_terminated.items():
+            counts[reason] = counts.get(reason, 0) + k
+    return counts
+
+
+def test_conditions_1_2_3_on_square(benchmark):
+    def run():
+        return Simulator(square_ring(32), check_invariants=False).run()
+
+    result = benchmark(run)
+    counts = _reason_counts(result)
+    assert counts.get(StopReason.MERGE_PARTICIPATION, 0) > 0
+    assert result.gathered
+
+
+def test_condition4_on_l_shape(benchmark):
+    def run():
+        return Simulator(l_shape(30, 30, 13), check_invariants=False).run()
+
+    result = benchmark(run)
+    counts = _reason_counts(result)
+    assert counts.get(StopReason.PASSING_TARGET_REMOVED, 0) > 0
+    assert result.gathered
+
+
+def test_condition5_on_witness(benchmark):
+    pts = _cond5_witness()
+
+    def run():
+        return Simulator(list(pts), check_invariants=False).run()
+
+    result = benchmark(run)
+    counts = _reason_counts(result)
+    assert counts.get(StopReason.TRAVEL_TARGET_REMOVED, 0) > 0
+    assert result.gathered

@@ -1,0 +1,59 @@
+"""EXP-T1 benchmark — Theorem 1: gathering rounds and wall time vs n.
+
+Regenerates the paper's headline result (linear-time gathering) per
+chain family while timing full gatherings.  The printed `rounds` and
+`rounds/n` values are the data series of EXPERIMENTS.md §EXP-T1.
+"""
+
+import pytest
+
+from repro.core.simulator import gather
+from repro.chains import comb, needle, square_ring, stairway_octagon, spiral
+
+FAMILY_CASES = [
+    pytest.param("needle", needle, 60, id="needle-n118"),
+    pytest.param("needle", needle, 150, id="needle-n298"),
+    pytest.param("square", square_ring, 26, id="square-n100"),
+    pytest.param("square", square_ring, 51, id="square-n200"),
+    pytest.param("octagon", lambda s: stairway_octagon(s, 2), 14, id="octagon-n128"),
+    pytest.param("octagon", lambda s: stairway_octagon(s, 2), 26, id="octagon-n224"),
+]
+
+
+@pytest.mark.parametrize("family,builder,size", FAMILY_CASES)
+def test_gather_rounds_linear(benchmark, family, builder, size):
+    pts = builder(size)
+
+    def run():
+        return gather(list(pts), engine="vectorized")
+
+    result = benchmark(run)
+    assert result.gathered
+    assert result.rounds_per_robot < 27        # Theorem 1 constant
+    benchmark.extra_info["n"] = result.initial_n
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["rounds_per_n"] = round(result.rounds_per_robot, 3)
+
+
+def test_gather_comb_pipeline(benchmark):
+    pts = comb(8, tooth_height=8)
+
+    def run():
+        return gather(list(pts), engine="vectorized")
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["n"] = result.initial_n
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def test_gather_spiral(benchmark):
+    pts = spiral(2)
+
+    def run():
+        return gather(list(pts), engine="vectorized")
+
+    result = benchmark(run)
+    assert result.gathered
+    benchmark.extra_info["n"] = result.initial_n
+    benchmark.extra_info["rounds"] = result.rounds

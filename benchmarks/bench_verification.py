@@ -1,0 +1,33 @@
+"""EXP-V1 benchmark — exhaustive small-n verification throughput.
+
+Times the enumeration (canonical symmetry classes of closed walks) and
+the full verify-everything sweeps that back the universal quantifier of
+Theorem 1 for small n.
+"""
+
+import pytest
+
+from repro.verification import count_closed_chains, verify_all
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_enumeration(benchmark, n):
+    count = benchmark(count_closed_chains, n)
+    assert count == {8: 71, 10: 478}[n]
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_exhaustive_verification(benchmark, n):
+    report = benchmark(verify_all, n, engine="vectorized")
+    assert report.complete
+    benchmark.extra_info["configurations"] = report.total
+    benchmark.extra_info["max_rounds"] = report.max_rounds
+
+
+def test_verification_n12(benchmark, bench_large):
+    if not bench_large:
+        report = benchmark(verify_all, 12, engine="vectorized", limit=500)
+        assert report.gathered == report.total == 500
+    else:
+        report = benchmark(verify_all, 12, engine="vectorized")
+        assert report.complete

@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every paper artifact (Theorem 1, Lemmas, Table 1, figure mechanics) has
+a benchmark module that regenerates its data while timing the relevant
+code path with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-large", action="store_true", default=False,
+                     help="include the large-size benchmark cases")
+
+
+@pytest.fixture
+def bench_large(request):
+    return request.config.getoption("--bench-large")

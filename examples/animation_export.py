@@ -1,0 +1,30 @@
+"""Export an SVG animation of a gathering (one frame per k rounds).
+
+Writes frames to ``./frames/`` — open them in a browser or stitch them
+into a video.  Run with::
+
+    python examples/animation_export.py [outdir]
+"""
+
+import sys
+
+from repro import Simulator
+from repro.chains import spiral
+from repro.viz import save_frames
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "frames"
+    chain = spiral(2)
+    sim = Simulator(chain, record_trace=True)
+    result = sim.run()
+    print(result.summary())
+    assert result.trace is not None
+    every = max(1, result.rounds // 24)
+    paths = save_frames(result.trace, outdir, every=every, fmt="svg")
+    print(f"wrote {len(paths)} SVG frames to {outdir}/ "
+          f"(every {every} rounds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: gather a closed chain of robots on a grid.
+
+Builds a chain, runs the paper's local gathering algorithm, and shows
+what happened.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Simulator, gather
+from repro.chains import square_ring, random_chain
+from repro.viz import render_ascii, render_trace_strip
+
+
+def main() -> None:
+    # --- the one-liner API --------------------------------------------------
+    result = gather(square_ring(20))
+    print("square ring :", result.summary())
+
+    # --- step-by-step control with a trace ----------------------------------
+    chain = random_chain(64)
+    print("\ninitial random chain:")
+    print(render_ascii(chain))
+
+    sim = Simulator(chain, check_invariants=True, record_trace=True)
+    while not sim.is_gathered():
+        report = sim.step()
+        if report.robots_removed:
+            print(f"round {report.round_index:3d}: merged "
+                  f"{report.robots_removed} robots, {report.n_after} left")
+
+    print(f"\ngathered in {sim.round_index} rounds "
+          f"({sim.round_index / result.initial_n:.2f} rounds per robot)")
+    print("\nfilm strip:")
+    assert sim.trace is not None
+    print(render_trace_strip(sim.trace.snapshots,
+                             every=max(1, sim.round_index // 5), max_frames=5))
+
+
+if __name__ == "__main__":
+    main()

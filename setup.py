@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517``)
+in offline environments whose setuptools predates PEP 660 wheel-less
+editable support.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of *Gathering a Closed Chain of Robots on a Grid*.
+
+Abshoff, Cord-Landwehr, Fischer, Jung, Meyer auf der Heide (IPDPS 2016).
+
+Public API highlights
+---------------------
+:func:`repro.gather`
+    Gather a closed chain; returns a :class:`repro.GatheringResult`.
+:class:`repro.Simulator`
+    Step-by-step control over a gathering simulation.
+:class:`repro.ClosedChain`
+    The chain data structure.
+:mod:`repro.chains`
+    Generators for every chain family used in the experiments.
+:mod:`repro.baselines`
+    Global-knowledge baselines and the Manhattan-Hopper open chain.
+:mod:`repro.experiments`
+    One module per paper table/figure/lemma (see DESIGN.md §4).
+"""
+
+from repro.core import (
+    ClosedChain,
+    DEFAULT_PARAMETERS,
+    PROOF_PARAMETERS,
+    GatheringResult,
+    Parameters,
+    RoundReport,
+    Simulator,
+    Trace,
+    gather,
+)
+from repro.errors import (
+    ChainError,
+    InvariantViolation,
+    LocalityViolation,
+    ReproError,
+    StallError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosedChain",
+    "Parameters",
+    "DEFAULT_PARAMETERS",
+    "PROOF_PARAMETERS",
+    "Simulator",
+    "GatheringResult",
+    "RoundReport",
+    "Trace",
+    "gather",
+    "ReproError",
+    "ChainError",
+    "InvariantViolation",
+    "LocalityViolation",
+    "StallError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis: metrics, linear fits, quasi-line/good-pair census, progress."""
+
+from repro.analysis.linear_fit import LinearFit, fit_rounds
+from repro.analysis.metrics import format_table, summarize
+from repro.analysis.good_pairs import QuasiLinePair, find_start_points, classify_pairs
+from repro.analysis.progress import (
+    lemma1_windows,
+    merge_free_intervals,
+    merges_per_wave,
+)
+
+__all__ = [
+    "LinearFit",
+    "fit_rounds",
+    "summarize",
+    "format_table",
+    "QuasiLinePair",
+    "find_start_points",
+    "classify_pairs",
+    "lemma1_windows",
+    "merge_free_intervals",
+    "merges_per_wave",
+]

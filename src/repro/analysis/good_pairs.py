@@ -1,0 +1,80 @@
+"""Quasi-line and good-pair census (Lemma 1 instrumentation).
+
+The *algorithm* never needs to know whether a run pair is good — robots
+cannot see that far.  This module is observer-side tooling: it finds the
+run-start points of a configuration, pairs the endpoints of each quasi
+line, and classifies the pairs as good (exterior neighbours on the same
+side, paper Fig. 12) or not.  EXP-F17/18 uses it to verify Lemma 1:
+every mergeless chain exposes at least one good pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.grid.lattice import Vec, sub
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.patterns import RunStart, run_start_decisions
+from repro.core.view import ChainWindow
+
+
+@dataclass(frozen=True)
+class QuasiLinePair:
+    """Two runs started at opposite endpoints of one quasi line."""
+
+    start_index: int          # endpoint whose run moves in +1 direction
+    end_index: int            # endpoint whose run moves in -1 direction
+    length: int               # robots on the connecting subchain
+    good: bool                # exterior neighbours on the same side (Fig. 12)
+
+
+def find_start_points(chain: ClosedChain,
+                      params: Parameters = DEFAULT_PARAMETERS
+                      ) -> List[Tuple[int, RunStart]]:
+    """All (index, RunStart) pairs the algorithm would fire on this chain."""
+    out: List[Tuple[int, RunStart]] = []
+    for i in range(chain.n):
+        window = ChainWindow(chain, i, params.viewing_path_length)
+        for rs in run_start_decisions(window):
+            out.append((i, rs))
+    return out
+
+
+def classify_pairs(chain: ClosedChain,
+                   params: Parameters = DEFAULT_PARAMETERS
+                   ) -> List[QuasiLinePair]:
+    """Pair up run-start points along the chain and classify them.
+
+    A start at index ``i`` moving +1 pairs with the next start moving
+    -1 found walking in the +1 direction (the two runs approach each
+    other over the connecting quasi line).
+    """
+    starts = find_start_points(chain, params)
+    n = chain.n
+    pos = chain.positions
+    forward = sorted(i for i, rs in starts if rs.direction == 1)
+    backward = {i for i, rs in starts if rs.direction == -1}
+    pairs: List[QuasiLinePair] = []
+    for i in forward:
+        j = None
+        for step in range(1, n):
+            cand = (i + step) % n
+            if cand in backward:
+                j = cand
+                break
+        if j is None:
+            continue
+        g_start = sub(pos[(i - 1) % n], pos[i])
+        g_end = sub(pos[(j + 1) % n], pos[j])
+        length = (j - i) % n + 1
+        pairs.append(QuasiLinePair(start_index=i, end_index=j,
+                                   length=length, good=(g_start == g_end)))
+    return pairs
+
+
+def good_pair_exists(chain: ClosedChain,
+                     params: Parameters = DEFAULT_PARAMETERS) -> bool:
+    """Lemma 1's conclusion for one configuration."""
+    return any(p.good for p in classify_pairs(chain, params))

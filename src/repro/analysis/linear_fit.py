@@ -1,0 +1,42 @@
+"""Linear runtime fits (Theorem 1: gathering takes O(n) rounds)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``rounds ≈ slope · n + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    stderr: float
+
+    def predict(self, n: float) -> float:
+        """Predicted round count for chain length ``n``."""
+        return self.slope * n + self.intercept
+
+    def describe(self) -> str:
+        return (f"rounds ≈ {self.slope:.3f}·n + {self.intercept:.1f} "
+                f"(R² = {self.r_squared:.4f})")
+
+
+def fit_rounds(ns: Sequence[float], rounds: Sequence[float]) -> LinearFit:
+    """Fit round counts against chain lengths.
+
+    A high R² with a modest slope verifies the paper's linear bound
+    empirically; Theorem 1 guarantees slope ≤ 2·L + 1 = 27.
+    """
+    if len(ns) != len(rounds) or len(ns) < 2:
+        raise ValueError("need at least two (n, rounds) samples")
+    res = stats.linregress(np.asarray(ns, dtype=float),
+                           np.asarray(rounds, dtype=float))
+    return LinearFit(slope=float(res.slope), intercept=float(res.intercept),
+                     r_squared=float(res.rvalue) ** 2,
+                     stderr=float(res.stderr))

@@ -1,0 +1,53 @@
+"""Result summaries and plain-text tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.simulator import GatheringResult
+
+
+def summarize(result: GatheringResult) -> Dict[str, float]:
+    """Flatten a gathering result into the metrics the experiments report."""
+    reports = result.reports
+    total_hops = sum(r.hops for r in reports)
+    merge_rounds = sum(1 for r in reports if r.robots_removed > 0)
+    started = sum(r.runs_started for r in reports)
+    peak_runs = max((r.active_runs for r in reports), default=0)
+    return {
+        "n": result.initial_n,
+        "rounds": result.rounds,
+        "rounds_per_robot": round(result.rounds_per_robot, 4),
+        "gathered": int(result.gathered),
+        "final_n": result.final_n,
+        "total_hops": total_hops,
+        "merge_rounds": merge_rounds,
+        "runs_started": started,
+        "peak_active_runs": peak_runs,
+    }
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table (paper-style)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body: List[List[str]] = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)

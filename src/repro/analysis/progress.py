@@ -1,0 +1,55 @@
+"""Progress accounting over traces (Lemma 1/2 instrumentation)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.events import RoundReport
+
+
+def merge_free_intervals(reports: Sequence[RoundReport]) -> List[int]:
+    """Lengths of maximal stretches of rounds without any merge."""
+    intervals: List[int] = []
+    current = 0
+    for r in reports:
+        if r.robots_removed > 0:
+            if current:
+                intervals.append(current)
+            current = 0
+        else:
+            current += 1
+    if current:
+        intervals.append(current)
+    return intervals
+
+
+def lemma1_windows(reports: Sequence[RoundReport], interval: int) -> Dict[str, int]:
+    """Check Lemma 1 over a trace.
+
+    Partitions the rounds into windows of length ``interval`` (the
+    paper's L) and counts how many contain a merge, a new run start, or
+    neither.  Lemma 1 predicts "neither" stays zero until the terminal
+    phase (once gathered, nothing needs to happen).
+    """
+    merged = started = neither = 0
+    for w0 in range(0, len(reports), interval):
+        window = reports[w0:w0 + interval]
+        has_merge = any(r.robots_removed > 0 for r in window)
+        has_start = any(r.runs_started > 0 for r in window)
+        if has_merge:
+            merged += 1
+        elif has_start:
+            started += 1
+        else:
+            neither += 1
+    return {"windows_with_merge": merged,
+            "windows_with_start_only": started,
+            "windows_with_neither": neither}
+
+
+def merges_per_wave(reports: Sequence[RoundReport], interval: int) -> List[int]:
+    """Robots removed in each L-round wave (pipelining throughput)."""
+    out: List[int] = []
+    for w0 in range(0, len(reports), interval):
+        out.append(sum(r.robots_removed for r in reports[w0:w0 + interval]))
+    return out

@@ -1,0 +1,25 @@
+"""Baselines against which the local algorithm is compared (EXP-B1/B2).
+
+The paper's introduction argues gathering would be easy with global
+vision or a global compass; these baselines make that argument
+executable.  The Manhattan-Hopper open-chain strategy of [KM09] — which
+the paper generalises — is reproduced as the third comparator.
+"""
+
+from repro.baselines.global_vision import GlobalVisionGatherer, gather_global_vision
+from repro.baselines.global_compass import CompassGatherer, gather_compass
+from repro.baselines.manhattan_hopper import (
+    ManhattanHopper,
+    OpenChain,
+    shorten_open_chain,
+)
+
+__all__ = [
+    "GlobalVisionGatherer",
+    "gather_global_vision",
+    "CompassGatherer",
+    "gather_compass",
+    "ManhattanHopper",
+    "OpenChain",
+    "shorten_open_chain",
+]

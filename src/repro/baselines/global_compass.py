@@ -1,0 +1,98 @@
+"""Global-compass baseline (paper §1).
+
+The introduction sketches a second relaxation: with a shared compass
+(but only local vision), robots can agree on a direction and pile up
+toward it.  This gatherer operationalises the sketch: every robot hops
+one cell toward the south-east corner of its *local* view's bounding
+box (local vision, shared compass), with the same connectivity
+relaxation as the global-vision baseline.  The swarm drifts into its
+south-east extreme and collapses there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.grid.lattice import Vec
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS
+from repro.core.simulator import GatheringResult
+
+
+def _sign(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+class CompassGatherer:
+    """Gather a closed chain using a shared compass and local vision."""
+
+    def __init__(self, chain: ClosedChain, viewing_path_length: int = 11):
+        self.chain = chain
+        self.view = viewing_path_length
+        self.round_index = 0
+
+    def _targets(self) -> Dict[int, Vec]:
+        chain = self.chain
+        n = chain.n
+        pos = chain.positions
+        targets: Dict[int, Vec] = {}
+        for i, rid in enumerate(chain.ids):
+            xs = []
+            ys = []
+            for off in range(-self.view, self.view + 1):
+                q = pos[(i + off) % n]
+                xs.append(q[0])
+                ys.append(q[1])
+            corner = (max(xs), min(ys))       # the local south-east corner
+            p = pos[i]
+            targets[rid] = (_sign(corner[0] - p[0]), _sign(corner[1] - p[1]))
+        return targets
+
+    def step(self) -> int:
+        """One synchronous round; returns the number of robots that moved."""
+        chain = self.chain
+        ids = chain.ids
+        pos = {rid: chain.position_of_id(rid) for rid in ids}
+        moves = self._targets()
+        changed = True
+        while changed:
+            changed = False
+            planned = {rid: (pos[rid][0] + moves.get(rid, (0, 0))[0],
+                             pos[rid][1] + moves.get(rid, (0, 0))[1])
+                       for rid in ids}
+            for i, rid in enumerate(ids):
+                if moves.get(rid, (0, 0)) == (0, 0):
+                    continue
+                p = planned[rid]
+                for nb in (ids[(i - 1) % len(ids)], ids[(i + 1) % len(ids)]):
+                    q = planned[nb]
+                    if abs(p[0] - q[0]) + abs(p[1] - q[1]) > 1:
+                        moves[rid] = (0, 0)
+                        changed = True
+                        break
+        actual = {rid: d for rid, d in moves.items() if d != (0, 0)}
+        chain.apply_moves(actual)
+        chain.contract_coincident(set(actual))
+        self.round_index += 1
+        return len(actual)
+
+    def run(self, max_rounds: Optional[int] = None) -> GatheringResult:
+        initial_n = self.chain.n
+        budget = max_rounds if max_rounds is not None else \
+            8 * (self.chain.bounding_box().diameter + 4) + 4 * initial_n
+        while not self.chain.is_gathered() and self.round_index < budget:
+            moved = self.step()
+            if moved == 0 and not self.chain.is_gathered():
+                break
+        gathered = self.chain.is_gathered()
+        return GatheringResult(
+            gathered=gathered, rounds=self.round_index,
+            initial_n=initial_n, final_n=self.chain.n,
+            final_positions=self.chain.positions,
+            params=DEFAULT_PARAMETERS, stalled=not gathered)
+
+
+def gather_compass(positions: Sequence[Vec],
+                   max_rounds: Optional[int] = None) -> GatheringResult:
+    """Convenience wrapper mirroring :func:`repro.gather`."""
+    return CompassGatherer(ClosedChain(positions)).run(max_rounds)

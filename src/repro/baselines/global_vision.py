@@ -1,0 +1,106 @@
+"""Global-vision baseline (paper §1).
+
+With global vision, "the robots could compute the center of the
+globally smallest enclosing square and just move to this point".  This
+gatherer operationalises that idea while preserving chain connectivity:
+
+* every robot targets a one-cell (8-directional) hop toward the centre
+  of the global bounding square;
+* a relaxation pass reverts hops that would break a chain link against
+  the *planned* positions of the neighbours (global control makes this
+  coordination legitimate for the baseline);
+* co-located chain neighbours merge exactly as in the main model.
+
+Gathering typically completes in Θ(diameter) rounds — the information
+advantage the local algorithm must live without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.grid.lattice import Vec, chebyshev
+from repro.core.chain import ClosedChain
+from repro.core.simulator import GatheringResult
+from repro.core.config import DEFAULT_PARAMETERS
+
+
+def _sign(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+class GlobalVisionGatherer:
+    """Gather a closed chain using global vision."""
+
+    def __init__(self, chain: ClosedChain):
+        self.chain = chain
+        self.round_index = 0
+
+    def _targets(self) -> Dict[int, Vec]:
+        box = self.chain.bounding_box()
+        cx2 = box.min_x + box.max_x          # doubled centre avoids fractions
+        cy2 = box.min_y + box.max_y
+        targets: Dict[int, Vec] = {}
+        for rid, p in zip(self.chain.ids, self.chain.positions):
+            dx = _sign(cx2 - 2 * p[0])
+            dy = _sign(cy2 - 2 * p[1])
+            targets[rid] = (dx, dy)
+        return targets
+
+    def step(self) -> int:
+        """One synchronous round; returns the number of robots that moved."""
+        chain = self.chain
+        ids = chain.ids
+        pos = {rid: chain.position_of_id(rid) for rid in ids}
+        moves = self._targets()
+        # relaxation: cancel hops that would break a link against the
+        # neighbours' *planned* positions, until a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            planned = {rid: (pos[rid][0] + moves.get(rid, (0, 0))[0],
+                             pos[rid][1] + moves.get(rid, (0, 0))[1])
+                       for rid in ids}
+            for i, rid in enumerate(ids):
+                if moves.get(rid, (0, 0)) == (0, 0):
+                    continue
+                left = ids[(i - 1) % len(ids)]
+                right = ids[(i + 1) % len(ids)]
+                p = planned[rid]
+                bad = False
+                for nb in (left, right):
+                    q = planned[nb]
+                    if abs(p[0] - q[0]) + abs(p[1] - q[1]) > 1:
+                        bad = True
+                        break
+                if bad:
+                    moves[rid] = (0, 0)
+                    changed = True
+        actual = {rid: d for rid, d in moves.items() if d != (0, 0)}
+        chain.apply_moves(actual)
+        chain.contract_coincident(set(actual))
+        self.round_index += 1
+        return len(actual)
+
+    def run(self, max_rounds: Optional[int] = None) -> GatheringResult:
+        """Gather; the budget defaults to a generous multiple of the diameter."""
+        initial_n = self.chain.n
+        budget = max_rounds if max_rounds is not None else \
+            8 * (self.chain.bounding_box().diameter + 4) + 4 * initial_n
+        while not self.chain.is_gathered() and self.round_index < budget:
+            moved = self.step()
+            if moved == 0 and not self.chain.is_gathered():
+                break                      # frozen: report as stalled
+        gathered = self.chain.is_gathered()
+        return GatheringResult(
+            gathered=gathered, rounds=self.round_index,
+            initial_n=initial_n, final_n=self.chain.n,
+            final_positions=self.chain.positions,
+            params=DEFAULT_PARAMETERS, stalled=not gathered)
+
+
+def gather_global_vision(positions: Sequence[Vec],
+                         max_rounds: Optional[int] = None) -> GatheringResult:
+    """Convenience wrapper mirroring :func:`repro.gather`."""
+    return GlobalVisionGatherer(ClosedChain(positions)).run(max_rounds)

@@ -1,0 +1,130 @@
+"""Manhattan-Hopper open-chain shortening ([KM09], the paper's ancestor).
+
+Kutylowski & Meyer auf der Heide maintain a chain of relay robots
+between a fixed *base camp* and a fixed *explorer* on the grid,
+shortening it to optimal length in O(n) rounds.  The closed-chain paper
+generalises their idea: a distinguished endpoint sends a moving state
+("hopper") down the chain; the robot carrying the state straightens its
+local kink and redundant robots are removed.
+
+This module reproduces the strategy's mechanics (fixed distinguishable
+endpoints, states emitted by the base every other round, state speed 1,
+local shortcut hops, relay removal), sufficient to reproduce the O(n)
+behaviour the closed-chain paper builds on.  EXP-B2 compares its round
+counts with the closed-chain algorithm's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import Vec, manhattan, sub
+
+
+@dataclass
+class OpenChain:
+    """An open chain with fixed endpoints (base camp and explorer)."""
+
+    positions: List[Vec]
+
+    def __post_init__(self) -> None:
+        if len(self.positions) < 2:
+            raise ChainError("open chain needs at least the two endpoints")
+        for a, b in zip(self.positions, self.positions[1:]):
+            if manhattan(a, b) > 1:
+                raise ChainError(f"open chain broken between {a} and {b}")
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def optimal_length(self) -> int:
+        """Robots needed for a Manhattan-shortest relay chain."""
+        return manhattan(self.positions[0], self.positions[-1]) + 1
+
+    def is_taut(self) -> bool:
+        """True when the chain is a Manhattan-shortest path."""
+        return self.n == self.optimal_length()
+
+
+@dataclass
+class _State:
+    index: int                       # robot currently carrying the hopper
+
+
+class ManhattanHopper:
+    """Run the Manhattan-Hopper strategy on an open chain."""
+
+    def __init__(self, chain: OpenChain, emit_interval: int = 2):
+        if emit_interval < 1:
+            raise ChainError("emit_interval must be >= 1")
+        self.chain = chain
+        self.emit_interval = emit_interval
+        self.states: List[_State] = []
+        self.round_index = 0
+
+    def step(self) -> None:
+        """One synchronous round: emit, act, advance."""
+        pts = self.chain.positions
+        # the base (last robot) emits a new state periodically
+        if self.round_index % self.emit_interval == 0 and len(pts) > 2:
+            if not any(s.index == len(pts) - 2 for s in self.states):
+                self.states.append(_State(index=len(pts) - 2))
+
+        removals: List[int] = []
+        for state in self.states:
+            i = state.index
+            if not (0 < i < len(pts) - 1):
+                continue
+            prev_p, p, next_p = pts[i + 1], pts[i], pts[i - 1]
+            gap = manhattan(prev_p, next_p)
+            if gap <= 1:
+                removals.append(i)       # redundant relay: neighbours connect
+            elif gap == 2 and p != _midpointish(prev_p, next_p, p):
+                pts[i] = _midpointish(prev_p, next_p, p)
+
+        # remove redundant relays (largest index first keeps others valid)
+        for i in sorted(set(removals), reverse=True):
+            del pts[i]
+            for s in self.states:
+                if s.index > i:
+                    s.index -= 1
+                elif s.index == i:
+                    s.index = -1         # state dissolves with its robot
+        # advance surviving states toward the explorer (index 0)
+        for s in self.states:
+            if s.index > 0:
+                s.index -= 1
+        self.states = [s for s in self.states if s.index > 0]
+        self.round_index += 1
+
+    def run(self, max_rounds: Optional[int] = None) -> Tuple[bool, int]:
+        """Shorten until taut; returns (success, rounds)."""
+        budget = max_rounds if max_rounds is not None else \
+            4 * self.emit_interval * self.chain.n + 64
+        while not self.chain.is_taut() and self.round_index < budget:
+            self.step()
+        return self.chain.is_taut(), self.round_index
+
+
+def _midpointish(a: Vec, b: Vec, current: Vec) -> Vec:
+    """A grid point adjacent to both ``a`` and ``b`` (Manhattan gap 2)."""
+    mx = (a[0] + b[0]) / 2
+    my = (a[1] + b[1]) / 2
+    if mx == int(mx) and my == int(my):
+        return (int(mx), int(my))
+    # diagonal gap: two candidate corners; prefer the one != current
+    c1 = (a[0], b[1])
+    c2 = (b[0], a[1])
+    return c1 if c1 != current else c2
+
+
+def shorten_open_chain(positions: Sequence[Vec],
+                       max_rounds: Optional[int] = None) -> Tuple[bool, int, OpenChain]:
+    """Run the Manhattan Hopper; returns (success, rounds, final chain)."""
+    chain = OpenChain(list(positions))
+    hopper = ManhattanHopper(chain)
+    ok, rounds = hopper.run(max_rounds)
+    return ok, rounds, chain

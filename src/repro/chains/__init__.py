@@ -1,0 +1,58 @@
+"""Chain generators: every input family used by tests and experiments."""
+
+from repro.chains.boundary import fill_holes, is_connected, outline
+from repro.chains.perturb import perturb
+from repro.chains.random_blobs import random_chain, random_polyomino
+from repro.chains.shapes import (
+    comb,
+    crenellation,
+    l_shape,
+    needle,
+    plus_shape,
+    rectangle_ring,
+    spiral,
+    square_ring,
+    t_shape,
+    zigzag_band,
+)
+from repro.chains.stairways import (
+    fig16_fragment,
+    serpentine_ring,
+    staircase_ring,
+    stairway_octagon,
+)
+
+#: Named generator registry used by the experiment harness and the CLI.
+FAMILIES = {
+    "rectangle": lambda n: rectangle_ring(max(2, n // 4 + 1), max(2, n // 4 + 1)),
+    "needle": lambda n: needle(max(2, n // 2)),
+    "square": lambda n: square_ring(max(2, n // 4 + 1)),
+    "comb": lambda n: comb(max(1, n // 16)),
+    "octagon": lambda n: stairway_octagon(max(3, n // 8), steps=2),
+    "spiral": lambda n: spiral(max(1, 1 + n // 120)),
+    "random": lambda n: random_chain(n),
+}
+
+__all__ = [
+    "outline",
+    "fill_holes",
+    "is_connected",
+    "perturb",
+    "random_chain",
+    "random_polyomino",
+    "rectangle_ring",
+    "square_ring",
+    "needle",
+    "comb",
+    "crenellation",
+    "plus_shape",
+    "l_shape",
+    "t_shape",
+    "zigzag_band",
+    "spiral",
+    "fig16_fragment",
+    "stairway_octagon",
+    "staircase_ring",
+    "serpentine_ring",
+    "FAMILIES",
+]

@@ -1,0 +1,147 @@
+"""Polyomino outlines as closed chains.
+
+Many interesting closed chains are the outlines of polyominoes (combs,
+spirals, L/T/plus shapes, random blobs).  :func:`outline` walks the
+boundary of a hole-free cell set counter-clockwise and returns the
+corner points visited — a valid closed chain (the walk may revisit
+points at pinch corners, which the model allows: only chain *neighbours*
+must be distinct initially).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import Vec
+
+Cell = Tuple[int, int]
+
+# Directed boundary edges keep the polyomino on the walker's left,
+# producing a counter-clockwise outline.  For a cell (x, y) occupying
+# the unit square [x, x+1] × [y, y+1]:
+#   missing south neighbour -> walk east  along the bottom side
+#   missing east  neighbour -> walk north along the right side
+#   missing north neighbour -> walk west  along the top side
+#   missing west  neighbour -> walk south along the left side
+_SIDES = (
+    ((0, -1), lambda x, y: ((x, y), (x + 1, y))),
+    ((1, 0), lambda x, y: ((x + 1, y), (x + 1, y + 1))),
+    ((0, 1), lambda x, y: ((x + 1, y + 1), (x, y + 1))),
+    ((-1, 0), lambda x, y: ((x, y + 1), (x, y))),
+)
+
+# left-turn preference order for resolving pinch points: relative to the
+# incoming direction d, try left, straight, right (never reverse).
+_LEFT = {(1, 0): (0, 1), (0, 1): (-1, 0), (-1, 0): (0, -1), (0, -1): (1, 0)}
+_RIGHT = {v: k for k, v in _LEFT.items()}
+
+
+def fill_holes(cells: Iterable[Cell]) -> Set[Cell]:
+    """Return the cell set with interior holes filled.
+
+    Flood-fills the complement from outside the bounding box; anything
+    unreachable is a hole and gets added.
+    """
+    cells = set(cells)
+    if not cells:
+        return cells
+    xs = [c[0] for c in cells]
+    ys = [c[1] for c in cells]
+    x0, x1 = min(xs) - 1, max(xs) + 1
+    y0, y1 = min(ys) - 1, max(ys) + 1
+    outside: Set[Cell] = set()
+    queue = deque([(x0, y0)])
+    outside.add((x0, y0))
+    while queue:
+        x, y = queue.popleft()
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if x0 <= nx <= x1 and y0 <= ny <= y1 and (nx, ny) not in cells \
+                    and (nx, ny) not in outside:
+                outside.add((nx, ny))
+                queue.append((nx, ny))
+    filled = set(cells)
+    for x in range(x0, x1 + 1):
+        for y in range(y0, y1 + 1):
+            if (x, y) not in cells and (x, y) not in outside:
+                filled.add((x, y))
+    return filled
+
+
+def is_connected(cells: Iterable[Cell]) -> bool:
+    """4-connectivity of a cell set."""
+    cells = set(cells)
+    if not cells:
+        return True
+    start = next(iter(cells))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        x, y = queue.popleft()
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nb = (x + dx, y + dy)
+            if nb in cells and nb not in seen:
+                seen.add(nb)
+                queue.append(nb)
+    return len(seen) == len(cells)
+
+
+def boundary_edges(cells: Set[Cell]) -> Dict[Tuple[Vec, Vec], None]:
+    """All directed boundary edges (insertion-ordered set)."""
+    edges: Dict[Tuple[Vec, Vec], None] = {}
+    for (x, y) in cells:
+        for (dx, dy), seg in _SIDES:
+            if (x + dx, y + dy) not in cells:
+                edges[seg(x, y)] = None
+    return edges
+
+
+def outline(cells: Iterable[Cell]) -> List[Vec]:
+    """Counter-clockwise outline of a connected, hole-free polyomino.
+
+    Returns the corner points in walk order (the closing point is not
+    repeated).  Raises :class:`ChainError` when the cell set is empty,
+    disconnected, or has holes (fill them with :func:`fill_holes`).
+    """
+    cells = set(cells)
+    if not cells:
+        raise ChainError("cannot outline an empty polyomino")
+    if not is_connected(cells):
+        raise ChainError("polyomino is not 4-connected")
+    if fill_holes(cells) != cells:
+        raise ChainError("polyomino has holes; call fill_holes() first")
+
+    edges = boundary_edges(cells)
+    by_start: Dict[Vec, List[Vec]] = {}
+    for (a, b) in edges:
+        by_start.setdefault(a, []).append(b)
+
+    start_edge = next(iter(edges))
+    path: List[Vec] = [start_edge[0]]
+    current = start_edge
+    used: Set[Tuple[Vec, Vec]] = set()
+    while True:
+        used.add(current)
+        a, b = current
+        path.append(b)
+        if b == start_edge[0] and len(used) == len(edges):
+            break
+        outs = [t for t in by_start.get(b, ()) if (b, t) not in used]
+        if not outs:
+            raise ChainError("boundary walk got stuck (corrupt polyomino?)")
+        if len(outs) == 1:
+            nxt = outs[0]
+        else:
+            # pinch point: prefer the left-most turn to stay on this lobe
+            d = (b[0] - a[0], b[1] - a[1])
+            for cand_dir in (_LEFT[d], d, _RIGHT[d]):
+                target = (b[0] + cand_dir[0], b[1] + cand_dir[1])
+                if target in outs:
+                    nxt = target
+                    break
+            else:
+                nxt = outs[0]
+        current = (b, nxt)
+    return path[:-1]

@@ -1,0 +1,92 @@
+"""Connectivity-preserving chain mutations (fuzzing support).
+
+The mutation operators deform a valid closed chain into another valid
+closed chain.  Applied repeatedly they explore configuration space far
+from the clean generator families — dents, bulges and local spikes in
+arbitrary combination — which is where the property tests hunt for
+liveness/safety bugs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ChainError
+from repro.grid.lattice import Vec, add, is_axis_unit, manhattan, neg, perpendicular, sub
+from repro.core.chain import ClosedChain
+
+
+def _insert_spike(pts: List[Vec], i: int, rng: random.Random) -> Optional[List[Vec]]:
+    """Insert an out-and-back pair after robot ``i`` (adds a spike)."""
+    p = pts[i]
+    nxt = pts[(i + 1) % len(pts)]
+    e = sub(nxt, p)
+    if not is_axis_unit(e):
+        return None
+    d = rng.choice(perpendicular(e))
+    spike = add(p, d)
+    return pts[: i + 1] + [spike, p] + pts[i + 1:]
+
+
+def _fold_corner(pts: List[Vec], i: int, rng: random.Random) -> Optional[List[Vec]]:
+    """Move a corner robot to the opposite corner of its cell (a dent)."""
+    n = len(pts)
+    p = pts[i]
+    a = pts[(i - 1) % n]
+    b = pts[(i + 1) % n]
+    u = sub(a, p)
+    v = sub(b, p)
+    if not (is_axis_unit(u) and is_axis_unit(v)) or u == neg(v) or u == v:
+        return None
+    folded = add(add(p, u), v)
+    out = list(pts)
+    out[i] = folded
+    return out
+
+
+def _insert_bulge(pts: List[Vec], i: int, rng: random.Random) -> Optional[List[Vec]]:
+    """Detour one edge over a neighbouring cell (inserts two robots).
+
+    The edge ``p -> q`` becomes ``p -> p+d -> q+d -> q`` for a
+    perpendicular ``d`` — a one-cell bulge.
+    """
+    n = len(pts)
+    p, q = pts[i], pts[(i + 1) % n]
+    e = sub(q, p)
+    if not is_axis_unit(e):
+        return None
+    d = rng.choice(perpendicular(e))
+    return pts[: i + 1] + [add(p, d), add(q, d)] + pts[i + 1:]
+
+
+_OPERATORS = (_insert_spike, _fold_corner, _insert_bulge)
+
+
+def perturb(positions: List[Vec], mutations: int = 10,
+            rng: Optional[random.Random] = None) -> List[Vec]:
+    """Apply random connectivity-preserving mutations to a closed chain.
+
+    The result is always a valid initial chain (validated before
+    returning); mutations that would produce coincident neighbours are
+    discarded and retried.
+    """
+    rng = rng or random.Random()
+    pts = list(positions)
+    ClosedChain(pts, require_disjoint_neighbors=True)
+    done = 0
+    attempts = 0
+    while done < mutations and attempts < 50 * mutations:
+        attempts += 1
+        op = rng.choice(_OPERATORS)
+        i = rng.randrange(len(pts))
+        candidate = op(pts, i, rng)
+        if candidate is None:
+            continue
+        try:
+            ClosedChain(candidate, require_disjoint_neighbors=True)
+        except ChainError:
+            continue
+        pts = candidate
+        done += 1
+    return pts

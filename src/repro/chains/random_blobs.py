@@ -1,0 +1,78 @@
+"""Random closed chains via random polyomino outlines.
+
+The generator grows a random 4-connected, hole-free polyomino and takes
+its boundary.  Outlines of random blobs mix every local feature the
+algorithm must handle — straight stretches, jogs, spikes, stairways,
+deep concavities, pinch points — and are the workhorse of the
+integration and property tests and of EXP-T1's "random" family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import Vec
+from repro.chains.boundary import fill_holes, is_connected, outline
+
+Cell = Tuple[int, int]
+
+
+def random_polyomino(cells: int, rng: Optional[random.Random] = None,
+                     elongation: float = 0.0) -> Set[Cell]:
+    """Grow a random connected polyomino with ``cells`` cells.
+
+    ``elongation`` in [0, 1) biases growth toward the frontier's newest
+    cells, producing stringier shapes (longer chains per cell).
+    """
+    if cells < 1:
+        raise ChainError("random_polyomino needs cells >= 1")
+    rng = rng or random.Random()
+    blob: Set[Cell] = {(0, 0)}
+    frontier: List[Cell] = [(0, 0)]
+    while len(blob) < cells:
+        if elongation > 0 and rng.random() < elongation:
+            seed = frontier[-1]
+        else:
+            seed = frontier[rng.randrange(len(frontier))]
+        x, y = seed
+        candidates = [(x + dx, y + dy)
+                      for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+                      if (x + dx, y + dy) not in blob]
+        if not candidates:
+            frontier.remove(seed)
+            if not frontier:
+                frontier = list(blob)
+            continue
+        new = candidates[rng.randrange(len(candidates))]
+        blob.add(new)
+        frontier.append(new)
+    return fill_holes(blob)
+
+
+def random_chain(target_n: int, rng: Optional[random.Random] = None,
+                 elongation: float = 0.3, max_tries: int = 64) -> List[Vec]:
+    """Random closed chain with roughly ``target_n`` robots.
+
+    Grows blobs until the outline length is within ±30% of the target
+    (outline length tracks perimeter, which scales with blob size for a
+    fixed shape regime).  Always returns a valid initial chain.
+    """
+    if target_n < 4:
+        raise ChainError("random_chain needs target_n >= 4")
+    rng = rng or random.Random()
+    cells_estimate = max(1, target_n // 3)
+    best: Optional[List[Vec]] = None
+    for _ in range(max_tries):
+        blob = random_polyomino(cells_estimate, rng, elongation)
+        chain = outline(blob)
+        if best is None or abs(len(chain) - target_n) < abs(len(best) - target_n):
+            best = chain
+        if abs(len(chain) - target_n) <= max(2, int(0.3 * target_n)):
+            return chain
+        # adjust the estimate proportionally
+        ratio = target_n / max(len(chain), 1)
+        cells_estimate = max(1, int(cells_estimate * ratio))
+    assert best is not None
+    return best

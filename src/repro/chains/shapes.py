@@ -1,0 +1,179 @@
+"""Deterministic chain families used across tests, examples, benchmarks.
+
+Each generator returns a list of positions forming a valid initial
+closed chain (no coincident neighbours, even length).  Families marked
+*mergeless* contain no merge pattern at the paper's default ``k_max``
+for large enough parameters — they exercise the run machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import Vec
+from repro.chains.boundary import fill_holes, outline
+
+Cell = Tuple[int, int]
+
+
+def rectangle_ring(width: int, height: int) -> List[Vec]:
+    """Axis-aligned rectangle outline with ``width × height`` grid points.
+
+    ``n = 2·(width-1) + 2·(height-1)`` robots.  Thin rectangles collapse
+    through cap merges; fat ones (both sides ≥ ``k_max + 2``) are
+    mergeless and rely on runs.
+    """
+    if width < 2 or height < 2:
+        raise ChainError("rectangle_ring needs width, height >= 2")
+    pts: List[Vec] = []
+    pts += [(x, 0) for x in range(width - 1)]
+    pts += [(width - 1, y) for y in range(height - 1)]
+    pts += [(x, height - 1) for x in range(width - 1, 0, -1)]
+    pts += [(0, y) for y in range(height - 1, 0, -1)]
+    return pts
+
+
+def square_ring(side: int) -> List[Vec]:
+    """Square outline with ``side × side`` grid points."""
+    return rectangle_ring(side, side)
+
+
+def needle(length: int) -> List[Vec]:
+    """Long 2-point-tall rectangle: the paper's thin worst case."""
+    return rectangle_ring(length, 2)
+
+
+def comb(teeth: int, tooth_height: int = 4, tooth_width: int = 2,
+         gap: int = 2, spine: int = 2) -> List[Vec]:
+    """Outline of a comb polyomino: a spine with upward teeth.
+
+    Combs produce many simultaneous merge opportunities and deeply
+    nested good pairs — the pipelining stress test (paper Fig. 9).
+    """
+    if teeth < 1 or tooth_height < 1 or tooth_width < 1 or gap < 1 or spine < 1:
+        raise ChainError("comb parameters must be positive")
+    cells: Set[Cell] = set()
+    total_w = teeth * tooth_width + (teeth - 1) * gap
+    for x in range(total_w):
+        for y in range(spine):
+            cells.add((x, y))
+    for t in range(teeth):
+        x0 = t * (tooth_width + gap)
+        for dx in range(tooth_width):
+            for y in range(spine, spine + tooth_height):
+                cells.add((x0 + dx, y))
+    return outline(cells)
+
+
+def crenellation(teeth: int, tooth_width: int = 1, base_height: int = 2) -> List[Vec]:
+    """Outline of a battlement: a base band with alternating top teeth.
+
+    Produces the overlapping-merge scenario of paper Fig. 3a along its
+    crenellated top edge.
+    """
+    if teeth < 2 or tooth_width < 1 or base_height < 1:
+        raise ChainError("crenellation needs teeth >= 2, tooth_width >= 1")
+    cells: Set[Cell] = set()
+    width = teeth * 2 * tooth_width
+    for x in range(width):
+        for y in range(base_height):
+            cells.add((x, y))
+    for t in range(teeth):
+        x0 = t * 2 * tooth_width
+        for dx in range(tooth_width):
+            cells.add((x0 + dx, base_height))
+    return outline(cells)
+
+
+def plus_shape(arm: int, thickness: int = 2) -> List[Vec]:
+    """Outline of a plus/cross polyomino."""
+    if arm < 1 or thickness < 1:
+        raise ChainError("plus_shape parameters must be positive")
+    cells: Set[Cell] = set()
+    for x in range(-arm, thickness + arm):
+        for y in range(thickness):
+            cells.add((x, y))
+    for y in range(-arm, thickness + arm):
+        for x in range(thickness):
+            cells.add((x, y))
+    return outline(cells)
+
+
+def l_shape(width: int, height: int, thickness: int = 2) -> List[Vec]:
+    """Outline of an L-shaped polyomino."""
+    if width <= thickness or height <= thickness:
+        raise ChainError("l_shape needs width and height larger than thickness")
+    cells: Set[Cell] = set()
+    for x in range(width):
+        for y in range(thickness):
+            cells.add((x, y))
+    for y in range(height):
+        for x in range(thickness):
+            cells.add((x, y))
+    return outline(cells)
+
+
+def t_shape(width: int, height: int, thickness: int = 2) -> List[Vec]:
+    """Outline of a T-shaped polyomino."""
+    if width <= thickness or height <= thickness:
+        raise ChainError("t_shape needs width and height larger than thickness")
+    cells: Set[Cell] = set()
+    for x in range(width):
+        for y in range(height - thickness, height):
+            cells.add((x, y))
+    mid = width // 2
+    for x in range(mid - thickness // 2, mid - thickness // 2 + thickness):
+        for y in range(height):
+            cells.add((x, y))
+    return outline(cells)
+
+
+def spiral(windings: int, corridor: int = 2, pitch: int = 4) -> List[Vec]:
+    """Outline of a square spiral polyomino.
+
+    The chain runs into the spiral and back out along parallel arms —
+    long straight quasi lines joined by corners, with arms one cell
+    apart: a tough, mostly mergeless family for the run machinery.
+    """
+    if windings < 1 or corridor < 1 or pitch < corridor + 1:
+        raise ChainError("spiral needs windings >= 1 and pitch > corridor")
+    cells: Set[Cell] = set()
+    heading = ((1, 0), (0, 1), (-1, 0), (0, -1))
+    px, py = 0, 0
+    length = pitch
+    for leg in range(windings * 4):
+        dx, dy = heading[leg % 4]
+        for _ in range(length):
+            for tx in range(corridor):
+                for ty in range(corridor):
+                    cells.add((px + tx, py + ty))
+            px += dx
+            py += dy
+        if leg % 2 == 1:
+            length += pitch
+    for tx in range(corridor):
+        for ty in range(corridor):
+            cells.add((px + tx, py + ty))
+    return outline(fill_holes(cells))
+
+
+def zigzag_band(periods: int, amplitude: int = 3, run: int = 4,
+                thickness: int = 2) -> List[Vec]:
+    """Outline of a thick zig-zag ribbon."""
+    if periods < 1 or amplitude < 1 or run < 2 or thickness < 1:
+        raise ChainError("zigzag_band parameters must be positive (run >= 2)")
+    cells: Set[Cell] = set()
+    x = 0
+    level = 0
+    for p in range(periods):
+        for dx in range(run):
+            for y in range(level, level + thickness):
+                cells.add((x + dx, y))
+        nxt = amplitude if level == 0 else 0
+        lo, hi = min(level, nxt), max(level, nxt) + thickness
+        for y in range(lo, hi):
+            cells.add((x + run - 1, y))
+        x += run
+        level = nxt
+    return outline(fill_holes(cells))

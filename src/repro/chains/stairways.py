@@ -1,0 +1,117 @@
+"""Mergeless chains built from quasi lines and stairways (paper Fig. 16-18).
+
+These constructions realise the structures from the proof of Lemma 1:
+chains whose every subchain is a quasi line, a stairway, or a junction
+between them — no merge pattern exists anywhere, so all progress must
+come from runs.  They are the sharpest liveness tests for the run
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import EAST, NORTH, SOUTH, WEST, Vec
+from repro.core.chain import ClosedChain
+from repro.chains.boundary import fill_holes, outline
+
+
+def _stair(a: Vec, b: Vec, steps: int) -> List[Vec]:
+    """Edges of a stairway alternating ``a, b`` for ``steps`` pairs."""
+    edges: List[Vec] = []
+    for _ in range(steps):
+        edges.extend((a, b))
+    return edges
+
+
+def stairway_octagon(side: int, steps: int = 2) -> List[Vec]:
+    """A mergeless octagonal ring: 4 straight quasi lines + 4 stairways.
+
+    Every straight side has ``side`` edges (≥ 3 keeps it a quasi line);
+    the corners are stairways of ``steps`` step pairs, whose alternating
+    turns admit no merge pattern.  New runs can only start at the eight
+    quasi-line endpoints (Fig. 5(i) junctions).
+    """
+    if side < 3 or steps < 1:
+        raise ChainError("stairway_octagon needs side >= 3 and steps >= 1")
+    edges: List[Vec] = []
+    edges += [EAST] * side
+    edges += _stair(NORTH, EAST, steps)
+    edges += [NORTH] * side
+    edges += _stair(WEST, NORTH, steps)
+    edges += [WEST] * side
+    edges += _stair(SOUTH, WEST, steps)
+    edges += [SOUTH] * side
+    edges += _stair(EAST, SOUTH, steps)
+    chain = ClosedChain.from_edges((0, 0), edges)
+    return chain.positions
+
+
+def fig16_fragment(line1: int = 5, stair_steps: int = 3, line2: int = 5) -> List[Vec]:
+    """The open subchain of paper Fig. 16: two horizontal quasi lines
+    connected by a stairway (as positions, not closed).
+
+    Used by the pattern-recognition tests and EXP-F16.
+    """
+    pts: List[Vec] = [(0, 0)]
+
+    def walk(edge: Vec, count: int) -> None:
+        for _ in range(count):
+            last = pts[-1]
+            pts.append((last[0] + edge[0], last[1] + edge[1]))
+
+    walk(EAST, line1)
+    for _ in range(stair_steps):
+        walk(NORTH, 1)
+        walk(EAST, 1)
+    walk(NORTH, 1)
+    walk(EAST, line2)
+    return pts
+
+
+def staircase_ring(steps: int, run: int = 6, rise: int = 6,
+                   band: int = 13) -> List[Vec]:
+    """Fig. 17/18-style mergeless ring: a thick staircase band outline.
+
+    Horizontal quasi lines alternate with vertical quasi lines along a
+    rising staircase of ``steps`` steps; the band is ``band`` cells
+    thick, so the two end caps are straight runs of ``band`` edges —
+    unmergeable whenever ``band >= k_max + 1`` (the default 13 exceeds
+    the paper's largest merge length 10).
+    """
+    if steps < 1 or run < 3 or rise < 3 or band < 2:
+        raise ChainError("staircase_ring needs steps >= 1, run/rise >= 3, band >= 2")
+    cells: Set[Tuple[int, int]] = set()
+    for i in range(steps):
+        x0, y0 = i * run, i * rise
+        for x in range(x0, x0 + run + band):
+            for y in range(y0, y0 + band):
+                cells.add((x, y))
+        for x in range(x0 + run, x0 + run + band):
+            for y in range(y0, y0 + rise + band):
+                cells.add((x, y))
+    return outline(fill_holes(cells))
+
+
+def serpentine_ring(lines: int = 2, line_len: int = 8, riser: int = 4) -> List[Vec]:
+    """A self-overlapping serpentine ring (hard overlap family).
+
+    The chain snakes over ``lines`` horizontal levels and then descends
+    back along the start column, doubling over its own risers — legal
+    in the paper's model (only chain *neighbours* must be distinct) and
+    a stress test for merges between co-located non-neighbours, which
+    must NOT happen.
+    """
+    if lines < 1 or line_len < 3 or riser < 3:
+        raise ChainError("serpentine_ring needs line_len >= 3, riser >= 3, lines >= 1")
+    edges: List[Vec] = []
+    for i in range(lines):
+        horiz = EAST if i % 2 == 0 else WEST
+        edges += [horiz] * line_len
+        edges += [NORTH] * riser
+    if lines % 2 == 1:
+        edges += [WEST] * line_len
+    edges += [SOUTH] * (lines * riser)
+    chain = ClosedChain.from_edges((0, 0), edges)
+    return chain.positions

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro gather --family square --n 80 --render
+    python -m repro gather --chain my_chain.json --engine vectorized
+    python -m repro render --family octagon --n 64 --svg out.svg
+    python -m repro experiment --ids EXP-T1 EXP-FIG --quick
+    python -m repro families
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.config import Parameters
+from repro.core.simulator import Simulator
+from repro.chains import FAMILIES
+from repro.io import load_chain
+from repro.viz import render_ascii, save_svg
+from repro.analysis import summarize
+
+
+def _build_chain(args):
+    if args.chain:
+        return load_chain(args.chain).positions
+    family = FAMILIES.get(args.family)
+    if family is None:
+        raise SystemExit(f"unknown family {args.family!r}; "
+                         f"try one of {sorted(FAMILIES)}")
+    return family(args.n)
+
+
+def _params(args) -> Parameters:
+    kwargs = {}
+    if getattr(args, "viewing", None):
+        kwargs["viewing_path_length"] = args.viewing
+    if getattr(args, "interval", None):
+        kwargs["start_interval"] = args.interval
+    if getattr(args, "k_max", None):
+        kwargs["k_max"] = args.k_max
+    return Parameters(**kwargs)
+
+
+def cmd_gather(args) -> int:
+    positions = _build_chain(args)
+    sim = Simulator(positions, params=_params(args), engine=args.engine,
+                    check_invariants=args.check, record_trace=args.render)
+    result = sim.run(max_rounds=args.max_rounds)
+    print(result.summary())
+    if args.json:
+        print(json.dumps(summarize(result), indent=2))
+    if args.render and result.trace is not None:
+        from repro.viz import render_trace_strip
+        print(render_trace_strip(result.trace.snapshots,
+                                 every=max(1, result.rounds // 6), max_frames=6))
+    return 0 if result.gathered else 2
+
+
+def cmd_render(args) -> int:
+    positions = _build_chain(args)
+    if args.svg:
+        save_svg(args.svg, positions, title=f"{args.family} n={len(positions)}")
+        print(f"wrote {args.svg}")
+    else:
+        print(render_ascii(positions))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import run_experiments, format_markdown_report
+    results = run_experiments(ids=args.ids or None, quick=args.quick,
+                              verbose=True)
+    if args.markdown:
+        print(format_markdown_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_families(args) -> int:
+    for name in sorted(FAMILIES):
+        pts = FAMILIES[name](48)
+        print(f"{name:12s} example n={len(pts)}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verification import verify_all
+    report = verify_all(args.n, engine=args.engine, limit=args.limit)
+    scope = "all" if args.limit is None else f"first {args.limit}"
+    print(f"n={report.n}: {scope} {report.total} configurations, "
+          f"{report.gathered} gathered, max {report.max_rounds} rounds")
+    for pts in report.failures[:5]:
+        print("  FAILURE:", pts)
+    return 0 if report.complete or (args.limit and not report.failures) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gathering a closed chain of robots on a grid "
+                    "(IPDPS 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_chain_args(p):
+        p.add_argument("--family", default="square",
+                       help="generator family (see `repro families`)")
+        p.add_argument("--n", type=int, default=64,
+                       help="approximate chain length")
+        p.add_argument("--chain", help="load a chain JSON instead")
+
+    g = sub.add_parser("gather", help="run the gathering algorithm")
+    add_chain_args(g)
+    g.add_argument("--engine", choices=("reference", "vectorized"),
+                   default="reference")
+    g.add_argument("--max-rounds", type=int, default=None)
+    g.add_argument("--check", action="store_true",
+                   help="enable per-round invariant checking")
+    g.add_argument("--render", action="store_true",
+                   help="print an ASCII film strip of the gathering")
+    g.add_argument("--json", action="store_true", help="print metrics JSON")
+    g.add_argument("--viewing", type=int, help="viewing path length (default 11)")
+    g.add_argument("--interval", type=int, help="run start interval L (default 13)")
+    g.add_argument("--k-max", type=int, dest="k_max",
+                   help="merge length cap (default: viewing - 1)")
+    g.set_defaults(func=cmd_gather)
+
+    r = sub.add_parser("render", help="render a chain (ASCII or SVG)")
+    add_chain_args(r)
+    r.add_argument("--svg", help="write an SVG file instead of ASCII")
+    r.set_defaults(func=cmd_render)
+
+    e = sub.add_parser("experiment", help="run reproduction experiments")
+    e.add_argument("--ids", nargs="*", help="experiment ids (default: all)")
+    e.add_argument("--quick", action="store_true", help="reduced sizes")
+    e.add_argument("--markdown", action="store_true",
+                   help="print the EXPERIMENTS.md body")
+    e.set_defaults(func=cmd_experiment)
+
+    f = sub.add_parser("families", help="list chain generator families")
+    f.set_defaults(func=cmd_families)
+
+    v = sub.add_parser("verify",
+                       help="exhaustively verify all closed chains of length n")
+    v.add_argument("--n", type=int, default=10, help="chain length (even)")
+    v.add_argument("--engine", choices=("reference", "vectorized"),
+                   default="vectorized")
+    v.add_argument("--limit", type=int, default=None,
+                   help="cap the number of configurations (sampling)")
+    v.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

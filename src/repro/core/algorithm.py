@@ -1,0 +1,142 @@
+"""Per-robot decision logic — the algorithm of paper Fig. 15.
+
+Every round each robot executes, from the same FSYNC snapshot:
+
+1. **Merge** — if it participates in a visible merge pattern it performs
+   the pattern's hop (blacks) or stands still (whites); its runs
+   terminate (Table 1.3).
+2. **Run operations** — termination conditions (Table 1), run passing
+   (Fig. 8/14), travel continuation, and the reshapement operations of
+   Fig. 11.
+3. **Start new runs** — every L-th round, at the shapes of Fig. 5.
+
+The functions here are *pure*: they read the snapshot through
+:class:`~repro.core.view.ChainWindow` (which enforces the viewing path
+length) and return decision records that the engine applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.grid.lattice import Vec, add, are_perpendicular, is_axis_unit
+from repro.core.config import Parameters
+from repro.core.patterns import endpoint_visible_ahead
+from repro.core.runs import RunMode, RunState, StopReason
+from repro.core.view import ChainWindow
+
+
+@dataclass
+class RunDecision:
+    """The action a run takes this round (engine applies it)."""
+
+    run: RunState
+    stop_reason: Optional[StopReason] = None
+    hop: Optional[Vec] = None
+    mode_after: Optional[RunMode] = None
+    target_after_set: bool = False
+    target_after: Optional[int] = None
+    travel_steps_after: Optional[int] = None
+
+    @property
+    def moves(self) -> bool:
+        """Surviving runs always advance one robot (Lemma 3.1)."""
+        return self.stop_reason is None
+
+
+def _oncoming_run_offset(window: ChainWindow, direction: int, limit: int) -> Optional[int]:
+    """Smallest offset (1-based, toward ``direction``) carrying an oncoming run."""
+    return window.runs_ahead(direction, limit)[1]
+
+
+def decide_run(run: RunState, window: ChainWindow, params: Parameters,
+               merge_participants: Set[int]) -> RunDecision:
+    """Compute a run's action for this round (paper Fig. 15, step 2)."""
+    sigma = run.direction
+    v = params.viewing_path_length
+
+    # Table 1.3 — the carrier takes part in a merge operation.
+    if window.id_at(0) in merge_participants:
+        return RunDecision(run, stop_reason=StopReason.MERGE_PARTICIPATION)
+
+    sequent, oncoming_far = window.runs_ahead(sigma, v)
+
+    # Table 1.1 — sequent run visible in front.  With the sequent guard,
+    # a sequent run at or beyond the approaching partner is receding on
+    # the far side of the quasi line and is ignored (DESIGN.md §2.7).
+    if sequent is not None:
+        guarded = (params.sequent_guard and oncoming_far is not None
+                   and sequent >= oncoming_far)
+        if not guarded:
+            return RunDecision(run, stop_reason=StopReason.SEQUENT_RUN_AHEAD)
+
+    # one bulk edge scan serves the endpoint grammar and the operation
+    # shape checks below (measured hot path, see bench_engines)
+    ahead = window.ahead_edges(sigma, v)
+
+    # Table 1.2 — endpoint of the quasi line visible in front.
+    if endpoint_visible_ahead(window, sigma, run.axis, params.effective_k_max,
+                              edges=ahead):
+        if not (params.endpoint_guard and oncoming_far is not None):
+            return RunDecision(run, stop_reason=StopReason.ENDPOINT_VISIBLE)
+
+    # --- arrival bookkeeping: leaving passing/travel when on target -------
+    mode = run.mode
+    target = run.target_id
+    steps = run.travel_steps_left
+    if mode is RunMode.PASSING and target is not None and window.id_at(0) == target:
+        mode, target = RunMode.NORMAL, None
+    if mode is RunMode.TRAVEL and ((target is not None and window.id_at(0) == target)
+                                   or steps <= 0):
+        mode, target, steps = RunMode.NORMAL, None, 0
+
+    # --- run passing (Fig. 8 / Fig. 14) ------------------------------------
+    if mode is RunMode.PASSING:
+        return RunDecision(run, mode_after=RunMode.PASSING,
+                           target_after_set=True, target_after=target)
+    oncoming = _oncoming_run_offset(window, sigma, params.passing_distance)
+    if oncoming is not None and mode is not RunMode.INIT_CORNER:
+        if mode is RunMode.TRAVEL and target is not None:
+            # Fig. 14: an interrupted operation keeps its settled target.
+            passing_target = target
+        else:
+            passing_target = window.id_at(oncoming * sigma)
+        return RunDecision(run, mode_after=RunMode.PASSING,
+                           target_after_set=True, target_after=passing_target)
+
+    # --- continue an operation already in progress (Fig. 11 b/c) -----------
+    if mode is RunMode.TRAVEL:
+        return RunDecision(run, mode_after=RunMode.TRAVEL,
+                           target_after_set=True, target_after=target,
+                           travel_steps_after=steps - 1)
+
+    # --- operation (c): corner-cut hop of a fresh Fig. 5(ii) run -----------
+    if mode is RunMode.INIT_CORNER:
+        u = window.edge(0, 1)
+        w_ = window.edge(0, -1)
+        hop = None
+        if is_axis_unit(u) and is_axis_unit(w_) and are_perpendicular(u, w_):
+            hop = add(u, w_)
+        return RunDecision(run, hop=hop, mode_after=RunMode.NORMAL)
+
+    # --- normal operation: (a) reshape or (b) travel ------------------------
+    e1 = ahead[0]
+    if is_axis_unit(e1):
+        aligned2 = ahead[1] == e1
+        aligned3 = aligned2 and ahead[2] == e1
+        behind = window.edge(0, -sigma)
+        if aligned3:
+            # operation (a): runner and next >= 3 robots on a straight line
+            if is_axis_unit(behind) and are_perpendicular(behind, e1):
+                return RunDecision(run, hop=add(behind, e1),
+                                   mode_after=RunMode.NORMAL)
+            return RunDecision(run, mode_after=RunMode.NORMAL)
+        if aligned2:
+            # operation (b): move hop-less to the corner three robots ahead
+            return RunDecision(run, mode_after=RunMode.TRAVEL,
+                               target_after_set=True,
+                               target_after=window.id_at(3 * sigma),
+                               travel_steps_after=params.travel_steps)
+    # defensive default: keep moving at speed one without reshaping
+    return RunDecision(run, mode_after=RunMode.NORMAL)

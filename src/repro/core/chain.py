@@ -1,0 +1,244 @@
+"""The closed chain of robots.
+
+A :class:`ClosedChain` is a cyclic sequence of robots with stable
+integer identities.  Chain neighbours must occupy the same or
+4-adjacent grid points at all times (the paper's connectivity
+condition).  Merging — the removal of one of two co-located chain
+neighbours, combining their neighbourhoods — is realised by
+:meth:`ClosedChain.contract_coincident`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChainError
+from repro.grid.lattice import (
+    Vec,
+    BoundingBox,
+    bounding_box,
+    manhattan,
+    sub,
+)
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One neighbourhood contraction: ``removed_id`` merged into ``survivor_id``."""
+
+    survivor_id: int
+    removed_id: int
+    position: Vec
+
+
+class ClosedChain:
+    """Cyclic sequence of robots on the integer grid.
+
+    Robots are addressed either by chain index (0 … n-1, shifting as
+    robots are removed) or by a stable id assigned at construction.
+    """
+
+    __slots__ = ("_pos", "_ids", "_next_id", "_index_of_id")
+
+    def __init__(self, positions: Sequence[Vec], validate: bool = True,
+                 require_disjoint_neighbors: bool = False):
+        self._pos: List[Vec] = [(int(x), int(y)) for x, y in positions]
+        self._ids: List[int] = list(range(len(self._pos)))
+        self._next_id = len(self._pos)
+        self._rebuild_index()
+        if validate:
+            self.validate(initial=require_disjoint_neighbors)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, start: Vec, edges: Iterable[Vec], validate: bool = True) -> "ClosedChain":
+        """Build a chain from a start point and a closed edge sequence.
+
+        The edge vectors must sum to zero (the chain is closed); the
+        final wrap-around edge is implicit.
+        """
+        pts = [tuple(start)]
+        for e in edges:
+            last = pts[-1]
+            pts.append((last[0] + e[0], last[1] + e[1]))
+        if pts[-1] != pts[0]:
+            raise ChainError(f"edge sequence does not close: ends at {pts[-1]}, started {pts[0]}")
+        return cls(pts[:-1], validate=validate)
+
+    def copy(self) -> "ClosedChain":
+        """Deep copy preserving robot ids."""
+        c = ClosedChain.__new__(ClosedChain)
+        c._pos = list(self._pos)
+        c._ids = list(self._ids)
+        c._next_id = self._next_id
+        c._rebuild_index()
+        return c
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Current number of robots."""
+        return len(self._pos)
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    @property
+    def positions(self) -> List[Vec]:
+        """Positions in chain order (fresh list; safe to mutate)."""
+        return list(self._pos)
+
+    @property
+    def ids(self) -> List[int]:
+        """Robot ids in chain order (fresh list)."""
+        return list(self._ids)
+
+    def position(self, index: int) -> Vec:
+        """Position of the robot at a (cyclic) chain index."""
+        return self._pos[index % len(self._pos)]
+
+    def id_at(self, index: int) -> int:
+        """Stable id of the robot at a (cyclic) chain index."""
+        return self._ids[index % len(self._ids)]
+
+    def index_of_id(self, robot_id: int) -> int:
+        """Chain index currently held by a robot id.
+
+        Raises ``KeyError`` for removed robots.
+        """
+        return self._index_of_id[robot_id]
+
+    def has_id(self, robot_id: int) -> bool:
+        """True while the robot has not been merged away."""
+        return robot_id in self._index_of_id
+
+    def position_of_id(self, robot_id: int) -> Vec:
+        """Position of a robot addressed by id."""
+        return self._pos[self._index_of_id[robot_id]]
+
+    def edge(self, index: int) -> Vec:
+        """Vector from robot ``index`` to its successor (cyclic)."""
+        n = len(self._pos)
+        return sub(self._pos[(index + 1) % n], self._pos[index % n])
+
+    def edges(self) -> List[Vec]:
+        """All ``n`` cyclic edge vectors."""
+        n = len(self._pos)
+        return [sub(self._pos[(i + 1) % n], self._pos[i]) for i in range(n)]
+
+    def bounding_box(self) -> BoundingBox:
+        """Axis-aligned bounding box of all robots."""
+        return bounding_box(self._pos)
+
+    def is_gathered(self) -> bool:
+        """Paper's termination condition: everything inside a 2×2 subgrid."""
+        return self.bounding_box().fits_in(2, 2)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_moves(self, moves: Dict[int, Vec]) -> None:
+        """Simultaneously displace robots (``robot_id -> displacement``).
+
+        Displacements must be single-round hops (Chebyshev ≤ 1); the
+        caller is responsible for chain-safety, which :meth:`validate`
+        re-checks.
+        """
+        for robot_id, d in moves.items():
+            if max(abs(d[0]), abs(d[1])) > 1:
+                raise ChainError(f"illegal hop {d!r} for robot {robot_id}")
+            i = self._index_of_id[robot_id]
+            p = self._pos[i]
+            self._pos[i] = (p[0] + d[0], p[1] + d[1])
+
+    def contract_coincident(self, moved_ids: Optional[Set[int]] = None) -> List[MergeRecord]:
+        """Merge every co-located chain-neighbour pair until none remain.
+
+        The surviving robot of a pair is the one that moved this round
+        (the paper removes the stationary *white* robot); if both or
+        neither moved, the lower id survives.  Returns the merge records
+        in the order performed.
+        """
+        moved = moved_ids or set()
+        records: List[MergeRecord] = []
+        changed = True
+        while changed and len(self._pos) > 1:
+            changed = False
+            n = len(self._pos)
+            for i in range(n):
+                j = (i + 1) % n
+                if i == j:
+                    break
+                if self._pos[i] == self._pos[j]:
+                    id_i, id_j = self._ids[i], self._ids[j]
+                    i_moved = id_i in moved
+                    j_moved = id_j in moved
+                    if i_moved and not j_moved:
+                        keep, drop = i, j
+                    elif j_moved and not i_moved:
+                        keep, drop = j, i
+                    else:
+                        keep, drop = (i, j) if id_i < id_j else (j, i)
+                    records.append(MergeRecord(self._ids[keep], self._ids[drop], self._pos[keep]))
+                    del self._pos[drop]
+                    del self._ids[drop]
+                    changed = True
+                    break
+        self._rebuild_index()
+        return records
+
+    # ------------------------------------------------------------------
+    # navigation by id (post-contraction adjacency)
+    # ------------------------------------------------------------------
+    def neighbor_id(self, robot_id: int, direction: int) -> int:
+        """Id of the chain neighbour of ``robot_id`` toward ``direction`` (+1/-1)."""
+        if direction not in (1, -1):
+            raise ValueError("direction must be +1 or -1")
+        i = self._index_of_id[robot_id]
+        return self._ids[(i + direction) % len(self._ids)]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, initial: bool = False) -> None:
+        """Check closed-chain structural invariants.
+
+        ``initial`` additionally enforces the paper's starting
+        assumption that no two chain neighbours coincide (which forces
+        even ``n``) and that the chain has at least 4 robots.
+        """
+        n = len(self._pos)
+        if n == 0:
+            raise ChainError("empty chain")
+        if initial:
+            if n < 4:
+                raise ChainError(f"initial closed chain needs n >= 4, got {n}")
+            if n % 2 != 0:
+                raise ChainError(
+                    f"a closed chain with unit edges has even length, got n = {n}")
+        for i in range(n):
+            a = self._pos[i]
+            b = self._pos[(i + 1) % n]
+            d = manhattan(a, b)
+            if d > 1:
+                raise ChainError(
+                    f"chain broken between index {i} {a} and {(i + 1) % n} {b}")
+            if initial and d == 0:
+                raise ChainError(
+                    f"initial chain has coincident neighbours at index {i} {a}")
+        if len(set(self._ids)) != n:
+            raise ChainError("duplicate robot ids")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rebuild_index(self) -> None:
+        self._index_of_id = {rid: i for i, rid in enumerate(self._ids)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClosedChain(n={self.n}, bbox={self.bounding_box()})"

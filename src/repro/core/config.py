@@ -1,0 +1,103 @@
+"""Algorithm parameters (paper constants and ablation knobs).
+
+The paper fixes the viewing path length to 11 and the run-start interval
+to ``L = 13`` and proves these suffice (Lemma 3).  Both are exposed as
+parameters so the ablation experiments (EXP-A1..A3) can probe how tight
+they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Tunable constants of the gathering algorithm.
+
+    Attributes
+    ----------
+    viewing_path_length:
+        Number of chain neighbours a robot can see in each direction
+        (the paper's constant 11).
+    start_interval:
+        New runs are started every ``start_interval`` rounds (the
+        paper's ``L = 13``).
+    k_max:
+        Longest black subchain a merge operation may use.  ``None``
+        derives the largest locality-compatible value
+        ``viewing_path_length - 1`` (all participants of a pattern with
+        ``k`` blacks are within chain distance ``k + 1 ≤ V`` of each
+        other).  The proof of Lemma 1 only requires ``k_max = 2``; the
+        ablation EXP-A2 shows why the algorithm itself wants the larger
+        default.
+    passing_distance:
+        Chain distance at or below which two oncoming runs begin the
+        run-passing operation (paper: 3).
+    travel_steps:
+        Hop-less moves of operation Fig. 11(b) (paper: 3).
+    endpoint_guard:
+        When True, termination condition 2 (quasi-line endpoint visible
+        ahead) is suppressed while an oncoming run is also visible, so a
+        good pair keeps working until it meets.  The paper argues this
+        situation cannot occur for progress pairs; the guard is an
+        implementation safeguard for quasi lines shorter than twice the
+        viewing range.  Default True [D] (see DESIGN.md §2.7).
+    sequent_guard:
+        When True, termination condition 1 (sequent run visible ahead)
+        fires only when the sequent run is strictly closer than the
+        nearest oncoming run.  A sequent run beyond the approaching
+        partner belongs to the far side of the quasi line and is
+        receding at equal speed, so it cannot conflict; terminating on
+        it deadlocks symmetric rings whose quasi lines are shorter than
+        the viewing range.  Default True [D] (see DESIGN.md §2.7).
+    """
+
+    viewing_path_length: int = 11
+    start_interval: int = 13
+    k_max: int | None = None
+    passing_distance: int = 3
+    travel_steps: int = 3
+    endpoint_guard: bool = True
+    sequent_guard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.viewing_path_length < 4:
+            raise ValueError("viewing_path_length must be at least 4 "
+                             "(run-start shapes need ±3 neighbours)")
+        if self.start_interval < 1:
+            raise ValueError("start_interval must be positive")
+        if self.k_max is not None and self.k_max < 1:
+            raise ValueError("k_max must be at least 1")
+        if self.passing_distance < 1:
+            raise ValueError("passing_distance must be at least 1")
+        if self.travel_steps < 1:
+            raise ValueError("travel_steps must be at least 1")
+
+    @property
+    def effective_k_max(self) -> int:
+        """Merge length cap after applying the visibility constraint."""
+        cap = self.viewing_path_length - 1
+        if self.k_max is None:
+            return cap
+        return min(self.k_max, cap)
+
+    def round_budget(self, n: int) -> int:
+        """Generous linear round budget used as the stall threshold.
+
+        Theorem 1 bounds gathering by ``2·L·n + n`` rounds; the budget
+        adds slack so that a budget overrun reliably indicates a stall
+        rather than a slow-but-live configuration.
+        """
+        return (2 * self.start_interval + 2) * max(n, 1) + 8 * self.start_interval + 64
+
+    def with_(self, **changes) -> "Parameters":
+        """Functional update (ablation helper)."""
+        return replace(self, **changes)
+
+
+#: The paper's configuration.
+DEFAULT_PARAMETERS = Parameters()
+
+#: Configuration used in the proof of Lemma 1 (merges restricted to k ≤ 2).
+PROOF_PARAMETERS = Parameters(k_max=2)

@@ -1,0 +1,228 @@
+"""The FSYNC round engine (reference implementation).
+
+Executes the round pipeline of DESIGN.md §2.8: one snapshot, all
+decisions from it, simultaneous movement, merging, run maintenance.
+The merge detector is pluggable so the vectorised engine
+(:mod:`repro.core.engine_vectorized`) can reuse the entire pipeline and
+differ only in the hot inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.grid.lattice import Vec
+from repro.core.algorithm import RunDecision, decide_run
+from repro.core.chain import ClosedChain
+from repro.core.config import Parameters
+from repro.core.events import RoundReport, RunSnapshot, Snapshot, Trace
+from repro.core.merges import MergePlan, plan_merges
+from repro.core.patterns import MergePattern, RunStart, find_merge_patterns, run_start_decisions
+from repro.core.runs import RunMode, RunRegistry, RunState, StopReason
+from repro.core.view import ChainWindow
+from repro.core import invariants
+
+#: Signature of a merge-pattern detector: positions -> patterns.
+MergeDetector = Callable[[Sequence[Vec], int], List[MergePattern]]
+
+
+class Engine:
+    """Drives one closed chain through FSYNC rounds.
+
+    Parameters
+    ----------
+    chain:
+        The chain to gather (mutated in place).
+    params:
+        Algorithm constants.
+    merge_detector:
+        Pattern detector; defaults to the pure-Python reference scanner.
+    check_invariants:
+        Verify model invariants after every round (slower; on in tests).
+    trace:
+        Optional :class:`Trace` receiving snapshots and reports.
+    """
+
+    def __init__(self, chain: ClosedChain, params: Parameters,
+                 merge_detector: Optional[MergeDetector] = None,
+                 check_invariants: bool = True,
+                 trace: Optional[Trace] = None):
+        self.chain = chain
+        self.params = params
+        self.registry = RunRegistry()
+        self.round_index = 0
+        self._detector: MergeDetector = merge_detector or find_merge_patterns
+        self._check = check_invariants
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Observable state at the current instant."""
+        runs = tuple(
+            RunSnapshot(r.run_id, r.robot_id, r.direction, r.mode.value, r.born_round)
+            for r in self.registry.active_runs())
+        return Snapshot(self.round_index, tuple(self.chain.positions),
+                        tuple(self.chain.ids), runs)
+
+    # ------------------------------------------------------------------
+    def _select_moves(self, moves: Dict[int, Vec]) -> Dict[int, Vec]:
+        """Scheduler hook: which computed moves actually execute.
+
+        FSYNC executes everything; the SSYNC ablation engine
+        (:mod:`repro.schedulers`) overrides this to model partial
+        activation.
+        """
+        return moves
+
+    # ------------------------------------------------------------------
+    def step(self) -> RoundReport:
+        """Execute one full FSYNC round and return its report."""
+        chain, params, registry = self.chain, self.params, self.registry
+        n0 = chain.n
+        report = RoundReport(round_index=self.round_index, n_before=n0, n_after=n0,
+                             active_runs=len(registry))
+        if self.trace is not None:
+            self.trace.record_snapshot(self.snapshot())
+        pos_before = {rid: chain.position_of_id(rid) for rid in chain.ids} if self._check else {}
+
+        ids = chain.ids
+        # snapshot the (sparse) run placement once per round; the window
+        # lookups in decide_run are the measured hot path
+        run_dirs: Dict[int, Tuple[int, ...]] = {}
+        for run in registry.active_runs():
+            prev = run_dirs.get(run.robot_id, ())
+            run_dirs[run.robot_id] = prev + (run.direction,)
+        empty: Tuple[int, ...] = ()
+
+        def lookup(robot_id: int, _table=run_dirs, _empty=empty):
+            return _table.get(robot_id, _empty)
+
+        # 1-2. merge plan ---------------------------------------------------
+        if n0 >= 4:
+            patterns = self._detector(chain.positions, params.effective_k_max)
+            mplan = plan_merges(chain.positions, ids, params.effective_k_max,
+                                patterns=patterns)
+        else:
+            mplan = MergePlan()
+        report.merge_patterns = len(mplan.patterns)
+        report.merge_conflicts = mplan.conflicts
+
+        # 3. run decisions ----------------------------------------------------
+        decisions: List[RunDecision] = []
+        for run in registry.active_runs():
+            idx = chain.index_of_id(run.robot_id)
+            window = ChainWindow(chain, idx, params.viewing_path_length, lookup)
+            decisions.append(decide_run(run, window, params, mplan.participants))
+
+        # 4. run starts (every L-th round) -------------------------------------
+        starts: List[Tuple[int, RunStart]] = []
+        if self.round_index % params.start_interval == 0:
+            for i in range(chain.n):
+                rid = ids[i]
+                if rid in mplan.participants:
+                    continue
+                window = ChainWindow(chain, i, params.viewing_path_length, lookup)
+                for rs in run_start_decisions(window):
+                    starts.append((rid, rs))
+
+        # 5. resolve and apply hops --------------------------------------------
+        moves: Dict[int, Vec] = dict(mplan.hops)
+        runner_hops: Dict[int, List[Vec]] = {}
+        for dec in decisions:
+            if dec.hop is not None and dec.stop_reason is None:
+                rid = dec.run.robot_id
+                if rid not in mplan.participants:
+                    runner_hops.setdefault(rid, []).append(dec.hop)
+        for rid, hops in runner_hops.items():
+            if len(set(hops)) == 1:
+                moves[rid] = hops[0]
+                for dec in decisions:
+                    if dec.run.robot_id == rid and dec.hop is not None:
+                        dec.run.hops += 1
+            else:
+                report.runner_hop_conflicts += 1
+        moves = self._select_moves(moves)
+        chain.apply_moves(moves)
+        report.hops = len(moves)
+
+        # 6. run terminations and mode transitions ------------------------------
+        for dec in decisions:
+            run = dec.run
+            if dec.stop_reason is not None:
+                registry.stop(run, dec.stop_reason, self.round_index)
+                report.runs_terminated[dec.stop_reason] = \
+                    report.runs_terminated.get(dec.stop_reason, 0) + 1
+            else:
+                if dec.mode_after is not None:
+                    run.mode = dec.mode_after
+                if dec.target_after_set:
+                    run.target_id = dec.target_after
+                elif dec.mode_after is RunMode.NORMAL:
+                    run.target_id = None
+                if dec.travel_steps_after is not None:
+                    run.travel_steps_left = dec.travel_steps_after
+                elif dec.mode_after is RunMode.TRAVEL and run.travel_steps_left <= 0:
+                    run.travel_steps_left = params.travel_steps
+
+        # 7. contraction (merging co-located chain neighbours) --------------------
+        records = chain.contract_coincident(set(moves))
+        report.merges = records
+        removed = {r.removed_id for r in records}
+        for run in registry.active_runs():
+            if run.robot_id in removed:
+                registry.stop(run, StopReason.RUNNER_REMOVED, self.round_index)
+                report.runs_terminated[StopReason.RUNNER_REMOVED] = \
+                    report.runs_terminated.get(StopReason.RUNNER_REMOVED, 0) + 1
+
+        # 8. target-removal terminations (Table 1.4/1.5) ---------------------------
+        for run in registry.active_runs():
+            if run.target_id is not None and not chain.has_id(run.target_id):
+                reason = (StopReason.PASSING_TARGET_REMOVED
+                          if run.mode is RunMode.PASSING
+                          else StopReason.TRAVEL_TARGET_REMOVED)
+                registry.stop(run, reason, self.round_index)
+                report.runs_terminated[reason] = \
+                    report.runs_terminated.get(reason, 0) + 1
+
+        # 9. move surviving runs one robot along their direction --------------------
+        moved_pairs = []
+        for run in registry.active_runs():
+            nxt = chain.neighbor_id(run.robot_id, run.direction)
+            registry.move(run, nxt)
+            moved_pairs.append((nxt, run.robot_id))
+        # contraction can push two same-direction runs onto one robot; a
+        # robot cannot tell them apart, so the younger run dissolves.
+        for run in registry.active_runs():
+            twins = [r for r in registry.runs_on(run.robot_id)
+                     if r.direction == run.direction]
+            if len(twins) > 1:
+                youngest = max(twins, key=lambda r: r.run_id)
+                registry.stop(youngest, StopReason.DUPLICATE_DIRECTION,
+                              self.round_index)
+                report.runs_terminated[StopReason.DUPLICATE_DIRECTION] = \
+                    report.runs_terminated.get(StopReason.DUPLICATE_DIRECTION, 0) + 1
+
+        # 10. create the new runs decided in step 4 ----------------------------------
+        for rid, rs in starts:
+            if not chain.has_id(rid):
+                continue
+            mode = RunMode.INIT_CORNER if rs.kind == "ii" else RunMode.NORMAL
+            created = registry.start(rid, rs.direction, rs.axis,
+                                     self.round_index, mode=mode)
+            if created is not None:
+                report.runs_started += 1
+
+        # 11. invariants and bookkeeping ----------------------------------------------
+        report.n_after = chain.n
+        report.active_runs = len(registry)
+        if self._check:
+            invariants.check_connectivity(chain)
+            invariants.check_monotone_count(n0, chain.n)
+            pos_after = {rid: chain.position_of_id(rid) for rid in chain.ids}
+            invariants.check_hop_lengths(pos_before, pos_after)
+            invariants.check_runs_alive(chain, registry)
+            invariants.check_run_speed(moved_pairs)
+        if self.trace is not None:
+            self.trace.record_report(report)
+        self.round_index += 1
+        return report

@@ -1,0 +1,86 @@
+"""Round reports and traces.
+
+The simulator emits one :class:`RoundReport` per round; a
+:class:`Trace` optionally records full snapshots for replay, rendering
+and the invariant/lemma experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.grid.lattice import Vec
+from repro.core.chain import MergeRecord
+from repro.core.runs import RunMode, StopReason
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """State of one run at a snapshot instant."""
+
+    run_id: int
+    robot_id: int
+    direction: int
+    mode: str
+    born_round: int
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Complete observable state at the start of a round."""
+
+    round_index: int
+    positions: Tuple[Vec, ...]
+    ids: Tuple[int, ...]
+    runs: Tuple[RunSnapshot, ...] = ()
+
+
+@dataclass
+class RoundReport:
+    """What happened during one FSYNC round."""
+
+    round_index: int
+    n_before: int
+    n_after: int
+    hops: int = 0
+    merge_patterns: int = 0
+    merges: List[MergeRecord] = field(default_factory=list)
+    runs_started: int = 0
+    runs_terminated: Dict[StopReason, int] = field(default_factory=dict)
+    active_runs: int = 0
+    merge_conflicts: int = 0
+    runner_hop_conflicts: int = 0
+
+    @property
+    def robots_removed(self) -> int:
+        """Chain shortening achieved this round (the progress measure)."""
+        return self.n_before - self.n_after
+
+
+class Trace:
+    """Optional per-round snapshot recorder."""
+
+    def __init__(self, keep_snapshots: bool = True):
+        self.keep_snapshots = keep_snapshots
+        self.snapshots: List[Snapshot] = []
+        self.reports: List[RoundReport] = []
+
+    def record_snapshot(self, snap: Snapshot) -> None:
+        if self.keep_snapshots:
+            self.snapshots.append(snap)
+
+    def record_report(self, report: RoundReport) -> None:
+        self.reports.append(report)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.reports)
+
+    def merge_rounds(self) -> List[int]:
+        """Rounds in which at least one merge happened."""
+        return [r.round_index for r in self.reports if r.robots_removed > 0]
+
+    def chain_lengths(self) -> List[int]:
+        """Chain length after each round."""
+        return [r.n_after for r in self.reports]

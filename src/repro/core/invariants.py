@@ -1,0 +1,70 @@
+"""Runtime invariant checking.
+
+When enabled, the engine verifies after every round that the model's
+invariants hold.  A violation raises
+:class:`~repro.errors.InvariantViolation` — it always indicates an
+implementation bug, never a property of the input, so tests run with
+checking on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import InvariantViolation
+from repro.grid.lattice import Vec, chebyshev, manhattan
+from repro.core.chain import ClosedChain
+from repro.core.runs import RunRegistry
+
+
+def check_connectivity(chain: ClosedChain) -> None:
+    """Chain neighbours stay on the same or 4-adjacent points."""
+    pos = chain.positions
+    n = len(pos)
+    for i in range(n):
+        if manhattan(pos[i], pos[(i + 1) % n]) > 1:
+            raise InvariantViolation(
+                f"chain connectivity broken between index {i} {pos[i]} "
+                f"and {(i + 1) % n} {pos[(i + 1) % n]}")
+
+
+def check_hop_lengths(before: Dict[int, Vec], after: Dict[int, Vec]) -> None:
+    """Each robot moves at most one cell (Chebyshev) per round."""
+    for rid, p in after.items():
+        q = before.get(rid)
+        if q is not None and chebyshev(p, q) > 1:
+            raise InvariantViolation(
+                f"robot {rid} moved {q} -> {p} (more than one hop)")
+
+
+def check_monotone_count(n_before: int, n_after: int) -> None:
+    """The number of robots never increases."""
+    if n_after > n_before:
+        raise InvariantViolation(
+            f"robot count increased: {n_before} -> {n_after}")
+
+
+def check_runs_alive(chain: ClosedChain, registry: RunRegistry) -> None:
+    """Every live run sits on a live robot, at most two per robot."""
+    per_robot: Dict[int, int] = {}
+    for run in registry.active_runs():
+        if not chain.has_id(run.robot_id):
+            raise InvariantViolation(
+                f"run {run.run_id} rides removed robot {run.robot_id}")
+        per_robot[run.robot_id] = per_robot.get(run.robot_id, 0) + 1
+    for rid, count in per_robot.items():
+        if count > 2:
+            raise InvariantViolation(
+                f"robot {rid} carries {count} runs (constant memory bound is 2)")
+
+
+def check_run_speed(moved_pairs: Sequence[tuple]) -> None:
+    """Lemma 3.1: every surviving run advanced exactly one robot.
+
+    ``moved_pairs`` holds ``(expected_next_id, actual_new_id)`` tuples
+    collected by the engine while moving runs.
+    """
+    for expected, actual in moved_pairs:
+        if expected != actual:
+            raise InvariantViolation(
+                f"run moved to robot {actual}, expected neighbour {expected}")

@@ -1,0 +1,113 @@
+"""Merge planning: from patterns to simultaneous hops.
+
+Implements §3.1 of the paper including the overlap cases of Fig. 3:
+
+* a robot black in one pattern and white in another hops as black
+  (Fig. 3a — the pure whites stand still and absorb the merges);
+* a robot black in two patterns (necessarily with perpendicular hop
+  directions) hops diagonally (Fig. 3b).
+
+**Short-pattern priority [D].** The paper's overlap rules cover
+patterns of equal length overlapping pairwise.  On degenerate
+self-overlapping chains (a doubled flat chain with end spikes, found by
+the exhaustive verifier in :mod:`repro.verification`) every white is
+simultaneously a black of a *longer* pattern; under a naive
+everyone-hops rule the whole configuration swap-oscillates with period
+2 and never merges.  We therefore cancel a pattern when one of its
+whites is a black of a strictly shorter pattern: shortest patterns are
+never cancelled (so some pattern always executes), cancelled patterns
+keep all their blacks stationary (full-pattern execution keeps the
+chain connected), and for equal lengths the paper's Fig. 3a behaviour
+is bit-for-bit unchanged.  See DESIGN.md §2.2.
+
+Opposite hop directions for one robot are geometrically impossible for
+U-patterns (a robot has only two incident edges); the planner asserts
+this and, defensively, freezes such a robot while counting the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.grid.lattice import Vec, add, are_perpendicular
+from repro.core.patterns import MergePattern, find_merge_patterns
+
+
+@dataclass
+class MergePlan:
+    """Result of merge planning for one round.
+
+    ``hops`` maps robot ids to hop vectors; ``participants`` contains
+    every robot (black or white) taking part in some *executing*
+    pattern — their runs terminate by Table 1.3 and they neither
+    reshape nor start runs this round.  ``cancelled`` counts patterns
+    suppressed by the short-pattern priority rule.
+    """
+
+    hops: Dict[int, Vec] = field(default_factory=dict)
+    participants: Set[int] = field(default_factory=set)
+    patterns: List[MergePattern] = field(default_factory=list)
+    conflicts: int = 0
+    cancelled: int = 0
+
+    @property
+    def any(self) -> bool:
+        """True when at least one merge pattern fires this round."""
+        return bool(self.patterns)
+
+
+def plan_merges(positions: Sequence[Vec], ids: Sequence[int], k_max: int,
+                patterns: List[MergePattern] | None = None) -> MergePlan:
+    """Combine all merge patterns into one simultaneous hop assignment.
+
+    ``patterns`` may be supplied by an alternative detector (the
+    vectorised engine); otherwise the reference detector runs.
+    """
+    n = len(positions)
+    if patterns is None:
+        patterns = find_merge_patterns(positions, k_max)
+    if not patterns:
+        return MergePlan()
+
+    # short-pattern priority: cancel patterns whose white is a black of
+    # a strictly shorter pattern (see module docstring)
+    black_min_k: Dict[int, int] = {}
+    for pat in patterns:
+        for b in pat.black_indices(n):
+            prev = black_min_k.get(b)
+            if prev is None or pat.k < prev:
+                black_min_k[b] = pat.k
+    executing: List[MergePattern] = []
+    cancelled = 0
+    for pat in patterns:
+        whites = pat.white_indices(n)
+        if any(black_min_k.get(w, pat.k) < pat.k for w in whites):
+            cancelled += 1
+        else:
+            executing.append(pat)
+
+    plan = MergePlan(patterns=executing, cancelled=cancelled)
+    if not executing:
+        return plan
+
+    directions: Dict[int, Set[Vec]] = {}
+    for pat in executing:
+        for b in pat.black_indices(n):
+            directions.setdefault(b, set()).add(pat.direction)
+        for p in pat.participant_indices(n):
+            plan.participants.add(ids[p])
+
+    for idx, dirs in directions.items():
+        if len(dirs) == 1:
+            (d,) = dirs
+            plan.hops[ids[idx]] = d
+        elif len(dirs) == 2:
+            a, b = sorted(dirs)
+            if are_perpendicular(a, b):
+                plan.hops[ids[idx]] = add(a, b)     # Fig. 3b diagonal hop
+            else:
+                plan.conflicts += 1                 # impossible; freeze robot
+        else:
+            plan.conflicts += 1
+    return plan

@@ -1,0 +1,159 @@
+"""Run states and the run registry.
+
+A *run* is the moving token of the paper's reshapement machinery
+(§3.2/§4.1): it travels along the chain one robot per round in a fixed
+chain direction; the robot currently carrying it (the *runner*) may
+perform reshapement hops.  Runs occupy constant memory per robot (at
+most two runs, each a handful of scalars), honouring the paper's
+constant-memory model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.grid.lattice import Vec
+
+
+class RunMode(enum.Enum):
+    """Operating mode of a run (paper Fig. 11 and Fig. 8)."""
+
+    #: Fresh run from a Fig. 5(ii) corner: performs the corner-cut
+    #: diagonal hop in its first acting round (operation (c)).
+    INIT_CORNER = "init_corner"
+    #: Default: reshapement hops whenever the local shape allows (op (a)).
+    NORMAL = "normal"
+    #: Hop-less movement toward a settled target corner (op (b)/(c)).
+    TRAVEL = "travel"
+    #: Run passing (Fig. 8/14): hop-less movement through an oncoming run.
+    PASSING = "passing"
+
+
+class StopReason(enum.Enum):
+    """Why a run terminated — Table 1 of the paper."""
+
+    SEQUENT_RUN_AHEAD = 1        # Table 1.1
+    ENDPOINT_VISIBLE = 2         # Table 1.2
+    MERGE_PARTICIPATION = 3      # Table 1.3
+    PASSING_TARGET_REMOVED = 4   # Table 1.4
+    TRAVEL_TARGET_REMOVED = 5    # Table 1.5
+    RUNNER_REMOVED = 6           # carrier merged away (subsumed by 3 in the paper)
+    DUPLICATE_DIRECTION = 7      # safety: two same-direction runs on one robot
+
+
+@dataclass
+class RunState:
+    """One run token.
+
+    Attributes
+    ----------
+    run_id: unique id for tracing.
+    robot_id: the robot currently carrying the run.
+    direction: chain direction of movement (+1/-1).
+    axis: unit vector of the quasi line's segment at start time — the
+        constant-memory orientation reference used by the endpoint
+        grammar (Table 1.2).
+    mode: current :class:`RunMode`.
+    target_id: robot identity of the travel/passing target corner.
+    travel_steps_left: remaining hop-less moves of operation (b).
+    born_round: round the run was started (for pipelining analysis).
+    hops: reshapement hops performed so far (analysis only).
+    """
+
+    run_id: int
+    robot_id: int
+    direction: int
+    axis: Vec
+    mode: RunMode = RunMode.NORMAL
+    target_id: Optional[int] = None
+    travel_steps_left: int = 0
+    born_round: int = 0
+    hops: int = 0
+    stop_reason: Optional[StopReason] = None
+    stopped_round: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """True until the run terminates."""
+        return self.stop_reason is None
+
+
+class RunRegistry:
+    """All live runs, indexed by carrier robot.
+
+    The registry lives in the simulator; each robot's slice of it is
+    bounded (≤ 2 runs), preserving the constant-memory model.
+    """
+
+    def __init__(self) -> None:
+        self._runs: Dict[int, RunState] = {}
+        self._by_robot: Dict[int, List[int]] = {}
+        self._counter = itertools.count()
+        self.stopped: List[RunState] = []
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def active_runs(self) -> List[RunState]:
+        """All live runs (stable order by run id)."""
+        return [self._runs[k] for k in sorted(self._runs)]
+
+    def runs_on(self, robot_id: int) -> List[RunState]:
+        """Live runs carried by a robot."""
+        return [self._runs[rid] for rid in self._by_robot.get(robot_id, ())]
+
+    def directions_on(self, robot_id: int) -> Tuple[int, ...]:
+        """Chain directions of the runs carried by a robot."""
+        return tuple(r.direction for r in self.runs_on(robot_id))
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, robot_id: int, direction: int, axis: Vec, round_index: int,
+              mode: RunMode = RunMode.NORMAL) -> Optional[RunState]:
+        """Create a run unless the robot is already at capacity.
+
+        A robot stores at most two runs and never two with the same
+        direction (it could not tell them apart).
+        """
+        existing = self.runs_on(robot_id)
+        if len(existing) >= 2 or any(r.direction == direction for r in existing):
+            return None
+        run = RunState(run_id=next(self._counter), robot_id=robot_id,
+                       direction=direction, axis=axis, mode=mode,
+                       born_round=round_index)
+        self._runs[run.run_id] = run
+        self._by_robot.setdefault(robot_id, []).append(run.run_id)
+        return run
+
+    def stop(self, run: RunState, reason: StopReason, round_index: int) -> None:
+        """Terminate a run (Table 1)."""
+        if not run.active:
+            return
+        run.stop_reason = reason
+        run.stopped_round = round_index
+        self._runs.pop(run.run_id, None)
+        robot_runs = self._by_robot.get(run.robot_id)
+        if robot_runs and run.run_id in robot_runs:
+            robot_runs.remove(run.run_id)
+            if not robot_runs:
+                del self._by_robot[run.robot_id]
+        self.stopped.append(run)
+
+    def move(self, run: RunState, new_robot_id: int) -> None:
+        """Hand a run to the next robot along its direction."""
+        if not run.active:
+            raise ValueError("cannot move a stopped run")
+        old = self._by_robot.get(run.robot_id)
+        if old and run.run_id in old:
+            old.remove(run.run_id)
+            if not old:
+                del self._by_robot[run.robot_id]
+        run.robot_id = new_robot_id
+        self._by_robot.setdefault(new_robot_id, []).append(run.run_id)
+
+    def runs_lookup(self):
+        """Callable ``robot_id -> tuple of run directions`` for views."""
+        return self.directions_on

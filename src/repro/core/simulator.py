@@ -1,0 +1,161 @@
+"""Simulation facade: gather a chain and collect results.
+
+:class:`Simulator` wires a chain, parameters and an engine variant
+together; :func:`gather` is the one-call convenience API used by the
+examples and experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import StallError
+from repro.grid.lattice import Vec
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.engine import Engine
+from repro.core.engine_vectorized import find_merge_patterns_np
+from repro.core.events import RoundReport, Trace
+
+
+ENGINES = ("reference", "vectorized")
+
+
+@dataclass
+class GatheringResult:
+    """Outcome of a gathering simulation."""
+
+    gathered: bool
+    rounds: int
+    initial_n: int
+    final_n: int
+    final_positions: List[Vec]
+    params: Parameters
+    reports: List[RoundReport] = field(default_factory=list)
+    trace: Optional[Trace] = None
+    stalled: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def total_merges(self) -> int:
+        """Robots removed over the whole simulation."""
+        return self.initial_n - self.final_n
+
+    @property
+    def rounds_per_robot(self) -> float:
+        """Normalised round count — the paper predicts an O(1) value."""
+        return self.rounds / max(self.initial_n, 1)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        state = "gathered" if self.gathered else ("STALLED" if self.stalled else "stopped")
+        return (f"{state}: n={self.initial_n} -> {self.final_n} in {self.rounds} rounds "
+                f"({self.rounds_per_robot:.2f} rounds/robot)")
+
+
+class Simulator:
+    """Run the gathering algorithm on one closed chain.
+
+    Parameters
+    ----------
+    chain:
+        A :class:`ClosedChain` or a sequence of positions.
+    params:
+        Algorithm constants (defaults to the paper's).
+    engine:
+        ``"reference"`` (pure Python merge scan) or ``"vectorized"``
+        (NumPy merge scan; identical behaviour).
+    check_invariants:
+        Verify model invariants every round.
+    record_trace:
+        Keep full per-round snapshots (memory-heavy for large chains).
+    """
+
+    def __init__(self, chain: Union[ClosedChain, Sequence[Vec]],
+                 params: Parameters = DEFAULT_PARAMETERS,
+                 engine: str = "reference",
+                 check_invariants: bool = True,
+                 record_trace: bool = False,
+                 validate_initial: bool = True):
+        if not isinstance(chain, ClosedChain):
+            chain = ClosedChain(chain, require_disjoint_neighbors=validate_initial)
+        elif validate_initial:
+            chain.validate(initial=True)
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        detector = find_merge_patterns_np if engine == "vectorized" else None
+        self.trace = Trace() if record_trace else None
+        self.engine = Engine(chain, params,
+                             merge_detector=detector,
+                             check_invariants=check_invariants,
+                             trace=self.trace)
+        self.initial_n = chain.n
+        self.reports: List[RoundReport] = []
+
+    @property
+    def chain(self) -> ClosedChain:
+        """The (mutating) chain under simulation."""
+        return self.engine.chain
+
+    @property
+    def params(self) -> Parameters:
+        return self.engine.params
+
+    @property
+    def round_index(self) -> int:
+        return self.engine.round_index
+
+    def step(self) -> RoundReport:
+        """Advance one FSYNC round."""
+        report = self.engine.step()
+        self.reports.append(report)
+        return report
+
+    def is_gathered(self) -> bool:
+        """Paper's global termination condition (observer-side check)."""
+        return self.chain.is_gathered()
+
+    def run(self, max_rounds: Optional[int] = None,
+            raise_on_stall: bool = False) -> GatheringResult:
+        """Simulate until gathered or the round budget is exhausted."""
+        budget = max_rounds if max_rounds is not None else \
+            self.params.round_budget(self.initial_n)
+        t0 = time.perf_counter()
+        while not self.is_gathered() and self.round_index < budget:
+            self.step()
+        wall = time.perf_counter() - t0
+        gathered = self.is_gathered()
+        stalled = not gathered
+        if stalled and raise_on_stall:
+            raise StallError(
+                f"no gathering within {budget} rounds (n={self.initial_n})",
+                round_index=self.round_index, n=self.chain.n,
+                positions=self.chain.positions)
+        return GatheringResult(
+            gathered=gathered,
+            rounds=self.round_index,
+            initial_n=self.initial_n,
+            final_n=self.chain.n,
+            final_positions=self.chain.positions,
+            params=self.params,
+            reports=self.reports,
+            trace=self.trace,
+            stalled=stalled,
+            wall_time=wall,
+        )
+
+
+def gather(chain: Union[ClosedChain, Sequence[Vec]],
+           params: Parameters = DEFAULT_PARAMETERS,
+           engine: str = "reference",
+           check_invariants: bool = False,
+           record_trace: bool = False,
+           max_rounds: Optional[int] = None,
+           raise_on_stall: bool = False) -> GatheringResult:
+    """Gather a closed chain and return the result (convenience API)."""
+    sim = Simulator(chain, params=params, engine=engine,
+                    check_invariants=check_invariants,
+                    record_trace=record_trace)
+    return sim.run(max_rounds=max_rounds, raise_on_stall=raise_on_stall)

@@ -1,0 +1,153 @@
+"""Local views: what a single robot is allowed to see.
+
+The paper's locality model is the heart of the contribution: a robot
+sees only its next ``V`` chain neighbours in each direction (their
+relative positions, plus — for the run mechanics — the run states they
+carry, since run states are handed between neighbours and a runner can
+"see the next sequent run in front of it").
+
+:class:`ChainWindow` is the only interface through which the policy
+code reads the chain.  Any access beyond ±``V`` raises
+:class:`~repro.errors.LocalityViolation`, which makes locality a
+structural property of the implementation rather than a convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import LocalityViolation
+from repro.grid.lattice import Vec, sub
+
+
+class ChainWindow:
+    """A robot-centred sliding window over the chain.
+
+    Offsets are chain offsets relative to the anchor robot; positive
+    offsets follow increasing chain index.  ``runs_at`` exposes the
+    directions of run states carried by visible robots (empty when no
+    run registry is attached).
+    """
+
+    __slots__ = ("_chain", "_anchor", "_limit", "_runs_of")
+
+    def __init__(self, chain, anchor_index: int, viewing_path_length: int,
+                 runs_of: Optional[Callable[[int], Sequence[int]]] = None):
+        self._chain = chain
+        self._anchor = anchor_index % chain.n
+        self._limit = viewing_path_length
+        self._runs_of = runs_of
+
+    @property
+    def anchor_index(self) -> int:
+        """Chain index of the anchored robot."""
+        return self._anchor
+
+    @property
+    def limit(self) -> int:
+        """Viewing path length ``V``."""
+        return self._limit
+
+    def _check(self, offset: int) -> None:
+        if abs(offset) > self._limit:
+            raise LocalityViolation(
+                f"offset {offset} exceeds viewing path length {self._limit}")
+
+    def pos(self, offset: int) -> Vec:
+        """Absolute position of the robot ``offset`` steps along the chain.
+
+        The policy only ever uses *differences* of these values, so the
+        absolute frame does not leak global information.
+        """
+        self._check(offset)
+        return self._chain.position(self._anchor + offset)
+
+    def rel(self, offset: int) -> Vec:
+        """Position of a visible robot relative to the anchor."""
+        self._check(offset)
+        return sub(self._chain.position(self._anchor + offset),
+                   self._chain.position(self._anchor))
+
+    def edge(self, offset: int, direction: int) -> Vec:
+        """Edge vector from robot at ``offset`` to the next one toward ``direction``.
+
+        ``direction`` must be +1 or -1.  Both endpoints must be within
+        the window.
+        """
+        self._check(offset)
+        self._check(offset + direction)
+        a = self._chain.position(self._anchor + offset)
+        b = self._chain.position(self._anchor + offset + direction)
+        return sub(b, a)
+
+    def id_at(self, offset: int) -> int:
+        """Stable id of a visible robot (used to track travel targets).
+
+        Identity here is positional bookkeeping for the simulator; the
+        modelled robots remain anonymous — no rule compares ids of
+        distinct robots.
+        """
+        self._check(offset)
+        return self._chain.id_at(self._anchor + offset)
+
+    def run_directions_at(self, offset: int) -> Tuple[int, ...]:
+        """Chain directions (+1/-1) of run states on a visible robot."""
+        self._check(offset)
+        if self._runs_of is None:
+            return ()
+        return tuple(self._runs_of(self._chain.id_at(self._anchor + offset)))
+
+    def runs_ahead(self, direction: int, limit: int) -> Tuple[Optional[int], Optional[int]]:
+        """Nearest sequent and oncoming runs ahead (bulk scan).
+
+        Returns ``(sequent_offset, oncoming_offset)`` — the smallest
+        1-based offsets toward ``direction`` carrying a run moving with
+        resp. against ``direction`` (``None`` when absent).  Semantically
+        identical to probing :meth:`run_directions_at` offset by offset;
+        implemented as one pass because this scan dominates the round
+        cost (see bench_engines).
+        """
+        self._check(limit * direction)
+        if self._runs_of is None:
+            return (None, None)
+        ids = self._chain._ids
+        n = len(ids)
+        anchor = self._anchor
+        runs_of = self._runs_of
+        sequent = oncoming = None
+        for off in range(1, limit + 1):
+            dirs = runs_of(ids[(anchor + off * direction) % n])
+            if dirs:
+                if sequent is None and direction in dirs:
+                    sequent = off
+                if oncoming is None and -direction in dirs:
+                    oncoming = off
+                if sequent is not None and oncoming is not None:
+                    break
+        return (sequent, oncoming)
+
+    # convenience predicates used by the policy ------------------------------
+    def ahead_edges(self, direction: int, count: int) -> List[Vec]:
+        """The first ``count`` edge vectors ahead in ``direction``.
+
+        Edge ``j`` (1-based) points from the robot at offset
+        ``(j-1)*direction`` to the robot at ``j*direction``.
+        """
+        self._check(count * direction)
+        chain = self._chain
+        anchor = self._anchor
+        prev = chain.position(anchor)
+        out: List[Vec] = []
+        for j in range(1, count + 1):
+            cur = chain.position(anchor + j * direction)
+            out.append((cur[0] - prev[0], cur[1] - prev[1]))
+            prev = cur
+        return out
+
+    def wraps(self) -> bool:
+        """True when the window covers the entire (short) chain.
+
+        Robots cannot *detect* this — it is used only by tests and
+        analysis tooling, never by the policy.
+        """
+        return 2 * self._limit + 1 >= self._chain.n

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ChainError(ReproError):
+    """An invalid closed chain (connectivity, parity, coincident neighbours)."""
+
+
+class InvariantViolation(ReproError):
+    """A model invariant was broken during simulation.
+
+    Raised by :mod:`repro.core.invariants` when invariant checking is
+    enabled; indicates a bug in the algorithm implementation rather than
+    a property of the input.
+    """
+
+
+class StallError(ReproError):
+    """The simulation exceeded its round budget without gathering.
+
+    Carries diagnostic information so stalls can be reproduced and
+    analysed (the configuration, round counts and run census).
+    """
+
+    def __init__(self, message: str, round_index: int, n: int, positions=None):
+        super().__init__(message)
+        self.round_index = round_index
+        self.n = n
+        self.positions = list(positions) if positions is not None else None
+
+
+class LocalityViolation(ReproError):
+    """A decision procedure read beyond the viewing path length."""

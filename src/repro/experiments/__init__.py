@@ -1,0 +1,19 @@
+"""Experiments: one module per paper artifact (DESIGN.md §4).
+
+``run_experiments()`` executes the registered experiments;
+``python -m repro.experiments.report`` regenerates EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_markdown_report,
+    registered_ids,
+    run_experiments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiments",
+    "registered_ids",
+    "format_markdown_report",
+]

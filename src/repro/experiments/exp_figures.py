@@ -1,0 +1,407 @@
+"""EXP-F1..F16 — every algorithm figure of the paper as an executable scenario.
+
+Each scenario rebuilds the figure's configuration, runs the relevant
+mechanism (merge planner, run machinery, or a full simulation) and
+checks the outcome the figure depicts.  The scenarios double as the
+per-figure rows of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.grid.lattice import EAST, NORTH, SOUTH, WEST
+from repro.grid.transforms import DIHEDRAL_GROUP
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS
+from repro.core.engine import Engine
+from repro.core.merges import plan_merges
+from repro.core.patterns import find_merge_patterns, run_start_decisions, is_quasi_line, is_stairway
+from repro.core.runs import RunMode, StopReason
+from repro.core.simulator import Simulator, gather
+from repro.core.view import ChainWindow
+from repro.chains import (
+    comb, crenellation, fig16_fragment, rectangle_ring, square_ring,
+    stairway_octagon, outline,
+)
+from repro.analysis import format_table
+from repro.experiments.harness import ExperimentResult, register
+
+P = DEFAULT_PARAMETERS
+
+
+# ---------------------------------------------------------------------------
+# figure scenarios (each returns (description, expectation, passed))
+# ---------------------------------------------------------------------------
+
+def fig1_merge_example():
+    """Fig. 1: a width-2 bump hops down; outer blacks merge with the whites."""
+    cells = {(x, y) for x in range(13) for y in range(13)}
+    cells.add((5, 13))                       # a one-cell tooth on the top side
+    ring = outline(cells)
+    chain = ClosedChain(ring)
+    plan = plan_merges(chain.positions, chain.ids, P.effective_k_max)
+    ok = len(plan.patterns) == 1 and plan.patterns[0].k == 2
+    sim = Simulator(chain, check_invariants=True, validate_initial=False)
+    rep = sim.step()
+    pos = sim.chain.positions
+    ok &= rep.robots_removed == 2            # exactly the two whites vanish
+    ok &= (5, 14) not in pos and (6, 14) not in pos
+    ok &= (5, 13) in pos and (6, 13) in pos  # blacks landed on the whites
+    return ("one-tooth block: black pair hops down onto the whites",
+            "exactly 2 robots removed, blacks land on white positions", ok)
+
+
+def _with_bump(side: int, bump) -> list:
+    """A big square ring with a bottom-side fragment replaced by ``bump``."""
+    ring = square_ring(side)
+    i = ring.index(bump[0])
+    j = ring.index(bump[-1])
+    return ring[:i + 1] + list(bump[1:-1]) + ring[j:]
+
+
+def fig2_merge_lengths():
+    """Fig. 2: merge operations for k = 1 and k > 1, all rotations."""
+    ok = True
+    # k = 1 spike on an otherwise mergeless square ring (spike placed
+    # mid-side so the flanking straight segments stay longer than k_max)
+    spike_ring = _with_bump(24, [(12, 0), (12, 1), (12, 0)])
+    chain = ClosedChain(spike_ring)
+    plan = plan_merges(chain.positions, chain.ids, P.effective_k_max)
+    ok &= len(plan.patterns) == 1 and plan.patterns[0].k == 1
+    spike_black = chain.positions.index((12, 1))
+    ok &= plan.hops.get(chain.ids[spike_black]) == SOUTH
+    sim = Simulator(chain, check_invariants=True, validate_initial=False)
+    rep = sim.step()
+    ok &= rep.robots_removed == 2            # k=1: both whites removed
+
+    # k = 3 bump under all 8 symmetries
+    base = _with_bump(24, [(11, 0), (11, 1), (12, 1), (13, 1), (13, 0)])
+    for t in DIHEDRAL_GROUP:
+        ring = [t.apply(p) for p in base]
+        chain = ClosedChain(ring)
+        plan = plan_merges(chain.positions, chain.ids, P.effective_k_max)
+        k3 = [p for p in plan.patterns if p.k == 3]
+        ok &= len(plan.patterns) == 1 and len(k3) == 1
+        sim = Simulator(chain, check_invariants=True, validate_initial=False)
+        rep = sim.step()
+        ok &= rep.robots_removed == 2        # outermost blacks merge
+    return ("spike and k=3 bump embedded in a mergeless square ring",
+            "blacks hop onto whites; exactly 2 robots removed per merge", ok)
+
+
+def fig3a_overlap_two():
+    """Fig. 3a: patterns overlapping by two robots — ends merge, middle swaps."""
+    ring = crenellation(teeth=6, tooth_width=1, base_height=13)
+    chain = ClosedChain(ring)
+    plan = plan_merges(chain.positions, chain.ids, P.effective_k_max)
+    # interleaved up/down U-patterns along the crenellated top: robots
+    # that are black in one pattern and white in its neighbour still hop
+    overlapping = sum(
+        1 for rid, d in plan.hops.items()
+        if rid in plan.participants and d in (NORTH, SOUTH))
+    ok = len(plan.patterns) >= 8 and overlapping >= 8
+    top = max(p[1] for p in chain.positions)
+    before_top = {p for p in chain.positions if p[1] >= top - 1}
+    sim = Simulator(chain, check_invariants=True, validate_initial=False)
+    rep = sim.step()
+    # the outermost whites absorb merges; interior teeth swap rows only
+    ok &= rep.robots_removed == 2
+    after_top = {p for p in sim.chain.positions if p[1] >= top - 1}
+    ok &= len(after_top) >= len(before_top) - 3
+    return ("crenellated block (interleaved overlapping U-patterns)",
+            "only the outermost whites merge; interior teeth swap levels", ok)
+
+
+def fig3b_overlap_three():
+    """Fig. 3b: a robot black in two perpendicular patterns hops diagonally."""
+    ring = [(0, 0), (0, 1), (1, 1), (1, 0), (0, 0), (0, -1), (-1, -1), (-1, 0)]
+    chain = ClosedChain(ring, validate=True)
+    plan = plan_merges(chain.positions, chain.ids, P.effective_k_max)
+    # robot 2 at (1,1) is black in the horizontal (hop S) and the vertical
+    # (hop W) pattern -> diagonal SW hop
+    ok = plan.hops.get(2) == (-1, -1)
+    ok &= 0 not in plan.hops and 4 not in plan.hops   # a, b are pure whites
+    sim = Simulator(chain, check_invariants=True, validate_initial=False)
+    sim.step()
+    ok &= sim.chain.is_gathered()
+    return ("two perpendicular patterns sharing a corner robot r",
+            "r hops diagonally; r, a, b coincide; whites removed", ok)
+
+
+def _manual_run_engine(positions, runner_index, direction):
+    """Build an engine with one manually injected run (test rig)."""
+    chain = ClosedChain(positions)
+    engine = Engine(chain, P, check_invariants=True)
+    window = ChainWindow(chain, runner_index, P.viewing_path_length)
+    axis = window.edge(0, direction)
+    run = engine.registry.start(chain.id_at(runner_index), direction, axis, 0)
+    assert run is not None
+    return engine, run
+
+
+def fig6_reshapement_hop():
+    """Fig. 6/11a: runner on a straight line hops diagonally, run advances."""
+    ring = rectangle_ring(20, 13)            # both sides unmergeable
+    # a manual run at the corner (0,0): behind is (0,1) (perpendicular),
+    # ahead (1,0)..(3,0) — the operation (a) shape
+    engine, run = _manual_run_engine(ring, 0, 1)
+    # corner (0,0): behind is (0,1) (perpendicular), ahead (1,0)..(3,0)
+    start_pos = engine.chain.position_of_id(run.robot_id)
+    carrier = run.robot_id
+    engine.step()
+    moved_to = engine.chain.position_of_id(carrier)
+    ok = moved_to == (1, 1) and run.hops == 1
+    ok &= engine.chain.has_id(run.robot_id) and run.robot_id != carrier
+    return ("runner at a corner of a straight line",
+            "diagonal hop p -> p+d+e, run moves to next robot", ok)
+
+
+def fig5_run_starts():
+    """Fig. 5: run-start shapes (i) at stairway junctions, (ii) at corners."""
+    # (ii): the four corners of a large square start two runs each
+    chain = ClosedChain(square_ring(16))
+    corner_positions = {(0, 0), (15, 0), (15, 15), (0, 15)}
+    starts: Dict[int, List[int]] = {}
+    for i in range(chain.n):
+        w = ChainWindow(chain, i, P.viewing_path_length)
+        ds = run_start_decisions(w)
+        if ds:
+            starts[i] = [d.direction for d in ds]
+    fired = {chain.position(i) for i in starts}
+    ok = fired == corner_positions
+    ok &= all(sorted(v) == [-1, 1] for v in starts.values())
+    ok &= all(rs.kind == "ii" for i in starts
+              for rs in run_start_decisions(ChainWindow(chain, i, 11)))
+
+    # (i): the octagon junction robots (quasi line meets stairway)
+    chain2 = ClosedChain(stairway_octagon(16, steps=3))
+    count_i = 0
+    for i in range(chain2.n):
+        w = ChainWindow(chain2, i, P.viewing_path_length)
+        for rs in run_start_decisions(w):
+            ok &= rs.kind == "i"
+            count_i += 1
+    ok &= count_i == 8        # one per quasi-line endpoint, 4 lines x 2 ends
+    return ("square corners and octagon stairway junctions",
+            "(ii) corners fire two runs; (i) junctions fire one", ok)
+
+
+def fig7_good_pair_merges():
+    """Fig. 7a: a good pair shortens its line until a merge happens."""
+    sim = Simulator(square_ring(20), check_invariants=True, record_trace=True)
+    first_merge_round = None
+    for _ in range(60):
+        rep = sim.step()
+        if rep.robots_removed:
+            first_merge_round = rep.round_index
+            break
+    ok = first_merge_round is not None and first_merge_round <= 13
+    return ("mergeless 20x20 ring (quasi lines of 20 robots)",
+            "runs reshape the lines until merges fire within one wave", ok)
+
+
+def fig8_run_passing():
+    """Fig. 8: oncoming non-partner runs pass without reshapement hops."""
+    ring = rectangle_ring(40, 13)
+    chain = ClosedChain(ring)
+    engine = Engine(chain, P, check_invariants=True)
+    # two manual runs on the bottom side, 5 robots apart, facing each other
+    ida, idb = chain.id_at(10), chain.id_at(15)
+    run_a = engine.registry.start(ida, 1, EAST, 0)
+    run_b = engine.registry.start(idb, -1, WEST, 0)
+    assert run_a and run_b
+    passed = set()
+    resumed = set()
+    hops_during_passing = 0
+    for _ in range(8):
+        engine.step()
+        for run in (run_a, run_b):
+            if run.mode is RunMode.PASSING:
+                passed.add(run.run_id)
+                hops_during_passing += run.hops
+            elif run.active and run.run_id in passed:
+                resumed.add(run.run_id)   # crossed and back to normal ops
+    ok = passed == {run_a.run_id, run_b.run_id} == resumed
+    ok &= hops_during_passing == 0
+    return ("straight corridor, two oncoming runs 5 apart",
+            "both enter passing at distance <= 3, cross hop-less, resume", ok)
+
+
+def fig9_pipelining():
+    """Fig. 9: new runs start every L = 13 rounds; waves yield distinct merges."""
+    sim = Simulator(square_ring(40), check_invariants=False, record_trace=True)
+    res = sim.run()
+    ok = res.gathered
+    start_rounds = {r.round_index for r in res.reports if r.runs_started > 0}
+    ok &= all(r % P.start_interval == 0 for r in start_rounds)
+    ok &= len(start_rounds) >= 3                      # several waves ran
+    merge_rounds = [r.round_index for r in res.reports if r.robots_removed > 0]
+    ok &= len(merge_rounds) >= 3
+    spread = max(merge_rounds) - min(merge_rounds) if merge_rounds else 0
+    ok &= spread > P.start_interval                   # distinct waves merged
+    return ("40x40 ring over full gathering",
+            "waves start only at rounds = 0 mod 13; merges span many waves", ok)
+
+
+def fig10_quasi_line():
+    """Fig. 10/Def. 1: quasi-line recognition."""
+    good = [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (4, 1), (5, 1), (6, 1),
+            (6, 0), (7, 0), (8, 0), (9, 0)]
+    ok = is_quasi_line(good, "x")
+    bad_short_segment = [(0, 0), (1, 0), (2, 0), (2, 1), (3, 1), (3, 2),
+                         (4, 2), (5, 2), (6, 2)]
+    ok &= not is_quasi_line(bad_short_segment, "x")    # 2-robot axis segment
+    bad_tall_jog = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (3, 2), (4, 2), (5, 2)]
+    ok &= not is_quasi_line(bad_tall_jog, "x")         # 3-robot perpendicular
+    ok &= is_stairway([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)])
+    ok &= not is_stairway([(0, 0), (0, 1), (1, 1), (1, 0)])   # U turn
+    return ("Def. 1 exemplars and counterexamples",
+            "quasi lines and stairways recognised exactly", ok)
+
+
+def fig11b_travel():
+    """Fig. 11b: runner with only 2 aligned ahead travels 3 hop-less moves."""
+    # bottom side with a jog: two fat (unmergeable) blocks of different heights
+    cells = {(x, y) for x in range(13) for y in range(13)}
+    cells |= {(x, y) for x in range(13, 26) for y in range(1, 13)}
+    ring = outline(cells)
+    chain = ClosedChain(ring)
+    idx = chain.positions.index((10, 0))
+    direction = 1 if chain.position(idx + 1) == (11, 0) else -1
+    engine = Engine(chain, P, check_invariants=True)
+    run = engine.registry.start(chain.id_at(idx), direction, EAST, 0)
+    assert run is not None
+    saw_travel = False
+    arrived_at_corner = False
+    hops_during_travel = 0
+    for _ in range(8):
+        engine.step()
+        if not run.active:
+            break
+        if run.mode is RunMode.TRAVEL:
+            saw_travel = True
+            hops_during_travel += run.hops
+        elif saw_travel and chain.has_id(run.robot_id):
+            arrived_at_corner = True
+            break
+    ok = saw_travel and hops_during_travel == 0 and arrived_at_corner
+    return ("jogged bottom line, runner approaching the corner",
+            "run enters hop-less travel and reaches the far corner", ok)
+
+
+def fig11c_corner_cut():
+    """Fig. 11c: a fresh (ii) corner run performs one diagonal corner-cut."""
+    chain = ClosedChain(square_ring(16))
+    sim = Simulator(chain, check_invariants=True, record_trace=True,
+                    validate_initial=False)
+    sim.step()      # wave starts at round 0 (runs created, no action yet)
+    corners_before = {(0, 0), (15, 0), (15, 15), (0, 15)}
+    sim.step()      # first acting round: corner-cut hops
+    pos = set(sim.chain.positions)
+    cut_targets = {(1, 1), (14, 1), (14, 14), (1, 14)}
+    ok = cut_targets <= pos and not (corners_before & pos)
+    return ("square corners after the first acting round",
+            "every corner hopped diagonally inward (corner cut)", ok)
+
+
+def fig12_13_good_pair_on_quasi_line():
+    """Fig. 12/13: a good pair over a jogged quasi line still earns a merge."""
+    cells = {(x, y) for x in range(12) for y in range(13)}
+    cells |= {(x, y) for x in range(12, 24) for y in range(1, 13)}
+    ring = outline(cells)
+    res = gather(ring, check_invariants=True)
+    ok = res.gathered
+    return ("two fat blocks of different heights (jogged quasi lines)",
+            "gathering completes despite jogs (runs use op b over corners)", ok)
+
+
+def fig14_passing_keeps_travel_target():
+    """Fig. 14: passing during op (b) keeps the already-settled target."""
+    cells = {(x, y) for x in range(13) for y in range(13)}
+    cells |= {(x, y) for x in range(13, 27) for y in range(1, 13)}
+    ring = outline(cells)
+    chain = ClosedChain(ring)
+    idx = chain.positions.index((10, 0))
+    direction = 1 if chain.position(idx + 1) == (11, 0) else -1
+    engine = Engine(chain, P, check_invariants=True)
+    run_a = engine.registry.start(chain.id_at(idx), direction, EAST, 0)
+    # oncoming run ahead on the upper line, moving toward the jog
+    j = chain.positions.index((17, 1))
+    dir_b = -1 if chain.position(j - 1)[0] < 17 else 1
+    run_b = engine.registry.start(chain.id_at(j), dir_b, WEST, 0)
+    assert run_a and run_b
+    travel_target = None
+    kept = True
+    for _ in range(10):
+        engine.step()
+        if run_a.mode is RunMode.TRAVEL and travel_target is None:
+            travel_target = run_a.target_id
+        if (run_a.mode is RunMode.PASSING and travel_target is not None
+                and run_a.target_id != travel_target):
+            kept = False
+        if not (run_a.active and run_b.active):
+            break
+    ok = travel_target is not None and kept
+    return ("run interrupted by passing while travelling to a corner",
+            "the settled travel target remains the passing target", ok)
+
+
+def fig16_structure():
+    """Fig. 16: quasi lines connected by a stairway are recognised."""
+    frag = fig16_fragment(line1=5, stair_steps=3, line2=5)
+    line1 = frag[:6]
+    stair = frag[5:13]
+    line2 = frag[-6:]
+    ok = is_quasi_line(line1, "x") and is_quasi_line(line2, "x")
+    ok &= is_stairway(stair)
+    ok &= not find_merge_patterns(
+        ClosedChain(stairway_octagon(16, 3)).positions, P.effective_k_max)
+    return ("Fig. 16 fragment + mergeless octagon",
+            "quasi lines/stairway recognised; octagon has no merge", ok)
+
+
+_SCENARIOS: List = [
+    ("EXP-F1", "Fig. 1 merge example", fig1_merge_example),
+    ("EXP-F2", "Fig. 2 merge operations", fig2_merge_lengths),
+    ("EXP-F3a", "Fig. 3a overlap by two", fig3a_overlap_two),
+    ("EXP-F3b", "Fig. 3b overlap by three", fig3b_overlap_three),
+    ("EXP-F5", "Fig. 5 run starts", fig5_run_starts),
+    ("EXP-F6", "Fig. 6/11a reshapement hop", fig6_reshapement_hop),
+    ("EXP-F7", "Fig. 7 good pair", fig7_good_pair_merges),
+    ("EXP-F8", "Fig. 8 run passing", fig8_run_passing),
+    ("EXP-F9", "Fig. 9 pipelining", fig9_pipelining),
+    ("EXP-F10", "Fig. 10 quasi lines", fig10_quasi_line),
+    ("EXP-F11b", "Fig. 11b travel", fig11b_travel),
+    ("EXP-F11c", "Fig. 11c corner cut", fig11c_corner_cut),
+    ("EXP-F12", "Fig. 12/13 good pair on quasi line", fig12_13_good_pair_on_quasi_line),
+    ("EXP-F14", "Fig. 14 passing during op b", fig14_passing_keeps_travel_target),
+    ("EXP-F16", "Fig. 16 stairway structure", fig16_structure),
+]
+
+
+@register("EXP-FIG")
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    all_ok = True
+    for fid, title, fn in _SCENARIOS:
+        desc, expect, ok = fn()
+        all_ok &= bool(ok)
+        rows.append({"figure": fid, "scenario": desc,
+                     "expected": expect, "status": "PASS" if ok else "FAIL"})
+    table = format_table(rows, columns=["figure", "status", "scenario", "expected"],
+                         title="per-figure scenario results")
+    n_pass = sum(1 for r in rows if r["status"] == "PASS")
+    return ExperimentResult(
+        experiment_id="EXP-FIG",
+        title="Figures 1-16 (algorithm mechanics)",
+        paper_claim="each figure depicts a local operation of the algorithm",
+        measured=f"{n_pass}/{len(rows)} figure scenarios reproduce the depicted behaviour",
+        passed=all_ok,
+        table=table,
+    )
+
+
+def scenario_functions():
+    """Expose the scenario list for the unit tests."""
+    return list(_SCENARIOS)

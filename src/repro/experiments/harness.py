@@ -1,0 +1,107 @@
+"""Experiment harness: shared result type, registry, report generation.
+
+Every paper artifact (theorem, lemma, table, figure) has an experiment
+module exposing ``run(quick=False) -> ExperimentResult``.  The registry
+maps experiment ids (DESIGN.md §4) to these runners;
+:func:`run_experiments` executes a selection and
+:func:`format_markdown_report` renders the EXPERIMENTS.md content.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    measured: str
+    passed: bool
+    table: str = ""                  # optional plain-text data table
+    details: List[str] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+
+#: Global registry: experiment id -> runner.
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a runner to the registry."""
+
+    def deco(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return deco
+
+
+def registered_ids() -> List[str]:
+    """All experiment ids in registration order."""
+    return list(_REGISTRY)
+
+
+def run_experiments(ids: Optional[Sequence[str]] = None,
+                    quick: bool = False,
+                    verbose: bool = False) -> List[ExperimentResult]:
+    """Run a selection of experiments (default: all registered)."""
+    # importing the experiment modules populates the registry
+    from repro.experiments import (  # noqa: F401
+        exp_theorem1, exp_figures, exp_lemmas, exp_table1,
+        exp_ablations, exp_baselines, exp_engines, exp_verification,
+        exp_ssync)
+
+    chosen = list(ids) if ids else registered_ids()
+    results: List[ExperimentResult] = []
+    for eid in chosen:
+        if eid not in _REGISTRY:
+            raise KeyError(f"unknown experiment id {eid!r}; "
+                           f"known: {registered_ids()}")
+        t0 = time.perf_counter()
+        res = _REGISTRY[eid](quick=quick)
+        res.wall_time = time.perf_counter() - t0
+        results.append(res)
+        if verbose:
+            print(f"[{res.status()}] {eid}: {res.title} ({res.wall_time:.1f}s)")
+    return results
+
+
+def format_markdown_report(results: Sequence[ExperimentResult],
+                           header: str = "") -> str:
+    """Render experiment results as the EXPERIMENTS.md body."""
+    lines: List[str] = []
+    if header:
+        lines.append(header.rstrip())
+        lines.append("")
+    lines.append("| id | artifact | status | paper claim | measured |")
+    lines.append("|---|---|---|---|---|")
+    for r in results:
+        lines.append(f"| {r.experiment_id} | {r.title} | {r.status()} | "
+                     f"{r.paper_claim} | {r.measured} |")
+    lines.append("")
+    for r in results:
+        lines.append(f"## {r.experiment_id} — {r.title}")
+        lines.append("")
+        lines.append(f"**Paper claim.** {r.paper_claim}")
+        lines.append("")
+        lines.append(f"**Measured.** {r.measured}")
+        lines.append("")
+        if r.details:
+            for d in r.details:
+                lines.append(f"- {d}")
+            lines.append("")
+        if r.table:
+            lines.append("```")
+            lines.append(r.table.rstrip())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Grid substrate: integer lattice geometry for the robot chain model.
+
+The paper's robots live on :math:`\\mathbb{Z}^2` and hop to one of the
+eight surrounding cells.  This package provides the vector algebra,
+direction sets, bounding boxes and the dihedral symmetry group used by
+the pattern matchers (the paper's figures are "to be understood in a
+mirrored or rotated manner").
+"""
+
+from repro.grid.lattice import (
+    ZERO,
+    NORTH,
+    SOUTH,
+    EAST,
+    WEST,
+    AXIS_DIRECTIONS,
+    DIAGONAL_DIRECTIONS,
+    ALL_DIRECTIONS,
+    add,
+    sub,
+    neg,
+    manhattan,
+    chebyshev,
+    is_axis_unit,
+    is_unit_move,
+    perpendicular,
+    are_perpendicular,
+    are_opposite,
+    BoundingBox,
+    bounding_box,
+)
+from repro.grid.transforms import (
+    IDENTITY,
+    DIHEDRAL_GROUP,
+    Transform,
+    rotations,
+    reflections,
+)
+
+__all__ = [
+    "ZERO",
+    "NORTH",
+    "SOUTH",
+    "EAST",
+    "WEST",
+    "AXIS_DIRECTIONS",
+    "DIAGONAL_DIRECTIONS",
+    "ALL_DIRECTIONS",
+    "add",
+    "sub",
+    "neg",
+    "manhattan",
+    "chebyshev",
+    "is_axis_unit",
+    "is_unit_move",
+    "perpendicular",
+    "are_perpendicular",
+    "are_opposite",
+    "BoundingBox",
+    "bounding_box",
+    "IDENTITY",
+    "DIHEDRAL_GROUP",
+    "Transform",
+    "rotations",
+    "reflections",
+]

@@ -1,0 +1,162 @@
+"""Integer lattice primitives.
+
+Positions and direction vectors are plain ``(x, y)`` tuples of ints.
+Tuples keep the hot loops allocation-light and hashable (robot positions
+are used as dict keys by the renderers and pattern tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+Vec = Tuple[int, int]
+
+ZERO: Vec = (0, 0)
+EAST: Vec = (1, 0)
+WEST: Vec = (-1, 0)
+NORTH: Vec = (0, 1)
+SOUTH: Vec = (0, -1)
+
+#: The four axis-parallel unit moves a chain edge may take.
+AXIS_DIRECTIONS: Tuple[Vec, ...] = (EAST, NORTH, WEST, SOUTH)
+
+#: The four diagonal unit moves (used by reshapement and corner-cut hops).
+DIAGONAL_DIRECTIONS: Tuple[Vec, ...] = ((1, 1), (-1, 1), (-1, -1), (1, -1))
+
+#: Every move a robot may perform in one round (excluding "stay").
+ALL_DIRECTIONS: Tuple[Vec, ...] = AXIS_DIRECTIONS + DIAGONAL_DIRECTIONS
+
+
+def add(a: Vec, b: Vec) -> Vec:
+    """Component-wise vector sum."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Vec, b: Vec) -> Vec:
+    """Component-wise vector difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def neg(a: Vec) -> Vec:
+    """Additive inverse."""
+    return (-a[0], -a[1])
+
+
+def manhattan(a: Vec, b: Vec = ZERO) -> int:
+    """L1 distance between two points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def chebyshev(a: Vec, b: Vec = ZERO) -> int:
+    """L∞ distance between two points (one hop covers Chebyshev 1)."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+
+def is_axis_unit(v: Vec) -> bool:
+    """True when ``v`` is one of the four axis-parallel unit vectors."""
+    return (abs(v[0]) == 1 and v[1] == 0) or (v[0] == 0 and abs(v[1]) == 1)
+
+
+def is_unit_move(v: Vec) -> bool:
+    """True when ``v`` is a legal single-round displacement (Chebyshev ≤ 1)."""
+    return max(abs(v[0]), abs(v[1])) <= 1
+
+
+def perpendicular(v: Vec) -> Tuple[Vec, Vec]:
+    """Both unit vectors perpendicular to an axis unit vector ``v``."""
+    if not is_axis_unit(v):
+        raise ValueError(f"perpendicular() needs an axis unit vector, got {v!r}")
+    return ((-v[1], v[0]), (v[1], -v[0]))
+
+
+def are_perpendicular(a: Vec, b: Vec) -> bool:
+    """True when the two vectors have zero dot product (and are nonzero)."""
+    if a == ZERO or b == ZERO:
+        return False
+    return a[0] * b[0] + a[1] * b[1] == 0
+
+
+def are_opposite(a: Vec, b: Vec) -> bool:
+    """True when ``a == -b`` and both are nonzero."""
+    return a != ZERO and a == neg(b)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Closed axis-aligned box ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: int
+    min_y: int
+    max_x: int
+    max_y: int
+
+    @property
+    def width(self) -> int:
+        """Number of grid columns covered."""
+        return self.max_x - self.min_x + 1
+
+    @property
+    def height(self) -> int:
+        """Number of grid rows covered."""
+        return self.max_y - self.min_y + 1
+
+    @property
+    def area(self) -> int:
+        """Number of grid cells covered."""
+        return self.width * self.height
+
+    def fits_in(self, width: int, height: int) -> bool:
+        """True when the box fits inside a ``width × height`` window."""
+        return self.width <= width and self.height <= height
+
+    def contains(self, p: Vec) -> bool:
+        """True when the point lies inside the box."""
+        return self.min_x <= p[0] <= self.max_x and self.min_y <= p[1] <= self.max_y
+
+    @property
+    def diameter(self) -> int:
+        """Chebyshev diameter of the box (lower-bound witness for Ω(n))."""
+        return max(self.width, self.height) - 1
+
+
+def bounding_box(points: Iterable[Vec]) -> BoundingBox:
+    """Smallest :class:`BoundingBox` containing all points.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box() of empty point set") from None
+    min_x = max_x = first[0]
+    min_y = max_y = first[1]
+    for x, y in it:
+        if x < min_x:
+            min_x = x
+        elif x > max_x:
+            max_x = x
+        if y < min_y:
+            min_y = y
+        elif y > max_y:
+            max_y = y
+    return BoundingBox(min_x, min_y, max_x, max_y)
+
+
+def path_is_connected(points: Sequence[Vec], closed: bool = True) -> bool:
+    """True when consecutive points are identical or 4-adjacent.
+
+    This is the paper's chain-connectivity condition.  ``closed`` also
+    checks the wrap-around edge.
+    """
+    n = len(points)
+    if n == 0:
+        return True
+    last = n if closed else n - 1
+    for i in range(last):
+        a = points[i]
+        b = points[(i + 1) % n]
+        if manhattan(a, b) > 1:
+            return False
+    return True

@@ -1,0 +1,105 @@
+"""The dihedral group D4 acting on the integer lattice.
+
+The paper's robots have no compass, so every local rule must be applied
+"in a mirrored or rotated manner".  The pattern matchers iterate over
+this group; the tests use it to assert equivariance of the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.grid.lattice import Vec
+
+
+@dataclass(frozen=True)
+class Transform:
+    """An orthogonal lattice map ``(x, y) -> (a*x + b*y, c*x + d*y)``.
+
+    The eight instances with determinant ±1 and entries in {-1, 0, 1}
+    form the dihedral group of the square.
+    """
+
+    a: int
+    b: int
+    c: int
+    d: int
+    name: str = ""
+
+    def apply(self, v: Vec) -> Vec:
+        """Image of a single vector."""
+        return (self.a * v[0] + self.b * v[1], self.c * v[0] + self.d * v[1])
+
+    def apply_all(self, vs: Iterable[Vec]) -> List[Vec]:
+        """Image of a sequence of vectors."""
+        return [self.apply(v) for v in vs]
+
+    def compose(self, other: "Transform") -> "Transform":
+        """``self ∘ other`` (apply ``other`` first)."""
+        return Transform(
+            self.a * other.a + self.b * other.c,
+            self.a * other.b + self.b * other.d,
+            self.c * other.a + self.d * other.c,
+            self.c * other.b + self.d * other.d,
+            name=f"{self.name}∘{other.name}",
+        )
+
+    def inverse(self) -> "Transform":
+        """Group inverse (orthogonal, so the transpose)."""
+        det = self.a * self.d - self.b * self.c
+        if det not in (1, -1):
+            raise ValueError("not an orthogonal lattice transform")
+        return Transform(self.d * det, -self.b * det, -self.c * det, self.a * det, name=f"{self.name}⁻¹")
+
+    @property
+    def determinant(self) -> int:
+        """+1 for rotations, -1 for reflections."""
+        return self.a * self.d - self.b * self.c
+
+
+IDENTITY = Transform(1, 0, 0, 1, "id")
+ROT90 = Transform(0, -1, 1, 0, "rot90")
+ROT180 = Transform(-1, 0, 0, -1, "rot180")
+ROT270 = Transform(0, 1, -1, 0, "rot270")
+FLIP_X = Transform(-1, 0, 0, 1, "flip_x")
+FLIP_Y = Transform(1, 0, 0, -1, "flip_y")
+FLIP_DIAG = Transform(0, 1, 1, 0, "flip_diag")
+FLIP_ANTIDIAG = Transform(0, -1, -1, 0, "flip_antidiag")
+
+#: All eight symmetries of the square lattice.
+DIHEDRAL_GROUP: Tuple[Transform, ...] = (
+    IDENTITY,
+    ROT90,
+    ROT180,
+    ROT270,
+    FLIP_X,
+    FLIP_Y,
+    FLIP_DIAG,
+    FLIP_ANTIDIAG,
+)
+
+
+def rotations() -> Tuple[Transform, ...]:
+    """The four pure rotations."""
+    return (IDENTITY, ROT90, ROT180, ROT270)
+
+
+def reflections() -> Tuple[Transform, ...]:
+    """The four reflections."""
+    return (FLIP_X, FLIP_Y, FLIP_DIAG, FLIP_ANTIDIAG)
+
+
+def canonical_form(vs: Sequence[Vec]) -> Tuple[Vec, ...]:
+    """Lexicographically smallest image of ``vs`` under D4.
+
+    Used to compare local shapes up to the symmetries a compass-less
+    robot cannot distinguish.
+    """
+    best = None
+    for t in DIHEDRAL_GROUP:
+        img = tuple(t.apply(v) for v in vs)
+        if best is None or img < best:
+            best = img
+    assert best is not None
+    return best

@@ -1,0 +1,25 @@
+"""Serialization: JSON chains, results and traces (replay support)."""
+
+from repro.io.serialization import (
+    chain_from_json,
+    chain_to_json,
+    load_chain,
+    load_trace,
+    result_to_json,
+    save_chain,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+__all__ = [
+    "chain_to_json",
+    "chain_from_json",
+    "save_chain",
+    "load_chain",
+    "result_to_json",
+    "trace_to_json",
+    "trace_from_json",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,119 @@
+"""JSON (de)serialization for chains, results and traces.
+
+The formats are deliberately simple and versioned so stall cases and
+experiment outputs can be archived and replayed across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ChainError
+from repro.core.chain import ClosedChain
+from repro.core.events import RunSnapshot, Snapshot, Trace
+from repro.core.simulator import GatheringResult
+
+FORMAT_VERSION = 1
+
+
+def chain_to_json(chain: ClosedChain) -> str:
+    """Serialize a chain (positions in chain order)."""
+    doc = {
+        "format": "repro.chain",
+        "version": FORMAT_VERSION,
+        "positions": [list(p) for p in chain.positions],
+    }
+    return json.dumps(doc)
+
+
+def chain_from_json(text: str) -> ClosedChain:
+    """Deserialize a chain; validates connectivity."""
+    doc = json.loads(text)
+    if doc.get("format") != "repro.chain":
+        raise ChainError("not a repro.chain document")
+    positions = [tuple(p) for p in doc["positions"]]
+    return ClosedChain(positions)
+
+
+def save_chain(path: str, chain: ClosedChain) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chain_to_json(chain))
+    return path
+
+
+def load_chain(path: str) -> ClosedChain:
+    with open(path, "r", encoding="utf-8") as fh:
+        return chain_from_json(fh.read())
+
+
+def result_to_json(result: GatheringResult) -> str:
+    """Serialize the scalar outcome of a gathering run (no trace)."""
+    doc = {
+        "format": "repro.result",
+        "version": FORMAT_VERSION,
+        "gathered": result.gathered,
+        "rounds": result.rounds,
+        "initial_n": result.initial_n,
+        "final_n": result.final_n,
+        "final_positions": [list(p) for p in result.final_positions],
+        "stalled": result.stalled,
+        "wall_time": result.wall_time,
+        "params": {
+            "viewing_path_length": result.params.viewing_path_length,
+            "start_interval": result.params.start_interval,
+            "k_max": result.params.k_max,
+            "passing_distance": result.params.passing_distance,
+            "travel_steps": result.params.travel_steps,
+            "endpoint_guard": result.params.endpoint_guard,
+            "sequent_guard": result.params.sequent_guard,
+        },
+    }
+    return json.dumps(doc)
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialize a trace's snapshots (positions, ids, runs per round)."""
+    doc: Dict[str, Any] = {
+        "format": "repro.trace",
+        "version": FORMAT_VERSION,
+        "snapshots": [
+            {
+                "round": s.round_index,
+                "positions": [list(p) for p in s.positions],
+                "ids": list(s.ids),
+                "runs": [[r.run_id, r.robot_id, r.direction, r.mode, r.born_round]
+                         for r in s.runs],
+            }
+            for s in trace.snapshots
+        ],
+    }
+    return json.dumps(doc)
+
+
+def trace_from_json(text: str) -> Trace:
+    doc = json.loads(text)
+    if doc.get("format") != "repro.trace":
+        raise ChainError("not a repro.trace document")
+    trace = Trace()
+    for s in doc["snapshots"]:
+        runs = tuple(RunSnapshot(run_id=r[0], robot_id=r[1], direction=r[2],
+                                 mode=r[3], born_round=r[4]) for r in s["runs"])
+        trace.record_snapshot(Snapshot(
+            round_index=s["round"],
+            positions=tuple(tuple(p) for p in s["positions"]),
+            ids=tuple(s["ids"]),
+            runs=runs,
+        ))
+    return trace
+
+
+def save_trace(path: str, trace: Trace) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_json(trace))
+    return path
+
+
+def load_trace(path: str) -> Trace:
+    with open(path, "r", encoding="utf-8") as fh:
+        return trace_from_json(fh.read())

@@ -1,0 +1,32 @@
+"""Time-model ablations: what happens outside FSYNC.
+
+The paper assumes the fully synchronous FSYNC model; merge safety
+depends on all blacks of a pattern hopping in the same instant.  This
+package provides an SSYNC-style engine in which an activation policy
+decides which robots actually execute their computed moves each round —
+demonstrating experimentally (EXP-S1) that partial activation breaks
+chain connectivity almost immediately, i.e. the FSYNC assumption is
+load-bearing rather than cosmetic.
+"""
+
+from repro.schedulers.ssync import (
+    ActivationPolicy,
+    AlternatingActivation,
+    FullActivation,
+    RandomActivation,
+    SplitPatternAdversary,
+    SSyncEngine,
+    SSyncOutcome,
+    run_ssync,
+)
+
+__all__ = [
+    "SSyncEngine",
+    "ActivationPolicy",
+    "FullActivation",
+    "RandomActivation",
+    "AlternatingActivation",
+    "SplitPatternAdversary",
+    "SSyncOutcome",
+    "run_ssync",
+]

@@ -1,0 +1,121 @@
+"""SSYNC ablation engine.
+
+Semantics (documented deviation — this is an *ablation*, not part of
+the reproduced algorithm): every robot looks and computes from the
+common snapshot exactly as in FSYNC, but only the robots chosen by an
+activation policy execute their move.  Runs carried by inactive robots
+freeze for the round.
+
+Under any policy that can split a merge pattern, two pattern blacks can
+end up diagonal to each other, which disconnects the chain — the
+algorithm is FSYNC-specific by design, and EXP-S1 measures how quickly
+each policy exposes that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Protocol, Set
+
+from repro.errors import InvariantViolation
+from repro.grid.lattice import Vec
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.engine import Engine
+
+
+class ActivationPolicy(Protocol):
+    """Chooses the robots that execute their computed move this round."""
+
+    def select(self, round_index: int, candidate_ids: Iterable[int]) -> Set[int]:
+        """Subset of ``candidate_ids`` allowed to move."""
+        ...  # pragma: no cover - protocol
+
+
+class FullActivation:
+    """Everything executes: identical to FSYNC (sanity baseline)."""
+
+    def select(self, round_index: int, candidate_ids: Iterable[int]) -> Set[int]:
+        return set(candidate_ids)
+
+
+class RandomActivation:
+    """Each mover is active independently with probability ``p``."""
+
+    def __init__(self, p: float, seed: int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("activation probability must be in [0, 1]")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def select(self, round_index: int, candidate_ids: Iterable[int]) -> Set[int]:
+        return {rid for rid in candidate_ids if self._rng.random() < self.p}
+
+
+class AlternatingActivation:
+    """Even-id robots move on even rounds, odd-id robots on odd rounds."""
+
+    def select(self, round_index: int, candidate_ids: Iterable[int]) -> Set[int]:
+        parity = round_index % 2
+        return {rid for rid in candidate_ids if rid % 2 == parity}
+
+
+class SplitPatternAdversary:
+    """Activates exactly one mover per round — the strongest splitter."""
+
+    def select(self, round_index: int, candidate_ids: Iterable[int]) -> Set[int]:
+        ordered = sorted(candidate_ids)
+        return {ordered[0]} if ordered else set()
+
+
+class SSyncEngine(Engine):
+    """Engine whose computed moves pass through an activation policy."""
+
+    def __init__(self, chain: ClosedChain, params: Parameters,
+                 policy: ActivationPolicy, **kwargs):
+        super().__init__(chain, params, **kwargs)
+        self.policy = policy
+
+    def _select_moves(self, moves: Dict[int, Vec]) -> Dict[int, Vec]:
+        active = self.policy.select(self.round_index, moves.keys())
+        return {rid: d for rid, d in moves.items() if rid in active}
+
+
+@dataclass
+class SSyncOutcome:
+    """Result of an SSYNC ablation run."""
+
+    gathered: bool
+    broke: bool
+    rounds: int
+    break_round: Optional[int] = None
+
+    @property
+    def survived(self) -> bool:
+        """True when connectivity held for the whole run."""
+        return not self.broke
+
+
+def run_ssync(positions, policy: ActivationPolicy,
+              params: Parameters = DEFAULT_PARAMETERS,
+              max_rounds: Optional[int] = None) -> SSyncOutcome:
+    """Run the gathering algorithm under an activation policy.
+
+    Invariant checking is forced on; a connectivity violation ends the
+    run and is reported as a break (the expected outcome for policies
+    that can split a merge pattern).
+    """
+    chain = ClosedChain(positions)
+    engine = SSyncEngine(chain, params, policy, check_invariants=True)
+    budget = max_rounds if max_rounds is not None else \
+        params.round_budget(chain.n)
+    while not chain.is_gathered() and engine.round_index < budget:
+        try:
+            engine.step()
+        except InvariantViolation:
+            return SSyncOutcome(gathered=False, broke=True,
+                                rounds=engine.round_index,
+                                break_round=engine.round_index)
+    return SSyncOutcome(gathered=chain.is_gathered(), broke=False,
+                        rounds=engine.round_index)

@@ -1,0 +1,27 @@
+"""Exhaustive small-case verification.
+
+For small ``n`` the space of initial configurations is finite: a valid
+initial closed chain is a closed unit-step walk on the grid (robots may
+share cells as long as chain neighbours do not).  This package
+enumerates *all* of them up to symmetry and verifies the theorem on
+every single one — a model-checking-style complement to the randomized
+property tests.
+"""
+
+from repro.verification.enumerate_chains import (
+    VerificationReport,
+    canonical_signature,
+    closed_edge_sequences,
+    count_closed_chains,
+    enumerate_closed_chains,
+    verify_all,
+)
+
+__all__ = [
+    "closed_edge_sequences",
+    "enumerate_closed_chains",
+    "canonical_signature",
+    "count_closed_chains",
+    "verify_all",
+    "VerificationReport",
+]

@@ -1,0 +1,160 @@
+"""Enumeration of all closed chains of a given length, and verification.
+
+A valid initial configuration of ``n`` robots is (up to translation) a
+closed walk ``e_1 … e_n`` of axis unit steps summing to zero; chain
+neighbours automatically occupy distinct cells, and non-neighbour
+collisions are allowed by the model.  Symmetries quotiented out:
+
+* translation — walks start at the origin;
+* rotation (no compass) — plus reflections: the dihedral group acts on
+  the edge codes;
+* re-labelling — robots are indistinguishable, so cyclic rotations and
+  reversal of the edge sequence describe the same configuration.
+
+``verify_all(n)`` gathers every canonical representative and reports
+failures — an exhaustive check of Theorem 1 for small ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.simulator import gather
+from repro.grid.lattice import Vec
+
+#: edge codes: 0=E, 1=N, 2=W, 3=S (rotation = +1 mod 4, reflection swaps)
+_CODE_TO_VEC: Tuple[Vec, ...] = ((1, 0), (0, 1), (-1, 0), (0, -1))
+
+#: code permutations realising the dihedral group on directions
+_DIHEDRAL_CODE_MAPS: Tuple[Tuple[int, ...], ...] = (
+    (0, 1, 2, 3),   # identity
+    (1, 2, 3, 0),   # rot90
+    (2, 3, 0, 1),   # rot180
+    (3, 0, 1, 2),   # rot270
+    (2, 1, 0, 3),   # flip x
+    (0, 3, 2, 1),   # flip y
+    (1, 0, 3, 2),   # flip diagonal
+    (3, 2, 1, 0),   # flip antidiagonal
+)
+
+
+def closed_edge_sequences(n: int) -> Iterator[Tuple[int, ...]]:
+    """All closed walks of ``n`` unit steps, as edge-code tuples.
+
+    Walks start with code 0 (east) — a free rotation normalisation —
+    and are pruned by the Manhattan-distance-to-origin bound.
+    """
+    if n < 4 or n % 2 != 0:
+        return
+    seq: List[int] = [0]
+
+    def backtrack(x: int, y: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        if remaining == 0:
+            if x == 0 and y == 0:
+                yield tuple(seq)
+            return
+        if abs(x) + abs(y) > remaining:
+            return
+        for code in range(4):
+            dx, dy = _CODE_TO_VEC[code]
+            seq.append(code)
+            yield from backtrack(x + dx, y + dy, remaining - 1)
+            seq.pop()
+
+    yield from backtrack(1, 0, n - 1)
+
+
+def canonical_signature(codes: Sequence[int]) -> Tuple[int, ...]:
+    """Smallest image of an edge-code sequence under all symmetries.
+
+    Symmetries: the 8 dihedral code maps × ``n`` cyclic rotations ×
+    traversal reversal (reversing the walk flips each edge's direction
+    and the order).
+    """
+    n = len(codes)
+    best: Optional[Tuple[int, ...]] = None
+    reversed_codes = tuple((c + 2) % 4 for c in reversed(codes))
+    for variant in (tuple(codes), reversed_codes):
+        for mapping in _DIHEDRAL_CODE_MAPS:
+            mapped = tuple(mapping[c] for c in variant)
+            for shift in range(n):
+                cand = mapped[shift:] + mapped[:shift]
+                if best is None or cand < best:
+                    best = cand
+    assert best is not None
+    return best
+
+
+def _codes_to_positions(codes: Sequence[int]) -> List[Vec]:
+    pts: List[Vec] = [(0, 0)]
+    for c in codes[:-1]:
+        dx, dy = _CODE_TO_VEC[c]
+        last = pts[-1]
+        pts.append((last[0] + dx, last[1] + dy))
+    return pts
+
+
+def enumerate_closed_chains(n: int, dedup: bool = True) -> Iterator[List[Vec]]:
+    """All closed chains of length ``n`` (positions, origin-anchored).
+
+    With ``dedup`` (default) one representative per symmetry class is
+    produced; otherwise every east-starting walk.
+    """
+    if not dedup:
+        for codes in closed_edge_sequences(n):
+            yield _codes_to_positions(codes)
+        return
+    seen = set()
+    for codes in closed_edge_sequences(n):
+        sig = canonical_signature(codes)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        yield _codes_to_positions(sig)
+
+
+def count_closed_chains(n: int, dedup: bool = True) -> int:
+    """Number of (canonical) closed chains of length ``n``."""
+    return sum(1 for _ in enumerate_closed_chains(n, dedup=dedup))
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of an exhaustive verification sweep."""
+
+    n: int
+    total: int = 0
+    gathered: int = 0
+    max_rounds: int = 0
+    failures: List[List[Vec]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every enumerated configuration gathered."""
+        return self.total > 0 and self.gathered == self.total
+
+
+def verify_all(n: int, params: Parameters = DEFAULT_PARAMETERS,
+               dedup: bool = True, engine: str = "reference",
+               limit: Optional[int] = None) -> VerificationReport:
+    """Gather every closed chain of length ``n``; report the outcome.
+
+    ``limit`` caps the number of configurations (for sampling sweeps of
+    larger ``n``); the report records any failing initial configuration
+    verbatim so it can be replayed.
+    """
+    report = VerificationReport(n=n)
+    for i, pts in enumerate(enumerate_closed_chains(n, dedup=dedup)):
+        if limit is not None and i >= limit:
+            break
+        report.total += 1
+        result = gather(list(pts), params=params, engine=engine,
+                        check_invariants=False)
+        if result.gathered:
+            report.gathered += 1
+            report.max_rounds = max(report.max_rounds, result.rounds)
+        else:
+            report.failures.append(pts)
+    return report

@@ -1,0 +1,19 @@
+"""Visualisation: ASCII and SVG renderers, trace animation."""
+
+from repro.viz.ascii_render import render_ascii, render_rounds, render_trace_strip
+from repro.viz.svg_render import render_svg, save_svg
+from repro.viz.animate import trace_frames, save_frames
+from repro.viz.plots import Series, line_chart, save_line_chart
+
+__all__ = [
+    "render_ascii",
+    "render_rounds",
+    "render_trace_strip",
+    "render_svg",
+    "save_svg",
+    "trace_frames",
+    "save_frames",
+    "Series",
+    "line_chart",
+    "save_line_chart",
+]

@@ -1,0 +1,44 @@
+"""Trace animation: export per-round frames (ASCII or SVG)."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.core.events import Snapshot, Trace
+from repro.viz.ascii_render import render_snapshot
+from repro.viz.svg_render import render_svg
+
+
+def trace_frames(trace: Trace, every: int = 1, fmt: str = "ascii") -> List[str]:
+    """Render the snapshots of a trace to frames.
+
+    ``fmt`` is ``"ascii"`` or ``"svg"``.
+    """
+    frames: List[str] = []
+    for snap in trace.snapshots[::every]:
+        if fmt == "ascii":
+            frames.append(render_snapshot(snap))
+        elif fmt == "svg":
+            id_to_pos = dict(zip(snap.ids, snap.positions))
+            runners = {id_to_pos[r.robot_id]: r.direction
+                       for r in snap.runs if r.robot_id in id_to_pos}
+            frames.append(render_svg(list(snap.positions), runners=runners,
+                                     title=f"round {snap.round_index}"))
+        else:
+            raise ValueError(f"unknown frame format {fmt!r}")
+    return frames
+
+
+def save_frames(trace: Trace, directory: str, every: int = 1,
+                fmt: str = "svg") -> List[str]:
+    """Write one file per rendered frame; returns the file paths."""
+    os.makedirs(directory, exist_ok=True)
+    ext = "svg" if fmt == "svg" else "txt"
+    paths: List[str] = []
+    for snap, frame in zip(trace.snapshots[::every], trace_frames(trace, every, fmt)):
+        path = os.path.join(directory, f"round_{snap.round_index:05d}.{ext}")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(frame)
+        paths.append(path)
+    return paths

@@ -1,0 +1,81 @@
+"""ASCII rendering of chains and traces.
+
+Terminal-friendly views used by the examples, the CLI and debugging
+sessions.  Cells show robot multiplicity (``1``-``9``, ``+`` for more);
+optional run markers overlay ``>``/``<`` for runner cells.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.grid.lattice import Vec, bounding_box
+from repro.core.events import Snapshot
+
+
+def render_ascii(positions: Sequence[Vec],
+                 runners: Optional[Dict[Vec, int]] = None,
+                 empty: str = "·") -> str:
+    """Render a set of robot positions as a text grid.
+
+    ``runners`` maps positions to chain directions; such cells render as
+    ``>`` (direction +1) or ``<`` (direction -1) regardless of count.
+    The y axis points up, matching the paper's figures.
+    """
+    if not positions:
+        return "(empty chain)"
+    box = bounding_box(positions)
+    counts = Counter(positions)
+    runners = runners or {}
+    rows: List[str] = []
+    for y in range(box.max_y, box.min_y - 1, -1):
+        row = []
+        for x in range(box.min_x, box.max_x + 1):
+            p = (x, y)
+            if p in runners:
+                row.append(">" if runners[p] > 0 else "<")
+            elif p in counts:
+                c = counts[p]
+                row.append(str(c) if c <= 9 else "+")
+            else:
+                row.append(empty)
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_snapshot(snap: Snapshot, empty: str = "·") -> str:
+    """Render a trace snapshot with runner markers."""
+    id_to_pos = dict(zip(snap.ids, snap.positions))
+    runners = {id_to_pos[r.robot_id]: r.direction
+               for r in snap.runs if r.robot_id in id_to_pos}
+    return render_ascii(list(snap.positions), runners=runners, empty=empty)
+
+
+def render_rounds(frames: Sequence[str], labels: Optional[Sequence[str]] = None,
+                  gap: int = 3) -> str:
+    """Place several rendered frames side by side (like the paper's figures)."""
+    blocks = [f.splitlines() for f in frames]
+    heights = [len(b) for b in blocks]
+    height = max(heights) if heights else 0
+    widths = [max((len(l) for l in b), default=0) for b in blocks]
+    sep = " " * gap
+    out: List[str] = []
+    if labels:
+        out.append(sep.join(label.ljust(w) for label, w in zip(labels, widths)))
+    for row in range(height):
+        cells = []
+        for b, w in zip(blocks, widths):
+            line = b[row] if row < len(b) else ""
+            cells.append(line.ljust(w))
+        out.append(sep.join(cells))
+    return "\n".join(out)
+
+
+def render_trace_strip(snapshots: Sequence[Snapshot], every: int = 1,
+                       max_frames: int = 8) -> str:
+    """Render a trace as a film strip of at most ``max_frames`` rounds."""
+    chosen = snapshots[::every][:max_frames]
+    frames = [render_snapshot(s) for s in chosen]
+    labels = [f"round {s.round_index}" for s in chosen]
+    return render_rounds(frames, labels=labels)

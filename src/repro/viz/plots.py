@@ -1,0 +1,133 @@
+"""Dependency-free SVG line charts for experiment series.
+
+matplotlib is unavailable offline, so the experiment figures (rounds vs
+n, ablation sweeps) are rendered as small hand-built SVGs: axes, ticks,
+polyline series with markers, and a legend.  Enough for the paper-style
+scaling plots; not a general plotting library.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+_PALETTE = ("#1f6feb", "#d73a49", "#2da44e", "#bf8700", "#8250df", "#57606a")
+
+
+@dataclass
+class Series:
+    """One polyline: a label and its (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(count - 1, 1)
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if span / step <= count:
+            break
+    first = step * int(lo / step)
+    ticks = []
+    t = first
+    while t <= hi + step / 2:
+        if t >= lo - step / 2:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def line_chart(series: Sequence[Series], title: str = "",
+               x_label: str = "", y_label: str = "",
+               width: int = 560, height: int = 360) -> str:
+    """Render series as an SVG line chart string."""
+    pad_l, pad_r, pad_t, pad_b = 64, 16, 36, 48
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+
+    xs = [p[0] for s in series for p in s.points]
+    ys = [p[1] for s in series for p in s.points]
+    if not xs:
+        xs, ys = [0.0, 1.0], [0.0, 1.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    def sx(x: float) -> float:
+        return pad_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return pad_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}' "
+        f"font-family='sans-serif'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+    ]
+    if title:
+        parts.append(f"<text x='{width / 2:.0f}' y='22' text-anchor='middle' "
+                     f"font-size='15'>{html.escape(title)}</text>")
+    # axes
+    parts.append(f"<line x1='{pad_l}' y1='{pad_t}' x2='{pad_l}' "
+                 f"y2='{pad_t + plot_h}' stroke='black'/>")
+    parts.append(f"<line x1='{pad_l}' y1='{pad_t + plot_h}' "
+                 f"x2='{pad_l + plot_w}' y2='{pad_t + plot_h}' stroke='black'/>")
+    for t in _nice_ticks(x_lo, x_hi):
+        x = sx(t)
+        parts.append(f"<line x1='{x:.1f}' y1='{pad_t + plot_h}' x2='{x:.1f}' "
+                     f"y2='{pad_t + plot_h + 5}' stroke='black'/>")
+        parts.append(f"<text x='{x:.1f}' y='{pad_t + plot_h + 18}' "
+                     f"text-anchor='middle' font-size='11'>{t:g}</text>")
+    for t in _nice_ticks(y_lo, y_hi):
+        y = sy(t)
+        parts.append(f"<line x1='{pad_l - 5}' y1='{y:.1f}' x2='{pad_l}' "
+                     f"y2='{y:.1f}' stroke='black'/>")
+        parts.append(f"<text x='{pad_l - 8}' y='{y + 4:.1f}' "
+                     f"text-anchor='end' font-size='11'>{t:g}</text>")
+        parts.append(f"<line x1='{pad_l}' y1='{y:.1f}' x2='{pad_l + plot_w}' "
+                     f"y2='{y:.1f}' stroke='#eeeeee'/>")
+    if x_label:
+        parts.append(f"<text x='{pad_l + plot_w / 2:.0f}' y='{height - 8}' "
+                     f"text-anchor='middle' font-size='12'>"
+                     f"{html.escape(x_label)}</text>")
+    if y_label:
+        cx, cy = 16, pad_t + plot_h / 2
+        parts.append(f"<text x='{cx}' y='{cy:.0f}' text-anchor='middle' "
+                     f"font-size='12' transform='rotate(-90 {cx} {cy:.0f})'>"
+                     f"{html.escape(y_label)}</text>")
+    # series
+    for i, s in enumerate(sorted(series, key=lambda s: s.label)):
+        color = _PALETTE[i % len(_PALETTE)]
+        pts = sorted(s.points)
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        if len(pts) > 1:
+            parts.append(f"<polyline points='{path}' fill='none' "
+                         f"stroke='{color}' stroke-width='2'/>")
+        for x, y in pts:
+            parts.append(f"<circle cx='{sx(x):.1f}' cy='{sy(y):.1f}' r='3' "
+                         f"fill='{color}'/>")
+        ly = pad_t + 14 + 16 * i
+        lx = pad_l + plot_w - 130
+        parts.append(f"<line x1='{lx}' y1='{ly - 4}' x2='{lx + 18}' "
+                     f"y2='{ly - 4}' stroke='{color}' stroke-width='2'/>")
+        parts.append(f"<text x='{lx + 24}' y='{ly}' font-size='11'>"
+                     f"{html.escape(s.label)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_line_chart(path: str, series: Sequence[Series], **kwargs) -> str:
+    """Render and write a line chart; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(line_chart(series, **kwargs))
+    return path

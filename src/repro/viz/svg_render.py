@@ -1,0 +1,96 @@
+"""SVG rendering of chains (publication-style figures, no dependencies).
+
+Robots are dots, chain edges are line segments, runners get direction
+arrows.  Output is a plain SVG string; :func:`save_svg` writes it to a
+file.  matplotlib is deliberately not used (not available offline).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Optional, Sequence
+
+from repro.grid.lattice import Vec, bounding_box
+
+_STYLE = {
+    "robot_fill": "#1f6feb",
+    "robot_stroke": "#0b3d91",
+    "edge_stroke": "#999999",
+    "runner_fill": "#d73a49",
+    "coincident_fill": "#6f42c1",
+}
+
+
+def render_svg(positions: Sequence[Vec], cell: int = 24, radius: float = 6.5,
+               runners: Optional[Dict[Vec, int]] = None,
+               title: str = "", closed: bool = True) -> str:
+    """Render a chain as an SVG document string.
+
+    ``runners`` marks runner positions with their chain direction.
+    ``closed`` draws the wrap-around edge.
+    """
+    if not positions:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='10' height='10'/>"
+    box = bounding_box(positions)
+    pad = cell
+    width = box.width * cell + 2 * pad
+    height = box.height * cell + 2 * pad
+
+    def xy(p: Vec):
+        return (pad + (p[0] - box.min_x) * cell,
+                pad + (box.max_y - p[1]) * cell)   # flip y: paper draws y up
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+    ]
+    if title:
+        parts.append(
+            f"<text x='{pad}' y='{pad * 0.7:.1f}' font-family='sans-serif' "
+            f"font-size='{cell * 0.55:.1f}'>{html.escape(title)}</text>")
+
+    n = len(positions)
+    last = n if closed else n - 1
+    for i in range(last):
+        a, b = positions[i], positions[(i + 1) % n]
+        (x1, y1), (x2, y2) = xy(a), xy(b)
+        parts.append(
+            f"<line x1='{x1}' y1='{y1}' x2='{x2}' y2='{y2}' "
+            f"stroke='{_STYLE['edge_stroke']}' stroke-width='2'/>")
+
+    seen: Dict[Vec, int] = {}
+    for p in positions:
+        seen[p] = seen.get(p, 0) + 1
+    runners = runners or {}
+    for p, count in seen.items():
+        x, y = xy(p)
+        if p in runners:
+            fill = _STYLE["runner_fill"]
+        elif count > 1:
+            fill = _STYLE["coincident_fill"]
+        else:
+            fill = _STYLE["robot_fill"]
+        parts.append(
+            f"<circle cx='{x}' cy='{y}' r='{radius}' fill='{fill}' "
+            f"stroke='{_STYLE['robot_stroke']}' stroke-width='1'/>")
+        if count > 1:
+            parts.append(
+                f"<text x='{x + radius}' y='{y - radius}' font-family='sans-serif' "
+                f"font-size='{cell * 0.45:.1f}'>{count}</text>")
+        if p in runners:
+            d = runners[p]
+            arrow = "&#8594;" if d > 0 else "&#8592;"
+            parts.append(
+                f"<text x='{x - radius}' y='{y - radius * 1.3}' font-family='sans-serif' "
+                f"font-size='{cell * 0.5:.1f}'>{arrow}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_svg(path: str, positions: Sequence[Vec], **kwargs) -> str:
+    """Render and write an SVG file; returns the path."""
+    svg = render_svg(positions, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    return path

@@ -1,0 +1,51 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.chains import random_chain, random_polyomino, outline
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def params() -> Parameters:
+    return DEFAULT_PARAMETERS
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def closed_chain_positions(draw, max_cells: int = 40):
+    """Random valid initial closed chains via random polyomino outlines."""
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    cells = draw(st.integers(min_value=1, max_value=max_cells))
+    elong = draw(st.sampled_from([0.0, 0.3, 0.7]))
+    blob = random_polyomino(cells, random.Random(seed), elongation=elong)
+    return outline(blob)
+
+
+@st.composite
+def small_vectors(draw, bound: int = 50):
+    x = draw(st.integers(min_value=-bound, max_value=bound))
+    y = draw(st.integers(min_value=-bound, max_value=bound))
+    return (x, y)

@@ -1,0 +1,183 @@
+"""decide_run: the per-round run policy (paper Fig. 15 step 2)."""
+
+import pytest
+
+from repro.grid.lattice import EAST, NORTH, WEST
+from repro.core.algorithm import decide_run
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.runs import RunMode, RunRegistry, StopReason
+from repro.core.view import ChainWindow
+from repro.chains import outline, rectangle_ring, square_ring
+
+P = DEFAULT_PARAMETERS
+
+
+def _setup(positions, runner_index, direction, axis=EAST, mode=RunMode.NORMAL):
+    chain = ClosedChain(positions)
+    registry = RunRegistry()
+    run = registry.start(chain.id_at(runner_index), direction, axis, 0,
+                         mode=mode)
+    window = ChainWindow(chain, runner_index, P.viewing_path_length,
+                         registry.runs_lookup())
+    return chain, registry, run, window
+
+
+class TestOperationA:
+    def test_reshapement_hop(self):
+        # corner of a mergeless rectangle: behind perpendicular, 4 aligned
+        chain, reg, run, w = _setup(rectangle_ring(20, 13), 0, 1)
+        dec = decide_run(run, w, P, set())
+        assert dec.stop_reason is None
+        assert dec.hop == (1, 1)               # behind (0,1) + ahead (1,0)
+
+    def test_no_hop_when_behind_collinear(self):
+        chain, reg, run, w = _setup(rectangle_ring(20, 13), 5, 1)
+        dec = decide_run(run, w, P, set())
+        assert dec.hop is None
+        assert dec.mode_after is RunMode.NORMAL
+
+
+class TestOperationB:
+    def test_travel_entry(self):
+        cells = {(x, y) for x in range(13) for y in range(13)}
+        cells |= {(x, y) for x in range(13, 26) for y in range(1, 13)}
+        ring = outline(cells)
+        chain = ClosedChain(ring)
+        idx = chain.positions.index((11, 0))
+        direction = 1 if chain.position(idx + 1) == (12, 0) else -1
+        _, reg, run, w = _setup(ring, idx, direction)
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is RunMode.TRAVEL
+        assert dec.travel_steps_after == P.travel_steps
+        assert dec.target_after == w.id_at(3 * direction)
+
+    def test_travel_continues_and_counts_down(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        run.mode = RunMode.TRAVEL
+        run.target_id = chain.id_at(9)
+        run.travel_steps_left = 2
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is RunMode.TRAVEL
+        assert dec.travel_steps_after == 1
+        assert dec.hop is None
+
+    def test_travel_arrival_resumes_normal(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        run.mode = RunMode.TRAVEL
+        run.target_id = chain.id_at(5)          # already on the target
+        run.travel_steps_left = 1
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after in (RunMode.NORMAL, RunMode.TRAVEL)
+        assert dec.stop_reason is None
+
+
+class TestTerminations:
+    def test_merge_participation(self):
+        chain, reg, run, w = _setup(rectangle_ring(20, 13), 5, 1)
+        dec = decide_run(run, w, P, {chain.id_at(5)})
+        assert dec.stop_reason is StopReason.MERGE_PARTICIPATION
+
+    def test_sequent_run_ahead(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        reg.start(chain.id_at(10), 1, EAST, 0)   # same direction, 5 ahead
+        dec = decide_run(run, w, P, set())
+        assert dec.stop_reason is StopReason.SEQUENT_RUN_AHEAD
+
+    def test_sequent_guard_with_closer_oncoming(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        reg.start(chain.id_at(10), 1, EAST, 0)   # sequent at 5
+        reg.start(chain.id_at(9), -1, WEST, 0)   # oncoming at 4 (closer)
+        dec = decide_run(run, w, P, set())
+        assert dec.stop_reason is None           # guard suppresses cond 1
+
+    def test_sequent_guard_disabled(self):
+        params = Parameters(sequent_guard=False)
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        reg.start(chain.id_at(10), 1, EAST, 0)
+        reg.start(chain.id_at(9), -1, WEST, 0)
+        dec = decide_run(run, w, params, set())
+        assert dec.stop_reason is StopReason.SEQUENT_RUN_AHEAD
+
+    def test_endpoint_visible(self):
+        chain, reg, run, w = _setup(square_ring(10), 2, 1)
+        dec = decide_run(run, w, P, set())
+        assert dec.stop_reason is StopReason.ENDPOINT_VISIBLE
+
+    def test_endpoint_guard_with_oncoming(self):
+        chain = ClosedChain(square_ring(10))
+        reg = RunRegistry()
+        run = reg.start(chain.id_at(2), 1, EAST, 0)
+        reg.start(chain.id_at(7), -1, WEST, 0)   # partner approaching
+        w = ChainWindow(chain, 2, P.viewing_path_length, reg.runs_lookup())
+        dec = decide_run(run, w, P, set())
+        assert dec.stop_reason is None
+
+    def test_endpoint_guard_disabled(self):
+        params = Parameters(endpoint_guard=False)
+        chain = ClosedChain(square_ring(10))
+        reg = RunRegistry()
+        run = reg.start(chain.id_at(2), 1, EAST, 0)
+        reg.start(chain.id_at(7), -1, WEST, 0)
+        w = ChainWindow(chain, 2, params.viewing_path_length, reg.runs_lookup())
+        dec = decide_run(run, w, params, set())
+        assert dec.stop_reason is StopReason.ENDPOINT_VISIBLE
+
+
+class TestPassing:
+    def test_trigger_at_distance_three(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        other = reg.start(chain.id_at(8), -1, WEST, 0)
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is RunMode.PASSING
+        assert dec.target_after == other.robot_id
+
+    def test_no_trigger_at_distance_four(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        reg.start(chain.id_at(9), -1, WEST, 0)
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is not RunMode.PASSING
+
+    def test_travel_target_kept_when_interrupted(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        run.mode = RunMode.TRAVEL
+        settled = chain.id_at(9)
+        run.target_id = settled
+        run.travel_steps_left = 3
+        reg.start(chain.id_at(8), -1, WEST, 0)
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is RunMode.PASSING
+        assert dec.target_after == settled       # Fig. 14
+
+    def test_passing_continues_until_target(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        run.mode = RunMode.PASSING
+        run.target_id = chain.id_at(7)
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is RunMode.PASSING
+        assert dec.hop is None
+
+    def test_passing_arrival_resumes(self):
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1)
+        run.mode = RunMode.PASSING
+        run.target_id = chain.id_at(5)           # arrived
+        dec = decide_run(run, w, P, set())
+        assert dec.mode_after is not RunMode.PASSING
+        assert dec.stop_reason is None
+
+
+class TestCornerCut:
+    def test_init_corner_hop(self):
+        chain, reg, run, w = _setup(square_ring(16), 0, 1, axis=EAST,
+                                    mode=RunMode.INIT_CORNER)
+        dec = decide_run(run, w, P, set())
+        assert dec.hop == (1, 1)                 # toward both neighbours
+        assert dec.mode_after is RunMode.NORMAL
+
+    def test_init_corner_shape_gone(self):
+        # robot no longer at a corner: no hop, just move on
+        chain, reg, run, w = _setup(rectangle_ring(40, 13), 5, 1,
+                                    mode=RunMode.INIT_CORNER)
+        dec = decide_run(run, w, P, set())
+        assert dec.hop is None
+        assert dec.mode_after is RunMode.NORMAL

@@ -1,0 +1,141 @@
+"""Baseline strategies: global vision, compass, Manhattan Hopper."""
+
+import random
+
+import pytest
+
+from repro.errors import ChainError
+from repro.grid.lattice import bounding_box, manhattan
+from repro.baselines import (
+    CompassGatherer,
+    GlobalVisionGatherer,
+    ManhattanHopper,
+    OpenChain,
+    gather_compass,
+    gather_global_vision,
+    shorten_open_chain,
+)
+from repro.core.chain import ClosedChain
+from repro.chains import random_chain, rectangle_ring, square_ring
+
+
+class TestGlobalVision:
+    @pytest.mark.parametrize("pts", [
+        pytest.param(square_ring(8), id="square-8"),
+        pytest.param(square_ring(20), id="square-20"),
+        pytest.param(rectangle_ring(24, 6), id="rect"),
+    ])
+    def test_gathers(self, pts):
+        res = gather_global_vision(list(pts))
+        assert res.gathered
+
+    def test_rounds_track_diameter(self):
+        small = gather_global_vision(square_ring(10))
+        large = gather_global_vision(square_ring(40))
+        d_small = bounding_box(square_ring(10)).diameter
+        d_large = bounding_box(square_ring(40)).diameter
+        assert small.rounds <= d_small + 4
+        assert large.rounds <= d_large + 4
+
+    def test_connectivity_never_breaks(self):
+        g = GlobalVisionGatherer(ClosedChain(square_ring(12)))
+        while not g.chain.is_gathered() and g.round_index < 200:
+            g.step()
+            g.chain.validate()
+        assert g.chain.is_gathered()
+
+    def test_random_chains(self):
+        rng = random.Random(2)
+        for _ in range(5):
+            res = gather_global_vision(random_chain(48, rng))
+            assert res.gathered
+
+
+class TestCompass:
+    def test_gathers(self):
+        res = gather_compass(square_ring(16))
+        assert res.gathered
+
+    def test_connectivity_never_breaks(self):
+        g = CompassGatherer(ClosedChain(square_ring(12)))
+        while not g.chain.is_gathered() and g.round_index < 400:
+            g.step()
+            g.chain.validate()
+        assert g.chain.is_gathered()
+
+    def test_final_position_is_south_east(self):
+        pts = square_ring(10)
+        res = gather_compass(list(pts))
+        box = bounding_box(pts)
+        final = res.final_positions[0]
+        # the swarm collapses toward its south-east quadrant
+        assert final[0] >= (box.min_x + box.max_x) // 2
+        assert final[1] <= (box.min_y + box.max_y) // 2 + 1
+
+
+class TestManhattanHopper:
+    def test_straight_chain_already_taut(self):
+        chain = OpenChain([(0, 0), (1, 0), (2, 0)])
+        assert chain.is_taut()
+        ok, rounds = ManhattanHopper(chain).run()
+        assert ok and rounds == 0
+
+    def test_shortens_to_optimal(self):
+        rng = random.Random(6)
+        pts = [(0, 0)]
+        for _ in range(80):
+            x, y = pts[-1]
+            dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
+            pts.append((x + dx, y + dy))
+        ok, rounds, chain = shorten_open_chain(pts)
+        assert ok
+        assert chain.n == chain.optimal_length()
+        assert rounds <= 4 * 2 * len(pts) + 64
+
+    def test_endpoints_fixed(self):
+        pts = [(0, 0), (0, 1), (1, 1), (1, 0), (2, 0), (2, 1)]
+        ok, _, chain = shorten_open_chain(list(pts))
+        assert ok
+        assert chain.positions[0] == pts[0]
+        assert chain.positions[-1] == pts[-1]
+
+    def test_connectivity_during_shortening(self):
+        rng = random.Random(7)
+        pts = [(0, 0)]
+        for _ in range(40):
+            x, y = pts[-1]
+            dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
+            pts.append((x + dx, y + dy))
+        hopper = ManhattanHopper(OpenChain(pts))
+        for _ in range(600):
+            hopper.step()
+            chain_pts = hopper.chain.positions
+            for a, b in zip(chain_pts, chain_pts[1:]):
+                assert manhattan(a, b) <= 1
+            if hopper.chain.is_taut():
+                break
+        assert hopper.chain.is_taut()
+
+    def test_validation(self):
+        with pytest.raises(ChainError):
+            OpenChain([(0, 0)])
+        with pytest.raises(ChainError):
+            OpenChain([(0, 0), (3, 0)])
+        with pytest.raises(ChainError):
+            ManhattanHopper(OpenChain([(0, 0), (1, 0)]), emit_interval=0)
+
+    def test_linear_growth(self):
+        rng = random.Random(8)
+
+        def rounds_for(n):
+            pts = [(0, 0)]
+            for _ in range(n - 1):
+                x, y = pts[-1]
+                dx, dy = rng.choice([(1, 0), (-1, 0), (0, 1), (0, -1)])
+                pts.append((x + dx, y + dy))
+            ok, r, _ = shorten_open_chain(pts)
+            assert ok
+            return r
+
+        r64, r256 = rounds_for(64), rounds_for(256)
+        assert r256 <= 8 * r64 + 128          # roughly linear growth

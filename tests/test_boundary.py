@@ -1,0 +1,113 @@
+"""Polyomino outlines: the boundary walker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import random
+
+from repro.errors import ChainError
+from repro.grid.lattice import manhattan
+from repro.chains.boundary import (
+    boundary_edges, fill_holes, is_connected, outline,
+)
+from repro.chains.random_blobs import random_polyomino
+
+
+class TestOutlineBasics:
+    def test_single_cell(self):
+        ring = outline({(0, 0)})
+        assert sorted(ring) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert len(ring) == 4
+
+    def test_rectangle(self):
+        ring = outline({(x, y) for x in range(3) for y in range(2)})
+        assert len(ring) == 2 * 3 + 2 * 2
+        # counter-clockwise: area via the shoelace formula is positive
+        area = sum(ring[i][0] * ring[(i + 1) % len(ring)][1] -
+                   ring[(i + 1) % len(ring)][0] * ring[i][1]
+                   for i in range(len(ring)))
+        assert area > 0
+
+    def test_outline_is_closed_chain(self):
+        ring = outline({(0, 0), (1, 0), (1, 1)})
+        n = len(ring)
+        for i in range(n):
+            assert manhattan(ring[i], ring[(i + 1) % n]) == 1
+
+    def test_diagonal_cells_are_disconnected(self):
+        # cells touching only at a corner are not 4-connected; and in a
+        # hole-free 4-connected polyomino a pinch point cannot occur
+        # (any connecting path would enclose an off-diagonal hole)
+        with pytest.raises(ChainError):
+            outline({(0, 0), (1, 1)})
+
+    def test_s_tetromino(self):
+        ring = outline({(0, 0), (1, 0), (1, 1), (2, 1)})
+        assert len(ring) == 10
+        assert len(set(ring)) == 10            # no revisited corner points
+
+    def test_no_edge_revisits(self):
+        blob = {(x, y) for x in range(4) for y in range(3)} | {(1, 3), (2, 3)}
+        ring = outline(blob)
+        n = len(ring)
+        edges = {(ring[i], ring[(i + 1) % n]) for i in range(n)}
+        assert len(edges) == n
+
+    def test_empty_raises(self):
+        with pytest.raises(ChainError):
+            outline(set())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ChainError):
+            outline({(0, 0), (5, 5)})
+
+    def test_holes_raise(self):
+        donut = {(x, y) for x in range(3) for y in range(3)} - {(1, 1)}
+        with pytest.raises(ChainError):
+            outline(donut)
+        assert len(outline(fill_holes(donut))) == 12
+
+
+class TestFillHoles:
+    def test_no_holes_unchanged(self):
+        cells = {(0, 0), (1, 0)}
+        assert fill_holes(cells) == cells
+
+    def test_fills_cavity(self):
+        donut = {(x, y) for x in range(3) for y in range(3)} - {(1, 1)}
+        assert (1, 1) in fill_holes(donut)
+
+    def test_empty(self):
+        assert fill_holes(set()) == set()
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected({(0, 0), (1, 0), (1, 1)})
+
+    def test_disconnected(self):
+        assert not is_connected({(0, 0), (2, 0)})
+
+    def test_empty(self):
+        assert is_connected(set())
+
+
+class TestBoundaryEdges:
+    def test_single_cell_edge_count(self):
+        assert len(boundary_edges({(0, 0)})) == 4
+
+    def test_interior_cells_contribute_nothing(self):
+        block = {(x, y) for x in range(3) for y in range(3)}
+        assert len(boundary_edges(block)) == 12
+
+
+class TestRandomBlobs:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=60))
+    def test_outline_always_valid(self, seed, cells):
+        blob = random_polyomino(cells, random.Random(seed))
+        ring = outline(blob)
+        n = len(ring)
+        assert n % 2 == 0 and n >= 4
+        for i in range(n):
+            assert manhattan(ring[i], ring[(i + 1) % n]) == 1

@@ -1,0 +1,152 @@
+"""ClosedChain: structure, validation, contraction semantics."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ChainError
+from repro.core.chain import ClosedChain, MergeRecord
+from repro.chains import square_ring
+
+from tests.conftest import closed_chain_positions
+
+
+SQUARE4 = [(0, 0), (1, 0), (1, 1), (0, 1)]
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = ClosedChain(SQUARE4)
+        assert c.n == len(c) == 4
+        assert c.positions == SQUARE4
+        assert c.ids == [0, 1, 2, 3]
+
+    def test_from_edges(self):
+        c = ClosedChain.from_edges((0, 0), [(1, 0), (0, 1), (-1, 0), (0, -1)])
+        assert c.positions == SQUARE4
+
+    def test_from_edges_must_close(self):
+        with pytest.raises(ChainError):
+            ClosedChain.from_edges((0, 0), [(1, 0), (0, 1)])
+
+    def test_broken_chain_rejected(self):
+        with pytest.raises(ChainError):
+            ClosedChain([(0, 0), (2, 0), (2, 1), (0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChainError):
+            ClosedChain([])
+
+    def test_initial_validation_rejects_coincident_neighbors(self):
+        with pytest.raises(ChainError):
+            ClosedChain([(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 1)],
+                        require_disjoint_neighbors=True)
+
+    def test_initial_validation_rejects_tiny(self):
+        with pytest.raises(ChainError):
+            ClosedChain([(0, 0), (1, 0)], require_disjoint_neighbors=True)
+
+    def test_copy_is_independent(self):
+        c = ClosedChain(SQUARE4)
+        d = c.copy()
+        d.apply_moves({0: (1, 0)})
+        assert c.position(0) == (0, 0)
+        assert d.position(0) == (1, 0)
+        assert d.ids == c.ids
+
+
+class TestAccessors:
+    def test_cyclic_indexing(self):
+        c = ClosedChain(SQUARE4)
+        assert c.position(4) == c.position(0)
+        assert c.position(-1) == c.position(3)
+        assert c.id_at(5) == 1
+
+    def test_edges(self):
+        c = ClosedChain(SQUARE4)
+        assert c.edges() == [(1, 0), (0, 1), (-1, 0), (0, -1)]
+        assert c.edge(-1) == (0, -1)
+
+    def test_id_index_round_trip(self):
+        c = ClosedChain(square_ring(6))
+        for i in range(c.n):
+            assert c.index_of_id(c.id_at(i)) == i
+
+    def test_neighbor_id(self):
+        c = ClosedChain(SQUARE4)
+        assert c.neighbor_id(0, 1) == 1
+        assert c.neighbor_id(0, -1) == 3
+        with pytest.raises(ValueError):
+            c.neighbor_id(0, 2)
+
+    def test_has_id(self):
+        c = ClosedChain(SQUARE4)
+        assert c.has_id(2)
+        assert not c.has_id(99)
+
+    def test_bounding_box_and_gathered(self):
+        assert ClosedChain(SQUARE4).is_gathered()
+        assert not ClosedChain(square_ring(4)).is_gathered()
+
+
+class TestMoves:
+    def test_apply_moves(self):
+        c = ClosedChain(SQUARE4)
+        c.apply_moves({0: (0, 1), 1: (0, 1)})
+        assert c.position(0) == (0, 1)
+        assert c.position(1) == (1, 1)
+
+    def test_illegal_hop_rejected(self):
+        c = ClosedChain(SQUARE4)
+        with pytest.raises(ChainError):
+            c.apply_moves({0: (2, 0)})
+
+
+class TestContraction:
+    def test_mover_survives(self):
+        # robot 1 hops onto robot 2 -> robot 2 (stationary white) removed
+        c = ClosedChain([(0, 0), (1, 0), (1, 1), (0, 1)])
+        c.apply_moves({1: (0, 1)})
+        records = c.contract_coincident({1})
+        assert records == [MergeRecord(survivor_id=1, removed_id=2,
+                                       position=(1, 1))]
+        assert c.n == 3
+        assert c.has_id(1) and not c.has_id(2)
+
+    def test_tie_keeps_lower_id(self):
+        c = ClosedChain([(0, 0), (1, 0), (1, 1), (0, 1)])
+        c.apply_moves({1: (0, 1), 2: (0, 0)})   # both moved, now coincident
+        records = c.contract_coincident({1, 2})
+        assert len(records) == 1
+        assert records[0].survivor_id == 1
+
+    def test_cascading_contraction(self):
+        # spike: both whites at the same point as the hopped black
+        c = ClosedChain([(1, 0), (1, 1), (1, 0), (0, 0), (0, -1),
+                         (1, -1), (2, -1), (2, 0)], validate=True)
+        c.apply_moves({1: (0, -1)})
+        records = c.contract_coincident({1})
+        assert len(records) == 2                 # both whites removed
+        assert c.n == 6
+
+    def test_full_collapse(self):
+        c = ClosedChain([(0, 0), (1, 0), (1, 1), (0, 1)])
+        c.apply_moves({0: (1, 1), 1: (0, 1), 2: (0, 0), 3: (1, 0)})
+        c.contract_coincident({0, 1, 2, 3})
+        assert c.n == 1
+        assert c.positions == [(1, 1)]
+
+    def test_no_merge_for_non_neighbors(self):
+        # two robots share a cell but are not chain neighbours
+        pts = [(0, 0), (1, 0), (1, 1), (1, 0), (2, 0), (2, -1), (1, -1), (0, -1)]
+        c = ClosedChain(pts)
+        records = c.contract_coincident(set())
+        assert records == []
+        assert c.n == 8
+
+
+class TestValidation:
+    @given(closed_chain_positions())
+    def test_generated_chains_are_valid_initial(self, pts):
+        chain = ClosedChain(pts, require_disjoint_neighbors=True)
+        assert chain.n % 2 == 0
+        assert chain.n >= 4

@@ -1,0 +1,89 @@
+"""The command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.chain import ClosedChain
+from repro.chains import square_ring
+from repro.io import save_chain
+
+
+class TestGather:
+    def test_family(self, capsys):
+        assert main(["gather", "--family", "square", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "gathered" in out
+
+    def test_loaded_chain(self, tmp_path, capsys):
+        path = save_chain(str(tmp_path / "c.json"),
+                          ClosedChain(square_ring(8)))
+        assert main(["gather", "--chain", path]) == 0
+
+    def test_json_metrics(self, capsys):
+        assert main(["gather", "--family", "needle", "--n", "24",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        doc = json.loads(payload)
+        assert doc["gathered"] == 1
+
+    def test_render_strip(self, capsys):
+        assert main(["gather", "--family", "square", "--n", "32",
+                     "--render"]) == 0
+        assert "round" in capsys.readouterr().out
+
+    def test_stall_exit_code(self, capsys):
+        assert main(["gather", "--family", "square", "--n", "80",
+                     "--max-rounds", "2"]) == 2
+
+    def test_parameter_overrides(self, capsys):
+        assert main(["gather", "--family", "square", "--n", "32",
+                     "--interval", "7", "--viewing", "15",
+                     "--k-max", "5"]) == 0
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["gather", "--family", "dodecahedron"])
+
+    def test_vectorized_engine(self, capsys):
+        assert main(["gather", "--family", "octagon", "--n", "48",
+                     "--engine", "vectorized"]) == 0
+
+
+class TestRender:
+    def test_ascii(self, capsys):
+        assert main(["render", "--family", "square", "--n", "24"]) == 0
+        assert "1" in capsys.readouterr().out
+
+    def test_svg(self, tmp_path, capsys):
+        path = str(tmp_path / "out.svg")
+        assert main(["render", "--family", "square", "--n", "24",
+                     "--svg", path]) == 0
+        assert os.path.exists(path)
+
+
+class TestVerify:
+    def test_exhaustive_small(self, capsys):
+        assert main(["verify", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "71 configurations" in out
+
+    def test_limit_sampling(self, capsys):
+        assert main(["verify", "--n", "12", "--limit", "20"]) == 0
+
+
+class TestMisc:
+    def test_families_listing(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "square" in out and "octagon" in out
+
+    def test_experiment_subset(self, capsys):
+        assert main(["experiment", "--ids", "EXP-P1", "--quick"]) == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,55 @@
+"""Parameters: validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import DEFAULT_PARAMETERS, PROOF_PARAMETERS, Parameters
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        assert DEFAULT_PARAMETERS.viewing_path_length == 11
+        assert DEFAULT_PARAMETERS.start_interval == 13
+        assert DEFAULT_PARAMETERS.passing_distance == 3
+        assert DEFAULT_PARAMETERS.travel_steps == 3
+
+    def test_effective_k_max_derivation(self):
+        assert DEFAULT_PARAMETERS.effective_k_max == 10
+        assert PROOF_PARAMETERS.effective_k_max == 2
+        assert Parameters(k_max=50).effective_k_max == 10   # visibility cap
+        assert Parameters(viewing_path_length=15).effective_k_max == 14
+
+    def test_round_budget_linear(self):
+        p = DEFAULT_PARAMETERS
+        assert p.round_budget(100) >= 2 * 13 * 100 + 100
+        assert p.round_budget(200) - p.round_budget(100) == 2800
+
+    def test_with_functional_update(self):
+        p = DEFAULT_PARAMETERS.with_(start_interval=7)
+        assert p.start_interval == 7
+        assert DEFAULT_PARAMETERS.start_interval == 13
+
+
+class TestValidation:
+    def test_viewing_range_minimum(self):
+        with pytest.raises(ValueError):
+            Parameters(viewing_path_length=3)
+
+    def test_positive_interval(self):
+        with pytest.raises(ValueError):
+            Parameters(start_interval=0)
+
+    def test_positive_k_max(self):
+        with pytest.raises(ValueError):
+            Parameters(k_max=0)
+
+    def test_positive_passing(self):
+        with pytest.raises(ValueError):
+            Parameters(passing_distance=0)
+
+    def test_positive_travel(self):
+        with pytest.raises(ValueError):
+            Parameters(travel_steps=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMETERS.start_interval = 5  # type: ignore

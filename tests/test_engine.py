@@ -1,0 +1,123 @@
+"""The FSYNC round engine: pipeline ordering and bookkeeping."""
+
+import pytest
+
+from repro.grid.lattice import EAST, WEST
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.engine import Engine
+from repro.core.runs import RunMode, StopReason
+from repro.chains import rectangle_ring, square_ring
+
+P = DEFAULT_PARAMETERS
+
+
+class TestWaves:
+    def test_starts_only_on_wave_rounds(self):
+        engine = Engine(ClosedChain(square_ring(16)), P)
+        started = []
+        for _ in range(2 * P.start_interval + 1):
+            rep = engine.step()
+            if rep.runs_started:
+                started.append(rep.round_index)
+        assert started and all(r % P.start_interval == 0 for r in started)
+
+    def test_wave_creates_two_runs_per_corner(self):
+        engine = Engine(ClosedChain(square_ring(16)), P)
+        rep = engine.step()
+        assert rep.runs_started == 8
+        per_robot = {}
+        for run in engine.registry.active_runs():
+            per_robot[run.robot_id] = per_robot.get(run.robot_id, 0) + 1
+        assert set(per_robot.values()) == {2}
+
+    def test_new_runs_do_not_act_in_creation_round(self):
+        engine = Engine(ClosedChain(square_ring(16)), P)
+        rep = engine.step()
+        assert rep.hops == 0                   # corner cuts come next round
+        rep = engine.step()
+        assert rep.hops == 4                   # one cut per corner
+
+
+class TestMergeRunInteraction:
+    def test_merge_participants_do_not_start_runs(self):
+        # a chain where corners are also merge participants: small ring
+        engine = Engine(ClosedChain(square_ring(6)), P)
+        rep = engine.step()
+        assert rep.merge_patterns > 0
+        assert rep.runs_started == 0
+
+    def test_runner_absorbed_by_merge(self):
+        ring = square_ring(24)
+        bump = [(11, 0), (11, 1), (12, 1), (13, 1), (13, 0)]
+        i, j = ring.index(bump[0]), ring.index(bump[-1])
+        pts = ring[:i + 1] + bump[1:-1] + ring[j:]
+        chain = ClosedChain(pts)
+        engine = Engine(chain, P)
+        run = engine.registry.start(chain.id_at(pts.index((12, 1))), 1, EAST, 0)
+        rep = engine.step()
+        assert run.stop_reason is StopReason.MERGE_PARTICIPATION
+        assert rep.runs_terminated[StopReason.MERGE_PARTICIPATION] == 1
+
+
+class TestRunMovement:
+    def test_run_advances_every_round(self):
+        chain = ClosedChain(rectangle_ring(40, 13))
+        engine = Engine(chain, P)
+        run = engine.registry.start(chain.id_at(5), 1, EAST, 0)
+        carriers = [run.robot_id]
+        for _ in range(5):
+            engine.step()
+            if run.active:
+                carriers.append(run.robot_id)
+        assert len(set(carriers)) == len(carriers)   # a new robot every round
+
+    def test_duplicate_direction_cleanup(self):
+        chain = ClosedChain(rectangle_ring(40, 13))
+        engine = Engine(chain, P)
+        a = engine.registry.start(chain.id_at(5), 1, EAST, 0)
+        b = engine.registry.start(chain.id_at(6), 1, EAST, 0)
+        # force b onto a's next robot so both land together after moving
+        engine.registry.move(b, chain.id_at(5))
+        engine.step()
+        reasons = {r.stop_reason for r in (a, b)}
+        assert StopReason.DUPLICATE_DIRECTION in reasons or \
+            StopReason.SEQUENT_RUN_AHEAD in reasons
+
+
+class TestReports:
+    def test_report_counts(self):
+        engine = Engine(ClosedChain(square_ring(8)), P)
+        rep = engine.step()
+        assert rep.n_before == 28
+        assert rep.n_after == rep.n_before - rep.robots_removed
+        assert rep.merge_patterns >= 4
+
+    def test_trace_recording(self):
+        from repro.core.events import Trace
+        trace = Trace()
+        engine = Engine(ClosedChain(square_ring(8)), P, trace=trace)
+        engine.step()
+        engine.step()
+        assert trace.rounds == 2
+        assert len(trace.snapshots) == 2
+        assert trace.snapshots[0].round_index == 0
+
+    def test_round_index_advances(self):
+        engine = Engine(ClosedChain(square_ring(8)), P)
+        assert engine.round_index == 0
+        engine.step()
+        assert engine.round_index == 1
+
+
+class TestHopConflicts:
+    def test_conflicting_runner_hops_cancelled(self):
+        chain = ClosedChain(rectangle_ring(40, 13))
+        engine = Engine(chain, P, check_invariants=True)
+        # two runs on the same corner robot with perpendicular axes would
+        # request different (a)-hops; the engine must cancel both
+        a = engine.registry.start(chain.id_at(0), 1, EAST, 0)
+        b = engine.registry.start(chain.id_at(0), -1, WEST, 0)
+        rep = engine.step()     # either both hop identically or none
+        assert rep.runner_hop_conflicts in (0, 1)
+        chain.validate()

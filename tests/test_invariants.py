@@ -1,0 +1,73 @@
+"""The invariant checkers raise exactly on violations."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.grid.lattice import EAST
+from repro.core.chain import ClosedChain
+from repro.core.invariants import (
+    check_connectivity,
+    check_hop_lengths,
+    check_monotone_count,
+    check_run_speed,
+    check_runs_alive,
+)
+from repro.core.runs import RunRegistry
+from repro.chains import square_ring
+
+
+class TestConnectivity:
+    def test_ok(self):
+        check_connectivity(ClosedChain(square_ring(5)))
+
+    def test_broken(self):
+        chain = ClosedChain(square_ring(5))
+        chain._pos[2] = (50, 50)               # corrupt deliberately
+        with pytest.raises(InvariantViolation):
+            check_connectivity(chain)
+
+
+class TestHopLengths:
+    def test_ok(self):
+        check_hop_lengths({1: (0, 0)}, {1: (1, 1)})
+
+    def test_too_far(self):
+        with pytest.raises(InvariantViolation):
+            check_hop_lengths({1: (0, 0)}, {1: (2, 0)})
+
+    def test_new_robot_ignored(self):
+        check_hop_lengths({}, {1: (9, 9)})
+
+
+class TestMonotoneCount:
+    def test_ok(self):
+        check_monotone_count(5, 5)
+        check_monotone_count(5, 3)
+
+    def test_increase_rejected(self):
+        with pytest.raises(InvariantViolation):
+            check_monotone_count(3, 5)
+
+
+class TestRunsAlive:
+    def test_ok(self):
+        chain = ClosedChain(square_ring(5))
+        reg = RunRegistry()
+        reg.start(chain.id_at(0), 1, EAST, 0)
+        check_runs_alive(chain, reg)
+
+    def test_dead_carrier(self):
+        chain = ClosedChain(square_ring(5))
+        reg = RunRegistry()
+        reg.start(999, 1, EAST, 0)
+        with pytest.raises(InvariantViolation):
+            check_runs_alive(chain, reg)
+
+
+class TestRunSpeed:
+    def test_ok(self):
+        check_run_speed([(3, 3), (7, 7)])
+
+    def test_mismatch(self):
+        with pytest.raises(InvariantViolation):
+            check_run_speed([(3, 4)])

@@ -1,0 +1,131 @@
+"""Unit tests for the grid substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.lattice import (
+    AXIS_DIRECTIONS,
+    ALL_DIRECTIONS,
+    BoundingBox,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    ZERO,
+    add,
+    are_opposite,
+    are_perpendicular,
+    bounding_box,
+    chebyshev,
+    is_axis_unit,
+    is_unit_move,
+    manhattan,
+    neg,
+    path_is_connected,
+    perpendicular,
+    sub,
+)
+
+from tests.conftest import small_vectors
+
+
+class TestVectorAlgebra:
+    def test_add_sub_inverse(self):
+        assert add((3, -2), (1, 5)) == (4, 3)
+        assert sub(add((3, -2), (1, 5)), (1, 5)) == (3, -2)
+
+    def test_neg(self):
+        assert neg((2, -7)) == (-2, 7)
+        assert neg(ZERO) == ZERO
+
+    @given(small_vectors(), small_vectors())
+    def test_add_commutes(self, a, b):
+        assert add(a, b) == add(b, a)
+
+    @given(small_vectors(), small_vectors())
+    def test_sub_is_add_neg(self, a, b):
+        assert sub(a, b) == add(a, neg(b))
+
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((1, 1)) == 2
+
+    def test_chebyshev(self):
+        assert chebyshev((0, 0), (3, 4)) == 4
+        assert chebyshev((-2, 1)) == 2
+
+    @given(small_vectors(), small_vectors())
+    def test_chebyshev_le_manhattan(self, a, b):
+        assert chebyshev(a, b) <= manhattan(a, b) <= 2 * chebyshev(a, b)
+
+
+class TestDirections:
+    def test_axis_units(self):
+        for d in AXIS_DIRECTIONS:
+            assert is_axis_unit(d)
+        assert not is_axis_unit((1, 1))
+        assert not is_axis_unit(ZERO)
+        assert not is_axis_unit((2, 0))
+
+    def test_unit_moves(self):
+        for d in ALL_DIRECTIONS:
+            assert is_unit_move(d)
+        assert is_unit_move(ZERO)
+        assert not is_unit_move((2, 0))
+
+    def test_perpendicular_pairs(self):
+        a, b = perpendicular(EAST)
+        assert {a, b} == {NORTH, SOUTH}
+        with pytest.raises(ValueError):
+            perpendicular((1, 1))
+
+    def test_are_perpendicular(self):
+        assert are_perpendicular(EAST, NORTH)
+        assert not are_perpendicular(EAST, WEST)
+        assert not are_perpendicular(EAST, ZERO)
+
+    def test_are_opposite(self):
+        assert are_opposite(EAST, WEST)
+        assert not are_opposite(EAST, EAST)
+        assert not are_opposite(ZERO, ZERO)
+
+
+class TestBoundingBox:
+    def test_single_point(self):
+        box = bounding_box([(3, 4)])
+        assert (box.width, box.height, box.area) == (1, 1, 1)
+        assert box.fits_in(1, 1)
+        assert box.diameter == 0
+
+    def test_spread(self):
+        box = bounding_box([(0, 0), (4, 2), (-1, 5)])
+        assert box == BoundingBox(-1, 0, 4, 5)
+        assert box.width == 6 and box.height == 6
+        assert not box.fits_in(5, 6)
+        assert box.contains((0, 3))
+        assert not box.contains((5, 0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    @given(st.lists(small_vectors(), min_size=1, max_size=30))
+    def test_contains_all_inputs(self, pts):
+        box = bounding_box(pts)
+        assert all(box.contains(p) for p in pts)
+        assert box.area >= len(set(pts)) / max(len(pts), 1)
+
+
+class TestPathConnectivity:
+    def test_connected_open(self):
+        assert path_is_connected([(0, 0), (1, 0), (1, 1)], closed=False)
+
+    def test_closed_requires_wrap(self):
+        assert not path_is_connected([(0, 0), (1, 0), (2, 0)], closed=True)
+        assert path_is_connected([(0, 0), (1, 0), (1, 1), (0, 1)], closed=True)
+
+    def test_coincident_ok(self):
+        assert path_is_connected([(0, 0), (0, 0), (1, 0), (1, 0)], closed=True)
+
+    def test_empty_is_connected(self):
+        assert path_is_connected([], closed=True)

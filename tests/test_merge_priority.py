@@ -1,0 +1,84 @@
+"""The short-pattern priority rule (DESIGN.md §2.2 [D]).
+
+Unit-level coverage of the cancellation semantics that break the
+degenerate period-2 oscillators: shorter patterns pin their whites;
+equal-length overlaps keep the paper's Fig. 3 behaviour exactly.
+"""
+
+from repro.grid.lattice import NORTH, SOUTH
+from repro.core.chain import ClosedChain
+from repro.core.merges import plan_merges
+from repro.core.simulator import gather
+from repro.chains import crenellation
+
+K_MAX = 10
+
+#: doubled flat chain with end spikes — the canonical oscillator
+OSCILLATOR = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 0), (1, 0), (0, 0), (0, 1)]
+
+
+class TestCancellation:
+    def test_longer_patterns_cancelled_by_spikes(self):
+        chain = ClosedChain(OSCILLATOR, validate=True)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        assert plan.cancelled == 2                  # both k=3 row patterns
+        assert all(p.k == 1 for p in plan.patterns)  # only spikes execute
+
+    def test_spike_whites_stay_and_absorb(self):
+        chain = ClosedChain(OSCILLATOR, validate=True)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        # spikes at indices 3 and 7 hop; their whites (2,4) and (6,0) stay
+        assert plan.hops.get(3) == SOUTH
+        assert plan.hops.get(7) == SOUTH
+        for white in (2, 4, 6, 0):
+            assert white not in plan.hops
+
+    def test_oscillator_now_gathers(self):
+        result = gather(list(OSCILLATOR), check_invariants=True)
+        assert result.gathered
+        assert result.rounds <= 4
+
+    def test_participants_only_from_executing_patterns(self):
+        chain = ClosedChain(OSCILLATOR, validate=True)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        # row-interior robots (indices 1 and 5) belong only to cancelled
+        # patterns: they are not participants and may act as runners
+        assert chain.ids[1] not in plan.participants
+        assert chain.ids[5] not in plan.participants
+
+
+class TestEqualLengthUnchanged:
+    def test_crenellation_keeps_fig3a_semantics(self):
+        # all patterns are k=2: nothing is cancelled, blacks-with-white
+        # duties still hop (the paper's Fig. 3a behaviour)
+        pts = crenellation(teeth=6, tooth_width=1, base_height=13)
+        chain = ClosedChain(pts)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        assert plan.cancelled == 0
+        assert len(plan.patterns) >= 8
+
+    def test_single_pattern_never_cancelled(self):
+        from repro.chains import square_ring
+        ring = square_ring(24)
+        bump = [(12, 0), (12, 1), (12, 0)]
+        i = ring.index(bump[0])
+        j = ring.index(bump[-1])
+        pts = ring[:i + 1] + bump[1:-1] + ring[j:]
+        chain = ClosedChain(pts)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        assert plan.cancelled == 0 and len(plan.patterns) == 1
+
+
+class TestProgressGuarantee:
+    def test_minimal_k_always_executes(self):
+        # whenever patterns exist, the ones of minimal k survive
+        for pts in (OSCILLATOR,
+                    crenellation(4, 1, 13),
+                    [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 0),
+                     (2, 0), (1, 0), (0, 0), (0, 1)]):
+            chain = ClosedChain(pts, validate=True)
+            plan = plan_merges(chain.positions, chain.ids, K_MAX)
+            if plan.patterns or plan.cancelled:
+                assert plan.patterns, "cancellation starved all patterns"
+                k_min = min(p.k for p in plan.patterns)
+                assert any(p.k == k_min for p in plan.patterns)

@@ -1,0 +1,104 @@
+"""Merge planning: hop combination and overlap resolution (Fig. 3)."""
+
+from hypothesis import given
+
+from repro.grid.lattice import EAST, NORTH, SOUTH, WEST, is_unit_move
+from repro.core.chain import ClosedChain
+from repro.core.merges import plan_merges
+from repro.core.patterns import find_merge_patterns
+from repro.chains import crenellation, square_ring
+
+from tests.conftest import closed_chain_positions
+
+K_MAX = 10
+
+
+class TestBasicPlanning:
+    def test_single_pattern_hops(self):
+        ring = square_ring(24)
+        bump = [(11, 0), (11, 1), (12, 1), (13, 1), (13, 0)]
+        i = ring.index(bump[0])
+        j = ring.index(bump[-1])
+        pts = ring[:i + 1] + bump[1:-1] + ring[j:]
+        plan = plan_merges(pts, list(range(len(pts))), K_MAX)
+        assert plan.any and len(plan.patterns) == 1
+        black = pts.index((12, 1))
+        assert plan.hops[black] == SOUTH
+        assert pts.index((11, 0)) in plan.participants   # a white
+
+    def test_small_symmetric_ring_implodes_diagonally(self):
+        # the 3x3-like ring: every robot is black in two perpendicular
+        # U-shapes, so all hops combine to diagonals toward the centre
+        pts = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 0), (2, -1),
+               (1, -1), (0, -1)]
+        plan = plan_merges(pts, list(range(8)), K_MAX)
+        assert plan.hops[1] == (1, -1)        # south + east
+        assert plan.conflicts == 0
+
+    def test_empty_chain_plan(self):
+        plan = plan_merges([(0, 0), (1, 0), (1, 1), (0, 1)][:0], [], K_MAX)
+        assert not plan.any and plan.hops == {}
+
+    def test_mergeless_plan_empty(self):
+        pts = square_ring(16)
+        plan = plan_merges(pts, list(range(len(pts))), K_MAX)
+        assert not plan.any
+
+
+class TestOverlaps:
+    def test_perpendicular_combination_is_diagonal(self):
+        ring = [(0, 0), (0, 1), (1, 1), (1, 0), (0, 0), (0, -1),
+                (-1, -1), (-1, 0)]
+        plan = plan_merges(ring, list(range(8)), K_MAX)
+        assert plan.hops[2] == (-1, -1)        # Fig. 3b: south-west diagonal
+        assert plan.conflicts == 0
+
+    def test_black_beats_white(self):
+        # crenellation: interior robots are black in one pattern and
+        # white in the adjacent one; they must hop (Fig. 3a)
+        pts = crenellation(teeth=6, tooth_width=1, base_height=13)
+        chain = ClosedChain(pts)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        black_and_white = 0
+        n = len(pts)
+        for pat in plan.patterns:
+            for b in pat.black_indices(n):
+                for other in plan.patterns:
+                    if other is pat:
+                        continue
+                    if b in other.white_indices(n):
+                        black_and_white += 1
+                        assert chain.ids[b] in plan.hops
+        assert black_and_white > 0
+
+    def test_no_opposite_conflicts_possible(self):
+        pts = crenellation(teeth=8, tooth_width=1, base_height=13)
+        chain = ClosedChain(pts)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        assert plan.conflicts == 0
+
+
+class TestPlanProperties:
+    @given(closed_chain_positions(max_cells=30))
+    def test_hops_are_unit_moves(self, pts):
+        plan = plan_merges(pts, list(range(len(pts))), K_MAX)
+        assert all(is_unit_move(h) for h in plan.hops.values())
+        assert plan.conflicts == 0
+
+    @given(closed_chain_positions(max_cells=30))
+    def test_hoppers_are_participants(self, pts):
+        plan = plan_merges(pts, list(range(len(pts))), K_MAX)
+        assert set(plan.hops) <= plan.participants
+
+    @given(closed_chain_positions(max_cells=30))
+    def test_applying_plan_keeps_connectivity_and_merges(self, pts):
+        chain = ClosedChain(pts)
+        if chain.is_gathered():
+            return          # the 2x2 symmetry cannot be broken (paper §1)
+        plan = plan_merges(chain.positions, chain.ids, K_MAX)
+        if not plan.any:
+            return
+        chain.apply_moves(plan.hops)
+        records = chain.contract_coincident(set(plan.hops))
+        chain.validate()                       # connectivity preserved
+        assert len(records) >= 1               # every pattern round merges

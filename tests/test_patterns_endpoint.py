@@ -1,0 +1,88 @@
+"""Quasi-line endpoint visibility — termination condition 2 grammar."""
+
+import pytest
+
+from repro.grid.lattice import EAST, NORTH
+from repro.core.chain import ClosedChain
+from repro.core.patterns import endpoint_visible_ahead
+from repro.core.view import ChainWindow
+from repro.chains import outline, rectangle_ring, square_ring, stairway_octagon
+
+V = 11
+K_MAX = 10
+
+
+def _visible(chain, index, direction, axis=EAST, k_max=K_MAX):
+    w = ChainWindow(chain, index, V)
+    return endpoint_visible_ahead(w, direction, axis, k_max)
+
+
+class TestPerpendicularSegment:
+    def test_corner_within_view_terminates(self):
+        # square ring: from the bottom side, the vertical side begins at
+        # the corner; two equal perpendicular edges are the signal
+        chain = ClosedChain(square_ring(10))
+        i = chain.positions.index((2, 0))
+        assert _visible(chain, i, 1)      # corner at (9,0), 7 ahead
+
+    def test_far_corner_invisible(self):
+        chain = ClosedChain(square_ring(30))
+        i = chain.positions.index((2, 0))
+        assert not _visible(chain, i, 1)  # corner 27 edges away
+
+
+class TestStairway:
+    def test_stairway_ahead_terminates(self):
+        chain = ClosedChain(stairway_octagon(16, steps=3))
+        # robot on the bottom side heading toward the NE stairway
+        i = chain.positions.index((10, 0))
+        assert _visible(chain, i, 1)
+
+    def test_stairway_beyond_horizon_invisible(self):
+        chain = ClosedChain(stairway_octagon(16, steps=3))
+        i = chain.positions.index((2, 0))
+        assert not _visible(chain, i, 1)
+
+
+class TestLegalFeaturesDoNotTerminate:
+    def test_jog_is_not_an_endpoint(self):
+        cells = {(x, y) for x in range(13) for y in range(13)}
+        cells |= {(x, y) for x in range(13, 26) for y in range(1, 13)}
+        chain = ClosedChain(outline(cells))
+        i = chain.positions.index((8, 0))
+        assert not _visible(chain, i, 1)   # the jog at x=13 is interior
+
+    def test_mergeable_u_is_skipped(self):
+        # a bump (mergeable U) on a long side does not end the line
+        ring = square_ring(30)
+        bump = [(14, 0), (14, 1), (15, 1), (16, 1), (16, 0)]
+        i0 = ring.index(bump[0])
+        j0 = ring.index(bump[-1])
+        pts = ring[:i0 + 1] + bump[1:-1] + ring[j0:]
+        chain = ClosedChain(pts)
+        i = chain.positions.index((10, 0))
+        assert not _visible(chain, i, 1)
+
+    def test_unmergeable_wiggle_continues(self):
+        # a wide dip (segments >= 3 robots) is legal quasi-line structure
+        cells = {(x, y) for x in range(30) for y in range(13, 26)}
+        cells |= {(x, y) for x in range(8, 22) for y in range(12, 14)}
+        chain = ClosedChain(outline(cells))
+        idx = chain.positions.index((2, 13))
+        assert not _visible(chain, idx, 1 if chain.position(idx + 1) == (3, 13) else -1)
+
+
+class TestHorizon:
+    def test_unresolved_at_horizon_is_not_endpoint(self):
+        chain = ClosedChain(rectangle_ring(40, 13))
+        i = chain.positions.index((5, 0))
+        assert not _visible(chain, i, 1)
+
+    def test_axis_parameter_matters(self):
+        # traveling along the vertical side with vertical axis: the next
+        # corner (horizontal segment) is the endpoint
+        chain = ClosedChain(square_ring(10))
+        i = chain.positions.index((9, 2))
+        direction = 1 if chain.position(i + 1) == (9, 3) else -1
+        assert endpoint_visible_ahead(ChainWindow(chain, i, V), direction,
+                                      NORTH, K_MAX)

@@ -1,0 +1,126 @@
+"""Merge pattern recognition (paper Fig. 2) — reference detector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.lattice import EAST, NORTH, SOUTH, WEST
+from repro.grid.transforms import DIHEDRAL_GROUP
+from repro.core.chain import ClosedChain
+from repro.core.patterns import MergePattern, find_merge_patterns
+from repro.chains import square_ring, stairway_octagon, staircase_ring
+
+from tests.conftest import closed_chain_positions
+
+K_MAX = 10
+
+
+def _pattern_set(positions, k_max=K_MAX):
+    return {(p.first_black, p.k, p.direction)
+            for p in find_merge_patterns(positions, k_max)}
+
+
+class TestSpikes:
+    def test_simple_spike(self):
+        pts = [(1, 0), (1, 1), (1, 0), (0, 0), (0, -1), (1, -1), (2, -1), (2, 0)]
+        pats = find_merge_patterns(pts, K_MAX)
+        spikes = [p for p in pats if p.k == 1]
+        assert any(p.first_black == 1 and p.direction == SOUTH for p in spikes)
+
+    def test_doubling_back_is_spike(self):
+        # straight run out and back: the turn robot is a k=1 black
+        pts = [(0, 0), (1, 0), (2, 0), (1, 0), (0, 0), (0, -1), (1, -1),
+               (2, -1), (2, -2), (1, -2), (0, -2), (0, -1)]
+        pats = find_merge_patterns(pts, K_MAX)
+        assert any(p.k == 1 and p.direction == WEST for p in pats)
+
+    def test_white_positions_coincide(self):
+        pts = [(1, 0), (1, 1), (1, 0), (0, 0), (0, -1), (1, -1), (2, -1), (2, 0)]
+        pat = [p for p in find_merge_patterns(pts, K_MAX) if p.k == 1][0]
+        w0, w1 = pat.white_indices(len(pts))
+        assert pts[w0] == pts[w1]
+
+
+class TestUShapes:
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    def test_k_blacks_detected(self, k):
+        # bump of width k on the bottom of a large square ring
+        side = 3 * k + 9
+        ring = square_ring(side)
+        x0 = side // 2 - k // 2
+        bump = [(x0 + j, 1) for j in range(k)]
+        i = ring.index((x0, 0))
+        j = ring.index((x0 + k - 1, 0))
+        pts = ring[:i + 1] + bump + ring[j:]
+        pats = [p for p in find_merge_patterns(pts, K_MAX) if p.k == k]
+        assert len(pats) == 1
+        assert pats[0].direction == SOUTH
+
+    def test_k_max_caps_detection(self):
+        ring = square_ring(8)          # sides of 8 robots -> k = 8 patterns
+        assert any(p.k == 8 for p in find_merge_patterns(ring, 10))
+        assert not find_merge_patterns(ring, 7)
+
+    def test_participants_cover_blacks_and_whites(self):
+        pts = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 0), (2, -1),
+               (1, -1), (0, -1)]
+        pats = [p for p in find_merge_patterns(pts, K_MAX) if p.k == 3]
+        n = len(pts)
+        for p in pats:
+            assert len(p.black_indices(n)) == 3
+            assert len(p.participant_indices(n)) == 5
+
+    def test_wraparound_pattern(self):
+        # rotate a ring so the pattern spans the index wrap
+        pts = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 0), (2, -1),
+               (1, -1), (0, -1)]
+        rotated = pts[5:] + pts[:5]
+        ks = sorted(p.k for p in find_merge_patterns(rotated, K_MAX))
+        assert ks == sorted(p.k for p in find_merge_patterns(pts, K_MAX))
+
+
+class TestMergelessFamilies:
+    def test_octagon_mergeless(self):
+        assert find_merge_patterns(stairway_octagon(16, 3), K_MAX) == []
+
+    def test_large_square_mergeless(self):
+        assert find_merge_patterns(square_ring(16), K_MAX) == []
+
+    def test_staircase_mergeless(self):
+        assert find_merge_patterns(staircase_ring(2), K_MAX) == []
+
+    def test_small_square_not_mergeless(self):
+        assert find_merge_patterns(square_ring(6), K_MAX)
+
+
+class TestEquivariance:
+    @given(closed_chain_positions(max_cells=25))
+    def test_detection_commutes_with_symmetry(self, pts):
+        base = find_merge_patterns(pts, K_MAX)
+        for t in DIHEDRAL_GROUP[1:4]:
+            image = find_merge_patterns([t.apply(p) for p in pts], K_MAX)
+            assert len(image) == len(base)
+            assert sorted((p.first_black, p.k) for p in image) == \
+                sorted((p.first_black, p.k) for p in base)
+
+    @given(closed_chain_positions(max_cells=25))
+    def test_blacks_adjacent_to_whites(self, pts):
+        n = len(pts)
+        for p in find_merge_patterns(pts, K_MAX):
+            blacks = p.black_indices(n)
+            w0, w1 = p.white_indices(n)
+            d = p.direction
+            first, last = blacks[0], blacks[-1]
+            assert pts[w0] == (pts[first][0] + d[0], pts[first][1] + d[1])
+            assert pts[w1] == (pts[last][0] + d[0], pts[last][1] + d[1])
+
+
+class TestDegenerate:
+    def test_tiny_chain_no_patterns(self):
+        assert find_merge_patterns([(0, 0), (1, 0)], K_MAX) == []
+        assert find_merge_patterns([(0, 0)], K_MAX) == []
+
+    def test_unit_square_pattern(self):
+        pats = find_merge_patterns([(0, 0), (1, 0), (1, 1), (0, 1)], K_MAX)
+        # the 4-ring contains k<=2 U-shapes but it is already gathered;
+        # the detector just reports what is there
+        assert all(p.k <= 2 for p in pats)

@@ -1,0 +1,91 @@
+"""Run-start shape recognition (paper Fig. 5)."""
+
+import pytest
+
+from repro.grid.transforms import DIHEDRAL_GROUP
+from repro.core.chain import ClosedChain
+from repro.core.patterns import run_start_decisions
+from repro.core.view import ChainWindow
+from repro.chains import rectangle_ring, square_ring, stairway_octagon
+
+V = 11
+
+
+def _starts_at(chain, index):
+    return run_start_decisions(ChainWindow(chain, index, V))
+
+
+def _all_starts(chain):
+    out = {}
+    for i in range(chain.n):
+        ds = _starts_at(chain, i)
+        if ds:
+            out[chain.position(i)] = ds
+    return out
+
+
+class TestCaseII:
+    def test_square_corners_fire_twice(self):
+        chain = ClosedChain(square_ring(16))
+        starts = _all_starts(chain)
+        assert set(starts) == {(0, 0), (15, 0), (15, 15), (0, 15)}
+        for ds in starts.values():
+            assert sorted(d.direction for d in ds) == [-1, 1]
+            assert {d.kind for d in ds} == {"ii"}
+
+    def test_axis_matches_segment(self):
+        chain = ClosedChain(square_ring(16))
+        i = chain.positions.index((0, 0))
+        for rs in _starts_at(chain, i):
+            nxt = chain.position(i + rs.direction)
+            assert rs.axis == (nxt[0] - 0, nxt[1] - 0)
+
+    def test_rotated_square(self):
+        for t in DIHEDRAL_GROUP:
+            chain = ClosedChain([t.apply(p) for p in square_ring(16)])
+            assert len(_all_starts(chain)) == 4
+
+
+class TestCaseI:
+    def test_octagon_junctions(self):
+        chain = ClosedChain(stairway_octagon(16, steps=3))
+        starts = _all_starts(chain)
+        assert len(starts) == 8
+        for ds in starts.values():
+            assert len(ds) == 1 and ds[0].kind == "i"
+
+    def test_run_moves_into_the_line(self):
+        chain = ClosedChain(stairway_octagon(16, steps=3))
+        for i in range(chain.n):
+            for rs in _starts_at(chain, i):
+                # the segment ahead of the run is straight for >= 2 edges
+                p0 = chain.position(i)
+                p1 = chain.position(i + rs.direction)
+                p2 = chain.position(i + 2 * rs.direction)
+                e1 = (p1[0] - p0[0], p1[1] - p0[1])
+                e2 = (p2[0] - p1[0], p2[1] - p1[1])
+                assert e1 == e2 == rs.axis
+
+
+class TestNegativeCases:
+    def test_interior_jog_does_not_fire(self):
+        # two fat blocks with a jogged bottom: the jog is quasi-line
+        # interior, not an endpoint
+        from repro.chains import outline
+        cells = {(x, y) for x in range(13) for y in range(13)}
+        cells |= {(x, y) for x in range(13, 26) for y in range(1, 13)}
+        chain = ClosedChain(outline(cells))
+        jog_corners = {(13, 0), (13, 1)}
+        for i in range(chain.n):
+            if chain.position(i) in jog_corners:
+                assert _starts_at(chain, i) == []
+
+    def test_straight_interior_does_not_fire(self):
+        chain = ClosedChain(square_ring(16))
+        i = chain.positions.index((7, 0))
+        assert _starts_at(chain, i) == []
+
+    def test_2xm_ring_has_no_starts(self):
+        # the thin rectangle is one cyclic quasi line (caps are jogs)
+        chain = ClosedChain(rectangle_ring(20, 2))
+        assert _all_starts(chain) == {}

@@ -1,0 +1,67 @@
+"""Mutation fuzzing: perturbed chains stay valid and still gather."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import ClosedChain
+from repro.core.simulator import gather
+from repro.chains import perturb, rectangle_ring, square_ring
+from repro.chains.perturb import _fold_corner, _insert_bulge, _insert_spike
+
+
+class TestOperators:
+    def test_insert_spike_adds_two(self):
+        pts = square_ring(8)
+        out = _insert_spike(list(pts), 3, random.Random(0))
+        assert out is not None and len(out) == len(pts) + 2
+        ClosedChain(out, require_disjoint_neighbors=True)
+
+    def test_fold_corner_keeps_length(self):
+        pts = square_ring(8)
+        i = pts.index((0, 0))
+        out = _fold_corner(list(pts), i, random.Random(0))
+        assert out is not None and len(out) == len(pts)
+        assert out[i] == (1, 1)
+        ClosedChain(out, require_disjoint_neighbors=True)
+
+    def test_fold_needs_a_corner(self):
+        pts = square_ring(8)
+        i = pts.index((3, 0))               # straight interior robot
+        assert _fold_corner(list(pts), i, random.Random(0)) is None
+
+    def test_insert_bulge_adds_two(self):
+        pts = square_ring(8)
+        i = pts.index((3, 0))
+        out = _insert_bulge(list(pts), i, random.Random(0))
+        assert out is not None and len(out) == len(pts) + 2
+        ClosedChain(out, require_disjoint_neighbors=True)
+
+
+class TestPerturb:
+    def test_always_valid(self):
+        rng = random.Random(1)
+        pts = perturb(square_ring(10), mutations=25, rng=rng)
+        chain = ClosedChain(pts, require_disjoint_neighbors=True)
+        assert chain.n >= len(square_ring(10))
+
+    def test_deterministic_with_seed(self):
+        a = perturb(square_ring(10), 15, random.Random(42))
+        b = perturb(square_ring(10), 15, random.Random(42))
+        assert a == b
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzzed_chains_gather(self, seed):
+        rng = random.Random(seed)
+        pts = perturb(rectangle_ring(16, 10), mutations=20, rng=rng)
+        result = gather(pts, check_invariants=True)
+        assert result.gathered, f"fuzzed chain stalled (seed={seed})"
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15)
+    def test_property_fuzzed_gathering(self, seed):
+        rng = random.Random(seed)
+        pts = perturb(square_ring(8), mutations=12, rng=rng)
+        result = gather(pts, check_invariants=True)
+        assert result.gathered

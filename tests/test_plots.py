@@ -1,0 +1,62 @@
+"""SVG line charts."""
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import Series, line_chart, save_line_chart
+from repro.viz.plots import _nice_ticks
+
+
+class TestTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0 + 25 and ticks[-1] >= 75
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5, 5)
+
+    def test_small_values(self):
+        ticks = _nice_ticks(0.0, 1.3)
+        assert len(ticks) >= 2
+
+
+class TestLineChart:
+    def test_well_formed(self):
+        svg = line_chart([Series("a", [(0, 0), (1, 2), (2, 1)])],
+                         title="t & t", x_label="n", y_label="rounds")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_series_markers_and_legend(self):
+        svg = line_chart([
+            Series("needle", [(10, 5), (20, 10)]),
+            Series("square", [(10, 8), (20, 18)]),
+        ])
+        assert svg.count("<polyline") == 2
+        assert "needle" in svg and "square" in svg
+        assert svg.count("<circle") == 4
+
+    def test_empty_series_render(self):
+        svg = line_chart([Series("empty", [])])
+        assert "<svg" in svg
+
+    def test_single_point(self):
+        svg = line_chart([Series("p", [(3, 3)])])
+        assert svg.count("<polyline") == 0 and svg.count("<circle") == 1
+
+    def test_save(self, tmp_path):
+        path = save_line_chart(str(tmp_path / "chart.svg"),
+                               [Series("a", [(0, 0), (1, 1)])])
+        assert os.path.exists(path)
+
+    def test_realistic_experiment_series(self):
+        from repro.core.simulator import gather
+        from repro.chains import needle
+        pts = [(gather(needle(k)).initial_n, gather(needle(k)).rounds)
+               for k in (10, 20, 40)]
+        svg = line_chart([Series("needle", pts)],
+                         title="Theorem 1", x_label="n", y_label="rounds")
+        ET.fromstring(svg)

@@ -1,0 +1,51 @@
+"""Behaviour under the proof's restricted setting (k_max = 2).
+
+The proof of Lemma 1 assumes merges only up to k = 2.  That suffices
+for the *analysis* (a mergeless-for-k=2 chain is mergeless for larger k
+too) but not as an algorithm setting: EXP-A2 shows the liveness loss.
+These tests pin the exact boundary behaviour.
+"""
+
+import pytest
+
+from repro.core.config import PROOF_PARAMETERS
+from repro.core.patterns import find_merge_patterns
+from repro.core.simulator import gather
+from repro.chains import crenellation, needle, square_ring, stairway_octagon
+
+
+class TestWhatStillWorks:
+    def test_needle_gathers(self):
+        # thin rectangles collapse through k=2 cap merges only
+        result = gather(needle(24), params=PROOF_PARAMETERS,
+                        check_invariants=True)
+        assert result.gathered
+
+    def test_crenellation_gathers(self):
+        result = gather(crenellation(4, 1, 2), params=PROOF_PARAMETERS,
+                        check_invariants=True, max_rounds=2000)
+        assert result.gathered
+
+    def test_k2_detection_subset_of_k10(self):
+        pts = crenellation(6, 1, 13)
+        k2 = {(p.first_black, p.k) for p in find_merge_patterns(pts, 2)}
+        k10 = {(p.first_black, p.k) for p in find_merge_patterns(pts, 10)}
+        assert k2 <= k10
+        assert all(k <= 2 for _, k in k2)
+
+
+class TestDocumentedLivenessLoss:
+    def test_square_ring_stalls_under_k2(self):
+        """A good pair reaches passing distance before its middle becomes
+        2-mergeable (odd/even gap mismatch) — the documented reason the
+        algorithm defaults to the full merge range (DESIGN.md §2.2)."""
+        result = gather(square_ring(16), params=PROOF_PARAMETERS,
+                        max_rounds=800)
+        assert result.stalled
+
+    def test_mergeless_equivalence(self):
+        # "if a chain is a Mergeless Chain for a bigger length, it also
+        # is a Mergeless Chain for shorter lengths" (paper §5.1)
+        pts = stairway_octagon(16, 3)
+        assert not find_merge_patterns(pts, 10)
+        assert not find_merge_patterns(pts, 2)

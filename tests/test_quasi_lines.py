@@ -1,0 +1,78 @@
+"""Definition 1 (quasi lines) and stairways (Fig. 16)."""
+
+from repro.core.patterns import is_quasi_line, is_stairway, quasi_line_segments
+from repro.chains import fig16_fragment
+
+
+class TestQuasiLine:
+    def test_straight_line(self):
+        assert is_quasi_line([(x, 0) for x in range(6)], "x")
+
+    def test_paper_example_shape(self):
+        pts = [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (4, 1), (5, 1),
+               (6, 1), (6, 0), (7, 0), (8, 0), (9, 0)]
+        assert is_quasi_line(pts, "x")
+        assert not is_quasi_line(pts, "y")
+
+    def test_short_axis_segment_rejected(self):
+        pts = [(0, 0), (1, 0), (2, 0), (2, 1), (3, 1), (3, 2), (4, 2),
+               (5, 2), (6, 2)]
+        assert not is_quasi_line(pts, "x")     # 2-robot horizontal segment
+
+    def test_tall_perpendicular_rejected(self):
+        pts = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (3, 2), (4, 2), (5, 2)]
+        assert not is_quasi_line(pts, "x")     # 3 vertically aligned robots
+
+    def test_needs_three_aligned_at_both_ends(self):
+        pts = [(0, 0), (0, 1), (1, 1), (2, 1), (3, 1)]
+        assert not is_quasi_line(pts, "x")     # starts with a vertical edge
+
+    def test_too_short(self):
+        assert not is_quasi_line([(0, 0), (1, 0)], "x")
+
+    def test_vertical_quasi_line(self):
+        pts = [(0, y) for y in range(5)]
+        assert is_quasi_line(pts, "y")
+        assert not is_quasi_line(pts, "x")
+
+    def test_diagonal_rejected(self):
+        assert not is_quasi_line([(0, 0), (1, 1), (2, 2)], "x")
+
+
+class TestStairway:
+    def test_alternating_steps(self):
+        assert is_stairway([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)])
+
+    def test_u_turn_rejected(self):
+        assert not is_stairway([(0, 0), (0, 1), (1, 1), (1, 0)])
+
+    def test_straight_run_rejected(self):
+        assert not is_stairway([(0, 0), (1, 0), (2, 0)])
+
+    def test_direction_must_advance(self):
+        # alternating perpendicular turns that double back are not stairs
+        assert not is_stairway([(0, 0), (0, 1), (1, 1), (1, 0), (2, 0)])
+
+    def test_too_short(self):
+        assert not is_stairway([(0, 0), (0, 1)])
+
+
+class TestFig16Fragment:
+    def test_structure(self):
+        frag = fig16_fragment(line1=5, stair_steps=3, line2=5)
+        assert is_quasi_line(frag[:6], "x")
+        assert is_stairway(frag[5:13])
+        assert is_quasi_line(frag[-6:], "x")
+
+
+class TestSegments:
+    def test_decomposition(self):
+        pts = [(0, 0), (1, 0), (2, 0), (2, 1), (3, 1), (4, 1)]
+        segs = quasi_line_segments(pts)
+        axes = [s[0] for s in segs]
+        assert axes[:3] == ["x", "y", "x"]
+
+    def test_lengths_sum_to_edges(self):
+        pts = [(0, 0), (1, 0), (2, 0), (2, 1), (3, 1), (4, 1)]
+        segs = quasi_line_segments(pts)
+        assert sum(s[2] for s in segs) == len(pts)   # cyclic edge count

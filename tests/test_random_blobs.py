@@ -1,0 +1,57 @@
+"""Random chain generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ChainError
+from repro.core.chain import ClosedChain
+from repro.chains import random_chain, random_polyomino
+from repro.chains.boundary import fill_holes, is_connected
+
+
+class TestRandomPolyomino:
+    def test_size(self):
+        blob = random_polyomino(25, random.Random(1))
+        assert len(blob) >= 25                 # hole filling may add cells
+
+    def test_connected_and_hole_free(self):
+        blob = random_polyomino(40, random.Random(2))
+        assert is_connected(blob)
+        assert fill_holes(blob) == blob
+
+    def test_elongation_produces_longer_outlines(self):
+        from repro.chains.boundary import outline
+        rng = random.Random(3)
+        compact = sum(len(outline(random_polyomino(40, rng, 0.0)))
+                      for _ in range(5))
+        rng = random.Random(3)
+        stringy = sum(len(outline(random_polyomino(40, rng, 0.9)))
+                      for _ in range(5))
+        assert stringy >= compact
+
+    def test_rejects_zero(self):
+        with pytest.raises(ChainError):
+            random_polyomino(0)
+
+
+class TestRandomChain:
+    def test_target_accuracy(self):
+        rng = random.Random(4)
+        for target in (16, 48, 120):
+            pts = random_chain(target, rng)
+            assert abs(len(pts) - target) <= max(2, int(0.5 * target))
+
+    def test_always_valid(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            pts = random_chain(40, rng)
+            ClosedChain(pts, require_disjoint_neighbors=True)
+
+    def test_deterministic_with_seed(self):
+        assert random_chain(30, random.Random(7)) == \
+            random_chain(30, random.Random(7))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ChainError):
+            random_chain(2)

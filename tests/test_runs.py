@@ -1,0 +1,84 @@
+"""Run states and the registry (constant-memory bookkeeping)."""
+
+import pytest
+
+from repro.grid.lattice import EAST, WEST
+from repro.core.runs import RunMode, RunRegistry, RunState, StopReason
+
+
+@pytest.fixture
+def registry():
+    return RunRegistry()
+
+
+class TestLifecycle:
+    def test_start(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        assert run is not None and run.active
+        assert registry.runs_on(5) == [run]
+        assert registry.directions_on(5) == (1,)
+        assert len(registry) == 1
+
+    def test_capacity_two(self, registry):
+        assert registry.start(5, 1, EAST, 0)
+        assert registry.start(5, -1, WEST, 0)
+        assert registry.start(5, 1, EAST, 0) is None     # same direction
+        assert len(registry.runs_on(5)) == 2
+
+    def test_duplicate_direction_rejected(self, registry):
+        registry.start(5, 1, EAST, 0)
+        assert registry.start(5, 1, EAST, 1) is None
+
+    def test_stop(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        registry.stop(run, StopReason.ENDPOINT_VISIBLE, 3)
+        assert not run.active
+        assert run.stop_reason is StopReason.ENDPOINT_VISIBLE
+        assert run.stopped_round == 3
+        assert registry.runs_on(5) == []
+        assert run in registry.stopped
+
+    def test_double_stop_is_noop(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        registry.stop(run, StopReason.ENDPOINT_VISIBLE, 3)
+        registry.stop(run, StopReason.MERGE_PARTICIPATION, 4)
+        assert run.stop_reason is StopReason.ENDPOINT_VISIBLE
+
+    def test_move(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        registry.move(run, 6)
+        assert run.robot_id == 6
+        assert registry.runs_on(5) == []
+        assert registry.runs_on(6) == [run]
+
+    def test_move_stopped_raises(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        registry.stop(run, StopReason.ENDPOINT_VISIBLE, 0)
+        with pytest.raises(ValueError):
+            registry.move(run, 6)
+
+    def test_after_move_slot_frees(self, registry):
+        run = registry.start(5, 1, EAST, 0)
+        registry.move(run, 6)
+        assert registry.start(5, 1, EAST, 1) is not None
+
+    def test_active_runs_sorted_by_id(self, registry):
+        r1 = registry.start(1, 1, EAST, 0)
+        r2 = registry.start(2, -1, WEST, 0)
+        assert registry.active_runs() == [r1, r2]
+
+    def test_runs_lookup_callable(self, registry):
+        registry.start(7, -1, WEST, 0)
+        lookup = registry.runs_lookup()
+        assert lookup(7) == (-1,)
+        assert lookup(8) == ()
+
+
+class TestRunState:
+    def test_defaults(self):
+        run = RunState(run_id=0, robot_id=3, direction=1, axis=EAST)
+        assert run.mode is RunMode.NORMAL
+        assert run.active
+        assert run.travel_steps_left == 0
+        assert run.target_id is None
+        assert run.hops == 0

@@ -1,0 +1,66 @@
+"""SSYNC ablation: activation policies and break detection."""
+
+import pytest
+
+from repro.schedulers import (
+    AlternatingActivation,
+    FullActivation,
+    RandomActivation,
+    SplitPatternAdversary,
+    SSyncEngine,
+    run_ssync,
+)
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS
+from repro.chains import crenellation, needle
+
+
+class TestPolicies:
+    def test_full_activation_selects_all(self):
+        assert FullActivation().select(0, [1, 2, 3]) == {1, 2, 3}
+
+    def test_random_probability_bounds(self):
+        with pytest.raises(ValueError):
+            RandomActivation(1.5)
+        assert RandomActivation(0.0, 1).select(0, [1, 2, 3]) == set()
+        assert RandomActivation(1.0, 1).select(0, [1, 2, 3]) == {1, 2, 3}
+
+    def test_alternating_by_parity(self):
+        pol = AlternatingActivation()
+        assert pol.select(0, [0, 1, 2, 3]) == {0, 2}
+        assert pol.select(1, [0, 1, 2, 3]) == {1, 3}
+
+    def test_adversary_single_mover(self):
+        pol = SplitPatternAdversary()
+        assert pol.select(0, [5, 3, 7]) == {3}
+        assert pol.select(0, []) == set()
+
+
+class TestSSyncRuns:
+    def test_full_activation_is_fsync(self):
+        out = run_ssync(needle(20), FullActivation())
+        assert out.gathered and out.survived
+
+    @pytest.mark.parametrize("policy", [
+        pytest.param(RandomActivation(0.5, seed=1), id="random-0.5"),
+        pytest.param(AlternatingActivation(), id="alternating"),
+        pytest.param(SplitPatternAdversary(), id="adversary"),
+    ])
+    def test_partial_activation_breaks(self, policy):
+        out = run_ssync(crenellation(6), policy, max_rounds=300)
+        assert out.broke
+        assert out.break_round is not None and out.break_round < 50
+
+    def test_engine_filters_moves(self):
+        chain = ClosedChain(needle(20))
+        engine = SSyncEngine(chain, DEFAULT_PARAMETERS,
+                             SplitPatternAdversary(), check_invariants=False)
+        report = engine.step()
+        assert report.hops <= 1               # only one mover allowed
+
+
+class TestExperiment:
+    def test_exp_s1_quick(self):
+        from repro.experiments.exp_ssync import run
+        result = run(quick=True)
+        assert result.passed, result.measured

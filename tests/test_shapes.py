@@ -1,0 +1,117 @@
+"""Deterministic chain generators: validity and family properties."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.core.chain import ClosedChain
+from repro.core.patterns import find_merge_patterns
+from repro.chains import (
+    comb,
+    crenellation,
+    fig16_fragment,
+    l_shape,
+    needle,
+    plus_shape,
+    rectangle_ring,
+    serpentine_ring,
+    spiral,
+    square_ring,
+    staircase_ring,
+    stairway_octagon,
+    t_shape,
+    zigzag_band,
+    FAMILIES,
+)
+
+ALL_GENERATORS = [
+    pytest.param(lambda: rectangle_ring(8, 5), id="rectangle"),
+    pytest.param(lambda: square_ring(7), id="square"),
+    pytest.param(lambda: needle(12), id="needle"),
+    pytest.param(lambda: comb(3), id="comb"),
+    pytest.param(lambda: crenellation(4), id="crenellation"),
+    pytest.param(lambda: plus_shape(5, 2), id="plus"),
+    pytest.param(lambda: l_shape(10, 8, 3), id="l-shape"),
+    pytest.param(lambda: t_shape(11, 9, 3), id="t-shape"),
+    pytest.param(lambda: zigzag_band(3), id="zigzag"),
+    pytest.param(lambda: spiral(2), id="spiral"),
+    pytest.param(lambda: stairway_octagon(5, 2), id="octagon"),
+    pytest.param(lambda: staircase_ring(2, band=6), id="staircase"),
+    pytest.param(lambda: serpentine_ring(2, 6, 4), id="serpentine"),
+]
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_generators_yield_valid_initial_chains(gen):
+    pts = gen()
+    chain = ClosedChain(pts, require_disjoint_neighbors=True)
+    assert chain.n == len(pts)
+    assert chain.n % 2 == 0
+
+
+class TestRectangle:
+    def test_robot_count(self):
+        assert len(rectangle_ring(6, 4)) == 2 * 5 + 2 * 3
+        assert len(square_ring(10)) == 36
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ChainError):
+            rectangle_ring(1, 5)
+
+    def test_needle_is_two_rows(self):
+        pts = needle(15)
+        assert {p[1] for p in pts} == {0, 1}
+
+
+class TestParameterValidation:
+    def test_comb_rejects_nonpositive(self):
+        with pytest.raises(ChainError):
+            comb(0)
+
+    def test_crenellation_bounds(self):
+        with pytest.raises(ChainError):
+            crenellation(1)
+
+    def test_spiral_pitch(self):
+        with pytest.raises(ChainError):
+            spiral(1, corridor=3, pitch=3)
+
+    def test_octagon_bounds(self):
+        with pytest.raises(ChainError):
+            stairway_octagon(2)
+
+    def test_lshape_thickness(self):
+        with pytest.raises(ChainError):
+            l_shape(3, 5, 3)
+
+
+class TestMergelessness:
+    def test_octagon_is_mergeless(self):
+        assert not find_merge_patterns(stairway_octagon(16, 3), 10)
+
+    def test_staircase_is_mergeless(self):
+        assert not find_merge_patterns(staircase_ring(2), 10)
+
+    def test_large_rectangle_is_mergeless(self):
+        assert not find_merge_patterns(rectangle_ring(20, 14), 10)
+
+    def test_needle_caps_merge(self):
+        pats = find_merge_patterns(needle(20), 10)
+        assert len(pats) == 2                  # the two end caps
+        assert all(p.k == 2 for p in pats)
+
+
+class TestSerpentine:
+    def test_overlapping_non_neighbors(self):
+        pts = serpentine_ring(2, 8, 4)
+        assert len(pts) != len(set(pts))       # chain overlaps itself
+
+    def test_fig16_fragment_lengths(self):
+        frag = fig16_fragment(4, 2, 5)
+        assert len(frag) == 1 + 4 + 2 * 2 + 1 + 5
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_registry_produces_chains(self, name):
+        pts = FAMILIES[name](48)
+        ClosedChain(pts, require_disjoint_neighbors=True)

@@ -1,0 +1,90 @@
+"""Simulator facade and the gather() convenience API."""
+
+import pytest
+
+from repro.errors import ChainError, StallError
+from repro.core.chain import ClosedChain
+from repro.core.config import Parameters
+from repro.core.simulator import GatheringResult, Simulator, gather
+from repro.chains import square_ring
+
+
+class TestConstruction:
+    def test_from_positions(self):
+        sim = Simulator(square_ring(8))
+        assert sim.chain.n == 28
+
+    def test_from_chain(self):
+        sim = Simulator(ClosedChain(square_ring(8)))
+        assert sim.initial_n == 28
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Simulator(square_ring(8), engine="warp")
+
+    def test_initial_validation(self):
+        with pytest.raises(ChainError):
+            Simulator([(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 1)])
+
+    def test_validation_can_be_skipped(self):
+        pts = [(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 1)]
+        sim = Simulator(pts, validate_initial=False)
+        assert sim.chain.n == 6
+
+
+class TestRun:
+    def test_gathers_and_reports(self):
+        result = gather(square_ring(12), check_invariants=True)
+        assert result.gathered and not result.stalled
+        assert result.initial_n == 44
+        assert result.final_n <= 4
+        assert result.total_merges == result.initial_n - result.final_n
+        assert result.rounds == len(result.reports)
+        assert 0 < result.rounds_per_robot < 27
+        assert "gathered" in result.summary()
+
+    def test_budget_exhaustion_reports_stall(self):
+        result = gather(square_ring(20), max_rounds=3)
+        assert result.stalled and not result.gathered
+        assert result.rounds == 3
+
+    def test_raise_on_stall(self):
+        with pytest.raises(StallError) as exc:
+            gather(square_ring(20), max_rounds=3, raise_on_stall=True)
+        assert exc.value.n > 4
+        assert exc.value.positions
+
+    def test_trace_recording(self):
+        result = gather(square_ring(8), record_trace=True)
+        assert result.trace is not None
+        assert result.trace.rounds == result.rounds
+        assert result.trace.merge_rounds()
+        assert result.trace.chain_lengths()[-1] == result.final_n
+
+    def test_step_by_step_matches_run(self):
+        a = Simulator(square_ring(12))
+        while not a.is_gathered():
+            a.step()
+        b = gather(square_ring(12))
+        assert a.round_index == b.rounds
+
+    def test_default_budget_is_linear(self):
+        params = Parameters()
+        assert params.round_budget(100) < 30 * 100 + 1000
+
+    def test_already_gathered_chain(self):
+        result = gather([(0, 0), (1, 0), (1, 1), (0, 1)],
+                        check_invariants=True)
+        assert result.gathered and result.rounds == 0
+
+
+class TestResultMetrics:
+    def test_wall_time_recorded(self):
+        result = gather(square_ring(8))
+        assert result.wall_time >= 0.0
+
+    def test_rounds_per_robot(self):
+        r = GatheringResult(gathered=True, rounds=50, initial_n=100,
+                            final_n=4, final_positions=[],
+                            params=Parameters())
+        assert r.rounds_per_robot == 0.5

@@ -1,0 +1,65 @@
+"""The dihedral group D4: group laws and canonical forms."""
+
+from hypothesis import given, strategies as st
+
+from repro.grid.transforms import (
+    DIHEDRAL_GROUP,
+    IDENTITY,
+    ROT90,
+    ROT180,
+    canonical_form,
+    reflections,
+    rotations,
+)
+
+from tests.conftest import small_vectors
+
+
+class TestGroupStructure:
+    def test_eight_distinct_elements(self):
+        matrices = {(t.a, t.b, t.c, t.d) for t in DIHEDRAL_GROUP}
+        assert len(matrices) == 8
+
+    def test_closure(self):
+        matrices = {(t.a, t.b, t.c, t.d) for t in DIHEDRAL_GROUP}
+        for s in DIHEDRAL_GROUP:
+            for t in DIHEDRAL_GROUP:
+                c = s.compose(t)
+                assert (c.a, c.b, c.c, c.d) in matrices
+
+    def test_inverses(self):
+        for t in DIHEDRAL_GROUP:
+            inv = t.inverse()
+            comp = t.compose(inv)
+            assert (comp.a, comp.b, comp.c, comp.d) == (1, 0, 0, 1)
+
+    def test_determinants(self):
+        assert all(t.determinant == 1 for t in rotations())
+        assert all(t.determinant == -1 for t in reflections())
+
+    def test_rot90_order_four(self):
+        t = ROT90
+        for _ in range(3):
+            t = t.compose(ROT90)
+        assert (t.a, t.b, t.c, t.d) == (1, 0, 0, 1)
+
+    def test_apply_examples(self):
+        assert ROT90.apply((1, 0)) == (0, 1)
+        assert ROT180.apply((2, 3)) == (-2, -3)
+        assert IDENTITY.apply((5, -1)) == (5, -1)
+
+
+class TestCanonicalForm:
+    @given(st.lists(small_vectors(10), min_size=1, max_size=8))
+    def test_invariant_under_group(self, vs):
+        base = canonical_form(vs)
+        for t in DIHEDRAL_GROUP:
+            assert canonical_form(t.apply_all(vs)) == base
+
+    @given(st.lists(small_vectors(10), min_size=1, max_size=8))
+    def test_is_an_orbit_member(self, vs):
+        orbit = {tuple(t.apply_all(vs)) for t in DIHEDRAL_GROUP}
+        assert canonical_form(vs) in orbit
+
+    def test_apply_all_length(self):
+        assert len(ROT90.apply_all([(1, 2), (3, 4)])) == 2

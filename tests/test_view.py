@@ -1,0 +1,77 @@
+"""ChainWindow: the locality-enforcing view layer."""
+
+import pytest
+
+from repro.errors import LocalityViolation
+from repro.core.chain import ClosedChain
+from repro.core.runs import RunRegistry
+from repro.core.view import ChainWindow
+from repro.chains import square_ring
+
+
+@pytest.fixture
+def chain():
+    return ClosedChain(square_ring(10))
+
+
+class TestLocality:
+    def test_within_range_ok(self, chain):
+        w = ChainWindow(chain, 0, 11)
+        assert w.rel(0) == (0, 0)
+        w.pos(11)
+        w.pos(-11)
+
+    def test_beyond_range_raises(self, chain):
+        w = ChainWindow(chain, 0, 11)
+        with pytest.raises(LocalityViolation):
+            w.pos(12)
+        with pytest.raises(LocalityViolation):
+            w.rel(-12)
+        with pytest.raises(LocalityViolation):
+            w.edge(11, 1)                     # far endpoint out of range
+
+    def test_limit_property(self, chain):
+        assert ChainWindow(chain, 0, 7).limit == 7
+
+
+class TestGeometry:
+    def test_rel_is_relative(self, chain):
+        w = ChainWindow(chain, 3, 11)
+        anchor = chain.position(3)
+        nxt = chain.position(4)
+        assert w.rel(1) == (nxt[0] - anchor[0], nxt[1] - anchor[1])
+
+    def test_edge_directions(self, chain):
+        w = ChainWindow(chain, 0, 11)
+        assert w.edge(0, 1) == (1, 0)          # bottom side heads east
+        assert w.edge(0, -1) == (0, 1)         # behind the corner: up the side
+
+    def test_ahead_edges(self, chain):
+        w = ChainWindow(chain, 0, 11)
+        edges = w.ahead_edges(1, 5)
+        assert edges == [(1, 0)] * 5
+
+    def test_wraps_detection(self):
+        small = ClosedChain(square_ring(3))    # n = 8 robots
+        assert ChainWindow(small, 0, 11).wraps()
+        big = ClosedChain(square_ring(30))
+        assert not ChainWindow(big, 0, 11).wraps()
+
+
+class TestRunVisibility:
+    def test_run_directions_at(self, chain):
+        registry = RunRegistry()
+        rid = chain.id_at(2)
+        registry.start(rid, 1, (1, 0), 0)
+        w = ChainWindow(chain, 0, 11, registry.runs_lookup())
+        assert w.run_directions_at(2) == (1,)
+        assert w.run_directions_at(3) == ()
+
+    def test_without_registry_empty(self, chain):
+        w = ChainWindow(chain, 0, 11)
+        assert w.run_directions_at(1) == ()
+
+    def test_id_at(self, chain):
+        w = ChainWindow(chain, 5, 11)
+        assert w.id_at(0) == chain.id_at(5)
+        assert w.id_at(-2) == chain.id_at(3)

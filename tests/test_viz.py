@@ -1,0 +1,118 @@
+"""Renderers: ASCII grids, SVG documents, animation frames."""
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.chains import square_ring
+from repro.viz import (
+    render_ascii,
+    render_rounds,
+    render_svg,
+    render_trace_strip,
+    save_frames,
+    save_svg,
+    trace_frames,
+)
+from repro.viz.ascii_render import render_snapshot
+
+
+@pytest.fixture
+def traced_sim():
+    sim = Simulator(square_ring(8), record_trace=True)
+    sim.run()
+    return sim
+
+
+class TestAscii:
+    def test_single_robot(self):
+        assert render_ascii([(0, 0)]) == "1"
+
+    def test_multiplicity(self):
+        out = render_ascii([(0, 0), (0, 0), (1, 0)])
+        assert out == "21"
+
+    def test_ten_plus_renders_plus(self):
+        out = render_ascii([(0, 0)] * 12)
+        assert out == "+"
+
+    def test_y_axis_points_up(self):
+        out = render_ascii([(0, 0), (0, 2)])
+        rows = out.splitlines()
+        assert rows[0][0] == "1" and rows[2][0] == "1" and rows[1][0] == "·"
+
+    def test_runner_markers(self):
+        out = render_ascii([(0, 0), (1, 0)], runners={(0, 0): 1, (1, 0): -1})
+        assert out == "><"
+
+    def test_empty(self):
+        assert "empty" in render_ascii([])
+
+    def test_render_rounds_side_by_side(self):
+        merged = render_rounds(["ab\ncd", "x"], labels=["L", "R"])
+        lines = merged.splitlines()
+        assert len(lines) == 3                # label + two rows
+        assert "L" in lines[0] and "R" in lines[0]
+
+    def test_trace_strip(self, traced_sim):
+        strip = render_trace_strip(traced_sim.trace.snapshots, max_frames=3)
+        assert "round 0" in strip
+
+    def test_render_snapshot_shows_runners(self):
+        sim = Simulator(square_ring(16), record_trace=True)
+        sim.step()
+        sim.step()
+        snap = sim.engine.snapshot()
+        if snap.runs:
+            out = render_snapshot(snap)
+            assert (">" in out) or ("<" in out)
+
+
+class TestSvg:
+    def test_well_formed_xml(self):
+        svg = render_svg(square_ring(6), title="test & escape")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_robot_and_edge_counts(self):
+        pts = square_ring(5)
+        svg = render_svg(pts)
+        assert svg.count("<circle") == len(set(pts))
+        assert svg.count("<line") == len(pts)
+
+    def test_runner_arrows(self):
+        svg = render_svg([(0, 0), (1, 0), (1, 1), (0, 1)],
+                         runners={(0, 0): 1})
+        assert "#8594" in svg                  # right arrow entity
+
+    def test_coincident_annotation(self):
+        svg = render_svg([(0, 0), (0, 0), (1, 0), (1, 0)], closed=True)
+        assert "<text" in svg
+
+    def test_save(self, tmp_path):
+        path = save_svg(str(tmp_path / "chain.svg"), square_ring(4))
+        assert os.path.exists(path)
+
+    def test_empty_chain(self):
+        assert "<svg" in render_svg([])
+
+
+class TestAnimation:
+    def test_trace_frames_ascii(self, traced_sim):
+        frames = trace_frames(traced_sim.trace, fmt="ascii")
+        assert len(frames) == traced_sim.trace.rounds
+
+    def test_trace_frames_svg(self, traced_sim):
+        frames = trace_frames(traced_sim.trace, every=2, fmt="svg")
+        assert all(f.startswith("<svg") for f in frames)
+
+    def test_unknown_format(self, traced_sim):
+        with pytest.raises(ValueError):
+            trace_frames(traced_sim.trace, fmt="gif")
+
+    def test_save_frames(self, traced_sim, tmp_path):
+        paths = save_frames(traced_sim.trace, str(tmp_path), every=2)
+        assert paths and all(os.path.exists(p) for p in paths)
+        assert paths[0].endswith("round_00000.svg")
