@@ -1,15 +1,24 @@
 """EXP-P1 benchmark — reference vs vectorised engine.
 
-The hpc-parallel engineering benchmark: merge detection is the per-round
-hot loop; the NumPy detector should win with growing n.  Also times the
-full round pipeline under both engines.
+The hpc-parallel engineering benchmark: the per-robot policy loop and
+the per-edge scans are the per-round hot paths; the vectorised engine
+(cached edge codes + bulk run-start scan + RLE merge detection) should
+win with growing n.  Times the isolated detectors and scanners, the
+full round pipeline under both engines, and the batch-simulation layer.
+
+``scripts/run_benchmarks.py`` executes this module under
+pytest-benchmark and records the results in ``BENCH_engines.json`` at
+the repo root (the perf trajectory file).
 """
 
 import pytest
 
-from repro.core.patterns import find_merge_patterns
-from repro.core.engine_vectorized import find_merge_patterns_np
+from repro.core.chain import ClosedChain
+from repro.core.patterns import find_merge_patterns, run_start_decisions
+from repro.core.engine_vectorized import find_merge_patterns_np, scan_run_starts
+from repro.core.batch import gather_batch
 from repro.core.simulator import Simulator
+from repro.core.view import ChainWindow
 from repro.chains import crenellation, square_ring
 
 DETECTOR_SIZES = [64, 256, 1024]
@@ -59,3 +68,36 @@ def test_large_ring_by_engine(benchmark, engine, bench_large):
     result = benchmark(run)
     assert result.gathered
     benchmark.extra_info["n"] = result.initial_n
+
+
+@pytest.mark.parametrize("impl", ["reference", "vectorized"])
+def test_run_start_scan(benchmark, impl):
+    chain = ClosedChain(square_ring(60))
+    if impl == "vectorized":
+        def run():
+            chain._codes_cache = None      # measure the full scan incl. encode
+            chain._codes_list_cache = None
+            return scan_run_starts(chain)
+    else:
+        def run():
+            out = []
+            for i in range(chain.n):
+                for rs in run_start_decisions(ChainWindow(chain, i, 11)):
+                    out.append((i, rs))
+            return out
+
+    starts = benchmark(run)
+    assert starts
+    benchmark.extra_info["n"] = chain.n
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_batch_gathering(benchmark, workers):
+    fleet = [square_ring(s) for s in (16, 24, 32, 40)]
+
+    def run():
+        return gather_batch(fleet, keep_reports=False, workers=workers)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.all_gathered
+    benchmark.extra_info["chains"] = len(fleet)

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Run the engine benchmarks and record the perf trajectory.
+
+Executes ``benchmarks/bench_engines.py`` under pytest-benchmark and
+writes a condensed ``BENCH_engines.json`` at the repository root: one
+entry per benchmark (min/median/mean/stddev seconds) plus derived
+headline numbers — most importantly the reference-vs-vectorised
+speedup on the side-60 large-ring gathering, the tracked perf metric
+for the round-pipeline work (DESIGN.md §5).
+
+Usage::
+
+    python scripts/run_benchmarks.py            # full bench_engines run
+    python scripts/run_benchmarks.py --smoke    # CI smoke (large ring only)
+    python scripts/run_benchmarks.py --out /tmp/bench.json
+
+Exit status is pytest's: non-zero when a benchmark test fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_engines.json")
+
+
+def run_pytest_benchmark(selector: str, raw_json_path: str) -> int:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "pytest", selector, "--benchmark-only",
+           "-q", f"--benchmark-json={raw_json_path}"]
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw: dict) -> dict:
+    """Reduce pytest-benchmark's verbose JSON to the tracked essentials."""
+    entries = []
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        entry = {
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "params": bench.get("params"),
+            "min_s": stats["min"],
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+        entries.append(entry)
+        by_name[bench["name"]] = entry
+
+    derived = {}
+    ref = by_name.get("test_large_ring_by_engine[reference]")
+    vec = by_name.get("test_large_ring_by_engine[vectorized]")
+    if ref and vec:
+        derived["large_ring_side60"] = {
+            "reference_min_s": ref["min_s"],
+            "vectorized_min_s": vec["min_s"],
+            "speedup_vectorized_vs_reference": round(ref["min_s"] / vec["min_s"], 3),
+        }
+    for size in (64, 256, 1024):
+        r = by_name.get(f"test_detector_reference[{size}]")
+        v = by_name.get(f"test_detector_vectorized[{size}]")
+        if r and v:
+            derived[f"detector_speedup_teeth{size}"] = \
+                round(r["min_s"] / v["min_s"], 3)
+    r = by_name.get("test_run_start_scan[reference]")
+    v = by_name.get("test_run_start_scan[vectorized]")
+    if r and v:
+        derived["run_start_scan_speedup"] = round(r["min_s"] / v["min_s"], 3)
+
+    return {
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or "unknown",
+        },
+        "suite": "benchmarks/bench_engines.py",
+        "derived": derived,
+        "benchmarks": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output path (default: BENCH_engines.json at repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: only the large-ring engine comparison")
+    args = parser.parse_args(argv)
+
+    selector = "benchmarks/bench_engines.py"
+    if args.smoke:
+        selector += "::test_large_ring_by_engine"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "raw.json")
+        rc = run_pytest_benchmark(selector, raw_path)
+        if not os.path.exists(raw_path):
+            print("pytest-benchmark produced no JSON; aborting", file=sys.stderr)
+            return rc or 1
+        with open(raw_path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+
+    condensed = condense(raw)
+    # carry the pinned seed baseline (measured once from the v0 commit)
+    # across regenerations, and keep the derived vs-seed ratios current
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, "r", encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, ValueError):
+            previous = {}
+        baseline = previous.get("seed_baseline")
+        if baseline:
+            condensed["seed_baseline"] = baseline
+            ring = condensed["derived"].get("large_ring_side60")
+            seed_ring = baseline.get("large_ring_side60", {})
+            if ring and seed_ring:
+                v_now = ring["vectorized_min_s"]
+                for key, seed_key in (
+                        ("speedup_vs_seed_reference", "reference_min_s"),
+                        ("speedup_vs_seed_vectorized", "vectorized_min_s")):
+                    if seed_key in seed_ring:
+                        ring[key] = round(seed_ring[seed_key] / v_now, 3)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(condensed, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for key, val in condensed["derived"].items():
+        print(f"  {key}: {val}")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,10 @@ Usage examples::
 
     python -m repro gather --family square --n 80 --render
     python -m repro gather --chain my_chain.json --engine vectorized
+    python -m repro batch --family square --sizes 16 32 64 --workers 4
+    python -m repro batch --family random --sizes 96 --repeat 20 --json
     python -m repro render --family octagon --n 64 --svg out.svg
-    python -m repro experiment --ids EXP-T1 EXP-FIG --quick
+    python -m repro experiment --ids EXP-T1 EXP-FIG --quick --workers 2
     python -m repro families
 """
 
@@ -70,10 +72,42 @@ def cmd_render(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import random
+    from repro.core.batch import BatchSimulator
+    family = FAMILIES.get(args.family)
+    if family is None:
+        raise SystemExit(f"unknown family {args.family!r}; "
+                         f"try one of {sorted(FAMILIES)}")
+    from repro.chains import random_chain
+    rng = random.Random(args.seed)
+    chains = []
+    labels = []
+    for n in args.sizes:
+        for _ in range(args.repeat):
+            if args.family == "random":
+                chains.append(random_chain(n, rng))  # deterministic via --seed
+            else:
+                chains.append(family(n))
+            labels.append(f"{args.family}-{n}")
+    sim = BatchSimulator(chains, params=_params(args), engine=args.engine,
+                         check_invariants=args.check, workers=args.workers,
+                         keep_reports=False)
+    batch = sim.run(max_rounds=args.max_rounds)
+    print(batch.summary())
+    if args.json:
+        rows = [{"chain": lbl, "n": r.initial_n, "rounds": r.rounds,
+                 "gathered": r.gathered,
+                 "rounds_per_robot": round(r.rounds_per_robot, 3)}
+                for lbl, r in zip(labels, batch)]
+        print(json.dumps({"summary": batch.summary(), "runs": rows}, indent=2))
+    return 0 if batch.all_gathered else 2
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import run_experiments, format_markdown_report
     results = run_experiments(ids=args.ids or None, quick=args.quick,
-                              verbose=True)
+                              verbose=True, workers=args.workers)
     if args.markdown:
         print(format_markdown_report(results))
     return 0 if all(r.passed for r in results) else 1
@@ -132,11 +166,37 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--svg", help="write an SVG file instead of ASCII")
     r.set_defaults(func=cmd_render)
 
+    b = sub.add_parser("batch",
+                       help="gather a fleet of chains (optionally in parallel)")
+    b.add_argument("--family", default="square",
+                   help="generator family (see `repro families`)")
+    b.add_argument("--sizes", type=int, nargs="+", default=[32, 64],
+                   help="approximate chain lengths")
+    b.add_argument("--repeat", type=int, default=1,
+                   help="chains per size (for stochastic families)")
+    b.add_argument("--seed", type=int, default=0,
+                   help="seed for stochastic families")
+    b.add_argument("--engine", choices=("reference", "vectorized"),
+                   default="vectorized")
+    b.add_argument("--workers", type=int, default=None,
+                   help="process-pool width (default: in-process)")
+    b.add_argument("--max-rounds", type=int, default=None)
+    b.add_argument("--check", action="store_true",
+                   help="enable per-round invariant checking")
+    b.add_argument("--json", action="store_true", help="print per-run JSON")
+    b.add_argument("--viewing", type=int, help="viewing path length (default 11)")
+    b.add_argument("--interval", type=int, help="run start interval L (default 13)")
+    b.add_argument("--k-max", type=int, dest="k_max",
+                   help="merge length cap (default: viewing - 1)")
+    b.set_defaults(func=cmd_batch)
+
     e = sub.add_parser("experiment", help="run reproduction experiments")
     e.add_argument("--ids", nargs="*", help="experiment ids (default: all)")
     e.add_argument("--quick", action="store_true", help="reduced sizes")
     e.add_argument("--markdown", action="store_true",
                    help="print the EXPERIMENTS.md body")
+    e.add_argument("--workers", type=int, default=None,
+                   help="process-pool width for sweep experiments")
     e.set_defaults(func=cmd_experiment)
 
     f = sub.add_parser("families", help="list chain generator families")

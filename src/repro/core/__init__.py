@@ -1,5 +1,6 @@
 """Core: the paper's gathering algorithm and its FSYNC execution model."""
 
+from repro.core.batch import BatchResult, BatchSimulator, gather_batch
 from repro.core.chain import ClosedChain, MergeRecord
 from repro.core.config import DEFAULT_PARAMETERS, PROOF_PARAMETERS, Parameters
 from repro.core.engine import Engine
@@ -19,6 +20,9 @@ from repro.core.simulator import GatheringResult, Simulator, gather
 from repro.core.view import ChainWindow
 
 __all__ = [
+    "BatchResult",
+    "BatchSimulator",
+    "gather_batch",
     "ClosedChain",
     "MergeRecord",
     "Parameters",

@@ -21,13 +21,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from repro.grid.lattice import Vec, add, are_perpendicular, is_axis_unit
+from repro.core.chain import CODE_TO_DIR
 from repro.core.config import Parameters
 from repro.core.patterns import endpoint_visible_ahead
 from repro.core.runs import RunMode, RunState, StopReason
 from repro.core.view import ChainWindow
 
 
-@dataclass
+@dataclass(slots=True)
 class RunDecision:
     """The action a run takes this round (engine applies it)."""
 
@@ -45,6 +46,13 @@ class RunDecision:
         return self.stop_reason is None
 
 
+#: Shared "keep moving, nothing special" decision (no hop, no stop,
+#: NORMAL mode, target cleared) — the most common outcome, returned as a
+#: singleton to keep the per-run hot path allocation-free.  Its ``run``
+#: field is None: the engine pairs decisions with runs positionally.
+_CONTINUE = RunDecision(None, mode_after=RunMode.NORMAL)
+
+
 def _oncoming_run_offset(window: ChainWindow, direction: int, limit: int) -> Optional[int]:
     """Smallest offset (1-based, toward ``direction``) carrying an oncoming run."""
     return window.runs_ahead(direction, limit)[1]
@@ -55,9 +63,10 @@ def decide_run(run: RunState, window: ChainWindow, params: Parameters,
     """Compute a run's action for this round (paper Fig. 15, step 2)."""
     sigma = run.direction
     v = params.viewing_path_length
+    self_id = run.robot_id               # == window.id_at(0) by construction
 
     # Table 1.3 — the carrier takes part in a merge operation.
-    if window.id_at(0) in merge_participants:
+    if self_id in merge_participants:
         return RunDecision(run, stop_reason=StopReason.MERGE_PARTICIPATION)
 
     sequent, oncoming_far = window.runs_ahead(sigma, v)
@@ -71,23 +80,26 @@ def decide_run(run: RunState, window: ChainWindow, params: Parameters,
         if not guarded:
             return RunDecision(run, stop_reason=StopReason.SEQUENT_RUN_AHEAD)
 
-    # one bulk edge scan serves the endpoint grammar and the operation
-    # shape checks below (measured hot path, see bench_engines)
-    ahead = window.ahead_edges(sigma, v)
-
-    # Table 1.2 — endpoint of the quasi line visible in front.
-    if endpoint_visible_ahead(window, sigma, run.axis, params.effective_k_max,
-                              edges=ahead):
-        if not (params.endpoint_guard and oncoming_far is not None):
+    # Table 1.2 — endpoint of the quasi line visible in front.  With the
+    # endpoint guard and an oncoming run in view the verdict would be
+    # discarded anyway, so the scan and the grammar parse are skipped;
+    # otherwise one bulk edge-code scan serves the grammar and the
+    # operation shape checks below (measured hot path, see bench_engines)
+    if params.endpoint_guard and oncoming_far is not None:
+        ahead = None
+    else:
+        ahead = window.ahead_codes(sigma, v)
+        if endpoint_visible_ahead(window, sigma, run.axis,
+                                  params.effective_k_max, codes=ahead):
             return RunDecision(run, stop_reason=StopReason.ENDPOINT_VISIBLE)
 
     # --- arrival bookkeeping: leaving passing/travel when on target -------
     mode = run.mode
     target = run.target_id
     steps = run.travel_steps_left
-    if mode is RunMode.PASSING and target is not None and window.id_at(0) == target:
+    if mode is RunMode.PASSING and target is not None and self_id == target:
         mode, target = RunMode.NORMAL, None
-    if mode is RunMode.TRAVEL and ((target is not None and window.id_at(0) == target)
+    if mode is RunMode.TRAVEL and ((target is not None and self_id == target)
                                    or steps <= 0):
         mode, target, steps = RunMode.NORMAL, None, 0
 
@@ -95,7 +107,15 @@ def decide_run(run: RunState, window: ChainWindow, params: Parameters,
     if mode is RunMode.PASSING:
         return RunDecision(run, mode_after=RunMode.PASSING,
                            target_after_set=True, target_after=target)
-    oncoming = _oncoming_run_offset(window, sigma, params.passing_distance)
+    pd = params.passing_distance
+    if pd <= v:
+        # the bulk scan above already found the nearest oncoming run
+        # within the full viewing range; the passing check only narrows
+        # the horizon, so no second scan is needed
+        oncoming = oncoming_far if (oncoming_far is not None
+                                    and oncoming_far <= pd) else None
+    else:
+        oncoming = _oncoming_run_offset(window, sigma, pd)
     if oncoming is not None and mode is not RunMode.INIT_CORNER:
         if mode is RunMode.TRAVEL and target is not None:
             # Fig. 14: an interrupted operation keeps its settled target.
@@ -121,17 +141,20 @@ def decide_run(run: RunState, window: ChainWindow, params: Parameters,
         return RunDecision(run, hop=hop, mode_after=RunMode.NORMAL)
 
     # --- normal operation: (a) reshape or (b) travel ------------------------
-    e1 = ahead[0]
-    if is_axis_unit(e1):
-        aligned2 = ahead[1] == e1
-        aligned3 = aligned2 and ahead[2] == e1
-        behind = window.edge(0, -sigma)
+    if ahead is None:
+        ahead = window.ahead_codes(sigma, 3)   # only the shape checks remain
+    c1 = ahead[0]
+    if c1 >= 0:                            # lead edge is an axis unit
+        aligned2 = ahead[1] == c1
+        aligned3 = aligned2 and ahead[2] == c1
         if aligned3:
             # operation (a): runner and next >= 3 robots on a straight line
-            if is_axis_unit(behind) and are_perpendicular(behind, e1):
-                return RunDecision(run, hop=add(behind, e1),
+            behind = window.code_toward(-sigma)
+            if behind >= 0 and ((behind ^ c1) & 1):
+                return RunDecision(run,
+                                   hop=add(CODE_TO_DIR[behind], CODE_TO_DIR[c1]),
                                    mode_after=RunMode.NORMAL)
-            return RunDecision(run, mode_after=RunMode.NORMAL)
+            return _CONTINUE
         if aligned2:
             # operation (b): move hop-less to the corner three robots ahead
             return RunDecision(run, mode_after=RunMode.TRAVEL,
@@ -139,4 +162,4 @@ def decide_run(run: RunState, window: ChainWindow, params: Parameters,
                                target_after=window.id_at(3 * sigma),
                                travel_steps_after=params.travel_steps)
     # defensive default: keep moving at speed one without reshaping
-    return RunDecision(run, mode_after=RunMode.NORMAL)
+    return _CONTINUE

@@ -1,0 +1,185 @@
+"""Batch simulation: gather fleets of chains in one call.
+
+Parameter sweeps (Table 1 statistics, ablation grids, baseline
+comparisons, verification sweeps) all reduce to "gather many chains and
+aggregate the outcomes".  :class:`BatchSimulator` is that layer: it
+takes a list of initial chains, runs each through the engine of choice
+and returns a :class:`BatchResult` keeping per-chain
+:class:`~repro.core.simulator.GatheringResult` objects in input order.
+
+With ``workers > 1`` the fleet is distributed over a process pool
+(simulations are pure CPU-bound Python, so processes — not threads —
+are the scaling unit).  Jobs are self-contained ``(positions, params,
+…)`` tuples and results are plain dataclasses, so nothing but the
+standard pickling machinery is involved; ``keep_reports=False`` strips
+the per-round reports before results cross the process boundary, which
+bounds IPC for large sweeps that only need the aggregate outcome.
+
+See DESIGN.md §3 for how this layer relates to the single-chain
+:class:`~repro.core.simulator.Simulator`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.chain import ClosedChain
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.simulator import ENGINES, GatheringResult, Simulator
+
+#: One batch job: everything a worker needs to gather one chain.
+_Job = Tuple[List[tuple], Parameters, str, bool, Optional[int], bool, bool]
+
+
+def _gather_job(job: _Job) -> GatheringResult:
+    """Run one gathering simulation (top-level: must pickle for pools)."""
+    (positions, params, engine, check_invariants, max_rounds,
+     validate_initial, keep_reports) = job
+    sim = Simulator(positions, params=params, engine=engine,
+                    check_invariants=check_invariants,
+                    validate_initial=validate_initial)
+    result = sim.run(max_rounds=max_rounds)
+    if not keep_reports:
+        result.reports = []
+    return result
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a fleet of gathering simulations (input order)."""
+
+    results: List[GatheringResult] = field(default_factory=list)
+    wall_time: float = 0.0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> GatheringResult:
+        return self.results[i]
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.results)
+
+    @property
+    def gathered_count(self) -> int:
+        """Chains that reached the 2x2 termination condition."""
+        return sum(1 for r in self.results if r.gathered)
+
+    @property
+    def all_gathered(self) -> bool:
+        return self.gathered_count == len(self.results)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.results)
+
+    @property
+    def total_robots(self) -> int:
+        return sum(r.initial_n for r in self.results)
+
+    @property
+    def max_rounds_per_robot(self) -> float:
+        """Worst normalised round count — the paper predicts O(1)."""
+        return max((r.rounds_per_robot for r in self.results), default=0.0)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (f"{self.gathered_count}/{self.n_chains} gathered, "
+                f"{self.total_robots} robots in {self.total_rounds} rounds total "
+                f"({self.wall_time:.2f}s wall, workers={self.workers})")
+
+
+class BatchSimulator:
+    """Gather a fleet of chains in one call.
+
+    Parameters
+    ----------
+    chains:
+        Initial chains — :class:`ClosedChain` instances or position
+        sequences.  Input order is preserved in the result.
+    params:
+        Algorithm constants shared by the whole fleet (sweeps over
+        parameters run one batch per parameter setting).
+    engine:
+        ``"vectorized"`` (default here — batches exist for throughput)
+        or ``"reference"``.
+    check_invariants:
+        Per-round invariant checking for every simulation (slow).
+    workers:
+        Process count.  ``None`` or ``1`` runs in-process; ``>= 2``
+        distributes over a ``concurrent.futures`` process pool.
+    keep_reports:
+        Keep per-round :class:`RoundReport` lists on each result.  Turn
+        off for large sweeps that only need aggregate outcomes (and to
+        bound pickling when ``workers > 1``).
+    validate_initial:
+        Enforce the paper's initial-configuration assumptions on every
+        chain before running.
+    """
+
+    def __init__(self, chains: Sequence[Union[ClosedChain, Sequence[tuple]]],
+                 params: Parameters = DEFAULT_PARAMETERS,
+                 engine: str = "vectorized",
+                 check_invariants: bool = False,
+                 workers: Optional[int] = None,
+                 keep_reports: bool = True,
+                 validate_initial: bool = True):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.positions: List[List[tuple]] = [
+            list(c.positions) if isinstance(c, ClosedChain) else
+            [(int(x), int(y)) for x, y in c]
+            for c in chains]
+        self.params = params
+        self.engine = engine
+        self.check_invariants = check_invariants
+        self.workers = int(workers) if workers else 1
+        self.keep_reports = keep_reports
+        self.validate_initial = validate_initial
+
+    # ------------------------------------------------------------------
+    def _jobs(self, max_rounds: Optional[int]) -> List[_Job]:
+        return [(pts, self.params, self.engine, self.check_invariants,
+                 max_rounds, self.validate_initial, self.keep_reports)
+                for pts in self.positions]
+
+    def run(self, max_rounds: Optional[int] = None) -> BatchResult:
+        """Gather the whole fleet and return per-chain results in order."""
+        jobs = self._jobs(max_rounds)
+        t0 = time.perf_counter()
+        workers = min(self.workers, len(jobs)) if jobs else 1
+        if workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk = max(1, len(jobs) // (4 * workers))
+                results = list(pool.map(_gather_job, jobs, chunksize=chunk))
+        else:
+            results = [_gather_job(job) for job in jobs]
+        return BatchResult(results=results,
+                           wall_time=time.perf_counter() - t0,
+                           workers=workers)
+
+
+def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],
+                 params: Parameters = DEFAULT_PARAMETERS,
+                 engine: str = "vectorized",
+                 check_invariants: bool = False,
+                 workers: Optional[int] = None,
+                 keep_reports: bool = True,
+                 max_rounds: Optional[int] = None,
+                 validate_initial: bool = True) -> BatchResult:
+    """Gather a fleet of chains (one-call convenience API)."""
+    sim = BatchSimulator(chains, params=params, engine=engine,
+                         check_invariants=check_invariants,
+                         workers=workers, keep_reports=keep_reports,
+                         validate_initial=validate_initial)
+    return sim.run(max_rounds=max_rounds)

@@ -6,21 +6,66 @@ integer identities.  Chain neighbours must occupy the same or
 condition).  Merging — the removal of one of two co-located chain
 neighbours, combining their neighbourhoods — is realised by
 :meth:`ClosedChain.contract_coincident`.
+
+Storage model (DESIGN.md §2.8): positions live in a NumPy ``(n, 2)``
+int64 array.  Two derived representations are cached and invalidated
+by a dirty flag on mutation:
+
+* a list of ``(x, y)`` tuples serving the per-robot scalar read paths
+  (:meth:`position`, :class:`~repro.core.view.ChainWindow`), so callers
+  keep the original tuple semantics;
+* the edge-code array (0=E, 1=N, 2=W, 3=S, -1=zero edge, -2=broken)
+  consumed by the vectorised merge detector and run-start scanner
+  (:mod:`repro.core.engine_vectorized`).
+
+Both caches are rebuilt at most once per round, which keeps the scalar
+paths as fast as the original list-backed chain while giving the
+vectorised round pipeline zero-copy array access.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Container, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ChainError
 from repro.grid.lattice import (
     Vec,
     BoundingBox,
-    bounding_box,
     manhattan,
     sub,
 )
+
+#: Edge-code -> unit-vector lookup shared by the vectorised scanners.
+CODE_TO_DIR: Tuple[Vec, ...] = ((1, 0), (0, 1), (-1, 0), (0, -1))
+
+
+def encode_edges(positions) -> np.ndarray:
+    """Direction code (0=E, 1=N, 2=W, 3=S) of every cyclic edge.
+
+    Accepts a position sequence or an ``(n, 2)`` integer array.  A zero
+    edge (coincident neighbours) encodes as ``-1``; any other non-unit
+    delta — diagonal or longer, only possible on structurally broken
+    chains — encodes as ``-2`` so downstream defensive branches can
+    tell "transient merge residue" from "chain is broken" exactly as
+    the vector-based recognisers do.
+    """
+    p = np.asarray(positions, dtype=np.int64)
+    n = len(p)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    e = np.empty_like(p)
+    np.subtract(p[1:], p[:-1], out=e[:-1])
+    e[-1] = p[0] - p[-1]
+    dx, dy = e[:, 0], e[:, 1]
+    # E(1,0)->0, W(-1,0)->2 via 1-dx; N(0,1)->1, S(0,-1)->3 via 2-dy
+    code = np.where(dy == 0, 1 - dx, 2 - dy)
+    manhattan_len = np.abs(dx) + np.abs(dy)
+    code[manhattan_len != 1] = -2
+    code[manhattan_len == 0] = -1
+    return code
 
 
 @dataclass(frozen=True)
@@ -39,13 +84,20 @@ class ClosedChain:
     robots are removed) or by a stable id assigned at construction.
     """
 
-    __slots__ = ("_pos", "_ids", "_next_id", "_index_of_id")
+    __slots__ = ("_arr", "_ids", "_next_id", "_index_of_id",
+                 "_pos_cache", "_codes_cache", "_codes_list_cache",
+                 "_invalid_edges")
 
     def __init__(self, positions: Sequence[Vec], validate: bool = True,
                  require_disjoint_neighbors: bool = False):
-        self._pos: List[Vec] = [(int(x), int(y)) for x, y in positions]
-        self._ids: List[int] = list(range(len(self._pos)))
-        self._next_id = len(self._pos)
+        pos = [(int(x), int(y)) for x, y in positions]
+        self._arr = np.asarray(pos, dtype=np.int64).reshape(len(pos), 2)
+        self._pos_cache: Optional[List[Vec]] = pos
+        self._codes_cache: Optional[np.ndarray] = None
+        self._codes_list_cache: Optional[List[int]] = None
+        self._invalid_edges = -1           # -1: unknown until codes built
+        self._ids: List[int] = list(range(len(pos)))
+        self._next_id = len(pos)
         self._rebuild_index()
         if validate:
             self.validate(initial=require_disjoint_neighbors)
@@ -71,11 +123,33 @@ class ClosedChain:
     def copy(self) -> "ClosedChain":
         """Deep copy preserving robot ids."""
         c = ClosedChain.__new__(ClosedChain)
-        c._pos = list(self._pos)
+        c._arr = self._arr.copy()
+        c._pos_cache = None
+        c._codes_cache = None
+        c._codes_list_cache = None
+        c._invalid_edges = -1
         c._ids = list(self._ids)
         c._next_id = self._next_id
         c._rebuild_index()
         return c
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._pos_cache = None
+        self._codes_cache = None
+        self._codes_list_cache = None
+        self._invalid_edges = -1
+
+    def _pos_list(self) -> List[Vec]:
+        """The cached tuple-list rendering of the position array."""
+        pos = self._pos_cache
+        if pos is None:
+            a = self._arr
+            pos = list(zip(a[:, 0].tolist(), a[:, 1].tolist()))
+            self._pos_cache = pos
+        return pos
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -83,24 +157,89 @@ class ClosedChain:
     @property
     def n(self) -> int:
         """Current number of robots."""
-        return len(self._pos)
+        return len(self._ids)
 
     def __len__(self) -> int:
-        return len(self._pos)
+        return len(self._ids)
 
     @property
     def positions(self) -> List[Vec]:
         """Positions in chain order (fresh list; safe to mutate)."""
-        return list(self._pos)
+        return list(self._pos_list())
 
     @property
     def ids(self) -> List[int]:
         """Robot ids in chain order (fresh list)."""
         return list(self._ids)
 
+    def positions_view(self) -> List[Vec]:
+        """Positions in chain order, zero-copy.
+
+        The returned list is the chain's internal cache — treat it as
+        read-only and do not hold it across mutations.  This is the read
+        path for the per-round hot loops (DESIGN.md §2.8).
+        """
+        return self._pos_list()
+
+    def ids_view(self) -> List[int]:
+        """Robot ids in chain order, zero-copy (read-only contract).
+
+        Public accessor for bulk scans such as
+        :meth:`~repro.core.view.ChainWindow.runs_ahead`; do not mutate
+        and do not hold across mutations.
+        """
+        return self._ids
+
+    def index_map(self) -> Dict[int, int]:
+        """The id -> chain index mapping, zero-copy (read-only contract).
+
+        Bulk form of :meth:`index_of_id` for per-round loops; do not
+        mutate and do not hold across mutations.
+        """
+        return self._index_of_id
+
+    def positions_array(self) -> np.ndarray:
+        """The backing ``(n, 2)`` int64 position array (read-only view)."""
+        v = self._arr.view()
+        v.flags.writeable = False
+        return v
+
+    def edge_codes(self) -> np.ndarray:
+        """Cached direction codes of all cyclic edges (read-only).
+
+        Codes follow :func:`encode_edges`; the cache is invalidated by
+        every mutation and rebuilt lazily, so within one FSYNC snapshot
+        the merge detector and the run-start scanner share one encoding
+        pass.
+        """
+        codes = self._codes_cache
+        if codes is None:
+            codes = encode_edges(self._arr)
+            self._codes_cache = codes
+            self._invalid_edges = int(np.count_nonzero(codes == -1))
+        view = codes.view()
+        view.flags.writeable = False
+        return view
+
+    def edge_codes_list(self) -> List[int]:
+        """The edge codes as a cached Python list (read-only contract).
+
+        Serves the per-robot scalar paths (the window's
+        :meth:`~repro.core.view.ChainWindow.ahead_codes`), where list
+        indexing beats NumPy element access by an order of magnitude.
+        """
+        lst = self._codes_list_cache
+        if lst is None:
+            lst = self.edge_codes().tolist()
+            self._codes_list_cache = lst
+        return lst
+
     def position(self, index: int) -> Vec:
         """Position of the robot at a (cyclic) chain index."""
-        return self._pos[index % len(self._pos)]
+        pos = self._pos_cache
+        if pos is None:
+            pos = self._pos_list()
+        return pos[index % len(pos)]
 
     def id_at(self, index: int) -> int:
         """Stable id of the robot at a (cyclic) chain index."""
@@ -119,25 +258,36 @@ class ClosedChain:
 
     def position_of_id(self, robot_id: int) -> Vec:
         """Position of a robot addressed by id."""
-        return self._pos[self._index_of_id[robot_id]]
+        return self._pos_list()[self._index_of_id[robot_id]]
 
     def edge(self, index: int) -> Vec:
         """Vector from robot ``index`` to its successor (cyclic)."""
-        n = len(self._pos)
-        return sub(self._pos[(index + 1) % n], self._pos[index % n])
+        pos = self._pos_list()
+        n = len(pos)
+        return sub(pos[(index + 1) % n], pos[index % n])
 
     def edges(self) -> List[Vec]:
         """All ``n`` cyclic edge vectors."""
-        n = len(self._pos)
-        return [sub(self._pos[(i + 1) % n], self._pos[i]) for i in range(n)]
+        pos = self._pos_list()
+        n = len(pos)
+        return [sub(pos[(i + 1) % n], pos[i]) for i in range(n)]
 
     def bounding_box(self) -> BoundingBox:
         """Axis-aligned bounding box of all robots."""
-        return bounding_box(self._pos)
+        if len(self._ids) == 0:
+            raise ValueError("bounding_box() of empty point set")
+        a = self._arr
+        return BoundingBox(int(a[:, 0].min()), int(a[:, 1].min()),
+                           int(a[:, 0].max()), int(a[:, 1].max()))
 
     def is_gathered(self) -> bool:
         """Paper's termination condition: everything inside a 2×2 subgrid."""
-        return self.bounding_box().fits_in(2, 2)
+        a = self._arr
+        x = a[:, 0]
+        if int(x.max()) - int(x.min()) > 1:
+            return False
+        y = a[:, 1]
+        return int(y.max()) - int(y.min()) <= 1
 
     # ------------------------------------------------------------------
     # mutation
@@ -149,46 +299,152 @@ class ClosedChain:
         caller is responsible for chain-safety, which :meth:`validate`
         re-checks.
         """
+        if not moves:
+            return
+        pos = self._pos_list()
+        n = len(pos)
+        index_of = self._index_of_id
+        idxs: List[int] = []
+        vals: List[Vec] = []
         for robot_id, d in moves.items():
-            if max(abs(d[0]), abs(d[1])) > 1:
+            dx, dy = d
+            if dx > 1 or dx < -1 or dy > 1 or dy < -1:
                 raise ChainError(f"illegal hop {d!r} for robot {robot_id}")
-            i = self._index_of_id[robot_id]
-            p = self._pos[i]
-            self._pos[i] = (p[0] + d[0], p[1] + d[1])
+            i = index_of[robot_id]
+            p = pos[i]
+            new_p = (p[0] + dx, p[1] + dy)
+            pos[i] = new_p               # keep the tuple cache coherent
+            idxs.append(i)
+            vals.append(new_p)
+        if len(idxs) == 1:
+            self._arr[idxs[0]] = vals[0]
+        else:
+            self._arr[idxs] = vals       # one batched scatter write
+        codes = self._codes_cache
+        if codes is None or len(idxs) * 16 >= n:
+            # dense rounds: a fresh vectorised encoding (lazily, at the
+            # next edge_codes access) beats per-edge bookkeeping
+            self._codes_cache = None
+            self._codes_list_cache = None
+            self._invalid_edges = -1
+        else:
+            # incremental code maintenance: only the two edges incident
+            # to each mover can change; recompute them from the updated
+            # tuple cache (Python-side, against the list rendering) and
+            # sync the array with one scatter, keeping the zero-edge
+            # counter exact
+            cl = self._codes_list_cache
+            if cl is None:
+                cl = codes.tolist()
+                self._codes_list_cache = cl
+            affected = set(idxs)
+            for i in idxs:
+                affected.add(i - 1 if i else n - 1)
+            upd_idx: List[int] = []
+            upd_val: List[int] = []
+            invalid = self._invalid_edges
+            for e in affected:
+                a = pos[e]
+                b = pos[e + 1 if e + 1 < n else 0]
+                dx = b[0] - a[0]
+                dy = b[1] - a[1]
+                if dy == 0 and (dx == 1 or dx == -1):
+                    nc = 1 - dx
+                elif dx == 0 and (dy == 1 or dy == -1):
+                    nc = 2 - dy
+                elif dx == 0 and dy == 0:
+                    nc = -1
+                else:
+                    nc = -2              # broken edge (see encode_edges)
+                oc = cl[e]
+                if oc != nc:
+                    cl[e] = nc
+                    upd_idx.append(e)
+                    upd_val.append(nc)
+                    invalid += (1 if nc == -1 else 0) - (1 if oc == -1 else 0)
+            if upd_idx:
+                if len(upd_idx) == 1:
+                    codes[upd_idx[0]] = upd_val[0]
+                else:
+                    codes[upd_idx] = upd_val
+            self._invalid_edges = invalid
 
-    def contract_coincident(self, moved_ids: Optional[Set[int]] = None) -> List[MergeRecord]:
+    def contract_coincident(self, moved_ids: Optional[Container[int]] = None) -> List[MergeRecord]:
         """Merge every co-located chain-neighbour pair until none remain.
 
         The surviving robot of a pair is the one that moved this round
         (the paper removes the stationary *white* robot); if both or
         neither moved, the lower id survives.  Returns the merge records
         in the order performed.
+
+        One linear pass over the chain: within a block of co-located
+        robots the earliest pair always merges first, which reproduces
+        the restart-scan order of the original implementation, and the
+        wrap-around pair is resolved last (it can only coincide once no
+        interior pair does).  See DESIGN.md §2.8.
         """
+        if len(self._ids) < 2:
+            return []
+        # fast path: a coincident neighbour pair is exactly a zero edge,
+        # i.e. a -1 edge code on a connected chain.  The chain keeps an
+        # exact count of -1 codes alongside the code cache (rebuilt here
+        # if stale), so on merge-free rounds — the common case — this
+        # check is O(1), and the encoding it may force is the same one
+        # the next round's detector and run-start scanner consume.
+        if self._invalid_edges < 0:
+            self.edge_codes()              # rebuild cache + counter
+        if self._invalid_edges == 0:
+            return []
+
+        pos = self._pos_list()
         moved = moved_ids or set()
+        ids = self._ids
         records: List[MergeRecord] = []
-        changed = True
-        while changed and len(self._pos) > 1:
-            changed = False
-            n = len(self._pos)
-            for i in range(n):
-                j = (i + 1) % n
-                if i == j:
-                    break
-                if self._pos[i] == self._pos[j]:
-                    id_i, id_j = self._ids[i], self._ids[j]
-                    i_moved = id_i in moved
-                    j_moved = id_j in moved
-                    if i_moved and not j_moved:
-                        keep, drop = i, j
-                    elif j_moved and not i_moved:
-                        keep, drop = j, i
-                    else:
-                        keep, drop = (i, j) if id_i < id_j else (j, i)
-                    records.append(MergeRecord(self._ids[keep], self._ids[drop], self._pos[keep]))
-                    del self._pos[drop]
-                    del self._ids[drop]
-                    changed = True
-                    break
+
+        def keep_first(id_a: int, id_b: int) -> bool:
+            # pair order (a, b) = (lower chain index, higher chain index)
+            a_moved = id_a in moved
+            b_moved = id_b in moved
+            if a_moved != b_moved:
+                return a_moved
+            return id_a < id_b
+
+        out_pos: List[Vec] = []
+        out_ids: List[int] = []
+        for p, rid in zip(pos, ids):
+            if out_pos and out_pos[-1] == p:
+                top = out_ids[-1]
+                if keep_first(top, rid):
+                    records.append(MergeRecord(top, rid, p))
+                else:
+                    records.append(MergeRecord(rid, top, p))
+                    out_ids[-1] = rid
+            else:
+                out_pos.append(p)
+                out_ids.append(rid)
+        # wrap-around pair: (last, first) in scan order
+        head = 0
+        while len(out_pos) - head > 1 and out_pos[-1] == out_pos[head]:
+            last_id, first_id = out_ids[-1], out_ids[head]
+            if keep_first(last_id, first_id):
+                records.append(MergeRecord(last_id, first_id, out_pos[-1]))
+                head += 1
+            else:
+                records.append(MergeRecord(first_id, last_id, out_pos[head]))
+                out_pos.pop()
+                out_ids.pop()
+
+        if head:
+            out_pos = out_pos[head:]
+            out_ids = out_ids[head:]
+        if not records:
+            return []                      # counter was conservative; no change
+        self._arr = np.asarray(out_pos, dtype=np.int64).reshape(len(out_pos), 2)
+        self._pos_cache = out_pos
+        self._codes_cache = None
+        self._codes_list_cache = None
+        self._invalid_edges = -1
+        self._ids = out_ids
         self._rebuild_index()
         return records
 
@@ -212,7 +468,8 @@ class ClosedChain:
         assumption that no two chain neighbours coincide (which forces
         even ``n``) and that the chain has at least 4 robots.
         """
-        n = len(self._pos)
+        pos = self._pos_list()
+        n = len(pos)
         if n == 0:
             raise ChainError("empty chain")
         if initial:
@@ -222,8 +479,8 @@ class ClosedChain:
                 raise ChainError(
                     f"a closed chain with unit edges has even length, got n = {n}")
         for i in range(n):
-            a = self._pos[i]
-            b = self._pos[(i + 1) % n]
+            a = pos[i]
+            b = pos[(i + 1) % n]
             d = manhattan(a, b)
             if d > 1:
                 raise ChainError(

@@ -60,6 +60,10 @@ class Parameters:
     travel_steps: int = 3
     endpoint_guard: bool = True
     sequent_guard: bool = True
+    #: Merge length cap after applying the visibility constraint —
+    #: derived in ``__post_init__``; a plain attribute because the
+    #: policy reads it on every run decision (measured hot path).
+    effective_k_max: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.viewing_path_length < 4:
@@ -73,14 +77,10 @@ class Parameters:
             raise ValueError("passing_distance must be at least 1")
         if self.travel_steps < 1:
             raise ValueError("travel_steps must be at least 1")
-
-    @property
-    def effective_k_max(self) -> int:
-        """Merge length cap after applying the visibility constraint."""
+        # the dataclass is frozen, so bypass __setattr__ for the derived cap
         cap = self.viewing_path_length - 1
-        if self.k_max is None:
-            return cap
-        return min(self.k_max, cap)
+        object.__setattr__(self, "effective_k_max",
+                           cap if self.k_max is None else min(self.k_max, cap))
 
     def round_budget(self, n: int) -> int:
         """Generous linear round budget used as the stall threshold.

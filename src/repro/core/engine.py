@@ -2,9 +2,9 @@
 
 Executes the round pipeline of DESIGN.md §2.8: one snapshot, all
 decisions from it, simultaneous movement, merging, run maintenance.
-The merge detector is pluggable so the vectorised engine
-(:mod:`repro.core.engine_vectorized`) can reuse the entire pipeline and
-differ only in the hot inner loop.
+The merge detector and the run-start scanner are pluggable so the
+vectorised engine (:mod:`repro.core.engine_vectorized`) can reuse the
+entire pipeline and differ only in the hot inner loops.
 """
 
 from __future__ import annotations
@@ -22,8 +22,18 @@ from repro.core.runs import RunMode, RunRegistry, RunState, StopReason
 from repro.core.view import ChainWindow
 from repro.core import invariants
 
-#: Signature of a merge-pattern detector: positions -> patterns.
+#: Shared empty plan for merge-free rounds (the common case).  Never
+#: mutated: the engine only reads ``participants``/``hops``/``patterns``.
+_EMPTY_MERGE_PLAN = MergePlan()
+
+#: Signature of a merge-pattern detector: positions -> patterns.  A
+#: detector with a truthy ``wants_edge_codes`` attribute additionally
+#: receives the chain's cached edge codes as a ``codes`` keyword.
 MergeDetector = Callable[[Sequence[Vec], int], List[MergePattern]]
+
+#: Signature of a run-start scanner: chain -> (chain index, RunStart)
+#: pairs in reference order (ascending index, direction +1 before -1).
+StartScanner = Callable[[ClosedChain], List[Tuple[int, RunStart]]]
 
 
 class Engine:
@@ -37,6 +47,11 @@ class Engine:
         Algorithm constants.
     merge_detector:
         Pattern detector; defaults to the pure-Python reference scanner.
+    start_scanner:
+        Bulk run-start scanner replacing the per-robot
+        :func:`run_start_decisions` loop; defaults to the reference
+        per-window path.  Must be behaviourally equivalent (the
+        contract is property-tested, see DESIGN.md §2.8).
     check_invariants:
         Verify model invariants after every round (slower; on in tests).
     trace:
@@ -45,6 +60,7 @@ class Engine:
 
     def __init__(self, chain: ClosedChain, params: Parameters,
                  merge_detector: Optional[MergeDetector] = None,
+                 start_scanner: Optional[StartScanner] = None,
                  check_invariants: bool = True,
                  trace: Optional[Trace] = None):
         self.chain = chain
@@ -52,6 +68,9 @@ class Engine:
         self.registry = RunRegistry()
         self.round_index = 0
         self._detector: MergeDetector = merge_detector or find_merge_patterns
+        self._detector_wants_codes = bool(
+            getattr(self._detector, "wants_edge_codes", False))
+        self._start_scanner = start_scanner
         self._check = check_invariants
         self.trace = trace
 
@@ -61,8 +80,8 @@ class Engine:
         runs = tuple(
             RunSnapshot(r.run_id, r.robot_id, r.direction, r.mode.value, r.born_round)
             for r in self.registry.active_runs())
-        return Snapshot(self.round_index, tuple(self.chain.positions),
-                        tuple(self.chain.ids), runs)
+        return Snapshot(self.round_index, tuple(self.chain.positions_view()),
+                        tuple(self.chain.ids_view()), runs)
 
     # ------------------------------------------------------------------
     def _select_moves(self, moves: Dict[int, Vec]) -> Dict[int, Vec]:
@@ -78,129 +97,161 @@ class Engine:
     def step(self) -> RoundReport:
         """Execute one full FSYNC round and return its report."""
         chain, params, registry = self.chain, self.params, self.registry
+        round_index = self.round_index
         n0 = chain.n
-        report = RoundReport(round_index=self.round_index, n_before=n0, n_after=n0,
-                             active_runs=len(registry))
+        terminated: Dict[StopReason, int] = {}
+        runner_hop_conflicts = 0
+        runs_started = 0
         if self.trace is not None:
             self.trace.record_snapshot(self.snapshot())
-        pos_before = {rid: chain.position_of_id(rid) for rid in chain.ids} if self._check else {}
+        pos_before = {rid: chain.position_of_id(rid)
+                      for rid in chain.ids_view()} if self._check else {}
 
-        ids = chain.ids
+        ids = chain.ids_view()
+        positions = chain.positions_view()
         # snapshot the (sparse) run placement once per round; the window
-        # lookups in decide_run are the measured hot path
+        # lookups in decide_run are the measured hot path.  The bound
+        # ``dict.get`` doubles as the window's ``runs_of`` callable
+        # (missing robots yield None, which the window treats as "no
+        # runs") — one Python frame less per probe.
+        active = registry.active_runs()
         run_dirs: Dict[int, Tuple[int, ...]] = {}
-        for run in registry.active_runs():
+        for run in active:
             prev = run_dirs.get(run.robot_id, ())
             run_dirs[run.robot_id] = prev + (run.direction,)
-        empty: Tuple[int, ...] = ()
-
-        def lookup(robot_id: int, _table=run_dirs, _empty=empty):
-            return _table.get(robot_id, _empty)
+        lookup = run_dirs.get
+        index_map = chain.index_map()
+        # carrier chain indices split by run direction, for the windows'
+        # bulk runs_ahead scans
+        fwd_carriers: List[int] = []
+        bwd_carriers: List[int] = []
+        for rid, dirs in run_dirs.items():
+            ci = index_map[rid]
+            if 1 in dirs:
+                fwd_carriers.append(ci)
+            if -1 in dirs:
+                bwd_carriers.append(ci)
+        carriers = (fwd_carriers, bwd_carriers)
 
         # 1-2. merge plan ---------------------------------------------------
         if n0 >= 4:
-            patterns = self._detector(chain.positions, params.effective_k_max)
-            mplan = plan_merges(chain.positions, ids, params.effective_k_max,
-                                patterns=patterns)
+            k_eff = params.effective_k_max
+            if self._detector_wants_codes:
+                patterns = self._detector(positions, k_eff,
+                                          codes=chain.edge_codes(),
+                                          codes_list=chain.edge_codes_list())
+            else:
+                patterns = self._detector(positions, k_eff)
+            mplan = plan_merges(positions, ids, k_eff, patterns=patterns) \
+                if patterns else _EMPTY_MERGE_PLAN
         else:
-            mplan = MergePlan()
-        report.merge_patterns = len(mplan.patterns)
-        report.merge_conflicts = mplan.conflicts
+            mplan = _EMPTY_MERGE_PLAN
 
         # 3. run decisions ----------------------------------------------------
         decisions: List[RunDecision] = []
-        for run in registry.active_runs():
-            idx = chain.index_of_id(run.robot_id)
-            window = ChainWindow(chain, idx, params.viewing_path_length, lookup)
-            decisions.append(decide_run(run, window, params, mplan.participants))
+        if active:
+            # one window slides over all runners; every decision reads the
+            # same pre-move snapshot, so re-anchoring is safe
+            window = ChainWindow(chain, 0, params.viewing_path_length, lookup,
+                                 carriers=carriers)
+            participants = mplan.participants
+            for run in active:
+                window.reanchor(index_map[run.robot_id])
+                decisions.append(decide_run(run, window, params, participants))
 
         # 4. run starts (every L-th round) -------------------------------------
         starts: List[Tuple[int, RunStart]] = []
-        if self.round_index % params.start_interval == 0:
-            for i in range(chain.n):
-                rid = ids[i]
-                if rid in mplan.participants:
-                    continue
-                window = ChainWindow(chain, i, params.viewing_path_length, lookup)
-                for rs in run_start_decisions(window):
-                    starts.append((rid, rs))
-
-        # 5. resolve and apply hops --------------------------------------------
-        moves: Dict[int, Vec] = dict(mplan.hops)
-        runner_hops: Dict[int, List[Vec]] = {}
-        for dec in decisions:
-            if dec.hop is not None and dec.stop_reason is None:
-                rid = dec.run.robot_id
-                if rid not in mplan.participants:
-                    runner_hops.setdefault(rid, []).append(dec.hop)
-        for rid, hops in runner_hops.items():
-            if len(set(hops)) == 1:
-                moves[rid] = hops[0]
-                for dec in decisions:
-                    if dec.run.robot_id == rid and dec.hop is not None:
-                        dec.run.hops += 1
+        if round_index % params.start_interval == 0:
+            participants = mplan.participants
+            if self._start_scanner is not None:
+                for i, rs in self._start_scanner(chain):
+                    rid = ids[i]
+                    if rid not in participants:
+                        starts.append((rid, rs))
             else:
-                report.runner_hop_conflicts += 1
+                window = ChainWindow(chain, 0, params.viewing_path_length,
+                                     lookup)
+                for i in range(chain.n):
+                    rid = ids[i]
+                    if rid in participants:
+                        continue
+                    for rs in run_start_decisions(window.reanchor(i)):
+                        starts.append((rid, rs))
+
+        # 5-6. resolve hops; run terminations and mode transitions --------------
+        # decisions are paired with `active` positionally; the shared
+        # _CONTINUE decision carries no run reference.  State transitions
+        # and hop collection fuse into one pass: run state never reads
+        # the chain, so its order against the movement is immaterial.
+        moves: Dict[int, Vec] = dict(mplan.hops)
+        runner_hops: Dict[int, List[Tuple[RunState, Vec]]] = {}
+        participants = mplan.participants
+        for run, dec in zip(active, decisions):
+            stop = dec.stop_reason
+            if stop is not None:
+                registry.stop(run, stop, round_index)
+                terminated[stop] = terminated.get(stop, 0) + 1
+                continue
+            hop = dec.hop
+            if hop is not None and run.robot_id not in participants:
+                runner_hops.setdefault(run.robot_id, []).append((run, hop))
+            mode_after = dec.mode_after
+            if mode_after is not None:
+                run.mode = mode_after
+            if dec.target_after_set:
+                run.target_id = dec.target_after
+            elif mode_after is RunMode.NORMAL:
+                run.target_id = None
+            if dec.travel_steps_after is not None:
+                run.travel_steps_left = dec.travel_steps_after
+            elif mode_after is RunMode.TRAVEL and run.travel_steps_left <= 0:
+                run.travel_steps_left = params.travel_steps
+        for rid, pairs in runner_hops.items():
+            if len({hop for _, hop in pairs}) == 1:
+                moves[rid] = pairs[0][1]
+                for r, _ in pairs:
+                    r.hops += 1
+            else:
+                runner_hop_conflicts += 1
         moves = self._select_moves(moves)
         chain.apply_moves(moves)
-        report.hops = len(moves)
-
-        # 6. run terminations and mode transitions ------------------------------
-        for dec in decisions:
-            run = dec.run
-            if dec.stop_reason is not None:
-                registry.stop(run, dec.stop_reason, self.round_index)
-                report.runs_terminated[dec.stop_reason] = \
-                    report.runs_terminated.get(dec.stop_reason, 0) + 1
-            else:
-                if dec.mode_after is not None:
-                    run.mode = dec.mode_after
-                if dec.target_after_set:
-                    run.target_id = dec.target_after
-                elif dec.mode_after is RunMode.NORMAL:
-                    run.target_id = None
-                if dec.travel_steps_after is not None:
-                    run.travel_steps_left = dec.travel_steps_after
-                elif dec.mode_after is RunMode.TRAVEL and run.travel_steps_left <= 0:
-                    run.travel_steps_left = params.travel_steps
 
         # 7. contraction (merging co-located chain neighbours) --------------------
-        records = chain.contract_coincident(set(moves))
-        report.merges = records
-        removed = {r.removed_id for r in records}
-        for run in registry.active_runs():
-            if run.robot_id in removed:
-                registry.stop(run, StopReason.RUNNER_REMOVED, self.round_index)
-                report.runs_terminated[StopReason.RUNNER_REMOVED] = \
-                    report.runs_terminated.get(StopReason.RUNNER_REMOVED, 0) + 1
+        records = chain.contract_coincident(moves.keys())
+        if records:
+            # a run can only lose its carrier or target through this
+            # round's contraction, so both checks are no-ops without one
+            removed = {r.removed_id for r in records}
+            for run in registry.active_runs():
+                if run.robot_id in removed:
+                    registry.stop(run, StopReason.RUNNER_REMOVED, round_index)
+                    terminated[StopReason.RUNNER_REMOVED] = \
+                        terminated.get(StopReason.RUNNER_REMOVED, 0) + 1
 
-        # 8. target-removal terminations (Table 1.4/1.5) ---------------------------
-        for run in registry.active_runs():
-            if run.target_id is not None and not chain.has_id(run.target_id):
-                reason = (StopReason.PASSING_TARGET_REMOVED
-                          if run.mode is RunMode.PASSING
-                          else StopReason.TRAVEL_TARGET_REMOVED)
-                registry.stop(run, reason, self.round_index)
-                report.runs_terminated[reason] = \
-                    report.runs_terminated.get(reason, 0) + 1
+            # 8. target-removal terminations (Table 1.4/1.5) -----------------------
+            for run in registry.active_runs():
+                if run.target_id is not None and not chain.has_id(run.target_id):
+                    reason = (StopReason.PASSING_TARGET_REMOVED
+                              if run.mode is RunMode.PASSING
+                              else StopReason.TRAVEL_TARGET_REMOVED)
+                    registry.stop(run, reason, round_index)
+                    terminated[reason] = terminated.get(reason, 0) + 1
 
         # 9. move surviving runs one robot along their direction --------------------
-        moved_pairs = []
-        for run in registry.active_runs():
-            nxt = chain.neighbor_id(run.robot_id, run.direction)
-            registry.move(run, nxt)
-            moved_pairs.append((nxt, run.robot_id))
+        moved_pairs = registry.advance_runs(chain.ids_view(), chain.index_map())
         # contraction can push two same-direction runs onto one robot; a
         # robot cannot tell them apart, so the younger run dissolves.
-        for run in registry.active_runs():
+        for run in registry.crowded_runs():
+            if not run.active:
+                continue
             twins = [r for r in registry.runs_on(run.robot_id)
                      if r.direction == run.direction]
             if len(twins) > 1:
                 youngest = max(twins, key=lambda r: r.run_id)
                 registry.stop(youngest, StopReason.DUPLICATE_DIRECTION,
-                              self.round_index)
-                report.runs_terminated[StopReason.DUPLICATE_DIRECTION] = \
-                    report.runs_terminated.get(StopReason.DUPLICATE_DIRECTION, 0) + 1
+                              round_index)
+                terminated[StopReason.DUPLICATE_DIRECTION] = \
+                    terminated.get(StopReason.DUPLICATE_DIRECTION, 0) + 1
 
         # 10. create the new runs decided in step 4 ----------------------------------
         for rid, rs in starts:
@@ -208,20 +259,26 @@ class Engine:
                 continue
             mode = RunMode.INIT_CORNER if rs.kind == "ii" else RunMode.NORMAL
             created = registry.start(rid, rs.direction, rs.axis,
-                                     self.round_index, mode=mode)
+                                     round_index, mode=mode)
             if created is not None:
-                report.runs_started += 1
+                runs_started += 1
 
         # 11. invariants and bookkeeping ----------------------------------------------
-        report.n_after = chain.n
-        report.active_runs = len(registry)
+        report = RoundReport(round_index=round_index, n_before=n0,
+                             n_after=chain.n, hops=len(moves),
+                             merge_patterns=len(mplan.patterns),
+                             merges=records, runs_started=runs_started,
+                             runs_terminated=terminated,
+                             active_runs=len(registry),
+                             merge_conflicts=mplan.conflicts,
+                             runner_hop_conflicts=runner_hop_conflicts)
         if self._check:
             invariants.check_connectivity(chain)
             invariants.check_monotone_count(n0, chain.n)
-            pos_after = {rid: chain.position_of_id(rid) for rid in chain.ids}
+            pos_after = {rid: chain.position_of_id(rid) for rid in chain.ids_view()}
             invariants.check_hop_lengths(pos_before, pos_after)
             invariants.check_runs_alive(chain, registry)
-            invariants.check_run_speed(moved_pairs)
+            invariants.check_run_speed(chain, moved_pairs)
         if self.trace is not None:
             self.trace.record_report(report)
         self.round_index += 1

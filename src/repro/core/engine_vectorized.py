@@ -1,85 +1,218 @@
-"""NumPy-vectorised merge detection.
+"""NumPy-vectorised round-pipeline stages.
 
-Merge-pattern scanning is the per-round hot loop (it touches every edge
-of the chain every round, while runs are sparse).  This module provides
-a detector that is behaviourally identical to
-:func:`repro.core.patterns.find_merge_patterns` — the equivalence is
-property-tested — but performs the scan with array operations:
+The per-round hot loops of the reference engine are the merge-pattern
+scan (every edge, every round) and the run-start scan (every robot,
+every ``start_interval``-th round).  This module provides vectorised
+drop-ins for both — behavioural equivalence to the reference
+recognisers in :mod:`repro.core.patterns` is property-tested — wired
+into the ``"vectorized"`` engine by :class:`repro.core.simulator.Simulator`:
 
-1. encode each edge as a direction code 0..3;
-2. spikes (k = 1) are a single vectorised comparison against the rolled
-   code array;
-3. longer U-shapes are found on the run-length encoding of the code
-   sequence: a maximal straight run flanked by opposite perpendicular
-   codes is a pattern.
+* :func:`find_merge_patterns_np` — merge patterns from the run-length
+  encoding of the chain's edge-code sequence (paper Fig. 2);
+* :func:`scan_run_starts` — all robots' Fig. 5 run-start decisions in
+  one pass over the cached edge codes (run starts depend only on the
+  six edges around the anchor, so the whole chain resolves with a
+  handful of rolled comparisons).
 
-Following the optimisation guidance bundled with this project
-(profile, then vectorise the measured bottleneck), this is the only
-NumPy-specialised code path; everything else reuses the reference
-pipeline via the pluggable detector in :class:`repro.core.engine.Engine`.
+Both consume the edge-code cache maintained by
+:class:`~repro.core.chain.ClosedChain` (one encoding pass per FSYNC
+snapshot, shared by detector and scanner — DESIGN.md §2.8).  Following
+the optimisation guidance bundled with this project (profile, then
+vectorise the measured bottleneck), everything else reuses the
+reference pipeline via the pluggable hooks in
+:class:`repro.core.engine.Engine`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.grid.lattice import Vec
-from repro.core.patterns import MergePattern
+from repro.core.chain import CODE_TO_DIR, ClosedChain, encode_edges  # noqa: F401  (re-export)
+from repro.core.patterns import MergePattern, RunStart
 
-_CODE_TO_DIR: tuple = ((1, 0), (0, 1), (-1, 0), (0, -1))
-
-
-def encode_edges(positions: Sequence[Vec]) -> np.ndarray:
-    """Direction code (0=E, 1=N, 2=W, 3=S, -1=other) of every cyclic edge."""
-    p = np.asarray(positions, dtype=np.int64)
-    e = np.roll(p, -1, axis=0) - p
-    dx, dy = e[:, 0], e[:, 1]
-    code = np.full(len(p), -1, dtype=np.int64)
-    code[(dx == 1) & (dy == 0)] = 0
-    code[(dx == 0) & (dy == 1)] = 1
-    code[(dx == -1) & (dy == 0)] = 2
-    code[(dx == 0) & (dy == -1)] = 3
-    return code
+_CODE_TO_DIR: Tuple[Vec, ...] = CODE_TO_DIR
 
 
-def find_merge_patterns_np(positions: Sequence[Vec], k_max: int) -> List[MergePattern]:
-    """Vectorised equivalent of :func:`find_merge_patterns`."""
+#: Below this size the run-length scan runs in plain Python over the
+#: code list: per-call NumPy dispatch overhead (~1-2 µs per array op,
+#: ~25 ops) exceeds a tight integer loop until chains get this long.
+#: Both paths are behaviourally identical (shared property tests).
+_NUMPY_MIN_N = 1024
+
+
+def _merge_patterns_rle(code: np.ndarray, n: int, k_max: int,
+                        code_list: Optional[List[int]] = None) -> List[MergePattern]:
+    """Merge patterns from the run-length encoding of the code array.
+
+    Boundary finding is one vectorised comparison; the per-run checks
+    run in Python because the number of runs is small.  ``code_list``
+    may pass the chain's cached list rendering for the scalar reads.
+    """
+    interior = np.flatnonzero(code[1:] != code[:-1])
+    starts = [i + 1 for i in interior.tolist()]
+    if code[0] != code[-1]:
+        starts.insert(0, 0)
+    if not starts:
+        return []
+    m = len(starts)
+    if code_list is not None:
+        run_codes = [code_list[s] for s in starts]
+    else:
+        run_codes = code[starts].tolist()
+    patterns: List[MergePattern] = []
+    # k = 1 spikes: a run boundary whose codes are exact opposites
+    for r in range(m):
+        rc = run_codes[r]
+        pc = run_codes[r - 1]
+        if rc >= 0 and pc >= 0 and rc == (pc ^ 2):
+            patterns.append(MergePattern(first_black=starts[r], k=1,
+                                         direction=_CODE_TO_DIR[rc]))
+    if m < 3:
+        return patterns                       # a closed chain cannot be one run
+    # k >= 2: a straight run flanked by opposite perpendicular codes
+    for r in range(m):
+        rc = run_codes[r]
+        pc = run_codes[r - 1]
+        nc = run_codes[(r + 1) % m]
+        if rc < 0 or pc < 0 or nc < 0:
+            continue
+        if nc != (pc ^ 2) or not ((rc ^ pc) & 1):
+            continue
+        nxt_start = starts[r + 1] if r + 1 < m else starts[0] + n
+        k = nxt_start - starts[r] + 1
+        if k <= k_max and k + 2 <= n:
+            patterns.append(MergePattern(first_black=starts[r], k=k,
+                                         direction=_CODE_TO_DIR[nc]))
+    return patterns
+
+
+def find_merge_patterns_np(positions: Sequence[Vec], k_max: int,
+                           codes: Optional[np.ndarray] = None,
+                           codes_list: Optional[List[int]] = None) -> List[MergePattern]:
+    """Vectorised equivalent of :func:`repro.core.patterns.find_merge_patterns`.
+
+    ``codes`` may pass the chain's cached edge-code array
+    (:meth:`ClosedChain.edge_codes`) to skip re-encoding; otherwise the
+    codes are computed from ``positions``.
+
+    Everything is found on the run-length encoding of the cyclic code
+    sequence: a spike (k = 1) is a run boundary whose codes are exact
+    opposites, and a longer U-shape is a maximal straight run flanked
+    by opposite perpendicular codes.  The scan itself is adaptive: on
+    short chains it runs as a tight Python loop over the code list, on
+    long chains as NumPy array operations — same results either way
+    (DESIGN.md §2.8).
+    """
     n = len(positions)
     if n < 4:
         return []
-    code = encode_edges(positions)
+    code = encode_edges(positions) if codes is None else codes
+    if n < _NUMPY_MIN_N:
+        return _merge_patterns_rle(code, n, k_max, codes_list)
+
     prev = np.roll(code, 1)
+    starts = np.flatnonzero(code != prev)
+    if len(starts) == 0:
+        return []
+    run_codes = code[starts]
+    prev_codes = np.roll(run_codes, 1)
+    valid = run_codes >= 0
+    valid_prev = prev_codes >= 0
 
     patterns: List[MergePattern] = []
 
     # --- k = 1 spikes: lead edge followed immediately by its opposite ------
-    spike = (code >= 0) & (prev >= 0) & (code == (prev + 2) % 4)
-    for i in np.flatnonzero(spike):
-        patterns.append(MergePattern(first_black=int(i), k=1,
+    spike = valid & valid_prev & (run_codes == (prev_codes + 2) % 4)
+    for r in np.flatnonzero(spike):
+        i = int(starts[r])
+        patterns.append(MergePattern(first_black=i, k=1,
                                      direction=_CODE_TO_DIR[code[i]]))
 
-    # --- k >= 2: run-length encode the cyclic code sequence ----------------
-    change = code != prev
-    starts = np.flatnonzero(change)
+    # --- k >= 2: straight run flanked by opposite perpendicular codes ------
     if len(starts) < 3:
         return patterns                       # a closed chain cannot be one run
     lengths = np.diff(np.append(starts, starts[0] + n))
-    run_codes = code[starts]
-    prev_codes = np.roll(run_codes, 1)
     next_codes = np.roll(run_codes, -1)
 
-    valid = (run_codes >= 0) & (prev_codes >= 0) & (next_codes >= 0)
+    ok = valid & valid_prev & (next_codes >= 0)
     # flanks opposite: closing edge is the exact opposite of the lead edge
-    flanks_opposite = next_codes == (prev_codes + 2) % 4
+    ok &= next_codes == (prev_codes + 2) % 4
     # middle perpendicular to the flanks (parity of the code gives the axis)
-    perpendicular = ((run_codes ^ prev_codes) & 1) == 1
-    fits = (lengths >= 1) & (lengths + 1 <= k_max) & (lengths + 3 <= n)
-    mask = valid & flanks_opposite & perpendicular & fits
+    ok &= ((run_codes ^ prev_codes) & 1) == 1
+    ok &= (lengths + 1 <= k_max) & (lengths + 3 <= n)
 
-    for r in np.flatnonzero(mask):
-        d = _CODE_TO_DIR[next_codes[r]]
+    for r in np.flatnonzero(ok):
         patterns.append(MergePattern(first_black=int(starts[r]),
-                                     k=int(lengths[r]) + 1, direction=d))
+                                     k=int(lengths[r]) + 1,
+                                     direction=_CODE_TO_DIR[next_codes[r]]))
     return patterns
+
+
+#: Simulator/engine hook: this detector accepts the chain's cached codes.
+find_merge_patterns_np.wants_edge_codes = True
+
+
+def scan_run_starts(chain: ClosedChain) -> List[Tuple[int, RunStart]]:
+    """All robots' run-start decisions in one pass (paper Fig. 5).
+
+    Vectorised equivalent of calling
+    :func:`repro.core.patterns.run_start_decisions` on every robot's
+    window: returns ``(chain_index, RunStart)`` pairs in the reference
+    order (ascending index, chain direction ``+1`` before ``-1``).
+
+    With ``c`` the cyclic edge-code array, the window edges around
+    anchor ``i`` translate to rolled copies of ``c`` — e.g. for
+    ``sigma = +1`` the lead edge is ``c[i]``, the edge behind the anchor
+    is the opposite of ``c[i-1]`` — and the Fig. 5 shape conditions
+    become elementwise comparisons:
+
+    * axis-unit: the code is valid (``>= 0``);
+    * equality of window edges: equality of codes (both reversed or both
+      forward, so the opposites cancel);
+    * perpendicularity: the code parities differ (parity selects the axis).
+    """
+    c = chain.edge_codes()
+    n = len(c)
+    if n == 0:
+        return []
+    cm1 = np.roll(c, 1)
+    cm2 = np.roll(c, 2)
+    cp1 = np.roll(c, -1)
+
+    v0 = c >= 0
+    vm1 = cm1 >= 0
+    perp = ((c ^ cm1) & 1) == 1            # edges i and i-1 on different axes
+
+    # sigma = +1 candidates: anchor, m1, m2 aligned forward, a
+    # perpendicular axis-unit edge behind.  sigma = -1 candidates: the
+    # mirrored alignment backward.  The (rare) candidates are refined in
+    # Python below — the i/ii distinction needs two more edges, which is
+    # cheaper per candidate than two more whole-array rolls.
+    base_p = v0 & (cp1 == c) & vm1 & perp
+    base_m = vm1 & (cm2 == cm1) & v0 & perp
+
+    fired = np.flatnonzero(base_p | base_m)
+    if len(fired) == 0:
+        return []
+    cl = chain.edge_codes_list()
+    starts: List[Tuple[int, RunStart]] = []
+    for i in fired.tolist():
+        if base_p[i]:
+            g1 = cl[i - 1]                 # code behind the anchor
+            g2 = cl[i - 2]
+            if g2 == g1:
+                starts.append((i, RunStart(1, "ii", _CODE_TO_DIR[cl[i]])))
+            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[i - 3] == g1:
+                starts.append((i, RunStart(1, "i", _CODE_TO_DIR[cl[i]])))
+        if base_m[i]:
+            g1 = cl[i]                     # code "behind" toward +1
+            g2 = cl[(i + 1) % n]
+            axis = _CODE_TO_DIR[cl[i - 1] ^ 2]
+            if g2 == g1:
+                starts.append((i, RunStart(-1, "ii", axis)))
+            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[(i + 2) % n] == g1:
+                starts.append((i, RunStart(-1, "i", axis)))
+    return starts

@@ -36,7 +36,7 @@ class Snapshot:
     runs: Tuple[RunSnapshot, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundReport:
     """What happened during one FSYNC round."""
 

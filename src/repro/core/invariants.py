@@ -58,13 +58,16 @@ def check_runs_alive(chain: ClosedChain, registry: RunRegistry) -> None:
                 f"robot {rid} carries {count} runs (constant memory bound is 2)")
 
 
-def check_run_speed(moved_pairs: Sequence[tuple]) -> None:
+def check_run_speed(chain: ClosedChain, moved: Sequence[tuple]) -> None:
     """Lemma 3.1: every surviving run advanced exactly one robot.
 
-    ``moved_pairs`` holds ``(expected_next_id, actual_new_id)`` tuples
-    collected by the engine while moving runs.
+    ``moved`` holds ``(old_robot_id, new_robot_id, direction)`` triples
+    collected while moving runs; the expected neighbour is re-derived
+    from the chain here, independently of the value the mover assigned,
+    so a wrong-index bug in the advance sweep cannot pass silently.
     """
-    for expected, actual in moved_pairs:
-        if expected != actual:
+    for old_id, new_id, direction in moved:
+        expected = chain.neighbor_id(old_id, direction)
+        if expected != new_id:
             raise InvariantViolation(
-                f"run moved to robot {actual}, expected neighbour {expected}")
+                f"run moved {old_id} -> {new_id}, expected neighbour {expected}")

@@ -74,15 +74,18 @@ def plan_merges(positions: Sequence[Vec], ids: Sequence[int], k_max: int,
     # a strictly shorter pattern (see module docstring)
     black_min_k: Dict[int, int] = {}
     for pat in patterns:
-        for b in pat.black_indices(n):
+        fb, k = pat.first_black, pat.k
+        for j in range(k):
+            b = (fb + j) % n
             prev = black_min_k.get(b)
-            if prev is None or pat.k < prev:
-                black_min_k[b] = pat.k
+            if prev is None or k < prev:
+                black_min_k[b] = k
     executing: List[MergePattern] = []
     cancelled = 0
+    get_min_k = black_min_k.get
     for pat in patterns:
-        whites = pat.white_indices(n)
-        if any(black_min_k.get(w, pat.k) < pat.k for w in whites):
+        fb, k = pat.first_black, pat.k
+        if get_min_k((fb - 1) % n, k) < k or get_min_k((fb + k) % n, k) < k:
             cancelled += 1
         else:
             executing.append(pat)
@@ -91,12 +94,20 @@ def plan_merges(positions: Sequence[Vec], ids: Sequence[int], k_max: int,
     if not executing:
         return plan
 
+    participants = plan.participants
     directions: Dict[int, Set[Vec]] = {}
     for pat in executing:
-        for b in pat.black_indices(n):
-            directions.setdefault(b, set()).add(pat.direction)
-        for p in pat.participant_indices(n):
-            plan.participants.add(ids[p])
+        fb, k = pat.first_black, pat.k
+        participants.add(ids[(fb - 1) % n])
+        participants.add(ids[(fb + k) % n])
+        for j in range(k):
+            b = (fb + j) % n
+            dirs = directions.get(b)
+            if dirs is None:
+                directions[b] = {pat.direction}
+            else:
+                dirs.add(pat.direction)
+            participants.add(ids[b])
 
     for idx, dirs in directions.items():
         if len(dirs) == 1:

@@ -170,9 +170,27 @@ def _axis_of(v: Vec) -> str:
     return "x" if v[1] == 0 else "y"
 
 
+#: Unit edge -> direction code (parity of the code gives the axis);
+#: ``-1`` marks a zero edge, missing entries are diagonals.  The grammar
+#: below parses integer codes instead of vector tuples because the
+#: endpoint scan runs for every live run every round (see bench_engines).
+_VEC_TO_CODE = {(1, 0): 0, (0, 1): 1, (-1, 0): 2, (0, -1): 3, (0, 0): -1}
+
+_DIAGONAL = -2
+
+#: Memo for the endpoint grammar: (code tuple, axis parity, k_max) ->
+#: verdict.  The parse is pure and windows repeat heavily (a run on a
+#: straight quasi line sees the same code window for many rounds), so
+#: the hit rate is high on the measured hot path.  Bounded: cleared
+#: when it outgrows _ENDPOINT_CACHE_MAX distinct windows.
+_ENDPOINT_CACHE: dict = {}
+_ENDPOINT_CACHE_MAX = 1 << 15
+
+
 def endpoint_visible_ahead(window: ChainWindow, direction: int, axis: Vec,
                            k_max: int,
-                           edges: Optional[List[Vec]] = None) -> bool:
+                           edges: Optional[List[Vec]] = None,
+                           codes: Optional[List[int]] = None) -> bool:
     """Termination condition 2: the quasi line ends within view ahead.
 
     Walks the visible edges ahead of the runner and parses them with the
@@ -189,55 +207,74 @@ def endpoint_visible_ahead(window: ChainWindow, direction: int, axis: Vec,
     the quasi line.
 
     ``edges`` may pass a pre-fetched ``window.ahead_edges(direction,
-    window.limit)`` scan to share it with the caller's operation checks.
+    window.limit)`` scan to share it with the caller's operation checks;
+    ``codes`` may pass the equivalent ``window.ahead_codes`` scan
+    directly (the engine's hot path).
     """
     limit = window.limit
-    if edges is None:
-        edges = window.ahead_edges(direction, limit)
-    axis_name = _axis_of(axis)
+    if codes is None:
+        if edges is None:
+            edges = window.ahead_edges(direction, limit)
+        to_code = _VEC_TO_CODE.get
+        codes = [to_code(e, _DIAGONAL) for e in edges]
+    apar = 0 if axis[1] == 0 else 1        # parity of the quasi-line axis
+    key = (tuple(codes), limit, apar, k_max)
+    cached = _ENDPOINT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    verdict = _parse_endpoint(codes, limit, apar, k_max)
+    if len(_ENDPOINT_CACHE) >= _ENDPOINT_CACHE_MAX:
+        _ENDPOINT_CACHE.clear()
+    _ENDPOINT_CACHE[key] = verdict
+    return verdict
+
+
+def _parse_endpoint(codes: List[int], limit: int, apar: int, k_max: int) -> bool:
+    """The quasi-line grammar parse behind :func:`endpoint_visible_ahead`."""
     j = 0
     while j < limit:
-        e = edges[j]
-        if e == ZERO:
+        c = codes[j]
+        if c == -1:
             return False                   # transient merge residue; re-check next round
-        if not is_axis_unit(e):
+        if c == _DIAGONAL:
             return True                    # diagonal edge: structurally broken (defensive)
-        if _axis_of(e) == axis_name:
+        if (c & 1) == apar:
             j += 1
             continue
         # perpendicular edge: classify the feature it opens
         if j + 1 >= limit:
             return False                   # unresolved at the horizon
-        nxt = edges[j + 1]
-        if nxt == ZERO or not is_axis_unit(nxt):
-            return nxt != ZERO
-        if _axis_of(nxt) != axis_name:
-            if nxt == e:
+        nxt = codes[j + 1]
+        if nxt < 0:
+            return nxt == _DIAGONAL
+        if (nxt & 1) != apar:
+            if nxt == c:
                 return True                # ⊥⊥ same: perpendicular segment of >= 3
             j += 2                         # spike (k=1 U): merge resolves it
             continue
         # perpendicular edge followed by an axis run of length m
         m = 0
         t = j + 1
-        while t < limit and edges[t] == nxt:
+        while t < limit and codes[t] == nxt:
             m += 1
             t += 1
         if t >= limit:
             return False                   # axis run reaches the horizon: unresolved
-        closing = edges[t]
-        if closing == ZERO or not is_axis_unit(closing):
-            return closing != ZERO
-        if _axis_of(closing) == axis_name:
+        closing = codes[t]
+        if closing < 0:
+            return closing == _DIAGONAL
+        if (closing & 1) == apar:
             # axis run with a direction change inside — a spike on the
             # axis; treat conservatively as unresolved structure.
             j = t
             continue
-        if closing == e:
+        if closing == c:
             if m == 1:
                 return True                # stairway step
             j = t                          # legal jog; closing edge opens next feature
             continue
-        # closing == -e: a U with m middle edges (k = m + 1 blacks)
+        # closing == c ^ 2 (the opposite flank): a U with m middle edges
+        # (k = m + 1 blacks)
         if m + 1 <= k_max:
             j = t + 1                      # mergeable: both flanks consumed
         else:

@@ -99,12 +99,29 @@ class RunRegistry:
         return len(self._runs)
 
     def active_runs(self) -> List[RunState]:
-        """All live runs (stable order by run id)."""
-        return [self._runs[k] for k in sorted(self._runs)]
+        """All live runs (stable order by run id).
+
+        Run ids are handed out monotonically and dicts preserve
+        insertion order, so the values are already id-sorted.
+        """
+        return list(self._runs.values())
 
     def runs_on(self, robot_id: int) -> List[RunState]:
         """Live runs carried by a robot."""
         return [self._runs[rid] for rid in self._by_robot.get(robot_id, ())]
+
+    def crowded_runs(self) -> List[RunState]:
+        """Runs on robots carrying more than one run (stable order).
+
+        Only these can violate the one-run-per-direction rule, so the
+        engine's duplicate-direction sweep scans this (usually empty)
+        list instead of every active run.
+        """
+        out = [self._runs[rid]
+               for rids in self._by_robot.values() if len(rids) > 1
+               for rid in rids]
+        out.sort(key=lambda r: r.run_id)
+        return out
 
     def directions_on(self, robot_id: int) -> Tuple[int, ...]:
         """Chain directions of the runs carried by a robot."""
@@ -142,17 +159,48 @@ class RunRegistry:
                 del self._by_robot[run.robot_id]
         self.stopped.append(run)
 
+    def advance_runs(self, post_ids: List[int], post_index: Dict[int, int]
+                     ) -> List[Tuple[int, int, int]]:
+        """Hand every live run to its next robot in one sweep.
+
+        Bulk form of :meth:`move` for the engine's step 9: all runs move
+        simultaneously, so the per-robot index rebuilds as one pass.
+        Returns ``(old_robot_id, new_robot_id, direction)`` triples so
+        the run-speed invariant can re-derive the expected neighbour
+        independently (Lemma 3.1).
+        """
+        n = len(post_ids)
+        by_robot: Dict[int, List[int]] = {}
+        moved: List[Tuple[int, int, int]] = []
+        for run in self._runs.values():
+            old = run.robot_id
+            nxt = post_ids[(post_index[old] + run.direction) % n]
+            run.robot_id = nxt
+            moved.append((old, nxt, run.direction))
+            lst = by_robot.get(nxt)
+            if lst is None:
+                by_robot[nxt] = [run.run_id]
+            else:
+                lst.append(run.run_id)
+        self._by_robot = by_robot
+        return moved
+
     def move(self, run: RunState, new_robot_id: int) -> None:
         """Hand a run to the next robot along its direction."""
         if not run.active:
             raise ValueError("cannot move a stopped run")
-        old = self._by_robot.get(run.robot_id)
+        by_robot = self._by_robot
+        old = by_robot.get(run.robot_id)
         if old and run.run_id in old:
             old.remove(run.run_id)
             if not old:
-                del self._by_robot[run.robot_id]
+                del by_robot[run.robot_id]
         run.robot_id = new_robot_id
-        self._by_robot.setdefault(new_robot_id, []).append(run.run_id)
+        new = by_robot.get(new_robot_id)
+        if new is None:
+            by_robot[new_robot_id] = [run.run_id]
+        else:
+            new.append(run.run_id)
 
     def runs_lookup(self):
         """Callable ``robot_id -> tuple of run directions`` for views."""

@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.config import Parameters
-from repro.core.simulator import gather
 from repro.chains import square_ring, stairway_octagon
 from repro.analysis import format_table
-from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.harness import ExperimentResult, register, sweep_gather
 
 
 def _grid(quick: bool):
@@ -28,10 +27,12 @@ def _grid(quick: bool):
 def run_start_interval(quick: bool = False) -> ExperimentResult:
     rows: List[dict] = []
     ok_all = True
+    cases = _grid(quick)
     for L in (7, 13, 21):
         params = Parameters(start_interval=L)
-        for name, pts in _grid(quick):
-            res = gather(list(pts), params=params, engine="vectorized")
+        batch = sweep_gather([pts for _, pts in cases], params=params,
+                             keep_reports=False)
+        for (name, _), res in zip(cases, batch):
             rows.append({"L": L, "chain": name, "n": res.initial_n,
                          "rounds": res.rounds, "gathered": res.gathered})
             if L >= 13:
@@ -62,9 +63,9 @@ def run_k_max(quick: bool = False) -> ExperimentResult:
     small_k_limited = False
     for k in (2, 3, 4, 10):
         params = Parameters(k_max=k)
-        for name, pts in cases:
-            res = gather(list(pts), params=params, engine="vectorized",
-                         max_rounds=3000)
+        batch = sweep_gather([pts for _, pts in cases], params=params,
+                             keep_reports=False, max_rounds=3000)
+        for (name, _), res in zip(cases, batch):
             rows.append({"k_max": k, "chain": name, "n": res.initial_n,
                          "rounds": res.rounds, "gathered": res.gathered})
             if k == 10:
@@ -91,11 +92,12 @@ def run_k_max(quick: bool = False) -> ExperimentResult:
 def run_viewing_range(quick: bool = False) -> ExperimentResult:
     rows: List[dict] = []
     ok_all = True
+    cases = _grid(quick)
     for v in (7, 11, 15):
         params = Parameters(viewing_path_length=v)
-        for name, pts in _grid(quick):
-            res = gather(list(pts), params=params, engine="vectorized",
-                         max_rounds=6000)
+        batch = sweep_gather([pts for _, pts in cases], params=params,
+                             keep_reports=False, max_rounds=6000)
+        for (name, _), res in zip(cases, batch):
             rows.append({"V": v, "chain": name, "n": res.initial_n,
                          "rounds": res.rounds, "gathered": res.gathered})
             if v == 11:

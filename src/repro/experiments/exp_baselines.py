@@ -15,14 +15,13 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.core.simulator import gather
 from repro.grid.lattice import bounding_box
 from repro.chains import random_chain, square_ring
 from repro.baselines import (
     gather_compass, gather_global_vision, shorten_open_chain,
 )
 from repro.analysis import fit_rounds, format_table
-from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.harness import ExperimentResult, register, sweep_gather
 
 
 @register("EXP-B1")
@@ -30,10 +29,10 @@ def run_baselines(quick: bool = False) -> ExperimentResult:
     rows: List[dict] = []
     ok_all = True
     sides = [12, 20, 32] if quick else [12, 20, 32, 48, 64]
-    for side in sides:
-        pts = square_ring(side)
+    rings = [square_ring(side) for side in sides]
+    locals_ = sweep_gather(rings, keep_reports=False)
+    for pts, local in zip(rings, locals_):
         diameter = bounding_box(pts).diameter
-        local = gather(list(pts), engine="vectorized")
         vision = gather_global_vision(list(pts))
         compass = gather_compass(list(pts))
         ok_all &= local.gathered and vision.gathered and compass.gathered

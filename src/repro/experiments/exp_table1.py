@@ -21,7 +21,7 @@ from repro.core.runs import RunMode, StopReason
 from repro.core.simulator import Simulator
 from repro.chains import outline, random_chain, rectangle_ring, square_ring
 from repro.analysis import format_table
-from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.harness import ExperimentResult, register, sweep_gather
 
 P = DEFAULT_PARAMETERS
 
@@ -113,11 +113,11 @@ def cond5_travel_target_removed() -> bool:
 def natural_occurrences(quick: bool) -> Dict[str, int]:
     """Count every stop reason over a batch of random gatherings."""
     rng = random.Random(1)
+    chains = [random_chain(rng.choice([48, 96, 160]), rng)
+              for _ in range(6 if quick else 24)]
+    batch = sweep_gather(chains, engine="reference")
     counts: Dict[str, int] = {}
-    for _ in range(6 if quick else 24):
-        pts = random_chain(rng.choice([48, 96, 160]), rng)
-        sim = Simulator(pts, check_invariants=False)
-        res = sim.run()
+    for res in batch:
         for rep in res.reports:
             for reason, k in rep.runs_terminated.items():
                 counts[reason.name] = counts.get(reason.name, 0) + k

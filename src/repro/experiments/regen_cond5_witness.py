@@ -1,0 +1,86 @@
+"""Regenerate the pinned Table 1.5 witness configuration.
+
+``exp_table1.cond5_travel_target_removed`` needs a configuration on
+which a merge removes a travel target corner mid-travel
+(``StopReason.TRAVEL_TARGET_REMOVED``) during a successful gathering
+under default parameters with invariant checking on.  Such
+configurations arise from the interplay of travelling runs with merges
+elsewhere and are not easy to stage by hand, so the fixture is found by
+a deterministic sweep over random polyomino outlines and pinned under
+``experiments/data/cond5_witness.json``.
+
+Regenerate (e.g. after a semantic change to the run mechanics) with::
+
+    PYTHONPATH=src python -m repro.experiments.regen_cond5_witness
+
+The sweep is fully deterministic — seeds are tried in a fixed order and
+the first witness wins — so the committed fixture is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.runs import StopReason
+from repro.core.simulator import Simulator
+from repro.chains import outline, random_polyomino
+
+#: Sweep order: (polyomino cells, elongation) shapes per seed.
+_SHAPES: Tuple[Tuple[int, float], ...] = ((40, 0.0), (40, 0.5), (60, 0.3), (80, 0.0))
+
+_DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                          "cond5_witness.json")
+
+
+def _witness_hits(pts: List[tuple]) -> Tuple[bool, int]:
+    """Gather ``pts`` and count TRAVEL_TARGET_REMOVED terminations."""
+    sim = Simulator(list(pts), check_invariants=True)
+    res = sim.run(max_rounds=4000)
+    hits = sum(rep.runs_terminated.get(StopReason.TRAVEL_TARGET_REMOVED, 0)
+               for rep in res.reports)
+    return res.gathered, hits
+
+
+def find_witness(max_seeds: int = 400) -> Optional[dict]:
+    """First deterministic witness configuration, with its provenance."""
+    for seed in range(max_seeds):
+        for cells, elongation in _SHAPES:
+            pts = outline(random_polyomino(cells, random.Random(seed),
+                                           elongation=elongation))
+            gathered, hits = _witness_hits(pts)
+            if gathered and hits > 0:
+                return {
+                    "positions": [list(p) for p in pts],
+                    "provenance": {
+                        "generator": "outline(random_polyomino(cells, "
+                                     "Random(seed), elongation))",
+                        "seed": seed,
+                        "cells": cells,
+                        "elongation": elongation,
+                        "travel_target_removed_hits": hits,
+                    },
+                }
+    return None
+
+
+def main() -> int:
+    witness = find_witness()
+    if witness is None:
+        print("no witness found in the sweep range")
+        return 1
+    os.makedirs(os.path.dirname(_DATA_PATH), exist_ok=True)
+    with open(_DATA_PATH, "w", encoding="utf-8") as fh:
+        json.dump(witness, fh, indent=1)
+        fh.write("\n")
+    prov = witness["provenance"]
+    print(f"wrote {_DATA_PATH}: n={len(witness['positions'])} "
+          f"(seed={prov['seed']}, cells={prov['cells']}, "
+          f"elongation={prov['elongation']}, hits={prov['travel_target_removed_hits']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""BatchSimulator: fleet gathering, ordering, process-pool parity."""
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchResult, BatchSimulator, gather_batch
+from repro.core.simulator import Simulator, gather
+from repro.chains import random_chain, square_ring
+
+
+def _fleet(sizes=(8, 12, 16)):
+    return [square_ring(s) for s in sizes]
+
+
+class TestBatchBasics:
+    def test_results_in_input_order(self):
+        batch = gather_batch(_fleet())
+        assert [r.initial_n for r in batch] == [4 * (s - 1) for s in (8, 12, 16)]
+        assert batch.all_gathered
+        assert batch.gathered_count == batch.n_chains == 3
+
+    def test_matches_single_simulator(self):
+        pts = square_ring(10)
+        batch = gather_batch([pts], engine="vectorized")
+        single = gather(list(pts), engine="vectorized")
+        assert batch[0].rounds == single.rounds
+        assert batch[0].final_positions == single.final_positions
+
+    def test_engines_agree(self):
+        rng = random.Random(7)
+        chains = [random_chain(48, rng) for _ in range(3)]
+        ref = gather_batch(chains, engine="reference")
+        vec = gather_batch(chains, engine="vectorized")
+        assert [r.rounds for r in ref] == [r.rounds for r in vec]
+        assert [r.final_positions for r in ref] == [r.final_positions for r in vec]
+
+    def test_keep_reports_false_strips_reports(self):
+        batch = gather_batch(_fleet((8,)), keep_reports=False)
+        assert batch[0].reports == []
+        assert batch[0].gathered
+
+    def test_aggregates_and_summary(self):
+        batch = gather_batch(_fleet())
+        assert batch.total_robots == sum(r.initial_n for r in batch)
+        assert batch.total_rounds == sum(r.rounds for r in batch)
+        assert batch.max_rounds_per_robot > 0
+        assert "3/3 gathered" in batch.summary()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(_fleet(), engine="warp")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(_fleet(), workers=0)
+
+    def test_empty_fleet(self):
+        batch = gather_batch([])
+        assert batch.n_chains == 0
+        assert batch.all_gathered            # vacuously
+
+    def test_max_rounds_propagates(self):
+        batch = gather_batch([square_ring(20)], max_rounds=1)
+        assert not batch[0].gathered
+        assert batch[0].rounds == 1
+
+
+class TestProcessPool:
+    def test_parallel_equals_serial(self):
+        chains = _fleet((8, 10, 12, 14))
+        serial = gather_batch(chains, workers=1)
+        parallel = gather_batch(chains, workers=2)
+        assert parallel.workers == 2
+        assert [r.rounds for r in serial] == [r.rounds for r in parallel]
+        assert [r.final_positions for r in serial] == \
+            [r.final_positions for r in parallel]
+
+    def test_workers_capped_by_fleet_size(self):
+        batch = gather_batch([square_ring(8)], workers=8)
+        assert batch.workers == 1

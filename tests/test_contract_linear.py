@@ -1,0 +1,137 @@
+"""Linear contract_coincident ≡ the original restart-scan algorithm.
+
+The seed implementation rescanned the whole chain from index 0 after
+every single merge (O(n²) worst case).  The current implementation is
+one linear pass plus a wrap-around resolution.  These tests pin the
+exact survivor-selection and record-ordering semantics against a
+faithful reimplementation of the original algorithm, including
+multi-merge rounds, co-location blocks and wrap-around cascades.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chain import ClosedChain, MergeRecord
+
+
+def original_contract(positions, ids, moved):
+    """The seed's restart-scan contraction, on plain lists."""
+    pos = list(positions)
+    ids = list(ids)
+    records = []
+    changed = True
+    while changed and len(pos) > 1:
+        changed = False
+        n = len(pos)
+        for i in range(n):
+            j = (i + 1) % n
+            if i == j:
+                break
+            if pos[i] == pos[j]:
+                id_i, id_j = ids[i], ids[j]
+                i_moved = id_i in moved
+                j_moved = id_j in moved
+                if i_moved and not j_moved:
+                    keep, drop = i, j
+                elif j_moved and not i_moved:
+                    keep, drop = j, i
+                else:
+                    keep, drop = (i, j) if id_i < id_j else (j, i)
+                records.append(MergeRecord(ids[keep], ids[drop], pos[keep]))
+                del pos[drop]
+                del ids[drop]
+                changed = True
+                break
+    return pos, ids, records
+
+
+def run_both(positions, moved):
+    chain = ClosedChain(positions, validate=False)
+    expected = original_contract(chain.positions, chain.ids, moved)
+    records = chain.contract_coincident(moved)
+    return (chain.positions, chain.ids, records), expected
+
+
+def assert_equivalent(positions, moved):
+    got, expected = run_both(positions, moved)
+    assert got == expected
+
+
+class TestPinnedScenarios:
+    def test_multi_merge_same_round(self):
+        # two independent coincident pairs merge in one call
+        pts = [(0, 0), (1, 0), (1, 0), (2, 0), (2, 1), (1, 1), (1, 1), (0, 1)]
+        assert_equivalent(pts, moved={2, 5})
+
+    def test_colocated_block_cascade(self):
+        # three consecutive robots on one point: merges cascade in order
+        pts = [(0, 0), (1, 0), (1, 0), (1, 0), (1, 1), (0, 1)]
+        for moved in (set(), {1}, {2}, {3}, {1, 2}, {1, 2, 3}):
+            assert_equivalent(pts, moved)
+
+    def test_wraparound_pair(self):
+        # the only coincident pair spans the wrap (last robot, first robot)
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        for moved in (set(), {0}, {4}, {0, 4}):
+            assert_equivalent(pts, moved)
+
+    def test_wraparound_block(self):
+        # a co-location block spanning the wrap edge in both directions
+        pts = [(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        for moved in (set(), {0}, {1}, {5}, {0, 5}, {1, 5}):
+            assert_equivalent(pts, moved)
+
+    def test_survivor_rules(self):
+        pts = [(0, 0), (0, 0), (1, 0), (1, 1), (0, 1), (0, 2), (-1, 2),
+               (-1, 1)]
+        # mover beats stationary; tie -> lower id
+        got, _ = run_both(pts, moved={1})
+        assert got[2][0].survivor_id == 1
+        got, _ = run_both(pts, moved={0})
+        assert got[2][0].survivor_id == 0
+        got, _ = run_both(pts, moved=set())
+        assert got[2][0].survivor_id == 0
+
+    def test_no_merge_for_colocated_non_neighbors(self):
+        pts = [(0, 0), (1, 0), (1, 1), (1, 0), (2, 0), (2, -1), (1, -1),
+               (0, -1)]
+        assert_equivalent(pts, set())
+        chain = ClosedChain(pts)
+        assert chain.contract_coincident(set()) == []
+        assert chain.n == 8
+
+
+@st.composite
+def coincident_chains(draw):
+    """Closed chains with injected co-location blocks (not valid initial
+    chains — exactly the states contraction must handle)."""
+    from repro.chains import square_ring
+    side = draw(st.integers(min_value=2, max_value=5))
+    pts = list(square_ring(side))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2 ** 32 - 1)))
+    # duplicate a few robots onto a chain neighbour to create zero edges
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        i = rng.randrange(len(pts))
+        pts.insert(i, pts[i % len(pts)])
+    moved = {i for i in range(len(pts)) if rng.random() < 0.4}
+    return pts, moved
+
+
+class TestPropertyEquivalence:
+    @given(coincident_chains())
+    def test_random_coincident_chains(self, case):
+        pts, moved = case
+        assert_equivalent(pts, moved)
+
+    @given(coincident_chains())
+    def test_postcondition_no_coincident_neighbors(self, case):
+        pts, moved = case
+        chain = ClosedChain(pts, validate=False)
+        chain.contract_coincident(moved)
+        pos = chain.positions
+        n = len(pos)
+        if n > 1:
+            for i in range(n):
+                assert pos[i] != pos[(i + 1) % n] or n == 1

@@ -1,0 +1,81 @@
+"""Edge-code cache consistency under mutation.
+
+The chain maintains its edge-code array incrementally across
+``apply_moves`` (only edges incident to movers are recoded) and rebuilds
+it after contraction.  Drift here would silently corrupt both engines
+(the policy's shape checks read the same cache), so these properties
+pin the cache against a from-scratch encoding after arbitrary mutation
+sequences.
+"""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.chain import ClosedChain, encode_edges
+from repro.core.simulator import Simulator
+from repro.chains import square_ring
+
+from tests.conftest import closed_chain_positions
+
+
+def assert_codes_consistent(chain):
+    fresh = encode_edges(chain.positions)
+    assert chain.edge_codes().tolist() == fresh.tolist()
+    assert chain.edge_codes_list() == fresh.tolist()
+    assert chain._invalid_edges == int((fresh == -1).sum())
+
+
+def test_codes_match_reference_encoding_initial():
+    chain = ClosedChain(square_ring(6))
+    assert_codes_consistent(chain)
+
+
+@given(closed_chain_positions(max_cells=30),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_codes_consistent_under_random_moves(pts, seed):
+    rng = random.Random(seed)
+    chain = ClosedChain(pts)
+    chain.edge_codes()                     # materialise the cache
+    for _ in range(5):
+        ids = chain.ids_view()
+        moves = {rid: rng.choice([(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1),
+                                  (1, 1), (-1, -1)])
+                 for rid in rng.sample(ids, min(len(ids), rng.randrange(1, 6)))}
+        chain.apply_moves(moves)
+        assert_codes_consistent(chain)
+        chain.contract_coincident(set(moves))
+        assert_codes_consistent(chain)
+
+
+def test_codes_consistent_through_full_gathering():
+    sim = Simulator(square_ring(10), engine="vectorized",
+                    check_invariants=True)
+    while not sim.is_gathered():
+        sim.step()
+        assert_codes_consistent(sim.chain)
+
+
+def test_positions_array_view():
+    import numpy as np
+    import pytest
+    chain = ClosedChain(square_ring(5))
+    view = chain.positions_array()
+    assert view.shape == (chain.n, 2)
+    assert [tuple(int(c) for c in row) for row in view] == chain.positions
+    with pytest.raises(ValueError):
+        view[0, 0] = 99                    # read-only contract
+    chain.apply_moves({0: (0, 1)})
+    assert tuple(chain.positions_array()[0]) == chain.position(0)
+
+
+def test_ahead_codes_match_ahead_edges():
+    from repro.core.view import ChainWindow
+    from repro.core.patterns import _VEC_TO_CODE
+    chain = ClosedChain(square_ring(5))
+    for anchor in range(chain.n):
+        w = ChainWindow(chain, anchor, 11)
+        for sigma in (1, -1):
+            expected = [_VEC_TO_CODE[e] for e in w.ahead_edges(sigma, 11)]
+            assert w.ahead_codes(sigma, 11) == expected
+            assert w.code_toward(sigma) == expected[0]

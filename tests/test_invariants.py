@@ -22,7 +22,8 @@ class TestConnectivity:
 
     def test_broken(self):
         chain = ClosedChain(square_ring(5))
-        chain._pos[2] = (50, 50)               # corrupt deliberately
+        chain._arr[2] = (50, 50)               # corrupt deliberately
+        chain._invalidate()
         with pytest.raises(InvariantViolation):
             check_connectivity(chain)
 
@@ -66,8 +67,12 @@ class TestRunsAlive:
 
 class TestRunSpeed:
     def test_ok(self):
-        check_run_speed([(3, 3), (7, 7)])
+        chain = ClosedChain(square_ring(5))
+        moved = [(chain.id_at(0), chain.id_at(1), 1),
+                 (chain.id_at(3), chain.id_at(2), -1)]
+        check_run_speed(chain, moved)
 
     def test_mismatch(self):
+        chain = ClosedChain(square_ring(5))
         with pytest.raises(InvariantViolation):
-            check_run_speed([(3, 4)])
+            check_run_speed(chain, [(chain.id_at(0), chain.id_at(2), 1)])
