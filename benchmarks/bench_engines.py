@@ -1,15 +1,21 @@
-"""EXP-P1 benchmark — reference vs vectorised engine.
+"""EXP-P1 benchmark — reference vs vectorised vs kernel engine.
 
 The hpc-parallel engineering benchmark: the per-robot policy loop and
 the per-edge scans are the per-round hot paths; the vectorised engine
-(cached edge codes + bulk run-start scan + RLE merge detection) should
-win with growing n.  Times the isolated detectors and scanners, the
-full round pipeline under both engines, and the batch-simulation layer.
+(cached edge codes + bulk run-start scan + RLE merge detection) and
+the kernel engine (whole round pipeline on arrays, DESIGN.md §2.9)
+should win with growing n.  Times the isolated detectors and scanners,
+the full round pipeline under all three engines, the batch-simulation
+layer, and a scenario matrix (rings, stairways, random blobs,
+perturbed shapes at n ≈ 250/1000/4000) timing a fixed 50-round slice
+per engine so the per-round constant stays comparable PR-over-PR.
 
 ``scripts/run_benchmarks.py`` executes this module under
 pytest-benchmark and records the results in ``BENCH_engines.json`` at
 the repo root (the perf trajectory file).
 """
+
+import random
 
 import pytest
 
@@ -19,9 +25,39 @@ from repro.core.engine_vectorized import find_merge_patterns_np, scan_run_starts
 from repro.core.batch import gather_batch
 from repro.core.simulator import Simulator
 from repro.core.view import ChainWindow
-from repro.chains import crenellation, square_ring
+from repro.chains import (
+    crenellation,
+    perturb,
+    random_chain,
+    square_ring,
+    staircase_ring,
+)
 
 DETECTOR_SIZES = [64, 256, 1024]
+
+ENGINES = ["reference", "vectorized", "kernel"]
+
+#: Scenario matrix: (family, target n) -> generator.  Deterministic
+#: inputs (fixed seeds) so every engine times the identical chain and
+#: the rows stay comparable across regenerations of the JSON.
+SCENARIO_ROUNDS = 50
+SCENARIOS = {
+    ("ring", 250): lambda: square_ring(62),                      # n=244
+    ("ring", 1000): lambda: square_ring(250),                    # n=996
+    ("ring", 4000): lambda: square_ring(1000),                   # n=3996
+    ("stairway", 250): lambda: staircase_ring(8),                # n=244
+    ("stairway", 1000): lambda: staircase_ring(40),              # n=1012
+    ("stairway", 4000): lambda: staircase_ring(165),             # n=4012
+    ("blob", 250): lambda: random_chain(360, random.Random(7)),  # n=274
+    ("blob", 1000): lambda: random_chain(1450, random.Random(7)),   # n=1110
+    ("blob", 4000): lambda: random_chain(5150, random.Random(7)),   # n=3946
+    ("perturbed", 250): lambda: perturb(square_ring(56), 20,
+                                        random.Random(11)),      # n=260
+    ("perturbed", 1000): lambda: perturb(square_ring(230), 80,
+                                         random.Random(11)),     # n=1068
+    ("perturbed", 4000): lambda: perturb(square_ring(940), 320,
+                                         random.Random(11)),     # n=4360
+}
 
 
 def _merge_rich_chain(n_teeth):
@@ -44,7 +80,7 @@ def test_detector_vectorized(benchmark, teeth):
     assert patterns
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_full_gathering_by_engine(benchmark, engine):
     pts = square_ring(40)
 
@@ -57,7 +93,7 @@ def test_full_gathering_by_engine(benchmark, engine):
     benchmark.extra_info["rounds"] = result.rounds
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_large_ring_by_engine(benchmark, engine, bench_large):
     side = 120 if bench_large else 60
 
@@ -89,6 +125,30 @@ def test_run_start_scan(benchmark, impl):
     starts = benchmark(run)
     assert starts
     benchmark.extra_info["n"] = chain.n
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("scenario,n_target",
+                         sorted(SCENARIOS), ids=lambda v: str(v))
+def test_scenario_matrix(benchmark, scenario, n_target, engine):
+    """Fixed 50-round slice of one scenario under one engine.
+
+    Times rounds rather than full gatherings so the n≈4000 rows stay
+    benchmarkable under the reference engine and the measurement is a
+    pure per-round constant (the engines are round-for-round
+    equivalent, so every engine executes the same rounds).
+    """
+    pts = SCENARIOS[(scenario, n_target)]()
+
+    def run():
+        sim = Simulator(list(pts), engine=engine, check_invariants=False,
+                        validate_initial=False)
+        return sim.run(max_rounds=SCENARIO_ROUNDS)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["n"] = result.initial_n
+    benchmark.extra_info["rounds_timed"] = min(SCENARIO_ROUNDS, result.rounds)
+    assert result.rounds > 0
 
 
 @pytest.mark.parametrize("workers", [1, 2])

@@ -65,12 +65,39 @@ def condense(raw: dict) -> dict:
     derived = {}
     ref = by_name.get("test_large_ring_by_engine[reference]")
     vec = by_name.get("test_large_ring_by_engine[vectorized]")
+    ker = by_name.get("test_large_ring_by_engine[kernel]")
     if ref and vec:
-        derived["large_ring_side60"] = {
+        ring = {
             "reference_min_s": ref["min_s"],
             "vectorized_min_s": vec["min_s"],
             "speedup_vectorized_vs_reference": round(ref["min_s"] / vec["min_s"], 3),
         }
+        if ker:
+            ring["kernel_min_s"] = ker["min_s"]
+            ring["speedup_kernel_vs_reference"] = round(ref["min_s"] / ker["min_s"], 3)
+            ring["speedup_kernel_vs_vectorized"] = round(vec["min_s"] / ker["min_s"], 3)
+        derived["large_ring_side60"] = ring
+
+    # scenario matrix: per-(family, n) engine timings and speedups
+    matrix = {}
+    for entry in entries:
+        params = entry.get("params") or {}
+        if not entry["name"].startswith("test_scenario_matrix["):
+            continue
+        key = f"{params['scenario']}_n{params['n_target']}"
+        row = matrix.setdefault(key, {"n": entry["extra_info"].get("n")})
+        row[f"{params['engine']}_min_s"] = entry["min_s"]
+    for row in matrix.values():
+        r, v, k = (row.get("reference_min_s"), row.get("vectorized_min_s"),
+                   row.get("kernel_min_s"))
+        if r and v:
+            row["speedup_vectorized_vs_reference"] = round(r / v, 3)
+        if r and k:
+            row["speedup_kernel_vs_reference"] = round(r / k, 3)
+        if v and k:
+            row["speedup_kernel_vs_vectorized"] = round(v / k, 3)
+    if matrix:
+        derived["scenario_matrix"] = dict(sorted(matrix.items()))
     for size in (64, 256, 1024):
         r = by_name.get(f"test_detector_reference[{size}]")
         v = by_name.get(f"test_detector_vectorized[{size}]")
@@ -95,12 +122,54 @@ def condense(raw: dict) -> dict:
     }
 
 
+def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
+    """Compare the fresh ``large_ring_side60`` timings against a
+    committed baseline JSON.  A regression is a fresh per-engine
+    ``*_min_s`` more than ``threshold`` times the committed one — the
+    threshold is deliberately generous (CI boxes differ from the box
+    that produced the committed file); the gate exists to catch
+    order-of-magnitude slumps, not noise.  Returns the number of
+    regressed engines.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"regression check: cannot read {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    base = committed.get("derived", {}).get("large_ring_side60", {})
+    ring = fresh.get("derived", {}).get("large_ring_side60", {})
+    if not base or not ring:
+        print("regression check: no large_ring_side60 block to compare",
+              file=sys.stderr)
+        return 1
+    regressed = 0
+    for key in sorted(set(base) & set(ring)):
+        if not key.endswith("_min_s"):
+            continue
+        ratio = ring[key] / base[key]
+        verdict = "REGRESSION" if ratio > threshold else "ok"
+        print(f"  check {key}: fresh {ring[key]:.6f}s vs committed "
+              f"{base[key]:.6f}s ({ratio:.2f}x, limit {threshold}x) {verdict}")
+        if ratio > threshold:
+            regressed += 1
+    return regressed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output path (default: BENCH_engines.json at repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke: only the large-ring engine comparison")
+    parser.add_argument("--check-against", metavar="BASELINE_JSON",
+                        help="fail (exit 2) when the fresh large_ring_side60 "
+                             "timings exceed this committed baseline by more "
+                             "than --threshold")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="regression factor for --check-against "
+                             "(default: 2.5)")
     args = parser.parse_args(argv)
 
     selector = "benchmarks/bench_engines.py"
@@ -137,12 +206,26 @@ def main(argv=None) -> int:
                         ("speedup_vs_seed_vectorized", "vectorized_min_s")):
                     if seed_key in seed_ring:
                         ring[key] = round(seed_ring[seed_key] / v_now, 3)
+                k_now = ring.get("kernel_min_s")
+                if k_now:
+                    for key, seed_key in (
+                            ("kernel_speedup_vs_seed_reference",
+                             "reference_min_s"),
+                            ("kernel_speedup_vs_seed_vectorized",
+                             "vectorized_min_s")):
+                        if seed_key in seed_ring:
+                            ring[key] = round(seed_ring[seed_key] / k_now, 3)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(condensed, fh, indent=1)
         fh.write("\n")
     print(f"wrote {args.out}")
     for key, val in condensed["derived"].items():
         print(f"  {key}: {val}")
+    if args.check_against:
+        if check_regression(condensed, args.check_against, args.threshold):
+            print("benchmark regression gate FAILED", file=sys.stderr)
+            return 2
+        print("benchmark regression gate passed")
     return rc
 
 

@@ -19,7 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.config import Parameters
-from repro.core.simulator import Simulator
+from repro.core.simulator import ENGINES, Simulator
 from repro.chains import FAMILIES
 from repro.io import load_chain
 from repro.viz import render_ascii, save_svg
@@ -147,8 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     g = sub.add_parser("gather", help="run the gathering algorithm")
     add_chain_args(g)
-    g.add_argument("--engine", choices=("reference", "vectorized"),
-                   default="reference")
+    g.add_argument("--engine", choices=ENGINES, default="reference")
     g.add_argument("--max-rounds", type=int, default=None)
     g.add_argument("--check", action="store_true",
                    help="enable per-round invariant checking")
@@ -176,8 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chains per size (for stochastic families)")
     b.add_argument("--seed", type=int, default=0,
                    help="seed for stochastic families")
-    b.add_argument("--engine", choices=("reference", "vectorized"),
-                   default="vectorized")
+    b.add_argument("--engine", choices=ENGINES, default="kernel")
     b.add_argument("--workers", type=int, default=None,
                    help="process-pool width (default: in-process)")
     b.add_argument("--max-rounds", type=int, default=None)
@@ -205,8 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser("verify",
                        help="exhaustively verify all closed chains of length n")
     v.add_argument("--n", type=int, default=10, help="chain length (even)")
-    v.add_argument("--engine", choices=("reference", "vectorized"),
-                   default="vectorized")
+    v.add_argument("--engine", choices=ENGINES, default="kernel")
     v.add_argument("--limit", type=int, default=None,
                    help="cap the number of configurations (sampling)")
     v.set_defaults(func=cmd_verify)

@@ -86,7 +86,8 @@ class ClosedChain:
 
     __slots__ = ("_arr", "_ids", "_next_id", "_index_of_id",
                  "_pos_cache", "_codes_cache", "_codes_list_cache",
-                 "_invalid_edges")
+                 "_codes_view_cache", "_invalid_edges",
+                 "_ids_arr_cache", "_index_arr_cache")
 
     def __init__(self, positions: Sequence[Vec], validate: bool = True,
                  require_disjoint_neighbors: bool = False):
@@ -94,6 +95,7 @@ class ClosedChain:
         self._arr = np.asarray(pos, dtype=np.int64).reshape(len(pos), 2)
         self._pos_cache: Optional[List[Vec]] = pos
         self._codes_cache: Optional[np.ndarray] = None
+        self._codes_view_cache: Optional[np.ndarray] = None
         self._codes_list_cache: Optional[List[int]] = None
         self._invalid_edges = -1           # -1: unknown until codes built
         self._ids: List[int] = list(range(len(pos)))
@@ -126,6 +128,7 @@ class ClosedChain:
         c._arr = self._arr.copy()
         c._pos_cache = None
         c._codes_cache = None
+        c._codes_view_cache = None
         c._codes_list_cache = None
         c._invalid_edges = -1
         c._ids = list(self._ids)
@@ -139,6 +142,7 @@ class ClosedChain:
     def _invalidate(self) -> None:
         self._pos_cache = None
         self._codes_cache = None
+        self._codes_view_cache = None
         self._codes_list_cache = None
         self._invalid_edges = -1
 
@@ -204,6 +208,37 @@ class ClosedChain:
         v.flags.writeable = False
         return v
 
+    def ids_array(self) -> np.ndarray:
+        """Robot ids in chain order as a cached int64 array (read-only).
+
+        Array rendering of :meth:`ids_view` for the kernel engine's
+        bulk id gathers; invalidated only when robots are removed
+        (moves never change the id sequence).
+        """
+        arr = self._ids_arr_cache
+        if arr is None:
+            arr = np.asarray(self._ids, dtype=np.int64)
+            arr.flags.writeable = False
+            self._ids_arr_cache = arr
+        return arr
+
+    def index_array(self) -> np.ndarray:
+        """The id -> chain index mapping as a cached int64 array.
+
+        ``index_array()[robot_id]`` is the chain index of a live robot
+        and ``-1`` for a removed one — the array rendering of
+        :meth:`index_map` (ids are assigned densely at construction, so
+        the array has one entry per id ever issued).  Read-only; do not
+        hold across contractions.
+        """
+        arr = self._index_arr_cache
+        if arr is None:
+            arr = np.full(self._next_id, -1, dtype=np.int64)
+            arr[self.ids_array()] = np.arange(len(self._ids), dtype=np.int64)
+            arr.flags.writeable = False
+            self._index_arr_cache = arr
+        return arr
+
     def edge_codes(self) -> np.ndarray:
         """Cached direction codes of all cyclic edges (read-only).
 
@@ -212,6 +247,9 @@ class ClosedChain:
         the merge detector and the run-start scanner share one encoding
         pass.
         """
+        view = self._codes_view_cache
+        if view is not None:
+            return view
         codes = self._codes_cache
         if codes is None:
             codes = encode_edges(self._arr)
@@ -219,6 +257,7 @@ class ClosedChain:
             self._invalid_edges = int(np.count_nonzero(codes == -1))
         view = codes.view()
         view.flags.writeable = False
+        self._codes_view_cache = view
         return view
 
     def edge_codes_list(self) -> List[int]:
@@ -320,48 +359,141 @@ class ClosedChain:
             self._arr[idxs[0]] = vals[0]
         else:
             self._arr[idxs] = vals       # one batched scatter write
+        self._post_move_codes(idxs, pos, n)
+
+    def apply_moves_indexed(self, indices: Sequence[int], deltas) -> None:
+        """Bulk scatter displacement addressed by chain index.
+
+        Kernel-engine counterpart of :meth:`apply_moves`: ``indices``
+        and ``deltas`` are parallel sequences (chain indices, ``(m, 2)``
+        single-round hops — lists or arrays).  Same semantics —
+        including the incremental edge-code maintenance — without the
+        per-robot id → index dict probes; small batches run as a scalar
+        loop (array dispatch only amortises over enough movers).
+        """
+        m = len(indices)
+        if m == 0:
+            return
+        if m < 32:
+            idx_list = indices.tolist() if isinstance(indices, np.ndarray) \
+                else list(indices)
+            if isinstance(deltas, np.ndarray):
+                deltas = deltas.tolist()
+            pos = self._pos_list()
+            n = len(pos)
+            for i, (dx, dy) in zip(idx_list, deltas):
+                if dx > 1 or dx < -1 or dy > 1 or dy < -1:
+                    # validated before any cache write so a bad batch
+                    # leaves the chain untouched (the >= 32 tier checks
+                    # all deltas up front too)
+                    raise ChainError(
+                        f"illegal hop ({dx}, {dy}) for robot at chain index {i}")
+            vals: List[Vec] = []
+            for i, (dx, dy) in zip(idx_list, deltas):
+                p = pos[i]
+                new_p = (p[0] + dx, p[1] + dy)
+                pos[i] = new_p           # keep the tuple cache coherent
+                vals.append(new_p)
+            if m == 1:
+                self._arr[idx_list[0]] = vals[0]
+            else:
+                self._arr[idx_list] = vals   # one batched scatter write
+            self._post_move_codes(idx_list, pos, n)
+            return
+        idx = np.asarray(indices, dtype=np.int64)
+        d = np.asarray(deltas, dtype=np.int64)
+        hop_len = np.abs(d).max(axis=1)
+        if int(hop_len.max()) > 1:
+            bad = int(idx[int(np.argmax(hop_len))])
+            raise ChainError(f"illegal hop for robot at chain index {bad}")
+        pos = self._pos_list()
+        n = len(pos)
+        new_pos = self._arr[idx] + d
+        self._arr[idx] = new_pos
+        idx_list = idx.tolist()
+        for i, x, y in zip(idx_list, new_pos[:, 0].tolist(),
+                           new_pos[:, 1].tolist()):
+            pos[i] = (x, y)              # keep the tuple cache coherent
+        self._post_move_codes(idx_list, pos, n)
+
+    def _post_move_codes(self, idxs: List[int], pos: List[Vec], n: int) -> None:
+        """Edge-code cache maintenance after a scatter displacement."""
         codes = self._codes_cache
-        if codes is None or len(idxs) * 16 >= n:
+        if codes is None or len(idxs) * 4 >= n:
             # dense rounds: a fresh vectorised encoding (lazily, at the
-            # next edge_codes access) beats per-edge bookkeeping
+            # next edge_codes access) beats per-edge bookkeeping.  Since
+            # contraction learned to keep the caches alive the coherent
+            # cache is worth more, so the crossover sits higher than the
+            # raw encode-vs-loop break-even
             self._codes_cache = None
+            self._codes_view_cache = None
             self._codes_list_cache = None
             self._invalid_edges = -1
+        elif len(idxs) >= 24:
+            # mid-size batches: recompute the affected edges with array
+            # ops against the (already updated) position array.  Only
+            # the list rendering is dropped (one lazy ``tolist`` later)
+            # — the code array and the zero-edge counter stay exact
+            idx = np.asarray(idxs, dtype=np.int64)
+            e = np.unique(np.concatenate([idx - 1, idx]))
+            if e[0] < 0:
+                e[0] = n - 1
+                e.sort()
+                e = e[:-1] if e[-2] == n - 1 else e
+            b = e + 1
+            b[-1] = b[-1] % n
+            d = self._arr[b] - self._arr[e]
+            dx, dy = d[:, 0], d[:, 1]
+            nc = np.full(len(e), -2, dtype=codes.dtype)
+            horiz = (dy == 0) & ((dx == 1) | (dx == -1))
+            nc[horiz] = 1 - dx[horiz]
+            vert = (dx == 0) & ((dy == 1) | (dy == -1))
+            nc[vert] = 2 - dy[vert]
+            nc[(dx == 0) & (dy == 0)] = -1
+            oc = codes[e]
+            changed = oc != nc
+            if changed.any():
+                codes[e[changed]] = nc[changed]
+                self._invalid_edges += \
+                    int(np.count_nonzero(nc[changed] == -1)) \
+                    - int(np.count_nonzero(oc[changed] == -1))
+                self._codes_list_cache = None
         else:
             # incremental code maintenance: only the two edges incident
             # to each mover can change; recompute them from the updated
             # tuple cache (Python-side, against the list rendering) and
             # sync the array with one scatter, keeping the zero-edge
-            # counter exact
+            # counter exact.  Neighbouring movers revisit a shared edge,
+            # but the second visit sees the updated code and no-ops, so
+            # no dedup set is needed
             cl = self._codes_list_cache
             if cl is None:
                 cl = codes.tolist()
                 self._codes_list_cache = cl
-            affected = set(idxs)
-            for i in idxs:
-                affected.add(i - 1 if i else n - 1)
             upd_idx: List[int] = []
             upd_val: List[int] = []
             invalid = self._invalid_edges
-            for e in affected:
-                a = pos[e]
-                b = pos[e + 1 if e + 1 < n else 0]
-                dx = b[0] - a[0]
-                dy = b[1] - a[1]
-                if dy == 0 and (dx == 1 or dx == -1):
-                    nc = 1 - dx
-                elif dx == 0 and (dy == 1 or dy == -1):
-                    nc = 2 - dy
-                elif dx == 0 and dy == 0:
-                    nc = -1
-                else:
-                    nc = -2              # broken edge (see encode_edges)
-                oc = cl[e]
-                if oc != nc:
-                    cl[e] = nc
-                    upd_idx.append(e)
-                    upd_val.append(nc)
-                    invalid += (1 if nc == -1 else 0) - (1 if oc == -1 else 0)
+            for i in idxs:
+                for e in (i - 1 if i else n - 1, i):
+                    a = pos[e]
+                    b = pos[e + 1 if e + 1 < n else 0]
+                    dx = b[0] - a[0]
+                    dy = b[1] - a[1]
+                    if dy == 0 and (dx == 1 or dx == -1):
+                        nc = 1 - dx
+                    elif dx == 0 and (dy == 1 or dy == -1):
+                        nc = 2 - dy
+                    elif dx == 0 and dy == 0:
+                        nc = -1
+                    else:
+                        nc = -2          # broken edge (see encode_edges)
+                    oc = cl[e]
+                    if oc != nc:
+                        cl[e] = nc
+                        upd_idx.append(e)
+                        upd_val.append(nc)
+                        invalid += (1 if nc == -1 else 0) \
+                            - (1 if oc == -1 else 0)
             if upd_idx:
                 if len(upd_idx) == 1:
                     codes[upd_idx[0]] = upd_val[0]
@@ -409,6 +541,49 @@ class ClosedChain:
                 return a_moved
             return id_a < id_b
 
+        # vectorised fast path: isolated coincident pairs — no block of
+        # three-plus co-located robots (adjacent zero edges) and no
+        # wrap-around pair — rebuild with one mask instead of the
+        # linear rescan.  Removing the second robot of an isolated pair
+        # cannot create a new coincident neighbour pair, so one sweep
+        # suffices; record order (ascending index) and survivor choice
+        # match the general pass below (pinned by test_contract_linear).
+        n = len(ids)
+        zs = np.flatnonzero(self._codes_cache == -1)
+        if len(zs) and zs[-1] != n - 1 \
+                and (len(zs) == 1 or int(np.diff(zs).min()) > 1):
+            ia = self.ids_array().copy()
+            keep = np.ones(n, dtype=bool)
+            zs_list = zs.tolist()
+            for e in zs_list:
+                top, rid = ids[e], ids[e + 1]
+                p = pos[e]
+                if keep_first(top, rid):
+                    records.append(MergeRecord(top, rid, p))
+                else:
+                    records.append(MergeRecord(rid, top, p))
+                    ia[e] = rid
+                keep[e + 1] = False
+            self._arr = self._arr[keep]
+            self._ids = ia[keep].tolist()
+            # removing robot e+1 fuses zero edge e with edge e+1 into one
+            # edge that keeps edge e+1's (non-zero) code, so the cached
+            # renderings survive the contraction: the code array just
+            # loses its -1 entries and the position list the duplicates —
+            # no full re-encode next round
+            self._codes_cache = np.delete(self._codes_cache, zs)
+            self._codes_view_cache = None
+            cl = self._codes_list_cache
+            if cl is not None:
+                for e in reversed(zs_list):
+                    del cl[e]
+            if self._pos_cache is not None:
+                for e in reversed(zs_list):
+                    del self._pos_cache[e + 1]
+            self._invalid_edges = 0
+            self._rebuild_index()
+            return records
+
         out_pos: List[Vec] = []
         out_ids: List[int] = []
         for p, rid in zip(pos, ids):
@@ -442,6 +617,7 @@ class ClosedChain:
         self._arr = np.asarray(out_pos, dtype=np.int64).reshape(len(out_pos), 2)
         self._pos_cache = out_pos
         self._codes_cache = None
+        self._codes_view_cache = None
         self._codes_list_cache = None
         self._invalid_edges = -1
         self._ids = out_ids
@@ -496,6 +672,8 @@ class ClosedChain:
     # ------------------------------------------------------------------
     def _rebuild_index(self) -> None:
         self._index_of_id = {rid: i for i, rid in enumerate(self._ids)}
+        self._ids_arr_cache = None
+        self._index_arr_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClosedChain(n={self.n}, bbox={self.bounding_box()})"

@@ -1,0 +1,703 @@
+"""Bulk run decisions: paper Fig. 15 step 2 for all active runs at once.
+
+The reference engine decides each run through a per-robot
+:class:`~repro.core.view.ChainWindow` (:func:`repro.core.algorithm.decide_run`).
+This module executes the same decision table over the run registry's
+struct-of-arrays state and the chain's cached edge-code array, then
+applies the outcome (terminations, mode/target/steps transitions, hop
+collection with conflict resolution) straight to the registry — the
+fused form of the reference engine's steps 3 + 5-6.
+
+Two behaviourally identical paths sit behind :func:`decide_and_apply`
+(the same adaptive trick as the detector's ``_NUMPY_MIN_N``):
+
+* ``_decide_numpy`` — rolled/gathered array comparisons: nearest
+  sequent/oncoming runs via ``searchsorted`` over the carrier index
+  arrays, the Table 1.2 endpoint check as a vectorised
+  necessary-condition filter (a window without two equal adjacent
+  perpendicular codes, a stairway step or a broken edge can never show
+  an endpoint) with only the flagged candidates parsed through the
+  reference quasi-line grammar (same memoised parser), and the Fig. 11
+  operations as elementwise code comparisons.  The rare
+  ``INIT_CORNER`` rows fall back to the reference per-window
+  :func:`decide_run` — the fallback contract of DESIGN.md §2.9.
+* ``_decide_scalar`` — a tight integer loop over the same arrays for
+  rounds with only a handful of runs, where per-call NumPy dispatch
+  overhead would dominate.
+
+Equivalence of both paths against the reference engine is
+property-tested decision-for-decision (``tests/test_kernel_engine.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LocalityViolation
+from repro.core.chain import CODE_TO_DIR, ClosedChain
+from repro.core.config import Parameters
+from repro.core.patterns import endpoint_visible_codes
+from repro.core.runs import (
+    COL_AXY,
+    COL_DIRN,
+    COL_HOPS,
+    COL_MODE,
+    COL_ROBOT,
+    COL_STEPS,
+    COL_TARGET,
+    MODE_INIT_CORNER,
+    MODE_NORMAL,
+    MODE_PASSING,
+    MODE_TRAVEL,
+    RunMode,
+    RunRegistry,
+    StopReason,
+)
+
+#: Stop-reason codes of the decision stage (Table 1.1-1.3).
+_STOP_SEQUENT = StopReason.SEQUENT_RUN_AHEAD.value
+_STOP_ENDPOINT = StopReason.ENDPOINT_VISIBLE.value
+_STOP_MERGE = StopReason.MERGE_PARTICIPATION.value
+
+#: Direction-code -> unit-vector table for hop assembly.
+_DIR_TABLE = np.array(CODE_TO_DIR, dtype=np.int64)
+
+#: Precomputed diagonal hops: ``_HOP_SUM[p][q]`` is the vector sum of
+#: the unit vectors for codes ``p`` and ``q`` (the op (a)/(c) hop).
+_HOP_SUM = tuple(tuple((CODE_TO_DIR[p][0] + CODE_TO_DIR[q][0],
+                        CODE_TO_DIR[p][1] + CODE_TO_DIR[q][1])
+                       for q in range(4)) for p in range(4))
+
+#: Below this many active runs the scalar path wins: the NumPy path
+#: spends ~60 small array dispatches per round, which only amortise
+#: once the per-run loop would cost more.  Both paths are behaviourally
+#: identical (shared property tests), so this is purely a latency knob.
+NUMPY_MIN_RUNS = 40
+
+#: Raw-slice endpoint memo for backward walkers (key: raw code slice,
+#: viewing length, axis parity, k_max).  A hit skips building the
+#: flipped walking-direction window altogether; the verdict itself is
+#: the shared reference grammar's.  Bounded like the grammar memo.
+_BWD_EP_CACHE: dict = {}
+_BWD_EP_CACHE_MAX = 1 << 15
+
+
+class AppliedDecisions:
+    """Outcome of one decision stage, already written to the registry."""
+
+    __slots__ = ("terminated", "move_idx", "move_deltas",
+                 "runner_hop_conflicts")
+
+    def __init__(self, terminated: Dict[int, int], move_idx, move_deltas,
+                 runner_hop_conflicts: int):
+        #: stop-reason code -> count of runs terminated this stage
+        self.terminated = terminated
+        #: chain indices of runner hops that execute (conflict-free)
+        self.move_idx = move_idx
+        #: parallel (m, 2) hop vectors
+        self.move_deltas = move_deltas
+        #: robots whose two runs demanded different hops (all frozen)
+        self.runner_hop_conflicts = runner_hop_conflicts
+
+
+_EMPTY = AppliedDecisions({}, (), (), 0)
+
+
+def decide_and_apply(chain: ClosedChain, registry: RunRegistry,
+                     params: Parameters, part_mask: Optional[np.ndarray],
+                     round_index: int,
+                     numpy_min_runs: Optional[int] = None) -> AppliedDecisions:
+    """Decide every active run and apply the outcome to the registry.
+
+    ``part_mask`` flags the chain indices participating in an executing
+    merge pattern (Table 1.3), or is ``None`` on merge-free rounds.
+    Movement is *not* applied: the returned hop arrays join the merge
+    hops in the engine's simultaneous-movement step.
+    """
+    n_runs = len(registry)
+    if n_runs == 0:
+        return _EMPTY
+    if params.passing_distance > params.viewing_path_length:
+        # the reference window raises when the passing scan exceeds the
+        # viewing range; mirror the contract rather than widening it
+        raise LocalityViolation(
+            f"passing distance {params.passing_distance} exceeds viewing "
+            f"path length {params.viewing_path_length}")
+    threshold = NUMPY_MIN_RUNS if numpy_min_runs is None else numpy_min_runs
+    if n_runs < threshold:
+        return _decide_scalar(chain, registry, params, part_mask, round_index)
+    return _decide_numpy(chain, registry, params, part_mask, round_index)
+
+
+# ---------------------------------------------------------------------------
+# scalar path (small run counts)
+# ---------------------------------------------------------------------------
+
+def _ahead_codes(cl: List[int], n: int, a: int, d: int, count: int) -> List[int]:
+    """Walking-direction codes of the ``count`` edges ahead of anchor ``a``.
+
+    Same semantics as :meth:`ChainWindow.ahead_codes` against the
+    chain's cached code list (including the lap case ``count > n``).
+    """
+    if count > n:                          # window laps the (short) chain
+        if d == 1:
+            return [cl[(a + j) % n] for j in range(count)]
+        return [c ^ 2 if c >= 0 else c
+                for j in range(1, count + 1)
+                for c in (cl[(a - j) % n],)]
+    if d == 1:
+        end = a + count
+        if end <= n:
+            return cl[a:end]
+        return cl[a:] + cl[:end - n]
+    start = a - count
+    seg = cl[start:a] if start >= 0 else cl[start + n:] + cl[:a]
+    return [c ^ 2 if c >= 0 else c for c in reversed(seg)]
+
+
+def _decide_scalar(chain: ClosedChain, registry: RunRegistry,
+                   params: Parameters, part_mask: Optional[np.ndarray],
+                   round_index: int) -> AppliedDecisions:
+    cl = chain.edge_codes_list()
+    ids = chain.ids_view()
+    index_map = chain.index_map()
+    n = chain.n
+    v = params.viewing_path_length
+    pd = params.passing_distance
+    seq_guard = params.sequent_guard
+    ep_guard = params.endpoint_guard
+    k_eff = params.effective_k_max
+    travel_steps = params.travel_steps
+    participant = part_mask.tolist() if part_mask is not None else None
+
+    data = registry._data
+
+    # one bulk gather of the live matrix rows into plain Python lists
+    # (NumPy scalar indexing costs ~10x a list read on this path);
+    # stops mutate the live set, so the slot list is snapshotted
+    slots = list(registry._active)
+    rows = registry.active_rows()
+
+    # anchor indices plus sorted carrier lists split by run direction
+    # (one pass): the windows' runs_ahead scan becomes two bisections
+    anchors: List[int] = []
+    fwd: List[int] = []
+    bwd: List[int] = []
+    for row in rows:
+        a = index_map[row[COL_ROBOT]]
+        anchors.append(a)
+        (fwd if row[COL_DIRN] == 1 else bwd).append(a)
+    fwd.sort()
+    bwd.sort()
+    nf, nb = len(fwd), len(bwd)
+    bisect_right = bisect.bisect_right
+    bisect_left = bisect.bisect_left
+
+    terminated: Dict[int, int] = {}
+    # robot -> [hop vec, anchor index, run slots...] for conflict resolution
+    runner_hops: Dict[int, list] = {}
+    conflicts = 0
+
+    for rid, row, a in zip(slots, rows, anchors):
+        robot_id = row[COL_ROBOT]
+        d = row[COL_DIRN]
+
+        # Table 1.3 — the carrier takes part in a merge operation
+        if participant is not None and participant[a]:
+            registry.stop_slot(rid, _STOP_MERGE, round_index)
+            terminated[_STOP_MERGE] = terminated.get(_STOP_MERGE, 0) + 1
+            continue
+
+        # nearest sequent/oncoming carrier toward d, by bisection (the
+        # nearest cyclic neighbour in the sorted index lists)
+        if d == 1:
+            if nf:
+                c = fwd[bisect_right(fwd, a) % nf]
+                sequent = (c - a) % n or n # the anchor re-appears after a lap
+            else:
+                sequent = n + 1
+            if nb:
+                c = bwd[bisect_right(bwd, a) % nb]
+                oncoming = (c - a) % n or n
+            else:
+                oncoming = n + 1
+        else:
+            if nb:
+                c = bwd[bisect_left(bwd, a) - 1]
+                sequent = (a - c) % n or n
+            else:
+                sequent = n + 1
+            if nf:
+                c = fwd[bisect_left(fwd, a) - 1]
+                oncoming = (a - c) % n or n
+            else:
+                oncoming = n + 1
+        has_onc = oncoming <= v
+
+        # Table 1.1 — sequent run visible in front (with the sequent guard)
+        if sequent <= v and not (seq_guard and has_onc
+                                 and sequent >= oncoming):
+            registry.stop_slot(rid, _STOP_SEQUENT, round_index)
+            terminated[_STOP_SEQUENT] = terminated.get(_STOP_SEQUENT, 0) + 1
+            continue
+
+        # Table 1.2 — endpoint of the quasi line visible in front.
+        # Fast path: a wrap-free window whose raw codes are all equal
+        # needs no walking-direction list at all — straight along the
+        # quasi-line axis parses to False, a straight perpendicular
+        # segment parses to True (two equal adjacent perpendicular
+        # codes), both without touching the grammar or the memo.
+        ahead = None
+        straight = 0                       # 0: unknown, 1: straight window
+        if not (ep_guard and has_onc):
+            if d == 1:
+                end = a + v
+                seg = cl[a:end] if end <= n else None
+            else:
+                seg = cl[a - v:a] if a >= v else None
+            c0 = seg[0] if seg is not None else -9
+            if c0 >= 0 and seg.count(c0) == v:
+                straight = 1
+                if (c0 & 1) != (1 if row[COL_AXY] else 0):
+                    registry.stop_slot(rid, _STOP_ENDPOINT, round_index)
+                    terminated[_STOP_ENDPOINT] = \
+                        terminated.get(_STOP_ENDPOINT, 0) + 1
+                    continue
+            elif seg is None or d == 1:
+                # wrap case (rare) or forward walk (raw == walking codes)
+                ahead = seg if seg is not None else _ahead_codes(cl, n, a, d, v)
+                if endpoint_visible_codes(ahead, v,
+                                          1 if row[COL_AXY] else 0, k_eff):
+                    registry.stop_slot(rid, _STOP_ENDPOINT, round_index)
+                    terminated[_STOP_ENDPOINT] = \
+                        terminated.get(_STOP_ENDPOINT, 0) + 1
+                    continue
+            else:
+                # backward walk: memoise on the raw slice so cache hits
+                # skip the flip-and-reverse list build entirely
+                apar = 1 if row[COL_AXY] else 0
+                key = (tuple(seg), v, apar, k_eff)
+                verdict = _BWD_EP_CACHE.get(key)
+                if verdict is None:
+                    ahead = [x ^ 2 if x >= 0 else x for x in reversed(seg)]
+                    verdict = endpoint_visible_codes(ahead, v, apar, k_eff)
+                    if len(_BWD_EP_CACHE) >= _BWD_EP_CACHE_MAX:
+                        _BWD_EP_CACHE.clear()
+                    _BWD_EP_CACHE[key] = verdict
+                if verdict:
+                    registry.stop_slot(rid, _STOP_ENDPOINT, round_index)
+                    terminated[_STOP_ENDPOINT] = \
+                        terminated.get(_STOP_ENDPOINT, 0) + 1
+                    continue
+
+        # arrival bookkeeping: leaving passing/travel when on target
+        mode = mode0 = row[COL_MODE]
+        target = target0 = row[COL_TARGET]
+        steps = row[COL_STEPS]
+        if mode == MODE_PASSING and target >= 0 and robot_id == target:
+            mode, target = MODE_NORMAL, -1
+        if mode == MODE_TRAVEL and ((target >= 0 and robot_id == target)
+                                    or steps <= 0):
+            mode, target = MODE_NORMAL, -1
+
+        # run passing (Fig. 8 / Fig. 14)
+        if mode == MODE_PASSING:
+            if target != target0:
+                data[rid, COL_TARGET] = target   # mode unchanged
+            continue
+        if has_onc and oncoming <= pd and mode != MODE_INIT_CORNER:
+            if mode == MODE_TRAVEL and target >= 0:
+                # Fig. 14: an interrupted operation keeps its settled target
+                passing_target = target
+            else:
+                passing_target = ids[(a + oncoming * d) % n]
+            if mode0 != MODE_PASSING:
+                data[rid, COL_MODE] = MODE_PASSING
+            if passing_target != target0:
+                data[rid, COL_TARGET] = passing_target
+            continue
+
+        # continue an operation already in progress (Fig. 11 b/c)
+        if mode == MODE_TRAVEL:
+            if target != target0:
+                data[rid, COL_TARGET] = target
+            data[rid, COL_STEPS] = steps - 1
+            continue
+
+        # operation (c): corner-cut hop of a fresh Fig. 5(ii) run
+        if mode == MODE_INIT_CORNER:
+            u = cl[a]
+            w = cl[a - 1]                  # edge(0, -1) reverses edge a-1
+            data[rid, COL_MODE] = MODE_NORMAL
+            if target0 != -1:
+                data[rid, COL_TARGET] = -1
+            if u >= 0 and w >= 0 and ((u ^ w) & 1):
+                hop = _HOP_SUM[u][w ^ 2]
+                entry = runner_hops.get(robot_id)
+                if entry is None:
+                    runner_hops[robot_id] = [hop, a, rid]
+                else:
+                    entry.append(hop)
+                    entry.append(rid)
+            continue
+
+        # normal operation: (a) reshape or (b) travel.  The first three
+        # walking-direction codes come from the straight fast path, the
+        # already-built window, or three raw reads (flipping cancels in
+        # the equality checks toward d == -1).
+        if straight:
+            c1 = c0 if d == 1 else c0 ^ 2
+            aligned3 = True
+        elif ahead is not None:
+            c1 = ahead[0]
+            aligned3 = ahead[1] == c1 and ahead[2] == c1
+            if c1 >= 0 and not aligned3 and ahead[1] == c1:
+                data[rid, COL_MODE] = MODE_TRAVEL
+                data[rid, COL_TARGET] = ids[(a + 3 * d) % n]
+                data[rid, COL_STEPS] = travel_steps
+                continue
+        elif d == 1:
+            c1 = cl[a]
+            r2 = cl[a + 1 - n] if a + 1 >= n else cl[a + 1]
+            r3 = cl[a + 2 - n] if a + 2 >= n else cl[a + 2]
+            aligned3 = r2 == c1 and r3 == c1
+            if c1 >= 0 and not aligned3 and r2 == c1:
+                data[rid, COL_MODE] = MODE_TRAVEL
+                data[rid, COL_TARGET] = ids[(a + 3 * d) % n]
+                data[rid, COL_STEPS] = travel_steps
+                continue
+        else:
+            r1 = cl[(a - 1) % n]
+            r2 = cl[(a - 2) % n]
+            r3 = cl[(a - 3) % n]
+            c1 = r1 ^ 2 if r1 >= 0 else r1
+            aligned3 = r2 == r1 and r3 == r1
+            if c1 >= 0 and not aligned3 and r2 == r1:
+                data[rid, COL_MODE] = MODE_TRAVEL
+                data[rid, COL_TARGET] = ids[(a + 3 * d) % n]
+                data[rid, COL_STEPS] = travel_steps
+                continue
+        if c1 >= 0 and aligned3:
+            # op (a): runner and next >= 3 robots on a straight line
+            braw = cl[a - 1] if d == 1 else cl[a]
+            behind = braw ^ 2 if (d == 1 and braw >= 0) else braw
+            if mode0 != MODE_NORMAL:
+                data[rid, COL_MODE] = MODE_NORMAL
+            if target0 != -1:
+                data[rid, COL_TARGET] = -1
+            if behind >= 0 and ((behind ^ c1) & 1):
+                hop = _HOP_SUM[behind][c1]
+                entry = runner_hops.get(robot_id)
+                if entry is None:
+                    runner_hops[robot_id] = [hop, a, rid]
+                else:
+                    entry.append(hop)
+                    entry.append(rid)
+            continue
+        # defensive default: keep moving at speed one without reshaping
+        if mode0 != MODE_NORMAL:
+            data[rid, COL_MODE] = MODE_NORMAL
+        if target0 != -1:
+            data[rid, COL_TARGET] = -1
+
+    # hop conflict resolution: a robot carrying two hopping runs moves
+    # only when both demand the same hop (then each run counts it).
+    # Entries are [hop, anchor, slot(, hop2, slot2)] — at most two runs.
+    move_idx: List[int] = []
+    move_deltas: List[Tuple[int, int]] = []
+    hop_slots: List[int] = []
+    for entry in runner_hops.values():
+        if len(entry) == 3:
+            move_idx.append(entry[1])
+            move_deltas.append(entry[0])
+            hop_slots.append(entry[2])
+        elif entry[3] == entry[0]:
+            move_idx.append(entry[1])
+            move_deltas.append(entry[0])
+            hop_slots.append(entry[2])
+            hop_slots.append(entry[4])
+        else:
+            conflicts += 1
+    if hop_slots:
+        if len(hop_slots) == 1:
+            data[hop_slots[0], COL_HOPS] += 1
+        else:
+            data[hop_slots, COL_HOPS] += 1   # slots unique: one batched RMW
+    return AppliedDecisions(terminated, move_idx, move_deltas, conflicts)
+
+
+# ---------------------------------------------------------------------------
+# NumPy path (bulk run counts)
+# ---------------------------------------------------------------------------
+
+def _nearest_ahead(anchors: np.ndarray, carriers: np.ndarray, n: int,
+                   big: int) -> np.ndarray:
+    """Cyclic offset to the next carrier at a strictly larger index."""
+    if len(carriers) == 0:
+        return np.full(len(anchors), big, dtype=np.int64)
+    j = np.searchsorted(carriers, anchors, side="right") % len(carriers)
+    off = (carriers[j] - anchors) % n
+    off[off == 0] = n                      # the anchor re-appears after a lap
+    return off
+
+
+def _nearest_behind(anchors: np.ndarray, carriers: np.ndarray, n: int,
+                    big: int) -> np.ndarray:
+    """Cyclic offset to the next carrier at a strictly smaller index."""
+    if len(carriers) == 0:
+        return np.full(len(anchors), big, dtype=np.int64)
+    j = np.searchsorted(carriers, anchors, side="left") - 1
+    off = (anchors - carriers[j]) % n
+    off[off == 0] = n
+    return off
+
+
+def _decide_numpy(chain: ClosedChain, registry: RunRegistry,
+                  params: Parameters, part_mask: Optional[np.ndarray],
+                  round_index: int) -> AppliedDecisions:
+    reg = registry
+    data = reg._data
+    slots = reg.active_slots()
+    R = len(slots)
+    rr = data[slots, COL_ROBOT]
+    dd = data[slots, COL_DIRN]
+    mm = data[slots, COL_MODE]
+    tt = data[slots, COL_TARGET]
+    st = data[slots, COL_STEPS]
+    ap = (data[slots, COL_AXY] != 0).astype(np.int64)
+
+    c = chain.edge_codes()
+    n = chain.n
+    ids_arr = chain.ids_array()
+    index_arr = chain.index_array()
+    a = index_arr[rr]
+    v = params.viewing_path_length
+    pd = params.passing_distance
+
+    stop = np.zeros(R, dtype=np.int64)
+    # Table 1.3 — merge participants
+    if part_mask is not None:
+        stop[part_mask[a]] = _STOP_MERGE
+
+    # nearest sequent / oncoming run ahead: searchsorted over the
+    # direction-split carrier index arrays (the windows' runs_ahead)
+    is_f = dd == 1
+    fr = np.flatnonzero(is_f)
+    br = np.flatnonzero(~is_f)
+    fwd = np.sort(a[fr])
+    bwd = np.sort(a[br])
+    big = n + v + 1
+    seq = np.full(R, big, dtype=np.int64)
+    onc = np.full(R, big, dtype=np.int64)
+    seq[fr] = _nearest_ahead(a[fr], fwd, n, big)
+    onc[fr] = _nearest_ahead(a[fr], bwd, n, big)
+    seq[br] = _nearest_behind(a[br], bwd, n, big)
+    onc[br] = _nearest_behind(a[br], fwd, n, big)
+    has_seq = seq <= v
+    has_onc = onc <= v
+
+    # Table 1.1 — sequent run ahead, with the sequent guard
+    if params.sequent_guard:
+        guarded = has_onc & (seq >= onc)
+    else:
+        guarded = np.zeros(R, dtype=bool)
+    stop[(stop == 0) & has_seq & ~guarded] = _STOP_SEQUENT
+
+    # gather each run's walking-direction code window (R, v)
+    offsets = np.arange(v, dtype=np.int64)
+    d1 = is_f[:, None]
+    idx = np.where(d1, a[:, None] + offsets, a[:, None] - 1 - offsets) % n
+    W = c[idx]
+    W = np.where(d1 | (W < 0), W, W ^ 2)   # flip valid codes when walking -1
+
+    # Table 1.2 — endpoint visible ahead.  Necessary-condition filter:
+    # the grammar can only report an endpoint at two equal adjacent
+    # perpendicular codes, a stairway step (perp, axis, same perp) or a
+    # broken (diagonal) edge; windows without any of these are verdict
+    # False without parsing.  Flagged candidates run the reference
+    # memoised grammar.
+    if params.endpoint_guard:
+        need = (stop == 0) & ~has_onc
+    else:
+        need = stop == 0
+    if need.any():
+        perp = (W >= 0) & ((W & 1) != ap[:, None])
+        axis_par = (W >= 0) & ((W & 1) == ap[:, None])
+        feature = np.zeros(R, dtype=bool)
+        feature |= (perp[:, :-1] & (W[:, 1:] == W[:, :-1])).any(axis=1)
+        if v >= 3:
+            feature |= (perp[:, :-2] & axis_par[:, 1:-1]
+                        & (W[:, 2:] == W[:, :-2])).any(axis=1)
+        feature |= (W == -2).any(axis=1)
+        k_eff = params.effective_k_max
+        for r in np.flatnonzero(need & feature).tolist():
+            if endpoint_visible_codes(W[r].tolist(), v, int(ap[r]), k_eff):
+                stop[r] = _STOP_ENDPOINT
+
+    alive = stop == 0
+
+    # arrival bookkeeping: leaving passing/travel when on target
+    m2 = mm.copy()
+    t2 = tt.copy()
+    arr_p = alive & (m2 == MODE_PASSING) & (t2 >= 0) & (t2 == rr)
+    m2[arr_p] = MODE_NORMAL
+    t2[arr_p] = -1
+    arr_t = alive & (m2 == MODE_TRAVEL) & (((t2 >= 0) & (t2 == rr))
+                                           | (st <= 0))
+    m2[arr_t] = MODE_NORMAL
+    t2[arr_t] = -1
+
+    out_mode = np.full(R, MODE_NORMAL, dtype=np.int64)
+    out_t = np.full(R, -1, dtype=np.int64)
+    set_steps = np.zeros(R, dtype=bool)
+    out_steps = np.zeros(R, dtype=np.int64)
+    hop_has = np.zeros(R, dtype=bool)
+    hop_vec = np.zeros((R, 2), dtype=np.int64)
+
+    # run passing (Fig. 8 / Fig. 14): continue, then entry
+    is_pass = alive & (m2 == MODE_PASSING)
+    out_mode[is_pass] = MODE_PASSING
+    out_t[is_pass] = t2[is_pass]
+    rem = alive & ~is_pass
+    enter = rem & (onc <= pd) & (m2 != MODE_INIT_CORNER)
+    keep = enter & (m2 == MODE_TRAVEL) & (t2 >= 0)   # Fig. 14 settled target
+    gather = enter & ~keep
+    out_mode[enter] = MODE_PASSING
+    out_t[keep] = t2[keep]
+    out_t[gather] = ids_arr[(a[gather] + onc[gather] * dd[gather]) % n]
+    rem &= ~enter
+
+    # continue an operation already in progress (Fig. 11 b/c)
+    trv = rem & (m2 == MODE_TRAVEL)
+    out_mode[trv] = MODE_TRAVEL
+    out_t[trv] = t2[trv]
+    set_steps[trv] = True
+    out_steps[trv] = st[trv] - 1
+    rem &= ~trv
+
+    # rare INIT_CORNER rows: reference per-window fallback (op (c))
+    init_rows = rem & (m2 == MODE_INIT_CORNER)
+    rem &= ~init_rows
+    fallback_rows = np.flatnonzero(init_rows)
+
+    # normal operation: (a) reshape or (b) travel
+    c1 = W[:, 0]
+    al2 = rem & (c1 >= 0) & (W[:, 1] == c1)
+    al3 = al2 & (W[:, 2] == c1)
+    braw = np.where(is_f, c[(a - 1) % n], c[a])
+    behind = np.where(is_f & (braw >= 0), braw ^ 2, braw)
+    hop3 = al3 & (behind >= 0) & (((behind ^ c1) & 1) == 1)
+    hop_rows = np.flatnonzero(hop3)
+    hop_has[hop_rows] = True
+    hop_vec[hop_rows] = _DIR_TABLE[behind[hop_rows]] + _DIR_TABLE[c1[hop_rows]]
+    opb = al2 & ~al3
+    out_mode[opb] = MODE_TRAVEL
+    out_t[opb] = ids_arr[(a[opb] + 3 * dd[opb]) % n]
+    set_steps[opb] = True
+    out_steps[opb] = params.travel_steps
+    # al3-without-hop and non-aligned rows keep the defaults
+    # (NORMAL, target cleared): the shared _CONTINUE decision
+
+    if len(fallback_rows):
+        _decide_fallback(chain, reg, params, part_mask, slots, fallback_rows,
+                         tt, stop, out_mode, out_t, set_steps, out_steps,
+                         hop_has, hop_vec)
+        alive = stop == 0
+
+    # --- apply: terminations, state transitions, hop resolution -----------
+    terminated: Dict[int, int] = {}
+    dead_rows = np.flatnonzero(stop != 0)
+    if len(dead_rows):
+        reg.stop_slots(slots[dead_rows], stop[dead_rows], round_index)
+        codes, counts = np.unique(stop[dead_rows], return_counts=True)
+        terminated = dict(zip(codes.tolist(), counts.tolist()))
+        hop_has &= alive                   # fallback rows may have stopped
+
+    live_rows = np.flatnonzero(alive)
+    live_slots = slots[live_rows]
+    data[live_slots, COL_MODE] = out_mode[live_rows]
+    data[live_slots, COL_TARGET] = out_t[live_rows]
+    step_rows = live_rows[set_steps[live_rows]]
+    data[slots[step_rows], COL_STEPS] = out_steps[step_rows]
+
+    # hop conflict resolution: a robot carrying two hopping runs moves
+    # only when both demand the same hop (then each run counts it)
+    hr = np.flatnonzero(hop_has)
+    conflicts = 0
+    if len(hr) == 0:
+        return AppliedDecisions(terminated, (), (), 0)
+    order = np.argsort(rr[hr], kind="stable")
+    hr = hr[order]
+    rh = rr[hr]
+    boundary = rh[1:] != rh[:-1]
+    firsts = np.r_[True, boundary]
+    lasts = np.r_[boundary, True]
+    single = firsts & lasts
+    pair = np.flatnonzero(firsts & ~lasts) # groups are at most 2 (capacity)
+    accept = hr[single]
+    if len(pair):
+        agree = (hop_vec[hr[pair]] == hop_vec[hr[pair + 1]]).all(axis=1)
+        conflicts = int(np.count_nonzero(~agree))
+        good = pair[agree]
+        data[slots[hr[good]], COL_HOPS] += 1
+        data[slots[hr[good + 1]], COL_HOPS] += 1
+        accept = np.concatenate([accept, hr[good]])
+    data[slots[hr[single]], COL_HOPS] += 1
+    return AppliedDecisions(terminated, a[accept], hop_vec[accept], conflicts)
+
+
+class _MaskParticipants:
+    """Set-like view of the participant mask for the window fallback."""
+
+    __slots__ = ("_mask", "_index_map")
+
+    def __init__(self, mask: Optional[np.ndarray], index_map):
+        self._mask = mask
+        self._index_map = index_map
+
+    def __contains__(self, robot_id: int) -> bool:
+        if self._mask is None:
+            return False
+        return bool(self._mask[self._index_map[robot_id]])
+
+
+def _decide_fallback(chain, reg, params, part_mask, slots, rows, tt, stop,
+                     out_mode, out_t, set_steps, out_steps, hop_has,
+                     hop_vec) -> None:
+    """Reference per-window :func:`decide_run` on the flagged rows only."""
+    from repro.core.algorithm import decide_run
+    from repro.core.runs import MODE_TO_CODE
+    from repro.core.view import ChainWindow
+
+    index_map = chain.index_map()
+    runs_of, fwd, bwd = reg.round_state(index_map)
+    window = ChainWindow(chain, 0, params.viewing_path_length, runs_of,
+                         carriers=(fwd, bwd))
+    participants = _MaskParticipants(part_mask, index_map)
+    for r in rows.tolist():
+        run = reg._view(int(slots[r]))
+        window.reanchor(index_map[run.robot_id])
+        dec = decide_run(run, window, params, participants)
+        if dec.stop_reason is not None:
+            stop[r] = dec.stop_reason.value
+            continue
+        if dec.hop is not None:
+            hop_has[r] = True
+            hop_vec[r] = dec.hop
+        mode_after = dec.mode_after
+        if mode_after is not None:
+            out_mode[r] = MODE_TO_CODE[mode_after]
+        else:
+            out_mode[r] = int(reg._data[slots[r], COL_MODE])
+        if dec.target_after_set:
+            out_t[r] = -1 if dec.target_after is None else dec.target_after
+        elif mode_after is RunMode.NORMAL:
+            out_t[r] = -1
+        else:
+            out_t[r] = tt[r]
+        if dec.travel_steps_after is not None:
+            set_steps[r] = True
+            out_steps[r] = dec.travel_steps_after

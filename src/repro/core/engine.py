@@ -104,33 +104,22 @@ class Engine:
         runs_started = 0
         if self.trace is not None:
             self.trace.record_snapshot(self.snapshot())
-        pos_before = {rid: chain.position_of_id(rid)
-                      for rid in chain.ids_view()} if self._check else {}
+        if self._check:
+            # array snapshots for the hop-length invariant (the former
+            # id -> position dicts made checking quadratic per gathering)
+            ids_before = chain.ids_array().copy()
+            pos_before = chain.positions_array().copy()
 
         ids = chain.ids_view()
         positions = chain.positions_view()
-        # snapshot the (sparse) run placement once per round; the window
-        # lookups in decide_run are the measured hot path.  The bound
-        # ``dict.get`` doubles as the window's ``runs_of`` callable
-        # (missing robots yield None, which the window treats as "no
-        # runs") — one Python frame less per probe.
-        active = registry.active_runs()
-        run_dirs: Dict[int, Tuple[int, ...]] = {}
-        for run in active:
-            prev = run_dirs.get(run.robot_id, ())
-            run_dirs[run.robot_id] = prev + (run.direction,)
-        lookup = run_dirs.get
         index_map = chain.index_map()
-        # carrier chain indices split by run direction, for the windows'
-        # bulk runs_ahead scans
-        fwd_carriers: List[int] = []
-        bwd_carriers: List[int] = []
-        for rid, dirs in run_dirs.items():
-            ci = index_map[rid]
-            if 1 in dirs:
-                fwd_carriers.append(ci)
-            if -1 in dirs:
-                bwd_carriers.append(ci)
+        # run placement once per round, straight from the registry's
+        # struct-of-arrays state: the robot_id -> directions lookup the
+        # windows probe (missing robots yield None, which the window
+        # treats as "no runs") and the carrier chain indices split by
+        # run direction for the windows' bulk runs_ahead scans.
+        active = registry.active_runs()
+        lookup, fwd_carriers, bwd_carriers = registry.round_state(index_map)
         carriers = (fwd_carriers, bwd_carriers)
 
         # 1-2. merge plan ---------------------------------------------------
@@ -275,8 +264,9 @@ class Engine:
         if self._check:
             invariants.check_connectivity(chain)
             invariants.check_monotone_count(n0, chain.n)
-            pos_after = {rid: chain.position_of_id(rid) for rid in chain.ids_view()}
-            invariants.check_hop_lengths(pos_before, pos_after)
+            invariants.check_hop_lengths_arrays(
+                ids_before, pos_before,
+                chain.ids_array(), chain.positions_array())
             invariants.check_runs_alive(chain, registry)
             invariants.check_run_speed(chain, moved_pairs)
         if self.trace is not None:

@@ -62,31 +62,36 @@ def _merge_patterns_rle(code: np.ndarray, n: int, k_max: int,
         run_codes = [code_list[s] for s in starts]
     else:
         run_codes = code[starts].tolist()
-    patterns: List[MergePattern] = []
-    # k = 1 spikes: a run boundary whose codes are exact opposites
+    # one pass over the run boundaries, collecting into two lists so the
+    # output order stays "all k = 1 spikes, then all k >= 2 shapes"
+    # (plan_merges priority is order-sensitive)
+    spikes: List[MergePattern] = []
+    longs: List[MergePattern] = []
+    flanked = m >= 3                          # a closed chain cannot be one run
     for r in range(m):
         rc = run_codes[r]
         pc = run_codes[r - 1]
-        if rc >= 0 and pc >= 0 and rc == (pc ^ 2):
-            patterns.append(MergePattern(first_black=starts[r], k=1,
-                                         direction=_CODE_TO_DIR[rc]))
-    if m < 3:
-        return patterns                       # a closed chain cannot be one run
-    # k >= 2: a straight run flanked by opposite perpendicular codes
-    for r in range(m):
-        rc = run_codes[r]
-        pc = run_codes[r - 1]
-        nc = run_codes[(r + 1) % m]
-        if rc < 0 or pc < 0 or nc < 0:
+        if pc < 0:
             continue
-        if nc != (pc ^ 2) or not ((rc ^ pc) & 1):
+        po = pc ^ 2
+        # k = 1 spikes: a run boundary whose codes are exact opposites
+        if rc == po and rc >= 0:
+            spikes.append(MergePattern(first_black=starts[r], k=1,
+                                       direction=_CODE_TO_DIR[rc]))
+        if not flanked or rc < 0:
+            continue
+        # k >= 2: a straight run flanked by opposite perpendicular codes
+        nc = run_codes[(r + 1) % m]
+        if nc != po or not ((rc ^ pc) & 1):
             continue
         nxt_start = starts[r + 1] if r + 1 < m else starts[0] + n
         k = nxt_start - starts[r] + 1
         if k <= k_max and k + 2 <= n:
-            patterns.append(MergePattern(first_black=starts[r], k=k,
-                                         direction=_CODE_TO_DIR[nc]))
-    return patterns
+            longs.append(MergePattern(first_black=starts[r], k=k,
+                                      direction=_CODE_TO_DIR[nc]))
+    if not longs:
+        return spikes
+    return spikes + longs
 
 
 def find_merge_patterns_np(positions: Sequence[Vec], k_max: int,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import InvariantViolation
 from repro.grid.lattice import Vec, chebyshev, manhattan
 from repro.core.chain import ClosedChain
@@ -35,6 +37,33 @@ def check_hop_lengths(before: Dict[int, Vec], after: Dict[int, Vec]) -> None:
         if q is not None and chebyshev(p, q) > 1:
             raise InvariantViolation(
                 f"robot {rid} moved {q} -> {p} (more than one hop)")
+
+
+def check_hop_lengths_arrays(before_ids: np.ndarray, before_pos: np.ndarray,
+                             after_ids: np.ndarray, after_pos: np.ndarray
+                             ) -> None:
+    """Array form of :func:`check_hop_lengths` (one round's snapshots).
+
+    ``before_ids``/``before_pos`` are the chain's id and position
+    arrays captured before the round, ``after_*`` the live state after
+    it.  The engines snapshot arrays instead of building id → position
+    dicts every round (which made invariant checking quadratic over a
+    gathering).  Ids only disappear within a round, so after-rows map
+    into the before-arrays by inverting the before-id sequence.
+    """
+    if len(after_ids) == 0 or len(before_ids) == 0:
+        return
+    inv = np.full(int(before_ids.max()) + 1, -1, dtype=np.int64)
+    inv[before_ids] = np.arange(len(before_ids), dtype=np.int64)
+    rows = inv[after_ids]                  # ids never appear mid-round
+    hop = np.abs(after_pos - before_pos[rows]).max(axis=1)
+    if int(hop.max()) > 1:
+        r = int(np.argmax(hop))
+        rid = int(after_ids[r])
+        q = tuple(before_pos[rows[r]].tolist())
+        p = tuple(after_pos[r].tolist())
+        raise InvariantViolation(
+            f"robot {rid} moved {q} -> {p} (more than one hop)")
 
 
 def check_monotone_count(n_before: int, n_after: int) -> None:

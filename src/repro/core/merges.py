@@ -30,8 +30,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set
 
+import numpy as np
+
 from repro.grid.lattice import Vec, add, are_perpendicular
+from repro.core.chain import CODE_TO_DIR
 from repro.core.patterns import MergePattern, find_merge_patterns
+
+#: Unit hop vector -> direction code (same encoding as the chain's edge
+#: codes; parity of the code gives the axis).
+_VEC_TO_CODE: Dict[Vec, int] = {v: c for c, v in enumerate(CODE_TO_DIR)}
+
+#: Direction-code -> unit-vector table for the vectorised planner.
+_DIR_TABLE = np.array(CODE_TO_DIR, dtype=np.int64)
 
 
 @dataclass
@@ -122,3 +132,178 @@ def plan_merges(positions: Sequence[Vec], ids: Sequence[int], k_max: int,
         else:
             plan.conflicts += 1
     return plan
+
+
+@dataclass
+class KernelMergePlan:
+    """Array rendering of a round's merge plan (kernel engine).
+
+    Same decision content as :class:`MergePlan` — property-tested
+    equivalent — addressed by chain index instead of robot id:
+    ``hop_idx``/``hop_vec`` are the hopping blacks and their hop
+    vectors (NumPy arrays from the vectorised planner, plain lists
+    from the small-case path — the engine's movement step handles
+    both), ``part_mask`` flags every participant of an executing
+    pattern.  ``patterns`` keeps the executing patterns in detector
+    order (the reference plan's ``patterns`` list).
+    """
+
+    patterns: List[MergePattern]
+    hop_idx: Sequence[int]
+    hop_vec: Sequence[Vec]
+    part_mask: np.ndarray
+    conflicts: int = 0
+    cancelled: int = 0
+
+    def participant_ids(self, ids_array: np.ndarray) -> Set[int]:
+        """The participants as a robot-id set (reference plan rendering)."""
+        return set(ids_array[self.part_mask].tolist())
+
+
+#: Below this many patterns the planner runs as a tight Python loop
+#: over indices: per-call NumPy dispatch overhead (~25 array ops)
+#: exceeds the loop until pattern sets get this large.  Both paths are
+#: behaviourally identical (shared property tests, same contract as
+#: the detector's ``_NUMPY_MIN_N``).
+_NUMPY_MIN_PATTERNS = 32
+
+
+def _plan_arrays_py(patterns: List[MergePattern], n: int) -> KernelMergePlan:
+    """Small-case :func:`plan_merges_arrays`: reference logic on indices."""
+    black_min_k: Dict[int, int] = {}
+    for pat in patterns:
+        fb, k = pat.first_black, pat.k
+        for j in range(k):
+            b = (fb + j) % n
+            prev = black_min_k.get(b)
+            if prev is None or k < prev:
+                black_min_k[b] = k
+    executing: List[MergePattern] = []
+    cancelled = 0
+    get_min_k = black_min_k.get
+    for pat in patterns:
+        fb, k = pat.first_black, pat.k
+        if get_min_k((fb - 1) % n, k) < k or get_min_k((fb + k) % n, k) < k:
+            cancelled += 1
+        else:
+            executing.append(pat)
+    part_mask = np.zeros(n, dtype=bool)
+    if not executing:
+        return KernelMergePlan(executing, np.empty(0, np.int64),
+                               np.empty((0, 2), np.int64), part_mask,
+                               cancelled=cancelled)
+    directions: Dict[int, Set[Vec]] = {}
+    for pat in executing:
+        fb, k = pat.first_black, pat.k
+        part_mask[(fb - 1) % n] = True
+        part_mask[(fb + k) % n] = True
+        d = pat.direction
+        for j in range(k):
+            b = (fb + j) % n
+            dirs = directions.get(b)
+            if dirs is None:
+                directions[b] = {d}
+            else:
+                dirs.add(d)
+            part_mask[b] = True
+    hop_idx: List[int] = []
+    hop_vec: List[Vec] = []
+    conflicts = 0
+    for idx, dirs in directions.items():
+        if len(dirs) == 1:
+            (d,) = dirs
+            hop_idx.append(idx)
+            hop_vec.append(d)
+        elif len(dirs) == 2:
+            a, b = sorted(dirs)
+            if are_perpendicular(a, b):
+                hop_idx.append(idx)
+                hop_vec.append(add(a, b))   # Fig. 3b diagonal hop
+            else:
+                conflicts += 1              # impossible; freeze robot
+        else:
+            conflicts += 1
+    # hops stay Python lists on this path: the engine's small-move
+    # branch consumes them without round-tripping through arrays
+    return KernelMergePlan(executing, hop_idx, hop_vec, part_mask,
+                           conflicts=conflicts, cancelled=cancelled)
+
+
+def plan_merges_arrays(patterns: List[MergePattern], n: int) -> KernelMergePlan:
+    """Vectorised :func:`plan_merges` over chain indices.
+
+    Black-index expansion, the short-pattern priority rule and the
+    Fig. 3 overlap resolution all run as array passes: blacks unroll
+    via ``np.repeat``, the per-black minimum pattern length accumulates
+    with ``np.minimum.at``, and robots black in two patterns resolve
+    their (necessarily perpendicular) diagonal hop by grouping the
+    deduplicated ``(index, direction)`` pairs.  Small pattern sets take
+    an equivalent tight Python loop instead (``_NUMPY_MIN_PATTERNS``).
+    Requires at least one pattern; the caller skips merge-free rounds
+    entirely.
+    """
+    if len(patterns) < _NUMPY_MIN_PATTERNS:
+        return _plan_arrays_py(patterns, n)
+    return _plan_arrays_np(patterns, n)
+
+
+def _plan_arrays_np(patterns: List[MergePattern], n: int) -> KernelMergePlan:
+    """The NumPy body of :func:`plan_merges_arrays` (any pattern count)."""
+    m = len(patterns)
+    fb = np.fromiter((p.first_black for p in patterns), np.int64, m)
+    k = np.fromiter((p.k for p in patterns), np.int64, m)
+    dircode = np.fromiter((_VEC_TO_CODE[p.direction] for p in patterns),
+                          np.int64, m)
+
+    # black-index expansion: pattern p contributes blacks fb[p] .. fb[p]+k[p]-1
+    rep = np.repeat(np.arange(m), k)
+    offsets = np.arange(len(rep)) - np.repeat(np.cumsum(k) - k, k)
+    black_idx = (fb[rep] + offsets) % n
+
+    # short-pattern priority: cancel a pattern whose white is a black of
+    # a strictly shorter pattern (see module docstring)
+    min_k = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(min_k, black_idx, k[rep])
+    w0 = (fb - 1) % n
+    w1 = (fb + k) % n
+    cancel = (min_k[w0] < k) | (min_k[w1] < k)
+    cancelled = int(np.count_nonzero(cancel))
+    executing = [p for p, c in zip(patterns, cancel.tolist()) if not c]
+
+    part_mask = np.zeros(n, dtype=bool)
+    if not executing:
+        return KernelMergePlan(executing, np.empty(0, np.int64),
+                               np.empty((0, 2), np.int64), part_mask,
+                               cancelled=cancelled)
+
+    keep = ~cancel
+    keep_rep = keep[rep]
+    bidx = black_idx[keep_rep]
+    part_mask[bidx] = True
+    part_mask[w0[keep]] = True
+    part_mask[w1[keep]] = True
+
+    # deduplicate (black index, hop direction) pairs, then resolve each
+    # robot by its distinct hop-direction count (Fig. 3a/3b)
+    key = np.unique(bidx * 4 + dircode[rep][keep_rep])
+    idx_u = key >> 2
+    code_u = key & 3
+    first = np.flatnonzero(np.r_[True, idx_u[1:] != idx_u[:-1]])
+    counts = np.diff(np.append(first, len(idx_u)))
+
+    conflicts = 0
+    single = first[counts == 1]
+    hop_idx = [idx_u[single]]
+    hop_vec = [_DIR_TABLE[code_u[single]]]
+    double = first[counts == 2]
+    if len(double):
+        ca, cb = code_u[double], code_u[double + 1]
+        perp = ((ca ^ cb) & 1) == 1
+        hop_idx.append(idx_u[double[perp]])
+        hop_vec.append(_DIR_TABLE[ca[perp]] + _DIR_TABLE[cb[perp]])
+        conflicts += int(np.count_nonzero(~perp))   # impossible; freeze robot
+    conflicts += int(np.count_nonzero(counts > 2))
+
+    return KernelMergePlan(executing, np.concatenate(hop_idx),
+                           np.concatenate(hop_vec), part_mask,
+                           conflicts=conflicts, cancelled=cancelled)

@@ -218,6 +218,19 @@ def endpoint_visible_ahead(window: ChainWindow, direction: int, axis: Vec,
         to_code = _VEC_TO_CODE.get
         codes = [to_code(e, _DIAGONAL) for e in edges]
     apar = 0 if axis[1] == 0 else 1        # parity of the quasi-line axis
+    return endpoint_visible_codes(codes, limit, apar, k_max)
+
+
+def endpoint_visible_codes(codes: List[int], limit: int, apar: int,
+                           k_max: int) -> bool:
+    """Memoised endpoint verdict on a raw walking-direction code window.
+
+    Window-free entry point for :func:`endpoint_visible_ahead`, shared
+    with the kernel engine's vectorised decision stage (its flagged
+    candidates parse through the exact same grammar and memo —
+    DESIGN.md §2.9).  ``apar`` is the parity of the quasi-line axis
+    (0 = x, 1 = y).
+    """
     key = (tuple(codes), limit, apar, k_max)
     cached = _ENDPOINT_CACHE.get(key)
     if cached is not None:

@@ -1,4 +1,4 @@
-"""Run states and the run registry.
+"""Run states and the run registry (struct-of-arrays store).
 
 A *run* is the moving token of the paper's reshapement machinery
 (§3.2/§4.1): it travels along the chain one robot per round in a fixed
@@ -6,14 +6,27 @@ chain direction; the robot currently carrying it (the *runner*) may
 perform reshapement hops.  Runs occupy constant memory per robot (at
 most two runs, each a handful of scalars), honouring the paper's
 constant-memory model.
+
+Storage model (DESIGN.md §2.9): the registry owns one ``(capacity,
+11)`` int64 matrix — one row per run ever started, indexed by
+``run_id`` (ids are handed out sequentially, so the id *is* the row),
+one column per field (see the ``COL_*`` constants).  The kernel engine
+(:mod:`repro.core.engine_kernel`) and the bulk decision stage
+(:mod:`repro.core.decisions_vectorized`) read and write columns of
+this matrix in bulk; the scalar decision path extracts the live rows
+as plain Python lists with a single gather.  :class:`RunState` is a
+thin per-run view object over one row, keeping the original attribute
+API for the reference engine, the policy code and the tests.  A
+:class:`RunState` constructed directly (outside a registry) carries
+its own scalar storage, so the class remains usable standalone.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.grid.lattice import Vec
 
@@ -44,13 +57,34 @@ class StopReason(enum.Enum):
     DUPLICATE_DIRECTION = 7      # safety: two same-direction runs on one robot
 
 
-@dataclass
+#: Integer encodings used by the registry matrix (and the kernel
+#: engine's decision stage).  Mode codes index ``MODE_FROM_CODE``;
+#: stop-reason code 0 means "still active", otherwise the code is the
+#: :class:`StopReason` value.
+MODE_INIT_CORNER, MODE_NORMAL, MODE_TRAVEL, MODE_PASSING = 0, 1, 2, 3
+MODE_FROM_CODE: Tuple[RunMode, ...] = (
+    RunMode.INIT_CORNER, RunMode.NORMAL, RunMode.TRAVEL, RunMode.PASSING)
+MODE_TO_CODE: Dict[RunMode, int] = {m: i for i, m in enumerate(MODE_FROM_CODE)}
+STOP_FROM_CODE: Tuple[Optional[StopReason], ...] = (
+    None,) + tuple(StopReason(v) for v in range(1, 8))
+
+#: Columns of the registry matrix.  The six decision-hot fields come
+#: first so the scalar decision path gathers ``[:, :6]`` only.
+(COL_ROBOT, COL_DIRN, COL_MODE, COL_TARGET, COL_STEPS, COL_AXY,
+ COL_AXX, COL_BORN, COL_HOPS, COL_STOP, COL_STOPPED) = range(11)
+_COLS = 11
+_HOT_COLS = 6
+
+#: target_id / stopped_round sentinel for "None" in the int matrix.
+_NONE = -1
+
+
 class RunState:
-    """One run token.
+    """One run token (view over a registry row, or standalone).
 
     Attributes
     ----------
-    run_id: unique id for tracing.
+    run_id: unique id for tracing (equals the registry row).
     robot_id: the robot currently carrying the run.
     direction: chain direction of movement (+1/-1).
     axis: unit vector of the quasi line's segment at start time — the
@@ -63,52 +97,272 @@ class RunState:
     hops: reshapement hops performed so far (analysis only).
     """
 
-    run_id: int
-    robot_id: int
-    direction: int
-    axis: Vec
-    mode: RunMode = RunMode.NORMAL
-    target_id: Optional[int] = None
-    travel_steps_left: int = 0
-    born_round: int = 0
-    hops: int = 0
-    stop_reason: Optional[StopReason] = None
-    stopped_round: Optional[int] = None
+    __slots__ = ("run_id", "_reg", "_f", "direction", "axis", "born_round")
+
+    def __init__(self, run_id: int, robot_id: int, direction: int, axis: Vec,
+                 mode: RunMode = RunMode.NORMAL,
+                 target_id: Optional[int] = None,
+                 travel_steps_left: int = 0,
+                 born_round: int = 0,
+                 hops: int = 0,
+                 stop_reason: Optional[StopReason] = None,
+                 stopped_round: Optional[int] = None):
+        # standalone construction; registry views are built by
+        # RunRegistry._view, bypassing __init__.  direction/axis/
+        # born_round are immutable per run, so they live as plain
+        # attributes in both flavours (hot-path reads skip the
+        # array-backed property machinery).
+        self.run_id = run_id
+        self._reg = None
+        self.direction = direction
+        self.axis = (int(axis[0]), int(axis[1]))
+        self.born_round = born_round
+        self._f = {"robot_id": robot_id, "mode": mode,
+                   "target_id": target_id,
+                   "travel_steps_left": travel_steps_left,
+                   "hops": hops, "stop_reason": stop_reason,
+                   "stopped_round": stopped_round}
+
+    # -- field access (matrix-backed or standalone) ------------------------
+    @property
+    def robot_id(self) -> int:
+        r = self._reg
+        return int(r._data[self.run_id, COL_ROBOT]) \
+            if r is not None else self._f["robot_id"]
+
+    @robot_id.setter
+    def robot_id(self, value: int) -> None:
+        r = self._reg
+        if r is not None:
+            r._data[self.run_id, COL_ROBOT] = value
+        else:
+            self._f["robot_id"] = value
+
+    @property
+    def mode(self) -> RunMode:
+        r = self._reg
+        if r is not None:
+            return MODE_FROM_CODE[r._data[self.run_id, COL_MODE]]
+        return self._f["mode"]
+
+    @mode.setter
+    def mode(self, value: RunMode) -> None:
+        r = self._reg
+        if r is not None:
+            r._data[self.run_id, COL_MODE] = MODE_TO_CODE[value]
+        else:
+            self._f["mode"] = value
+
+    @property
+    def target_id(self) -> Optional[int]:
+        r = self._reg
+        if r is not None:
+            t = int(r._data[self.run_id, COL_TARGET])
+            return None if t == _NONE else t
+        return self._f["target_id"]
+
+    @target_id.setter
+    def target_id(self, value: Optional[int]) -> None:
+        r = self._reg
+        if r is not None:
+            r._data[self.run_id, COL_TARGET] = _NONE if value is None else value
+        else:
+            self._f["target_id"] = value
+
+    @property
+    def travel_steps_left(self) -> int:
+        r = self._reg
+        return int(r._data[self.run_id, COL_STEPS]) \
+            if r is not None else self._f["travel_steps_left"]
+
+    @travel_steps_left.setter
+    def travel_steps_left(self, value: int) -> None:
+        r = self._reg
+        if r is not None:
+            r._data[self.run_id, COL_STEPS] = value
+        else:
+            self._f["travel_steps_left"] = value
+
+    @property
+    def hops(self) -> int:
+        r = self._reg
+        return int(r._data[self.run_id, COL_HOPS]) \
+            if r is not None else self._f["hops"]
+
+    @hops.setter
+    def hops(self, value: int) -> None:
+        r = self._reg
+        if r is not None:
+            r._data[self.run_id, COL_HOPS] = value
+        else:
+            self._f["hops"] = value
+
+    @property
+    def stop_reason(self) -> Optional[StopReason]:
+        r = self._reg
+        if r is not None:
+            return STOP_FROM_CODE[r._data[self.run_id, COL_STOP]]
+        return self._f["stop_reason"]
+
+    @property
+    def stopped_round(self) -> Optional[int]:
+        r = self._reg
+        if r is not None:
+            sr = int(r._data[self.run_id, COL_STOPPED])
+            return None if sr == _NONE else sr
+        return self._f["stopped_round"]
 
     @property
     def active(self) -> bool:
         """True until the run terminates."""
-        return self.stop_reason is None
+        r = self._reg
+        if r is not None:
+            return r._data[self.run_id, COL_STOP] == 0
+        return self._f["stop_reason"] is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunState(run_id={self.run_id}, robot_id={self.robot_id}, "
+                f"direction={self.direction}, mode={self.mode.value}, "
+                f"active={self.active})")
 
 
 class RunRegistry:
     """All live runs, indexed by carrier robot.
 
     The registry lives in the simulator; each robot's slice of it is
-    bounded (≤ 2 runs), preserving the constant-memory model.
+    bounded (≤ 2 runs), preserving the constant-memory model.  State is
+    one ``(capacity, 11)`` int64 matrix (row == run id, columns are the
+    ``COL_*`` fields); the per-robot index is derived lazily so bulk
+    matrix updates (the kernel engine's advance/stop sweeps) never pay
+    for it.
     """
 
+    __slots__ = ("_data", "_count", "_active", "_active_arr",
+                 "_by_robot", "_by_robot_dirty", "_views", "stopped")
+
+    _INITIAL_CAP = 16
+
     def __init__(self) -> None:
-        self._runs: Dict[int, RunState] = {}
+        self._data = np.zeros((self._INITIAL_CAP, _COLS), dtype=np.int64)
+        self._count = 0                    # runs ever started (next run id)
+        self._active: List[int] = []       # live run ids, ascending
+        self._active_arr: Optional[np.ndarray] = None
         self._by_robot: Dict[int, List[int]] = {}
-        self._counter = itertools.count()
+        self._by_robot_dirty = False
+        self._views: Dict[int, RunState] = {}
         self.stopped: List[RunState] = []
+
+    # -- column views (bulk access API) ------------------------------------
+    @property
+    def robot(self) -> np.ndarray:
+        """Carrier robot ids, indexed by run id (writable column view)."""
+        return self._data[:, COL_ROBOT]
+
+    @property
+    def dirn(self) -> np.ndarray:
+        """Chain directions (+1/-1), indexed by run id."""
+        return self._data[:, COL_DIRN]
+
+    @property
+    def mode_code(self) -> np.ndarray:
+        """Mode codes (``MODE_*`` constants), indexed by run id."""
+        return self._data[:, COL_MODE]
+
+    @property
+    def target(self) -> np.ndarray:
+        """Target robot ids (-1 = none), indexed by run id."""
+        return self._data[:, COL_TARGET]
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Travel steps left, indexed by run id."""
+        return self._data[:, COL_STEPS]
+
+    @property
+    def born(self) -> np.ndarray:
+        """Birth rounds, indexed by run id."""
+        return self._data[:, COL_BORN]
+
+    @property
+    def hop_count(self) -> np.ndarray:
+        """Reshapement hop counters, indexed by run id."""
+        return self._data[:, COL_HOPS]
+
+    @property
+    def stop_code(self) -> np.ndarray:
+        """Stop-reason codes (0 = active), indexed by run id."""
+        return self._data[:, COL_STOP]
+
+    @property
+    def axis_parity(self) -> np.ndarray:
+        """Axis parity (0 = x, 1 = y), indexed by run id."""
+        return (self._data[:, COL_AXY] != 0).astype(np.int64)
+
+    # -- internals ---------------------------------------------------------
+    def _grow(self) -> None:
+        new = np.zeros((len(self._data) * 2, _COLS), dtype=np.int64)
+        new[:len(self._data)] = self._data
+        self._data = new
+
+    def _view(self, run_id: int) -> RunState:
+        view = self._views.get(run_id)
+        if view is None:
+            row = self._data[run_id]
+            view = RunState.__new__(RunState)
+            view.run_id = run_id
+            view._reg = self
+            view._f = None
+            view.direction = int(row[COL_DIRN])
+            view.axis = (int(row[COL_AXX]), int(row[COL_AXY]))
+            view.born_round = int(row[COL_BORN])
+            self._views[run_id] = view
+        return view
+
+    def _ensure_by_robot(self) -> Dict[int, List[int]]:
+        if self._by_robot_dirty:
+            by_robot: Dict[int, List[int]] = {}
+            data = self._data
+            for rid in self._active:
+                by_robot.setdefault(int(data[rid, COL_ROBOT]), []).append(rid)
+            self._by_robot = by_robot
+            self._by_robot_dirty = False
+        return self._by_robot
 
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._runs)
+        return len(self._active)
 
     def active_runs(self) -> List[RunState]:
-        """All live runs (stable order by run id).
+        """All live runs (stable order by run id)."""
+        view = self._view
+        return [view(rid) for rid in self._active]
 
-        Run ids are handed out monotonically and dicts preserve
-        insertion order, so the values are already id-sorted.
+    def active_slots(self) -> np.ndarray:
+        """Live run ids (== matrix rows) as an ascending int64 array.
+
+        The kernel engine's bulk reads index the registry matrix with
+        this; the array is cached until the live set changes.
         """
-        return list(self._runs.values())
+        arr = self._active_arr
+        if arr is None:
+            arr = np.array(self._active, dtype=np.int64)
+            self._active_arr = arr
+        return arr
+
+    def active_rows(self) -> List[List[int]]:
+        """The live decision-hot matrix rows as Python lists (one gather).
+
+        Scalar-path counterpart of :meth:`active_slots`: the decision
+        stage reads the first ``_HOT_COLS`` fields of each live row as
+        list indexing instead of NumPy scalar access (an order of
+        magnitude faster per element).
+        """
+        return self._data[self.active_slots(), :_HOT_COLS].tolist()
 
     def runs_on(self, robot_id: int) -> List[RunState]:
         """Live runs carried by a robot."""
-        return [self._runs[rid] for rid in self._by_robot.get(robot_id, ())]
+        view = self._view
+        return [view(rid) for rid in self._ensure_by_robot().get(robot_id, ())]
 
     def crowded_runs(self) -> List[RunState]:
         """Runs on robots carrying more than one run (stable order).
@@ -117,15 +371,52 @@ class RunRegistry:
         engine's duplicate-direction sweep scans this (usually empty)
         list instead of every active run.
         """
-        out = [self._runs[rid]
-               for rids in self._by_robot.values() if len(rids) > 1
+        out = [self._view(rid)
+               for rids in self._ensure_by_robot().values() if len(rids) > 1
                for rid in rids]
         out.sort(key=lambda r: r.run_id)
         return out
 
     def directions_on(self, robot_id: int) -> Tuple[int, ...]:
         """Chain directions of the runs carried by a robot."""
-        return tuple(r.direction for r in self.runs_on(robot_id))
+        data = self._data
+        return tuple(int(data[rid, COL_DIRN])
+                     for rid in self._ensure_by_robot().get(robot_id, ()))
+
+    def has_crowding(self) -> bool:
+        """True when some robot carries more than one run.
+
+        O(1) against a clean per-robot index (fewer robots than runs
+        means some robot holds two); falls back to one array pass when
+        the index is stale after a bulk advance.
+        """
+        if not self._by_robot_dirty:
+            return len(self._by_robot) < len(self._active)
+        robots = self._data[self.active_slots(), COL_ROBOT]
+        return int(np.unique(robots).size) < len(robots)
+
+    def round_state(self, index_map: Dict[int, int]
+                    ) -> Tuple[Callable[[int], Tuple[int, ...]],
+                               List[int], List[int]]:
+        """Per-round window inputs, derived straight from the matrix.
+
+        Returns ``(runs_of, fwd_carriers, bwd_carriers)``: the
+        ``robot_id -> directions`` lookup the windows probe, plus the
+        carrier chain indices split by run direction for the windows'
+        bulk ``runs_ahead`` scans.  One pass over the live rows — the
+        engine previously rebuilt a dict of tuples and two lists from
+        :class:`RunState` objects every round.
+        """
+        run_dirs: Dict[int, Tuple[int, ...]] = {}
+        fwd: List[int] = []
+        bwd: List[int] = []
+        for rid, row in zip(self._active, self.active_rows()):
+            robot_id = row[COL_ROBOT]
+            d = row[COL_DIRN]
+            prev = run_dirs.get(robot_id)
+            run_dirs[robot_id] = (d,) if prev is None else prev + (d,)
+            (fwd if d == 1 else bwd).append(index_map[robot_id])
+        return run_dirs.get, fwd, bwd
 
     # -- lifecycle ---------------------------------------------------------
     def start(self, robot_id: int, direction: int, axis: Vec, round_index: int,
@@ -135,29 +426,68 @@ class RunRegistry:
         A robot stores at most two runs and never two with the same
         direction (it could not tell them apart).
         """
-        existing = self.runs_on(robot_id)
-        if len(existing) >= 2 or any(r.direction == direction for r in existing):
+        data = self._data
+        existing = self._ensure_by_robot().get(robot_id, ())
+        if len(existing) >= 2 or any(
+                int(data[rid, COL_DIRN]) == direction for rid in existing):
             return None
-        run = RunState(run_id=next(self._counter), robot_id=robot_id,
-                       direction=direction, axis=axis, mode=mode,
-                       born_round=round_index)
-        self._runs[run.run_id] = run
-        self._by_robot.setdefault(robot_id, []).append(run.run_id)
-        return run
+        run_id = self._count
+        if run_id >= len(data):
+            self._grow()
+            data = self._data
+        self._count = run_id + 1
+        data[run_id] = (robot_id, direction, MODE_TO_CODE[mode], _NONE, 0,
+                        axis[1], axis[0], round_index, 0, 0, _NONE)
+        self._active.append(run_id)
+        self._active_arr = None
+        if not self._by_robot_dirty:
+            self._by_robot.setdefault(robot_id, []).append(run_id)
+        return self._view(run_id)
 
     def stop(self, run: RunState, reason: StopReason, round_index: int) -> None:
         """Terminate a run (Table 1)."""
         if not run.active:
             return
-        run.stop_reason = reason
-        run.stopped_round = round_index
-        self._runs.pop(run.run_id, None)
-        robot_runs = self._by_robot.get(run.robot_id)
-        if robot_runs and run.run_id in robot_runs:
-            robot_runs.remove(run.run_id)
-            if not robot_runs:
-                del self._by_robot[run.robot_id]
-        self.stopped.append(run)
+        self.stop_slot(run.run_id, reason.value, round_index)
+
+    def stop_slot(self, run_id: int, reason_code: int, round_index: int) -> None:
+        """Terminate a run addressed by matrix row (kernel fast path)."""
+        data = self._data
+        if data[run_id, COL_STOP] != 0:
+            return
+        data[run_id, COL_STOP] = reason_code
+        data[run_id, COL_STOPPED] = round_index
+        self._active.remove(run_id)
+        self._active_arr = None
+        if not self._by_robot_dirty:
+            robot_id = int(data[run_id, COL_ROBOT])
+            robot_runs = self._by_robot.get(robot_id)
+            if robot_runs and run_id in robot_runs:
+                robot_runs.remove(run_id)
+                if not robot_runs:
+                    del self._by_robot[robot_id]
+        self.stopped.append(self._view(run_id))
+
+    def stop_slots(self, run_ids: np.ndarray, reason_codes: np.ndarray,
+                   round_index: int) -> None:
+        """Bulk :meth:`stop_slot` (kernel engine mass-termination path).
+
+        ``run_ids`` must be live run ids in ascending order (the kernel
+        decision stage hands over active-slot subsets, which are);
+        stopped views append in that order, matching the reference
+        engine's ascending-id termination sweeps.
+        """
+        if len(run_ids) == 0:
+            return
+        self._data[run_ids, COL_STOP] = reason_codes
+        self._data[run_ids, COL_STOPPED] = round_index
+        dead = set(run_ids.tolist())
+        self._active = [rid for rid in self._active if rid not in dead]
+        self._active_arr = None
+        self._by_robot_dirty = True
+        view = self._view
+        for rid in sorted(dead):
+            self.stopped.append(view(rid))
 
     def advance_runs(self, post_ids: List[int], post_index: Dict[int, int]
                      ) -> List[Tuple[int, int, int]]:
@@ -170,37 +500,87 @@ class RunRegistry:
         independently (Lemma 3.1).
         """
         n = len(post_ids)
+        data = self._data
         by_robot: Dict[int, List[int]] = {}
         moved: List[Tuple[int, int, int]] = []
-        for run in self._runs.values():
-            old = run.robot_id
-            nxt = post_ids[(post_index[old] + run.direction) % n]
-            run.robot_id = nxt
-            moved.append((old, nxt, run.direction))
+        for rid in self._active:
+            old = int(data[rid, COL_ROBOT])
+            d = int(data[rid, COL_DIRN])
+            nxt = post_ids[(post_index[old] + d) % n]
+            data[rid, COL_ROBOT] = nxt
+            moved.append((old, nxt, d))
             lst = by_robot.get(nxt)
             if lst is None:
-                by_robot[nxt] = [run.run_id]
+                by_robot[nxt] = [rid]
             else:
-                lst.append(run.run_id)
+                lst.append(rid)
         self._by_robot = by_robot
+        self._by_robot_dirty = False
         return moved
+
+    def advance_active(self, post_ids: List[int], post_index: Dict[int, int],
+                       collect_moved: bool = False
+                       ) -> Tuple[Optional[List[Tuple[int, int, int]]], bool]:
+        """Scalar-path advance: one gather, one comprehension, one scatter.
+
+        Kernel counterpart of :meth:`advance_runs` for small run counts.
+        Returns ``(moved, crowded)`` where ``moved`` is the Lemma 3.1
+        triple list (``None`` unless ``collect_moved``) and ``crowded``
+        flags a robot now carrying more than one run — derived from the
+        new carrier list for free, so the engine's duplicate-direction
+        gate costs nothing.  Leaves the per-robot index stale (rebuilt
+        lazily on the next query).
+        """
+        slots_arr = self.active_slots()
+        if len(slots_arr) == 0:
+            return None, False
+        pairs = self._data[slots_arr, :2].tolist()   # (robot, direction)
+        n = len(post_ids)
+        news = [post_ids[(post_index[o] + d) % n] for o, d in pairs]
+        self._data[slots_arr, COL_ROBOT] = news
+        self._by_robot_dirty = True
+        crowded = len(set(news)) < len(news)
+        if collect_moved:
+            return [(o, nw, d) for (o, d), nw in zip(pairs, news)], crowded
+        return None, crowded
+
+    def advance_slots(self, ids_array: np.ndarray, index_array: np.ndarray,
+                      collect_moved: bool = False
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Vectorised :meth:`advance_runs` over the registry matrix.
+
+        ``ids_array``/``index_array`` are the chain's post-contraction
+        id array and id → index inverse.  When ``collect_moved`` is on,
+        returns ``(old_ids, new_ids, directions)`` arrays for the
+        run-speed invariant; otherwise returns ``None`` and skips the
+        materialisation.
+        """
+        slots = self.active_slots()
+        if len(slots) == 0:
+            return (np.empty(0, np.int64),) * 3 if collect_moved else None
+        old = self._data[slots, COL_ROBOT]
+        dirs = self._data[slots, COL_DIRN]
+        new = ids_array[(index_array[old] + dirs) % len(ids_array)]
+        self._data[slots, COL_ROBOT] = new
+        self._by_robot_dirty = True
+        return (old, new, dirs) if collect_moved else None
 
     def move(self, run: RunState, new_robot_id: int) -> None:
         """Hand a run to the next robot along its direction."""
         if not run.active:
             raise ValueError("cannot move a stopped run")
-        by_robot = self._by_robot
-        old = by_robot.get(run.robot_id)
-        if old and run.run_id in old:
-            old.remove(run.run_id)
-            if not old:
-                del by_robot[run.robot_id]
-        run.robot_id = new_robot_id
-        new = by_robot.get(new_robot_id)
-        if new is None:
-            by_robot[new_robot_id] = [run.run_id]
-        else:
-            new.append(run.run_id)
+        run_id = run.run_id
+        data = self._data
+        if not self._by_robot_dirty:
+            by_robot = self._by_robot
+            old_robot = int(data[run_id, COL_ROBOT])
+            old = by_robot.get(old_robot)
+            if old and run_id in old:
+                old.remove(run_id)
+                if not old:
+                    del by_robot[old_robot]
+            by_robot.setdefault(new_robot_id, []).append(run_id)
+        data[run_id, COL_ROBOT] = new_robot_id
 
     def runs_lookup(self):
         """Callable ``robot_id -> tuple of run directions`` for views."""

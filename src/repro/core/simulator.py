@@ -16,11 +16,12 @@ from repro.grid.lattice import Vec
 from repro.core.chain import ClosedChain
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
 from repro.core.engine import Engine
+from repro.core.engine_kernel import KernelEngine
 from repro.core.engine_vectorized import find_merge_patterns_np, scan_run_starts
 from repro.core.events import RoundReport, Trace
 
 
-ENGINES = ("reference", "vectorized")
+ENGINES = ("reference", "vectorized", "kernel")
 
 
 @dataclass
@@ -65,8 +66,10 @@ class Simulator:
     params:
         Algorithm constants (defaults to the paper's).
     engine:
-        ``"reference"`` (pure Python merge scan) or ``"vectorized"``
-        (NumPy merge scan; identical behaviour).
+        ``"reference"`` (pure Python merge scan), ``"vectorized"``
+        (NumPy merge/run-start scans on the reference pipeline) or
+        ``"kernel"`` (whole round pipeline on arrays).  All three are
+        behaviourally identical (property-tested).
     check_invariants:
         Verify model invariants every round.
     record_trace:
@@ -87,11 +90,17 @@ class Simulator:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         vectorized = engine == "vectorized"
         self.trace = Trace() if record_trace else None
-        self.engine = Engine(chain, params,
-                             merge_detector=find_merge_patterns_np if vectorized else None,
-                             start_scanner=scan_run_starts if vectorized else None,
-                             check_invariants=check_invariants,
-                             trace=self.trace)
+        if engine == "kernel":
+            self.engine: Engine = KernelEngine(
+                chain, params, check_invariants=check_invariants,
+                trace=self.trace)
+        else:
+            self.engine = Engine(
+                chain, params,
+                merge_detector=find_merge_patterns_np if vectorized else None,
+                start_scanner=scan_run_starts if vectorized else None,
+                check_invariants=check_invariants,
+                trace=self.trace)
         self.initial_n = chain.n
         self.reports: List[RoundReport] = []
 

@@ -57,7 +57,7 @@ def default_workers() -> Optional[int]:
 
 def sweep_gather(chains: Sequence, *,
                  params=None,
-                 engine: str = "vectorized",
+                 engine: str = "kernel",
                  check_invariants: bool = False,
                  keep_reports: bool = True,
                  max_rounds: Optional[int] = None,

@@ -79,3 +79,46 @@ def test_ahead_codes_match_ahead_edges():
             expected = [_VEC_TO_CODE[e] for e in w.ahead_edges(sigma, 11)]
             assert w.ahead_codes(sigma, 11) == expected
             assert w.code_toward(sigma) == expected[0]
+
+
+def test_codes_consistent_dense_indexed_moves():
+    """The m >= 24 array tier of ``_post_move_codes`` stays exact."""
+    from repro.chains import random_chain, staircase_ring
+
+    rng = random.Random(11)
+    chains = [square_ring(40), staircase_ring(8),
+              random_chain(300, rng)]
+    for chain in (ClosedChain(p) for p in chains):
+        chain.edge_codes()
+        chain.edge_codes_list()
+        for _ in range(10):
+            n = chain.n
+            if n < 128:
+                break                     # contraction shrank it too far
+            m = rng.randint(24, n // 4 - 1)
+            idxs = rng.sample(range(n), m)
+            deltas = [(rng.choice([-1, 0, 1]), rng.choice([-1, 0, 1]))
+                      for _ in range(m)]
+            chain.apply_moves_indexed(idxs, deltas)
+            assert_codes_consistent(chain)
+            chain.contract_coincident(set())
+            assert_codes_consistent(chain)
+
+
+def test_codes_survive_isolated_pair_contraction():
+    """The contraction fast path preserves the code cache exactly."""
+    chain = ClosedChain(square_ring(12))
+    chain.edge_codes()
+    chain.edge_codes_list()
+    # collapse two far-apart neighbour pairs onto shared cells
+    i = chain.n - 1
+    a, b = chain.position(2), chain.position(10)
+    chain.apply_moves({chain.id_at(3): (a[0] - chain.position(3)[0],
+                                        a[1] - chain.position(3)[1]),
+                       chain.id_at(11): (b[0] - chain.position(11)[0],
+                                         b[1] - chain.position(11)[1])})
+    assert chain._invalid_edges == 2
+    records = chain.contract_coincident({chain.id_at(3), chain.id_at(11)})
+    assert len(records) == 2
+    assert_codes_consistent(chain)
+    assert chain._invalid_edges == 0

@@ -1,0 +1,142 @@
+"""Kernel engine ≡ reference engine, decision for decision.
+
+The ``"kernel"`` engine executes the whole round pipeline on arrays
+(DESIGN.md §2.9); these tests pin bit-identical behaviour against the
+reference engine: positions, ids, round reports (hops, merges, run
+starts/terminations with exact stop reasons, conflict counters) and
+the live run states themselves, every round, on generator families,
+random blobs, perturbed shapes and the mid-gathering states the
+lockstep traversal passes through.  Both decision paths (adaptive
+scalar and forced NumPy) are exercised.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.runs import RunRegistry
+from repro.core.simulator import ENGINES, Simulator
+from repro.chains import (
+    comb, perturb, random_chain, serpentine_ring, spiral, square_ring,
+    staircase_ring, stairway_octagon,
+)
+
+from tests.conftest import closed_chain_positions
+
+
+def _registry_state(registry: RunRegistry):
+    return sorted(
+        (r.robot_id, r.direction, r.mode.value, r.target_id,
+         r.travel_steps_left, r.axis)
+        for r in registry.active_runs())
+
+
+def _report_key(report):
+    return (report.n_before, report.n_after, report.hops,
+            report.merge_patterns, report.merges, report.runs_started,
+            report.runs_terminated, report.active_runs,
+            report.merge_conflicts, report.runner_hop_conflicts)
+
+
+def assert_lockstep_equal(pts, max_rounds=4000, numpy_min_runs=None,
+                          check_invariants=True):
+    """Run reference and kernel side by side and compare every round."""
+    a = Simulator(list(pts), engine="reference",
+                  check_invariants=check_invariants)
+    b = Simulator(list(pts), engine="kernel",
+                  check_invariants=check_invariants)
+    if numpy_min_runs is not None:
+        b.engine.numpy_min_runs = numpy_min_runs
+    for i in range(max_rounds):
+        if a.is_gathered() and b.is_gathered():
+            break
+        ra = a.step()
+        rb = b.step()
+        assert a.chain.positions == b.chain.positions, f"round {i}"
+        assert a.chain.ids == b.chain.ids, f"round {i}"
+        assert _report_key(ra) == _report_key(rb), f"round {i}"
+        assert _registry_state(a.engine.registry) == \
+            _registry_state(b.engine.registry), f"round {i}"
+    assert a.is_gathered() and b.is_gathered()
+    return a.round_index
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("pts", [
+        square_ring(16), square_ring(40), stairway_octagon(12, 2), comb(4),
+        spiral(1), staircase_ring(4), serpentine_ring(3, 10, 4),
+    ], ids=["sq16", "sq40", "octagon", "comb", "spiral", "staircase",
+            "serpentine"])
+    def test_lockstep(self, pts):
+        assert_lockstep_equal(pts)
+
+    def test_forced_numpy_decisions(self):
+        # numpy_min_runs=0 forces the bulk decision path on every round
+        assert_lockstep_equal(square_ring(24), numpy_min_runs=0)
+        assert_lockstep_equal(stairway_octagon(10, 2), numpy_min_runs=0)
+
+    def test_full_run_equivalence_all_engines(self):
+        pts = square_ring(20)
+        results = [Simulator(list(pts), engine=e,
+                             check_invariants=False).run()
+                   for e in ENGINES]
+        assert len({r.rounds for r in results}) == 1
+        assert len({tuple(r.final_positions) for r in results}) == 1
+
+
+class TestRandomChains:
+    def test_random_blobs(self):
+        rng = random.Random(1234)
+        for k in range(6):
+            pts = random_chain(50 + 30 * k, rng)
+            assert_lockstep_equal(pts)
+
+    def test_perturbed_shapes(self):
+        rng = random.Random(99)
+        for base in (square_ring(14), stairway_octagon(8, 2)):
+            pts = perturb(list(base), 10)
+            assert_lockstep_equal(pts)
+
+    def test_random_blobs_numpy_path(self):
+        rng = random.Random(77)
+        for k in range(3):
+            pts = random_chain(60 + 40 * k, rng)
+            assert_lockstep_equal(pts, numpy_min_runs=0)
+
+    @settings(max_examples=15)
+    @given(closed_chain_positions(max_cells=30))
+    def test_property_equivalence(self, pts):
+        assert_lockstep_equal(pts, check_invariants=False)
+
+    @settings(max_examples=10)
+    @given(closed_chain_positions(max_cells=20))
+    def test_property_equivalence_numpy(self, pts):
+        assert_lockstep_equal(pts, check_invariants=False, numpy_min_runs=0)
+
+
+class TestKernelWiring:
+    def test_simulator_accepts_kernel(self):
+        result = Simulator(square_ring(12), engine="kernel").run()
+        assert result.gathered
+
+    def test_batch_accepts_kernel(self):
+        from repro.core.batch import gather_batch
+        batch = gather_batch([square_ring(8), square_ring(10)],
+                             engine="kernel", keep_reports=False)
+        assert batch.all_gathered
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(square_ring(8), engine="warp")
+
+    def test_kernel_trace_matches_reference(self):
+        pts = square_ring(12)
+        a = Simulator(list(pts), engine="reference", record_trace=True).run()
+        b = Simulator(list(pts), engine="kernel", record_trace=True).run()
+        assert len(a.trace.snapshots) == len(b.trace.snapshots)
+        for sa, sb in zip(a.trace.snapshots, b.trace.snapshots):
+            assert sa.positions == sb.positions
+            assert sa.ids == sb.ids
+            assert [(r.robot_id, r.direction, r.mode) for r in sa.runs] == \
+                [(r.robot_id, r.direction, r.mode) for r in sb.runs]

@@ -1,0 +1,145 @@
+"""Vectorised merge planner ≡ reference planner (overlap semantics).
+
+:func:`plan_merges_arrays` must reproduce the reference
+:func:`plan_merges` exactly — hops, participants, conflict and
+cancellation counts, executing-pattern order — on arbitrary
+overlapping pattern sets, including the Fig. 3a/3b cases and the
+short-pattern priority rule.  Both planner paths (small-case Python
+and bulk NumPy) are covered by driving the pattern count across the
+``_NUMPY_MIN_PATTERNS`` crossover.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import CODE_TO_DIR
+from repro.core.merges import (
+    _NUMPY_MIN_PATTERNS,
+    _plan_arrays_np,
+    _plan_arrays_py,
+    plan_merges,
+    plan_merges_arrays,
+)
+from repro.core.patterns import MergePattern
+
+EAST, NORTH, WEST, SOUTH = CODE_TO_DIR
+
+
+def _to_reference_form(plan, n):
+    """Render a KernelMergePlan in the reference plan's id-keyed terms."""
+    ids_arr = np.arange(n)
+    hops = {int(i): (int(v[0]), int(v[1]))
+            for i, v in zip(list(plan.hop_idx), list(plan.hop_vec))}
+    return hops, plan.participant_ids(ids_arr)
+
+
+def assert_plans_match(patterns, n, k_max=10):
+    positions = [(0, 0)] * n
+    ids = list(range(n))
+    ref = plan_merges(positions, ids, k_max, patterns=list(patterns))
+    ker = plan_merges_arrays(list(patterns), n)
+    hops, participants = _to_reference_form(ker, n)
+    assert hops == ref.hops
+    assert participants == ref.participants
+    assert ker.conflicts == ref.conflicts
+    assert ker.cancelled == ref.cancelled
+    assert ker.patterns == ref.patterns
+
+
+@st.composite
+def pattern_sets(draw):
+    n = draw(st.integers(min_value=6, max_value=48))
+    count = draw(st.integers(min_value=1, max_value=40))
+    patterns = [
+        MergePattern(first_black=draw(st.integers(0, n - 1)),
+                     k=draw(st.integers(1, min(8, n - 2))),
+                     direction=CODE_TO_DIR[draw(st.integers(0, 3))])
+        for _ in range(count)]
+    return n, patterns
+
+
+class TestPlannerEquivalence:
+    @given(pattern_sets())
+    def test_random_overlapping_sets(self, case):
+        n, patterns = case
+        assert_plans_match(patterns, n)
+
+    def test_fig3a_black_and_white(self):
+        # one robot white in one pattern, black in the other: hops as black
+        patterns = [MergePattern(2, 2, NORTH), MergePattern(5, 2, NORTH)]
+        assert_plans_match(patterns, 12)
+
+    def test_fig3b_diagonal_hop(self):
+        # a robot black in two equal-length perpendicular patterns hops
+        # diagonally (equal lengths: the priority rule cancels neither)
+        patterns = [MergePattern(3, 2, NORTH), MergePattern(4, 2, EAST)]
+        n = 12
+        ref = plan_merges([(0, 0)] * n, list(range(n)), 10,
+                          patterns=list(patterns))
+        ker = plan_merges_arrays(list(patterns), n)
+        hops, _ = _to_reference_form(ker, n)
+        assert hops == ref.hops
+        assert (1, 1) in hops.values()     # the diagonal hop fired
+
+    def test_short_pattern_priority_cancels(self):
+        # the long pattern's white is a black of a strictly shorter one
+        long = MergePattern(4, 6, NORTH)
+        short = MergePattern(2, 2, EAST)    # covers index 3 == long's white
+        assert_plans_match([long, short], 16)
+        ker = plan_merges_arrays([long, short], 16)
+        assert ker.cancelled == 1
+        assert ker.patterns == [short]
+
+    def test_opposite_directions_conflict(self):
+        patterns = [MergePattern(3, 2, NORTH), MergePattern(3, 2, SOUTH)]
+        assert_plans_match(patterns, 10)
+        ker = plan_merges_arrays(patterns, 10)
+        assert ker.conflicts == 2           # both blacks frozen
+
+    def test_same_direction_overlap_single_hop(self):
+        patterns = [MergePattern(3, 3, NORTH), MergePattern(4, 3, NORTH)]
+        assert_plans_match(patterns, 12)
+
+
+class TestPlannerPaths:
+    def test_small_path_selected(self):
+        patterns = [MergePattern(2, 1, NORTH)]
+        assert len(patterns) < _NUMPY_MIN_PATTERNS
+        ker = plan_merges_arrays(patterns, 8)
+        assert isinstance(ker.hop_idx, list)
+
+    def test_numpy_path_selected_and_equal(self):
+        rng = random.Random(7)
+        n = 64
+        patterns = [MergePattern(rng.randrange(n), rng.randrange(1, 6),
+                                 CODE_TO_DIR[rng.randrange(4)])
+                    for _ in range(_NUMPY_MIN_PATTERNS + 5)]
+        ker_np = plan_merges_arrays(list(patterns), n)
+        ker_py = _plan_arrays_py(list(patterns), n)
+        assert isinstance(ker_np.hop_idx, np.ndarray)
+        hops_np, parts_np = _to_reference_form(ker_np, n)
+        hops_py, parts_py = _to_reference_form(ker_py, n)
+        assert hops_np == hops_py
+        assert parts_np == parts_py
+        assert ker_np.conflicts == ker_py.conflicts
+        assert ker_np.cancelled == ker_py.cancelled
+        assert ker_np.patterns == ker_py.patterns
+
+    @given(pattern_sets())
+    @settings(max_examples=25)
+    def test_both_paths_agree(self, case):
+        n, patterns = case
+        ker_np = _plan_arrays_np(list(patterns), n)
+        ker_py = _plan_arrays_py(list(patterns), n)
+        ref = plan_merges([(0, 0)] * n, list(range(n)), 10,
+                          patterns=list(patterns))
+        for ker in (ker_np, ker_py):
+            hops, parts = _to_reference_form(ker, n)
+            assert hops == ref.hops
+            assert parts == ref.participants
+            assert ker.conflicts == ref.conflicts
+            assert ker.cancelled == ref.cancelled
+            assert ker.patterns == ref.patterns
