@@ -156,8 +156,50 @@ def test_batch_gathering(benchmark, workers):
     fleet = [square_ring(s) for s in (16, 24, 32, 40)]
 
     def run():
-        return gather_batch(fleet, keep_reports=False, workers=workers)
+        return gather_batch(fleet, keep_reports=False, workers=workers,
+                            backend="process")
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.all_gathered
     benchmark.extra_info["chains"] = len(fleet)
+
+
+#: Fleet-throughput scenarios: (chain generator, max_rounds slice).
+#: Deterministic fleets so both backends gather the identical chains;
+#: the blob fleet times a bounded round slice (full random-blob
+#: gatherings would dominate the suite's wall time), the others run to
+#: completion.  ``fleet256_ring_n60`` is the acceptance workload of the
+#: fleet tier (DESIGN.md §2.10) and is regression-gated in CI.
+FLEETS = {
+    "fleet256_ring_n60": (lambda: [square_ring(16) for _ in range(256)],
+                          None),
+    "fleet64_blob_n250": (lambda: [random_chain(360, random.Random(s))
+                                   for s in range(64)], 60),
+    "fleet_mixed96": (lambda: [square_ring(8 + 3 * (i % 12))
+                               for i in range(96)], None),
+}
+
+
+@pytest.mark.parametrize("backend", ["process", "fleet"])
+@pytest.mark.parametrize("fleet_name", sorted(FLEETS))
+def test_fleet_throughput(benchmark, fleet_name, backend):
+    """Chains-per-second of a whole fleet under each batch backend.
+
+    The process backend runs the per-chain kernel engine (the PR-2
+    path); the fleet backend steps every chain per round in shared
+    arrays.  Both produce bit-identical per-chain results
+    (tests/test_fleet_kernel.py), so the ratio is pure throughput.
+    """
+    gen, max_rounds = FLEETS[fleet_name]
+    chains = gen()
+
+    def run():
+        return gather_batch(chains, keep_reports=False, backend=backend,
+                            max_rounds=max_rounds)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.results) == len(chains)
+    if max_rounds is None:
+        assert result.all_gathered
+    benchmark.extra_info["chains"] = len(chains)
+    benchmark.extra_info["rounds_cap"] = max_rounds

@@ -32,13 +32,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_engines.json")
 
 
-def run_pytest_benchmark(selector: str, raw_json_path: str) -> int:
+def run_pytest_benchmark(selectors, raw_json_path: str, extra=()) -> int:
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")
-    cmd = [sys.executable, "-m", "pytest", selector, "--benchmark-only",
-           "-q", f"--benchmark-json={raw_json_path}"]
+    cmd = [sys.executable, "-m", "pytest", *selectors, *extra,
+           "--benchmark-only", "-q", f"--benchmark-json={raw_json_path}"]
     return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
 
 
@@ -96,6 +96,26 @@ def condense(raw: dict) -> dict:
             row["speedup_kernel_vs_reference"] = round(r / k, 3)
         if v and k:
             row["speedup_kernel_vs_vectorized"] = round(v / k, 3)
+    # fleet-throughput rows (chains/sec per batch backend) join the
+    # scenario matrix — the PR-over-PR perf ledger
+    for entry in entries:
+        params = entry.get("params") or {}
+        if not entry["name"].startswith("test_fleet_throughput["):
+            continue
+        key = params["fleet_name"]
+        row = matrix.setdefault(key, {
+            "chains": entry["extra_info"].get("chains"),
+            "rounds_cap": entry["extra_info"].get("rounds_cap"),
+        })
+        row[f"{params['backend']}_min_s"] = entry["min_s"]
+    for key, row in matrix.items():
+        if not key.startswith("fleet"):
+            continue
+        p, f = row.get("process_min_s"), row.get("fleet_min_s")
+        if f and row.get("chains"):
+            row["fleet_chains_per_s"] = round(row["chains"] / f, 1)
+        if p and f:
+            row["speedup_fleet_vs_process"] = round(p / f, 3)
     if matrix:
         derived["scenario_matrix"] = dict(sorted(matrix.items()))
     for size in (64, 256, 1024):
@@ -154,6 +174,27 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
               f"{base[key]:.6f}s ({ratio:.2f}x, limit {threshold}x) {verdict}")
         if ratio > threshold:
             regressed += 1
+    # fleet throughput gate: chains/sec on the acceptance fleet must
+    # stay within 1/threshold of the committed value
+    fleet_key = "fleet256_ring_n60"
+    base_fleet = committed.get("derived", {}).get(
+        "scenario_matrix", {}).get(fleet_key, {})
+    fresh_fleet = fresh.get("derived", {}).get(
+        "scenario_matrix", {}).get(fleet_key, {})
+    b_cps = base_fleet.get("fleet_chains_per_s")
+    f_cps = fresh_fleet.get("fleet_chains_per_s")
+    if b_cps and f_cps:
+        ratio = b_cps / f_cps
+        verdict = "REGRESSION" if ratio > threshold else "ok"
+        print(f"  check {fleet_key} fleet_chains_per_s: fresh {f_cps:.1f} "
+              f"vs committed {b_cps:.1f} ({ratio:.2f}x slower, "
+              f"limit {threshold}x) {verdict}")
+        if ratio > threshold:
+            regressed += 1
+    elif b_cps:
+        print(f"regression check: fresh run lacks {fleet_key} "
+              f"fleet_chains_per_s", file=sys.stderr)
+        regressed += 1
     return regressed
 
 
@@ -162,7 +203,8 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output path (default: BENCH_engines.json at repo root)")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI smoke: only the large-ring engine comparison")
+                        help="CI smoke: the large-ring engine comparison "
+                             "plus the gated 256-chain fleet throughput")
     parser.add_argument("--check-against", metavar="BASELINE_JSON",
                         help="fail (exit 2) when the fresh large_ring_side60 "
                              "timings exceed this committed baseline by more "
@@ -172,13 +214,17 @@ def main(argv=None) -> int:
                              "(default: 2.5)")
     args = parser.parse_args(argv)
 
-    selector = "benchmarks/bench_engines.py"
     if args.smoke:
-        selector += "::test_large_ring_by_engine"
+        selectors = ["benchmarks/bench_engines.py::test_large_ring_by_engine",
+                     "benchmarks/bench_engines.py::test_fleet_throughput"]
+        extra = ["-k", "large_ring or fleet256"]
+    else:
+        selectors = ["benchmarks/bench_engines.py"]
+        extra = []
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = os.path.join(tmp, "raw.json")
-        rc = run_pytest_benchmark(selector, raw_path)
+        rc = run_pytest_benchmark(selectors, raw_path, extra)
         if not os.path.exists(raw_path):
             print("pytest-benchmark produced no JSON; aborting", file=sys.stderr)
             return rc or 1

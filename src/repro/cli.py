@@ -72,6 +72,23 @@ def cmd_render(args) -> int:
     return 0
 
 
+def _batch_progress(every: int = 100):
+    """Progress callback printing each ``every``-chain milestone.
+
+    Long sweeps otherwise run silent; the callback is rate-limited to
+    crossings of the milestone (and completion) so tight fleets do not
+    flood the terminal.
+    """
+    last = [0]
+
+    def cb(done: int, total: int) -> None:
+        if done // every > last[0] // every or done == total:
+            print(f"  completed {done}/{total} chains", flush=True)
+        last[0] = done
+
+    return cb
+
+
 def cmd_batch(args) -> int:
     import random
     from repro.core.batch import BatchSimulator
@@ -92,8 +109,9 @@ def cmd_batch(args) -> int:
             labels.append(f"{args.family}-{n}")
     sim = BatchSimulator(chains, params=_params(args), engine=args.engine,
                          check_invariants=args.check, workers=args.workers,
-                         keep_reports=False)
-    batch = sim.run(max_rounds=args.max_rounds)
+                         keep_reports=False, backend=args.backend)
+    progress = _batch_progress() if args.progress else None
+    batch = sim.run(max_rounds=args.max_rounds, progress=progress)
     print(batch.summary())
     if args.json:
         rows = [{"chain": lbl, "n": r.initial_n, "rounds": r.rounds,
@@ -176,8 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=0,
                    help="seed for stochastic families")
     b.add_argument("--engine", choices=ENGINES, default="kernel")
+    b.add_argument("--backend", choices=("auto", "fleet", "process"),
+                   default="auto",
+                   help="fleet: shared-array fleet kernel (kernel engine); "
+                        "process: one simulation per chain; auto: fleet "
+                        "whenever the engine is kernel")
     b.add_argument("--workers", type=int, default=None,
-                   help="process-pool width (default: in-process)")
+                   help="process-pool width (default: in-process; the fleet "
+                        "backend shards the batch across workers)")
+    b.add_argument("--progress", action="store_true",
+                   help="print per-100-chain completion milestones")
     b.add_argument("--max-rounds", type=int, default=None)
     b.add_argument("--check", action="store_true",
                    help="enable per-round invariant checking")

@@ -58,9 +58,16 @@ def _oncoming_run_offset(window: ChainWindow, direction: int, limit: int) -> Opt
     return window.runs_ahead(direction, limit)[1]
 
 
-def decide_run(run: RunState, window: ChainWindow, params: Parameters,
+def decide_run(run, window: ChainWindow, params: Parameters,
                merge_participants: Set[int]) -> RunDecision:
-    """Compute a run's action for this round (paper Fig. 15, step 2)."""
+    """Compute a run's action for this round (paper Fig. 15, step 2).
+
+    ``run`` is anything exposing the decision-hot read attributes
+    (``robot_id``, ``direction``, ``axis``, ``mode``, ``target_id``,
+    ``travel_steps_left``): a :class:`~repro.core.runs.RunState` or the
+    engine's row-local :class:`~repro.core.runs.DecisionRow` snapshot
+    (the function only reads — application is the engine's job).
+    """
     sigma = run.direction
     v = params.viewing_path_length
     self_id = run.robot_id               # == window.id_at(0) by construction

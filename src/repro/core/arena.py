@@ -1,0 +1,242 @@
+"""The chain arena: struct-of-arrays storage for a fleet of chains.
+
+The fleet execution tier (DESIGN.md §2.10) advances many closed chains
+round-for-round inside one process.  Its storage is this arena: every
+fleet member's positions, edge codes, robot ids and id → index tables
+live in contiguous fleet-wide arrays, one fixed segment per chain, and
+each :class:`~repro.core.chain.ClosedChain` stays a thin view — its
+``_arr`` *is* a slice of the arena's position buffer and its edge-code
+cache *is* a slice of the arena's code buffer, so every in-place
+mutation the chain performs (indexed scatter moves, incremental code
+maintenance) keeps the fleet-wide arrays coherent for free.
+
+Layout.  Segment bases are assigned once, from the initial chain
+lengths, and never move: a chain's base simultaneously offsets its
+*cells* (``base + chain_index``) and its *id space* (``base +
+robot_id`` — ids are handed out densely at construction and never
+grow), so one fixed table serves both addressings and ``base[c] +
+robot_id`` is a fleet-unique robot key.  Contraction shrinks a chain
+within its segment (the chain re-packs into the segment prefix —
+per-segment compaction); retirement drops the chain from the live set,
+and the compact *topology arrays* — the live cells in fleet order with
+per-cell cyclic predecessor/successor and owning chain — are rebuilt
+lazily whenever the layout changed.  Every fleet-wide stage (merge
+detection, run-start scan, decision windows, movement, termination
+checks) indexes through these arrays, so retired segments cost
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chain import ClosedChain
+
+#: The four topology arrays: (cells, cell_chain, prev_pos, next_pos).
+Topology = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class ChainArena:
+    """Fleet-wide struct-of-arrays storage with per-chain segments.
+
+    Parameters
+    ----------
+    chains:
+        The fleet members (mutated in place as the fleet steps).  Each
+        chain is adopted: its backing arrays become views into the
+        arena buffers.
+    """
+
+    __slots__ = ("chains", "base", "n0", "length", "pos", "codes", "ids",
+                 "index", "live", "_topo", "_topo_dirty")
+
+    def __init__(self, chains: Sequence[ClosedChain]):
+        self.chains: List[ClosedChain] = list(chains)
+        ns = np.array([c.n for c in self.chains], dtype=np.int64)
+        self.n0 = ns
+        self.base = np.concatenate([[0], np.cumsum(ns)[:-1]]) \
+            if len(ns) else np.empty(0, np.int64)
+        span = int(ns.sum())
+        # one padding row so reduceat segment ends may equal the span
+        self.pos = np.empty((span + 1, 2), dtype=np.int64)
+        self.codes = np.empty(span, dtype=np.int64)
+        self.ids = np.empty(span, dtype=np.int64)
+        self.index = np.full(span, -1, dtype=np.int64)
+        self.length = ns.copy()
+        self.live = np.ones(len(self.chains), dtype=bool)
+        self._topo: Optional[Topology] = None
+        self._topo_dirty = True
+        for ci in range(len(self.chains)):
+            self.attach(ci)
+
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> int:
+        """Total arena cells (sum of initial chain lengths)."""
+        return len(self.codes)
+
+    def live_indices(self) -> np.ndarray:
+        """Chain ids of the live fleet members, ascending."""
+        return np.flatnonzero(self.live)
+
+    # ------------------------------------------------------------------
+    def attach(self, ci: int) -> None:
+        """(Re-)pack a chain into its segment and adopt its storage.
+
+        Called at construction and after every contraction (the chain's
+        rebuilt arrays are private then).  Copies the chain's current
+        positions into the segment prefix and re-points ``_arr`` at the
+        arena; the edge-code cache is carried over when the chain kept
+        it alive through the contraction (the isolated-pair fast path
+        does, preserving its exact zero-edge counter) and re-encoded
+        into the segment otherwise.  Refreshes the id and index tables.
+        """
+        chain = self.chains[ci]
+        b = int(self.base[ci])
+        n = chain.n
+        self.length[ci] = n
+        seg = self.pos[b:b + n]
+        seg[:] = chain._arr
+        chain._arr = seg
+        buf = self.codes[b:b + n]
+        chain._codes_buf = buf
+        codes = chain._codes_cache
+        chain._codes_view_cache = None
+        if codes is not None and len(codes) == n:
+            buf[:] = codes
+            chain._codes_cache = buf
+        else:
+            chain._codes_cache = None
+            chain._codes_list_cache = None
+            chain.edge_codes()             # encode into the buffer
+        ids = chain.ids_array()
+        self.ids[b:b + n] = ids
+        idx_seg = self.index[b:b + int(self.n0[ci])]
+        idx_seg[:] = -1
+        idx_seg[ids] = np.arange(n, dtype=np.int64)
+        self._topo_dirty = True
+
+    def retire(self, ci: int) -> None:
+        """Drop a chain from the live set (gathered or out of budget)."""
+        self.live[ci] = False
+        self._topo_dirty = True
+
+    # ------------------------------------------------------------------
+    def topology(self) -> Topology:
+        """Compact live-cell arrays, rebuilt lazily after layout changes.
+
+        Returns ``(cells, cell_chain, prev_pos, next_pos)``: the global
+        cell indices of every live robot in fleet order, the owning
+        chain id per cell, and each cell's cyclic within-chain
+        predecessor/successor as *positions into these compact arrays*
+        (so multi-step neighbour lookups compose by repeated gathering).
+        The fleet-wide recognisers (merge RLE scan, run-start scan)
+        evaluate their rolled-code comparisons through these instead of
+        per-chain ``np.roll`` calls.
+        """
+        if not self._topo_dirty and self._topo is not None:
+            return self._topo
+        live = self.live_indices()
+        lens = self.length[live]
+        total = int(lens.sum())
+        rep = np.repeat(np.arange(len(live), dtype=np.int64), lens)
+        within = np.arange(total, dtype=np.int64) - \
+            np.repeat(np.cumsum(lens) - lens, lens)
+        lr = lens[rep]
+        cells = self.base[live][rep] + within
+        idx = np.arange(total, dtype=np.int64)
+        prev_pos = idx - 1
+        first = within == 0
+        prev_pos[first] = (idx + lr - 1)[first]
+        next_pos = idx + 1
+        last = within == lr - 1
+        next_pos[last] = (idx - lr + 1)[last]
+        self._topo = (cells, live[rep], prev_pos, next_pos)
+        self._topo_dirty = False
+        return self._topo
+
+    # ------------------------------------------------------------------
+    def gathered_mask(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-chain 2×2-subgrid termination check, one reduceat pass.
+
+        Returns ``(live_chain_ids, gathered)``.  Segment bounds are
+        interleaved ``[start, end, start, end, ...]`` so the even
+        reduceat groups are exactly the per-chain reductions — the odd
+        (inter-segment) groups absorb retired segments and are
+        discarded, which is what lets retired chains keep their cells
+        without polluting live bounding boxes.
+        """
+        live = self.live_indices()
+        b = self.base[live]
+        bounds = np.empty(2 * len(live), dtype=np.int64)
+        bounds[0::2] = b
+        bounds[1::2] = b + self.length[live]
+        mn = np.minimum.reduceat(self.pos, bounds, axis=0)[0::2]
+        mx = np.maximum.reduceat(self.pos, bounds, axis=0)[0::2]
+        return live, ((mx - mn) <= 1).all(axis=1)
+
+    # ------------------------------------------------------------------
+    def apply_moves(self, gidx: np.ndarray, deltas: np.ndarray,
+                    mover_chain: np.ndarray) -> np.ndarray:
+        """Fleet-wide simultaneous movement: one scatter, codes kept exact.
+
+        ``gidx`` are global cells of the hopping robots (unique — a
+        robot hops at most once per round), ``deltas`` the single-round
+        hop vectors, ``mover_chain`` the owning chain ids.  The scatter
+        writes through every chain's position view; the two edges
+        incident to each mover are re-encoded in bulk (the fleet-wide
+        form of :meth:`ClosedChain._post_move_codes`), per-chain
+        zero-edge counters stay exact, and the movers' chains drop
+        their Python-side list renderings.
+
+        Returns the global cells of the edges that *became* zero this
+        round, ascending — exactly the fleet's coincident neighbour
+        pairs, since contraction clears every zero edge each round.
+        """
+        if len(gidx) == 0:
+            return np.empty(0, dtype=np.int64)
+        pos = self.pos
+        pos[gidx] += deltas
+        base_m = self.base[mover_chain]
+        len_m = self.length[mover_chain]
+        local = gidx - base_m
+        e_prev = np.where(local == 0, len_m - 1, local - 1) + base_m
+        # dedup by scatter-mark (adjacent movers share an edge); the
+        # owning chain re-derives from the fixed base table
+        emask = np.zeros(self.span, dtype=bool)
+        emask[e_prev] = True
+        emask[gidx] = True
+        E = np.flatnonzero(emask)
+        ec = np.searchsorted(self.base, E, side="right") - 1
+        lb = self.base[ec]
+        el = E - lb
+        nxt = np.where(el + 1 == self.length[ec], 0, el + 1) + lb
+        d = pos[nxt] - pos[E]
+        dx, dy = d[:, 0], d[:, 1]
+        nc = np.full(len(E), -2, dtype=np.int64)
+        horiz = (dy == 0) & ((dx == 1) | (dx == -1))
+        nc[horiz] = 1 - dx[horiz]
+        vert = (dx == 0) & ((dy == 1) | (dy == -1))
+        nc[vert] = 2 - dy[vert]
+        nc[(dx == 0) & (dy == 0)] = -1
+        oc = self.codes[E]
+        ch = oc != nc
+        if ch.any():
+            self.codes[E[ch]] = nc[ch]
+            delta = (nc[ch] == -1).astype(np.int64) \
+                - (oc[ch] == -1).astype(np.int64)
+            if delta.any():
+                per = np.bincount(ec[ch], weights=delta,
+                                  minlength=len(self.chains))
+                for ci in np.flatnonzero(per).tolist():
+                    self.chains[ci]._invalid_edges += int(per[ci])
+        chains = self.chains
+        tm = np.zeros(len(chains), dtype=bool)
+        tm[mover_chain] = True
+        for ci in np.flatnonzero(tm).tolist():
+            c = chains[ci]
+            c._pos_cache = None
+            c._codes_list_cache = None
+        return E[nc == -1]

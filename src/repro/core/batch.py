@@ -7,12 +7,26 @@ takes a list of initial chains, runs each through the engine of choice
 and returns a :class:`BatchResult` keeping per-chain
 :class:`~repro.core.simulator.GatheringResult` objects in input order.
 
-With ``workers > 1`` the fleet is distributed over a process pool
-(simulations are pure CPU-bound Python, so processes — not threads —
-are the scaling unit).  Jobs are self-contained ``(positions, params,
-…)`` tuples and results are plain dataclasses, so nothing but the
-standard pickling machinery is involved; ``keep_reports=False`` strips
-the per-round reports before results cross the process boundary, which
+Two in-process backends execute the fleet (DESIGN.md §2.10):
+
+* ``"fleet"`` — the shared-array fleet kernel
+  (:class:`repro.core.engine_fleet.FleetKernel`) advances every chain
+  round-for-round in one process.  Per-chain results are bit-identical
+  to ``engine="kernel"`` single runs; throughput on fleets of small
+  chains is several times the per-chain path because per-round
+  interpreter costs amortise across the whole batch.
+* ``"process"`` — one simulation per chain through
+  :class:`~repro.core.simulator.Simulator` (any engine).
+
+``backend="auto"`` (the default) picks ``"fleet"`` whenever the
+engine is ``"kernel"``.  With ``workers > 1`` either backend
+distributes over a process pool (simulations are pure CPU-bound
+Python, so processes — not threads — are the scaling unit): the fleet
+backend shards the batch into one sub-fleet per worker, composing the
+two tiers.  Jobs are self-contained ``(positions, params, …)`` tuples
+and results are plain dataclasses, so nothing but the standard
+pickling machinery is involved; ``keep_reports=False`` strips the
+per-round reports before results cross the process boundary, which
 bounds IPC for large sweeps that only need the aggregate outcome.
 
 See DESIGN.md §3 for how this layer relates to the single-chain
@@ -23,14 +37,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.chain import ClosedChain
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
 from repro.core.simulator import ENGINES, GatheringResult, Simulator
 
+#: Fleet execution backends accepted by :class:`BatchSimulator`.
+BACKENDS = ("auto", "fleet", "process")
+
 #: One batch job: everything a worker needs to gather one chain.
 _Job = Tuple[List[tuple], Parameters, str, bool, Optional[int], bool, bool]
+
+#: One fleet shard: everything a worker needs to gather a sub-fleet.
+_FleetJob = Tuple[List[List[tuple]], Parameters, bool, Optional[int], bool,
+                  bool]
 
 
 def _gather_job(job: _Job) -> GatheringResult:
@@ -44,6 +65,18 @@ def _gather_job(job: _Job) -> GatheringResult:
     if not keep_reports:
         result.reports = []
     return result
+
+
+def _fleet_job(job: _FleetJob) -> List[GatheringResult]:
+    """Gather one fleet shard in-process (top-level: must pickle)."""
+    (positions, params, check_invariants, max_rounds, validate_initial,
+     keep_reports) = job
+    from repro.core.engine_fleet import FleetKernel
+    fleet = FleetKernel(positions, params=params,
+                        check_invariants=check_invariants,
+                        keep_reports=keep_reports,
+                        validate_initial=validate_initial)
+    return fleet.run(max_rounds=max_rounds)
 
 
 @dataclass
@@ -111,11 +144,16 @@ class BatchSimulator:
         ``"kernel"`` (default here — batches exist for throughput, and
         the kernel engine is the fastest behaviourally-identical
         variant), ``"vectorized"`` or ``"reference"``.
+    backend:
+        ``"fleet"`` (shared-array fleet kernel, kernel engine only),
+        ``"process"`` (one simulation per chain), or ``"auto"``
+        (default): fleet whenever the engine is ``"kernel"``.
     check_invariants:
         Per-round invariant checking for every simulation (slow).
     workers:
         Process count.  ``None`` or ``1`` runs in-process; ``>= 2``
-        distributes over a ``concurrent.futures`` process pool.
+        distributes over a ``concurrent.futures`` process pool (the
+        fleet backend shards the batch into one sub-fleet per worker).
     keep_reports:
         Keep per-round :class:`RoundReport` lists on each result.  Turn
         off for large sweeps that only need aggregate outcomes (and to
@@ -131,9 +169,17 @@ class BatchSimulator:
                  check_invariants: bool = False,
                  workers: Optional[int] = None,
                  keep_reports: bool = True,
-                 validate_initial: bool = True):
+                 validate_initial: bool = True,
+                 backend: str = "auto"):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if backend == "fleet" and engine != "kernel":
+            raise ValueError(
+                "backend='fleet' executes the kernel round pipeline; "
+                f"engine {engine!r} needs backend='process'")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.positions: List[List[tuple]] = [
@@ -142,6 +188,8 @@ class BatchSimulator:
             for c in chains]
         self.params = params
         self.engine = engine
+        self.backend = backend if backend != "auto" else (
+            "fleet" if engine == "kernel" else "process")
         self.check_invariants = check_invariants
         self.workers = int(workers) if workers else 1
         self.keep_reports = keep_reports
@@ -153,21 +201,88 @@ class BatchSimulator:
                  max_rounds, self.validate_initial, self.keep_reports)
                 for pts in self.positions]
 
-    def run(self, max_rounds: Optional[int] = None) -> BatchResult:
-        """Gather the whole fleet and return per-chain results in order."""
-        jobs = self._jobs(max_rounds)
+    def run(self, max_rounds: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> BatchResult:
+        """Gather the whole fleet and return per-chain results in order.
+
+        ``progress`` is called as ``progress(completed, total)`` as
+        chains finish (per retirement batch on the fleet backend, per
+        completed simulation on the process backend).
+        """
         t0 = time.perf_counter()
-        workers = min(self.workers, len(jobs)) if jobs else 1
-        if workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk = max(1, len(jobs) // (4 * workers))
-                results = list(pool.map(_gather_job, jobs, chunksize=chunk))
+        total = len(self.positions)
+        workers = min(self.workers, total) if total else 1
+        if self.backend == "fleet":
+            results = self._run_fleet(max_rounds, workers, progress, total)
         else:
-            results = [_gather_job(job) for job in jobs]
+            results = self._run_process(max_rounds, workers, progress, total)
         return BatchResult(results=results,
                            wall_time=time.perf_counter() - t0,
                            workers=workers)
+
+    # ------------------------------------------------------------------
+    def _run_fleet(self, max_rounds: Optional[int], workers: int,
+                   progress: Optional[Callable[[int, int], None]],
+                   total: int) -> List[GatheringResult]:
+        """Fleet backend: shared arrays in-process, shards across workers."""
+        if workers <= 1:
+            from repro.core.engine_fleet import FleetKernel
+            fleet = FleetKernel(self.positions, params=self.params,
+                                check_invariants=self.check_invariants,
+                                keep_reports=self.keep_reports,
+                                validate_initial=self.validate_initial)
+            return fleet.run(max_rounds=max_rounds, progress=progress)
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        shard_size = (total + workers - 1) // workers
+        shards = [self.positions[i:i + shard_size]
+                  for i in range(0, total, shard_size)]
+        jobs: List[_FleetJob] = [
+            (shard, self.params, self.check_invariants, max_rounds,
+             self.validate_initial, self.keep_reports) for shard in shards]
+        results: List[Optional[GatheringResult]] = [None] * total
+        offsets = [i * shard_size for i in range(len(shards))]
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_fleet_job, job): k
+                       for k, job in enumerate(jobs)}
+            for fut in as_completed(futures):
+                k = futures[fut]
+                shard_results = fut.result()
+                results[offsets[k]:offsets[k] + len(shard_results)] = \
+                    shard_results
+                done += len(shard_results)
+                if progress is not None:
+                    progress(done, total)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_process(self, max_rounds: Optional[int], workers: int,
+                     progress: Optional[Callable[[int, int], None]],
+                     total: int) -> List[GatheringResult]:
+        """Process backend: one simulation per chain, any engine."""
+        jobs = self._jobs(max_rounds)
+        if workers > 1:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if progress is None:
+                    chunk = max(1, len(jobs) // (4 * workers))
+                    return list(pool.map(_gather_job, jobs, chunksize=chunk))
+                results: List[Optional[GatheringResult]] = [None] * total
+                futures = {pool.submit(_gather_job, job): k
+                           for k, job in enumerate(jobs)}
+                done = 0
+                for fut in as_completed(futures):
+                    results[futures[fut]] = fut.result()
+                    done += 1
+                    progress(done, total)
+                return results  # type: ignore[return-value]
+        results = []
+        for k, job in enumerate(jobs):
+            results.append(_gather_job(job))
+            if progress is not None:
+                progress(k + 1, total)
+        return results
 
 
 def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],
@@ -177,10 +292,13 @@ def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],
                  workers: Optional[int] = None,
                  keep_reports: bool = True,
                  max_rounds: Optional[int] = None,
-                 validate_initial: bool = True) -> BatchResult:
+                 validate_initial: bool = True,
+                 backend: str = "auto",
+                 progress=None) -> BatchResult:
     """Gather a fleet of chains (one-call convenience API)."""
     sim = BatchSimulator(chains, params=params, engine=engine,
                          check_invariants=check_invariants,
                          workers=workers, keep_reports=keep_reports,
-                         validate_initial=validate_initial)
-    return sim.run(max_rounds=max_rounds)
+                         validate_initial=validate_initial,
+                         backend=backend)
+    return sim.run(max_rounds=max_rounds, progress=progress)

@@ -42,7 +42,7 @@ from repro.grid.lattice import (
 CODE_TO_DIR: Tuple[Vec, ...] = ((1, 0), (0, 1), (-1, 0), (0, -1))
 
 
-def encode_edges(positions) -> np.ndarray:
+def encode_edges(positions, out: Optional[np.ndarray] = None) -> np.ndarray:
     """Direction code (0=E, 1=N, 2=W, 3=S) of every cyclic edge.
 
     Accepts a position sequence or an ``(n, 2)`` integer array.  A zero
@@ -51,11 +51,15 @@ def encode_edges(positions) -> np.ndarray:
     chains — encodes as ``-2`` so downstream defensive branches can
     tell "transient merge residue" from "chain is broken" exactly as
     the vector-based recognisers do.
+
+    ``out`` may pass a length-``n`` int64 buffer receiving the codes
+    (the chain arena points it at a slice of the fleet-wide code
+    array, :mod:`repro.core.arena`); the returned array is ``out``.
     """
     p = np.asarray(positions, dtype=np.int64)
     n = len(p)
     if n == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.int64) if out is None else out
     e = np.empty_like(p)
     np.subtract(p[1:], p[:-1], out=e[:-1])
     e[-1] = p[0] - p[-1]
@@ -65,6 +69,9 @@ def encode_edges(positions) -> np.ndarray:
     manhattan_len = np.abs(dx) + np.abs(dy)
     code[manhattan_len != 1] = -2
     code[manhattan_len == 0] = -1
+    if out is not None:
+        out[:] = code
+        return out
     return code
 
 
@@ -86,20 +93,28 @@ class ClosedChain:
 
     __slots__ = ("_arr", "_ids", "_next_id", "_index_of_id",
                  "_pos_cache", "_codes_cache", "_codes_list_cache",
-                 "_codes_view_cache", "_invalid_edges",
+                 "_codes_view_cache", "_invalid_edges", "_codes_buf",
                  "_ids_arr_cache", "_index_arr_cache")
 
     def __init__(self, positions: Sequence[Vec], validate: bool = True,
                  require_disjoint_neighbors: bool = False):
-        pos = [(int(x), int(y)) for x, y in positions]
-        self._arr = np.asarray(pos, dtype=np.int64).reshape(len(pos), 2)
-        self._pos_cache: Optional[List[Vec]] = pos
+        # one C-level parse; the tuple-list rendering rebuilds lazily
+        if isinstance(positions, np.ndarray):
+            arr = np.array(positions, dtype=np.int64).reshape(-1, 2)
+        else:
+            arr = np.array(list(positions), dtype=np.int64).reshape(-1, 2)
+        self._arr = arr
+        self._pos_cache: Optional[List[Vec]] = None
         self._codes_cache: Optional[np.ndarray] = None
         self._codes_view_cache: Optional[np.ndarray] = None
         self._codes_list_cache: Optional[List[int]] = None
         self._invalid_edges = -1           # -1: unknown until codes built
-        self._ids: List[int] = list(range(len(pos)))
-        self._next_id = len(pos)
+        #: External edge-code buffer (a slice of the arena's fleet-wide
+        #: code array).  When set — and still the right length — the
+        #: lazy re-encode writes into it, keeping the arena coherent.
+        self._codes_buf: Optional[np.ndarray] = None
+        self._ids: List[int] = list(range(len(arr)))
+        self._next_id = len(arr)
         self._rebuild_index()
         if validate:
             self.validate(initial=require_disjoint_neighbors)
@@ -131,6 +146,7 @@ class ClosedChain:
         c._codes_view_cache = None
         c._codes_list_cache = None
         c._invalid_edges = -1
+        c._codes_buf = None
         c._ids = list(self._ids)
         c._next_id = self._next_id
         c._rebuild_index()
@@ -252,7 +268,11 @@ class ClosedChain:
             return view
         codes = self._codes_cache
         if codes is None:
-            codes = encode_edges(self._arr)
+            buf = self._codes_buf
+            if buf is not None and len(buf) == len(self._arr):
+                codes = encode_edges(self._arr, out=buf)
+            else:
+                codes = encode_edges(self._arr)
             self._codes_cache = codes
             self._invalid_edges = int(np.count_nonzero(codes == -1))
         view = codes.view()
@@ -644,8 +664,7 @@ class ClosedChain:
         assumption that no two chain neighbours coincide (which forces
         even ``n``) and that the chain has at least 4 robots.
         """
-        pos = self._pos_list()
-        n = len(pos)
+        n = len(self._ids)
         if n == 0:
             raise ChainError("empty chain")
         if initial:
@@ -654,16 +673,23 @@ class ClosedChain:
             if n % 2 != 0:
                 raise ChainError(
                     f"a closed chain with unit edges has even length, got n = {n}")
-        for i in range(n):
+        # one pass over the cached edge codes (-2: broken, -1: zero
+        # edge); the first offending edge — in scan order, matching the
+        # original per-robot loop — picks the message
+        codes = self.edge_codes()
+        bad = codes == -2
+        if initial:
+            bad = bad | (codes == -1)
+        if bad.any():
+            i = int(np.argmax(bad))
+            pos = self._pos_list()
             a = pos[i]
-            b = pos[(i + 1) % n]
-            d = manhattan(a, b)
-            if d > 1:
-                raise ChainError(
-                    f"chain broken between index {i} {a} and {(i + 1) % n} {b}")
-            if initial and d == 0:
+            if codes[i] == -1:
                 raise ChainError(
                     f"initial chain has coincident neighbours at index {i} {a}")
+            b = pos[(i + 1) % n]
+            raise ChainError(
+                f"chain broken between index {i} {a} and {(i + 1) % n} {b}")
         if len(set(self._ids)) != n:
             raise ChainError("duplicate robot ids")
 

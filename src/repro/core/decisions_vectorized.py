@@ -42,6 +42,7 @@ from repro.core.config import Parameters
 from repro.core.patterns import endpoint_visible_codes
 from repro.core.runs import (
     COL_AXY,
+    COL_CHAIN,
     COL_DIRN,
     COL_HOPS,
     COL_MODE,
@@ -664,12 +665,38 @@ class _MaskParticipants:
         return bool(self._mask[self._index_map[robot_id]])
 
 
+def _apply_window_decision(r, dec, reg, slots, tt, stop, out_mode, out_t,
+                           set_steps, out_steps, hop_has, hop_vec) -> None:
+    """Write one reference :func:`decide_run` outcome into the row arrays."""
+    from repro.core.runs import MODE_TO_CODE
+
+    if dec.stop_reason is not None:
+        stop[r] = dec.stop_reason.value
+        return
+    if dec.hop is not None:
+        hop_has[r] = True
+        hop_vec[r] = dec.hop
+    mode_after = dec.mode_after
+    if mode_after is not None:
+        out_mode[r] = MODE_TO_CODE[mode_after]
+    else:
+        out_mode[r] = int(reg._data[slots[r], COL_MODE])
+    if dec.target_after_set:
+        out_t[r] = -1 if dec.target_after is None else dec.target_after
+    elif mode_after is RunMode.NORMAL:
+        out_t[r] = -1
+    else:
+        out_t[r] = tt[r]
+    if dec.travel_steps_after is not None:
+        set_steps[r] = True
+        out_steps[r] = dec.travel_steps_after
+
+
 def _decide_fallback(chain, reg, params, part_mask, slots, rows, tt, stop,
                      out_mode, out_t, set_steps, out_steps, hop_has,
                      hop_vec) -> None:
     """Reference per-window :func:`decide_run` on the flagged rows only."""
     from repro.core.algorithm import decide_run
-    from repro.core.runs import MODE_TO_CODE
     from repro.core.view import ChainWindow
 
     index_map = chain.index_map()
@@ -681,23 +708,303 @@ def _decide_fallback(chain, reg, params, part_mask, slots, rows, tt, stop,
         run = reg._view(int(slots[r]))
         window.reanchor(index_map[run.robot_id])
         dec = decide_run(run, window, params, participants)
-        if dec.stop_reason is not None:
-            stop[r] = dec.stop_reason.value
-            continue
-        if dec.hop is not None:
-            hop_has[r] = True
-            hop_vec[r] = dec.hop
-        mode_after = dec.mode_after
-        if mode_after is not None:
-            out_mode[r] = MODE_TO_CODE[mode_after]
-        else:
-            out_mode[r] = int(reg._data[slots[r], COL_MODE])
-        if dec.target_after_set:
-            out_t[r] = -1 if dec.target_after is None else dec.target_after
-        elif mode_after is RunMode.NORMAL:
-            out_t[r] = -1
-        else:
-            out_t[r] = tt[r]
-        if dec.travel_steps_after is not None:
-            set_steps[r] = True
-            out_steps[r] = dec.travel_steps_after
+        _apply_window_decision(r, dec, reg, slots, tt, stop, out_mode, out_t,
+                               set_steps, out_steps, hop_has, hop_vec)
+
+
+# ---------------------------------------------------------------------------
+# fleet path (all chains of a fleet in one decision pass)
+# ---------------------------------------------------------------------------
+
+class FleetDecisions:
+    """Outcome of one fleet-wide decision stage (written to the registry).
+
+    Same content as :class:`AppliedDecisions` lifted to the fleet:
+    movement is addressed by global arena cell, and the termination /
+    conflict tallies carry the owning chain so the fleet engine can
+    split them into per-chain round reports.
+    """
+
+    __slots__ = ("terminated", "move_gidx", "move_deltas", "move_chain",
+                 "conflicts")
+
+    def __init__(self, terminated, move_gidx, move_deltas, move_chain,
+                 conflicts):
+        #: (chain_id, stop-reason code) per run terminated this stage
+        self.terminated = terminated
+        #: global arena cells of runner hops that execute (conflict-free)
+        self.move_gidx = move_gidx
+        #: parallel (m, 2) hop vectors
+        self.move_deltas = move_deltas
+        #: parallel owning chain ids
+        self.move_chain = move_chain
+        #: chain_id -> robots whose two runs demanded different hops
+        self.conflicts = conflicts
+
+
+_EMPTY_FLEET = FleetDecisions([], (), (), (), {})
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _fleet_nearest_ahead(keys: np.ndarray, bs: np.ndarray, nn: np.ndarray,
+                         carriers: np.ndarray, big: int) -> np.ndarray:
+    """Cyclic offset to the next same-chain carrier at a larger index.
+
+    ``keys`` are fleet-unique anchor keys (``segment base + local
+    index``), ``carriers`` the sorted keys of all carriers of one run
+    direction.  Segment bases partition the key space per chain, so
+    one fleet-wide ``searchsorted`` resolves every chain at once; the
+    wrap-around falls back to the chain's first carrier.
+    """
+    out = np.full(len(keys), big, dtype=np.int64)
+    if len(carriers) == 0 or len(keys) == 0:
+        return out
+    lo = np.searchsorted(carriers, bs, side="left")
+    hi = np.searchsorted(carriers, bs + nn, side="left")
+    has = hi > lo
+    j = np.searchsorted(carriers, keys, side="right")
+    j = np.where(j >= hi, lo, j)
+    off = (carriers[np.where(has, j, 0)] - keys) % nn
+    off[off == 0] = nn[off == 0]           # the anchor re-appears after a lap
+    out[has] = off[has]
+    return out
+
+
+def _fleet_nearest_behind(keys: np.ndarray, bs: np.ndarray, nn: np.ndarray,
+                          carriers: np.ndarray, big: int) -> np.ndarray:
+    """Cyclic offset to the next same-chain carrier at a smaller index."""
+    out = np.full(len(keys), big, dtype=np.int64)
+    if len(carriers) == 0 or len(keys) == 0:
+        return out
+    lo = np.searchsorted(carriers, bs, side="left")
+    hi = np.searchsorted(carriers, bs + nn, side="left")
+    has = hi > lo
+    j = np.searchsorted(carriers, keys, side="left") - 1
+    j = np.where(j < lo, hi - 1, j)
+    off = (keys - carriers[np.where(has, j, 0)]) % nn
+    off[off == 0] = nn[off == 0]
+    out[has] = off[has]
+    return out
+
+
+def decide_and_apply_fleet(arena, registry: RunRegistry, params: Parameters,
+                           part_flat: Optional[np.ndarray],
+                           round_index: int) -> FleetDecisions:
+    """Decide every active run of the whole fleet in one NumPy pass.
+
+    The fleet rendering of :func:`_decide_numpy`: anchors, code
+    windows, nearest-carrier scans and id lookups all address the
+    arena's flat arrays through each run's segment base, so a fleet of
+    many small chains presents the decision stage with one large batch
+    — the workload the scalar per-chain floor could never amortise
+    (DESIGN.md §2.10).  Decision content per run is identical to the
+    single-chain paths (shared property tests via the fleet
+    equivalence suite); ``part_flat`` flags merge participants by
+    global arena cell.
+    """
+    reg = registry
+    data = reg._data
+    slots = reg.active_slots()
+    R = len(slots)
+    if R == 0:
+        return _EMPTY_FLEET
+    if params.passing_distance > params.viewing_path_length:
+        raise LocalityViolation(
+            f"passing distance {params.passing_distance} exceeds viewing "
+            f"path length {params.viewing_path_length}")
+    cc = data[slots, COL_CHAIN]
+    rr = data[slots, COL_ROBOT]
+    dd = data[slots, COL_DIRN]
+    mm = data[slots, COL_MODE]
+    tt = data[slots, COL_TARGET]
+    st = data[slots, COL_STEPS]
+    ap = (data[slots, COL_AXY] != 0).astype(np.int64)
+
+    bs = arena.base[cc]
+    nn = arena.length[cc]
+    c = arena.codes
+    ids_flat = arena.ids
+    index_flat = arena.index
+    a = index_flat[bs + rr]
+    v = params.viewing_path_length
+    pd = params.passing_distance
+
+    stop = np.zeros(R, dtype=np.int64)
+    # Table 1.3 — merge participants
+    if part_flat is not None:
+        stop[part_flat[bs + a]] = _STOP_MERGE
+
+    # nearest sequent / oncoming run ahead: one fleet-wide searchsorted
+    # over the direction-split carrier key arrays
+    is_f = dd == 1
+    keys = bs + a
+    fr = np.flatnonzero(is_f)
+    br = np.flatnonzero(~is_f)
+    fkeys = np.sort(keys[fr])
+    bkeys = np.sort(keys[br])
+    big = arena.span + v + 1
+    seq = np.full(R, big, dtype=np.int64)
+    onc = np.full(R, big, dtype=np.int64)
+    seq[fr] = _fleet_nearest_ahead(keys[fr], bs[fr], nn[fr], fkeys, big)
+    onc[fr] = _fleet_nearest_ahead(keys[fr], bs[fr], nn[fr], bkeys, big)
+    seq[br] = _fleet_nearest_behind(keys[br], bs[br], nn[br], bkeys, big)
+    onc[br] = _fleet_nearest_behind(keys[br], bs[br], nn[br], fkeys, big)
+    has_seq = seq <= v
+    has_onc = onc <= v
+
+    # Table 1.1 — sequent run ahead, with the sequent guard
+    if params.sequent_guard:
+        guarded = has_onc & (seq >= onc)
+    else:
+        guarded = np.zeros(R, dtype=bool)
+    stop[(stop == 0) & has_seq & ~guarded] = _STOP_SEQUENT
+
+    # gather each run's walking-direction code window (R, v)
+    offsets = np.arange(v, dtype=np.int64)
+    d1 = is_f[:, None]
+    local = np.where(d1, a[:, None] + offsets,
+                     a[:, None] - 1 - offsets) % nn[:, None]
+    W = c[bs[:, None] + local]
+    W = np.where(d1 | (W < 0), W, W ^ 2)   # flip valid codes when walking -1
+
+    # Table 1.2 — endpoint visible ahead (necessary-condition filter,
+    # reference grammar on flagged candidates only — see _decide_numpy)
+    if params.endpoint_guard:
+        need = (stop == 0) & ~has_onc
+    else:
+        need = stop == 0
+    if need.any():
+        perp = (W >= 0) & ((W & 1) != ap[:, None])
+        axis_par = (W >= 0) & ((W & 1) == ap[:, None])
+        feature = np.zeros(R, dtype=bool)
+        feature |= (perp[:, :-1] & (W[:, 1:] == W[:, :-1])).any(axis=1)
+        if v >= 3:
+            feature |= (perp[:, :-2] & axis_par[:, 1:-1]
+                        & (W[:, 2:] == W[:, :-2])).any(axis=1)
+        feature |= (W == -2).any(axis=1)
+        k_eff = params.effective_k_max
+        for r in np.flatnonzero(need & feature).tolist():
+            if endpoint_visible_codes(W[r].tolist(), v, int(ap[r]), k_eff):
+                stop[r] = _STOP_ENDPOINT
+
+    alive = stop == 0
+
+    # arrival bookkeeping: leaving passing/travel when on target
+    m2 = mm.copy()
+    t2 = tt.copy()
+    arr_p = alive & (m2 == MODE_PASSING) & (t2 >= 0) & (t2 == rr)
+    m2[arr_p] = MODE_NORMAL
+    t2[arr_p] = -1
+    arr_t = alive & (m2 == MODE_TRAVEL) & (((t2 >= 0) & (t2 == rr))
+                                           | (st <= 0))
+    m2[arr_t] = MODE_NORMAL
+    t2[arr_t] = -1
+
+    out_mode = np.full(R, MODE_NORMAL, dtype=np.int64)
+    out_t = np.full(R, -1, dtype=np.int64)
+    set_steps = np.zeros(R, dtype=bool)
+    out_steps = np.zeros(R, dtype=np.int64)
+    hop_has = np.zeros(R, dtype=bool)
+    hop_vec = np.zeros((R, 2), dtype=np.int64)
+
+    # run passing (Fig. 8 / Fig. 14): continue, then entry
+    is_pass = alive & (m2 == MODE_PASSING)
+    out_mode[is_pass] = MODE_PASSING
+    out_t[is_pass] = t2[is_pass]
+    rem = alive & ~is_pass
+    enter = rem & (onc <= pd) & (m2 != MODE_INIT_CORNER)
+    keep = enter & (m2 == MODE_TRAVEL) & (t2 >= 0)   # Fig. 14 settled target
+    gather = enter & ~keep
+    out_mode[enter] = MODE_PASSING
+    out_t[keep] = t2[keep]
+    out_t[gather] = ids_flat[
+        bs[gather] + (a[gather] + onc[gather] * dd[gather]) % nn[gather]]
+    rem &= ~enter
+
+    # continue an operation already in progress (Fig. 11 b/c)
+    trv = rem & (m2 == MODE_TRAVEL)
+    out_mode[trv] = MODE_TRAVEL
+    out_t[trv] = t2[trv]
+    set_steps[trv] = True
+    out_steps[trv] = st[trv] - 1
+    rem &= ~trv
+
+    # operation (c): corner-cut hop of a fresh Fig. 5(ii) run.  The
+    # vectorised form of the scalar decision path's INIT_CORNER branch
+    # (reference-equivalent by the shared property suite): hop when the
+    # two edges incident to the anchor are perpendicular axis units.
+    raw_prev = c[bs + (a - 1) % nn]
+    initm = rem & (m2 == MODE_INIT_CORNER)
+    rem &= ~initm
+    if initm.any():
+        u = c[bs + a]
+        hopc = initm & (u >= 0) & (raw_prev >= 0) \
+            & (((u ^ raw_prev) & 1) == 1)
+        rows_c = np.flatnonzero(hopc)
+        hop_has[rows_c] = True
+        hop_vec[rows_c] = _DIR_TABLE[u[rows_c]] \
+            + _DIR_TABLE[raw_prev[rows_c] ^ 2]
+        # mode -> NORMAL, target cleared: the defaults
+
+    # normal operation: (a) reshape or (b) travel
+    c1 = W[:, 0]
+    al2 = rem & (c1 >= 0) & (W[:, 1] == c1)
+    al3 = al2 & (W[:, 2] == c1)
+    braw = np.where(is_f, raw_prev, c[bs + a])
+    behind = np.where(is_f & (braw >= 0), braw ^ 2, braw)
+    hop3 = al3 & (behind >= 0) & (((behind ^ c1) & 1) == 1)
+    hop_rows = np.flatnonzero(hop3)
+    hop_has[hop_rows] = True
+    hop_vec[hop_rows] = _DIR_TABLE[behind[hop_rows]] + _DIR_TABLE[c1[hop_rows]]
+    opb = al2 & ~al3
+    out_mode[opb] = MODE_TRAVEL
+    out_t[opb] = ids_flat[bs[opb] + (a[opb] + 3 * dd[opb]) % nn[opb]]
+    set_steps[opb] = True
+    out_steps[opb] = params.travel_steps
+    # al3-without-hop and non-aligned rows keep the defaults
+    # (NORMAL, target cleared): the shared _CONTINUE decision
+
+    # --- apply: terminations, state transitions, hop resolution -----------
+    terminated: List[Tuple[int, int]] = []
+    dead_rows = np.flatnonzero(stop != 0)
+    if len(dead_rows):
+        reg.stop_slots(slots[dead_rows], stop[dead_rows], round_index)
+        terminated = list(zip(cc[dead_rows].tolist(),
+                              stop[dead_rows].tolist()))
+
+    live_rows = np.flatnonzero(alive)
+    live_slots = slots[live_rows]
+    data[live_slots, COL_MODE] = out_mode[live_rows]
+    data[live_slots, COL_TARGET] = out_t[live_rows]
+    step_rows = live_rows[set_steps[live_rows]]
+    data[slots[step_rows], COL_STEPS] = out_steps[step_rows]
+
+    # hop conflict resolution, grouped on the fleet-unique robot key
+    hr = np.flatnonzero(hop_has)
+    if len(hr) == 0:
+        return FleetDecisions(terminated, _EMPTY_I64,
+                              _EMPTY_I64.reshape(0, 2), _EMPTY_I64, {})
+    gkey = keys[hr]
+    order = np.argsort(gkey, kind="stable")
+    hr = hr[order]
+    rh = gkey[order]
+    boundary = rh[1:] != rh[:-1]
+    firsts = np.r_[True, boundary]
+    lasts = np.r_[boundary, True]
+    single = firsts & lasts
+    pair = np.flatnonzero(firsts & ~lasts) # groups are at most 2 (capacity)
+    accept = hr[single]
+    conflicts: Dict[int, int] = {}
+    if len(pair):
+        agree = (hop_vec[hr[pair]] == hop_vec[hr[pair + 1]]).all(axis=1)
+        for r in hr[pair[~agree]].tolist():
+            ci = int(cc[r])
+            conflicts[ci] = conflicts.get(ci, 0) + 1
+        good = pair[agree]
+        data[slots[hr[good]], COL_HOPS] += 1
+        data[slots[hr[good + 1]], COL_HOPS] += 1
+        accept = np.concatenate([accept, hr[good]])
+    data[slots[hr[single]], COL_HOPS] += 1
+    return FleetDecisions(terminated, keys[accept], hop_vec[accept],
+                          cc[accept], conflicts)

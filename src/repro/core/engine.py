@@ -137,16 +137,21 @@ class Engine:
             mplan = _EMPTY_MERGE_PLAN
 
         # 3. run decisions ----------------------------------------------------
+        # decide_run reads row-local snapshots (one bulk gather) instead
+        # of the views' matrix-backed properties — the per-read NumPy
+        # scalar tax of the SoA registry was the measured ~10% overhead
+        # of this loop on mid-size chains (DESIGN.md §2.9)
         decisions: List[RunDecision] = []
+        rows = registry.decision_rows() if active else []
         if active:
             # one window slides over all runners; every decision reads the
             # same pre-move snapshot, so re-anchoring is safe
             window = ChainWindow(chain, 0, params.viewing_path_length, lookup,
                                  carriers=carriers)
             participants = mplan.participants
-            for run in active:
-                window.reanchor(index_map[run.robot_id])
-                decisions.append(decide_run(run, window, params, participants))
+            for row in rows:
+                window.reanchor(index_map[row.robot_id])
+                decisions.append(decide_run(row, window, params, participants))
 
         # 4. run starts (every L-th round) -------------------------------------
         starts: List[Tuple[int, RunStart]] = []
@@ -175,15 +180,16 @@ class Engine:
         moves: Dict[int, Vec] = dict(mplan.hops)
         runner_hops: Dict[int, List[Tuple[RunState, Vec]]] = {}
         participants = mplan.participants
-        for run, dec in zip(active, decisions):
+        for run, row, dec in zip(active, rows, decisions):
             stop = dec.stop_reason
             if stop is not None:
                 registry.stop(run, stop, round_index)
                 terminated[stop] = terminated.get(stop, 0) + 1
                 continue
             hop = dec.hop
-            if hop is not None and run.robot_id not in participants:
-                runner_hops.setdefault(run.robot_id, []).append((run, hop))
+            robot_id = row.robot_id
+            if hop is not None and robot_id not in participants:
+                runner_hops.setdefault(robot_id, []).append((run, hop))
             mode_after = dec.mode_after
             if mode_after is not None:
                 run.mode = mode_after
@@ -193,7 +199,7 @@ class Engine:
                 run.target_id = None
             if dec.travel_steps_after is not None:
                 run.travel_steps_left = dec.travel_steps_after
-            elif mode_after is RunMode.TRAVEL and run.travel_steps_left <= 0:
+            elif mode_after is RunMode.TRAVEL and row.travel_steps_left <= 0:
                 run.travel_steps_left = params.travel_steps
         for rid, pairs in runner_hops.items():
             if len({hop for _, hop in pairs}) == 1:

@@ -1,0 +1,945 @@
+"""The fleet kernel: many chains per round in shared arrays.
+
+Fourth execution tier (DESIGN.md §2.10).  The kernel engine
+(:mod:`repro.core.engine_kernel`) runs one chain's round on arrays but
+hits a per-chain Python floor on small chains: at n ≈ 60 only a
+handful of runs are live, so every round pays scalar-loop and
+dispatch costs that arrays cannot amortise.  :class:`FleetKernel`
+advances an entire batch of chains round-for-round inside one process
+instead: all per-robot state lives in one :class:`~repro.core.arena.ChainArena`,
+all per-run state in one chain-tagged
+:class:`~repro.core.runs.RunRegistry`, and every pipeline stage —
+merge detection, run decisions, movement, termination bookkeeping,
+run advancement — executes fleet-wide.  A fleet of 256 small chains
+presents the decision stage with thousands of runs per round, which
+keeps it on the NumPy path that the per-chain engine could never
+reach.
+
+Per-chain results are **bit-identical** to running each chain through
+``Simulator(engine="kernel")``: same rounds, same final positions,
+same per-round :class:`~repro.core.events.RoundReport` content
+(property-tested in ``tests/test_fleet_kernel.py``).  Even the rare
+sub-cases run fleet-wide: merge planning lifts over global cells,
+``INIT_CORNER`` corner-cuts vectorise inline (the scalar decision
+path's direct form), and only the per-merge-*event* survivor fold and
+the endpoint-grammar candidates drop to Python — both bounded by
+actual occurrences, not by fleet size.
+
+Scheduling: FSYNC only (the fleet exists for batch throughput; SSYNC
+ablations go through the per-chain engines).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.grid.lattice import Vec
+from repro.core.arena import ChainArena
+from repro.core.chain import CODE_TO_DIR, ClosedChain, MergeRecord
+from repro.core.config import DEFAULT_PARAMETERS, Parameters
+from repro.core.decisions_vectorized import decide_and_apply_fleet
+from repro.core.events import RoundReport
+from repro.core.patterns import RunStart
+from repro.core.runs import (
+    MODE_INIT_CORNER,
+    MODE_NORMAL,
+    MODE_PASSING,
+    RunRegistry,
+    StopReason,
+)
+from repro.core.simulator import GatheringResult
+from repro.core import invariants
+from repro.errors import InvariantViolation
+
+_STOP_RUNNER_REMOVED = StopReason.RUNNER_REMOVED.value
+_STOP_PASSING_TARGET = StopReason.PASSING_TARGET_REMOVED.value
+_STOP_TRAVEL_TARGET = StopReason.TRAVEL_TARGET_REMOVED.value
+_STOP_DUPLICATE = StopReason.DUPLICATE_DIRECTION.value
+
+_CODE_TO_DIR = CODE_TO_DIR
+
+#: Direction-code -> unit-vector table for the fleet planner.
+_DIR_TABLE = np.array(CODE_TO_DIR, dtype=np.int64)
+
+
+def _fleet_merge_candidates(arena: ChainArena, eligible: np.ndarray,
+                            k_max: int):
+    """Merge-pattern candidates of every eligible chain, one RLE pass.
+
+    Fleet rendering of the vectorised detector's run-length scan
+    (:func:`repro.core.engine_vectorized._merge_patterns_rle`): run
+    boundaries fall out of one ``codes[cell] != codes[prev]``
+    comparison over the arena topology and the per-run spike/U-shape
+    conditions are elementwise masks over the fleet-wide run arrays —
+    no Python per chain, no pattern objects.  Returns ``(chain,
+    first_black_local, k, direction_code)`` arrays (spikes then longs;
+    the planner's decision content is order-independent), or ``None``
+    when nothing fired.
+    """
+    cells, cell_chain, prev_pos, next_pos = arena.topology()
+    if len(cells) == 0:
+        return None
+    cv = arena.codes[cells]
+    starts_pos = np.flatnonzero(cv != cv[prev_pos])
+    if len(starts_pos) == 0:
+        return None
+    run_chain = cell_chain[starts_pos]
+    keep = eligible[run_chain]
+    starts_pos = starts_pos[keep]
+    if len(starts_pos) == 0:
+        return None
+    run_chain = run_chain[keep]
+    run_codes = cv[starts_pos]
+    local = cells[starts_pos] - arena.base[run_chain]
+    n_of = arena.length[run_chain]
+
+    # per-chain segmentation of the fleet-wide run list
+    m = len(starts_pos)
+    idx = np.arange(m, dtype=np.int64)
+    first = np.r_[True, run_chain[1:] != run_chain[:-1]]
+    seg_first = np.flatnonzero(first)
+    seg_last = np.r_[seg_first[1:] - 1, m - 1]
+    seg_id = np.cumsum(first) - 1
+    prev_run = idx - 1
+    prev_run[seg_first] = seg_last
+    next_run = idx + 1
+    next_run[seg_last] = seg_first
+    runs_in_chain = (seg_last - seg_first + 1)[seg_id]
+
+    prev_codes = run_codes[prev_run]
+    next_codes = run_codes[next_run]
+    k = (local[next_run] - local) % n_of + 1
+
+    valid_prev = prev_codes >= 0
+    valid = run_codes >= 0
+    spike = valid_prev & valid & (run_codes == (prev_codes + 2) % 4)
+    longm = (runs_in_chain >= 3) & valid_prev & valid \
+        & (next_codes == (prev_codes + 2) % 4) \
+        & (((run_codes ^ prev_codes) & 1) == 1) \
+        & (k <= k_max) & (k + 2 <= n_of)
+
+    sp = np.flatnonzero(spike)
+    lg = np.flatnonzero(longm)
+    if len(sp) == 0 and len(lg) == 0:
+        return None
+    pch = np.concatenate([run_chain[sp], run_chain[lg]])
+    fb = np.concatenate([local[sp], local[lg]])
+    kk = np.concatenate([np.ones(len(sp), dtype=np.int64), k[lg]])
+    dcode = np.concatenate([run_codes[sp], next_codes[lg]])
+    return pch, fb, kk, dcode
+
+
+class FleetMergePlan:
+    """One round's merge plan for the whole fleet (array form).
+
+    Decision content per chain is identical to
+    :func:`repro.core.merges.plan_merges_arrays` — short-pattern
+    priority, Fig. 3 overlap resolution — computed fleet-wide over
+    global arena cells.
+    """
+
+    __slots__ = ("part_flat", "hop_gidx", "hop_vec", "hop_chain",
+                 "exec_count", "conflicts")
+
+    def __init__(self, part_flat, hop_gidx, hop_vec, hop_chain, exec_count,
+                 conflicts):
+        #: participant mask by global arena cell
+        self.part_flat = part_flat
+        #: hopping blacks (global cells) and their (m, 2) hop vectors
+        self.hop_gidx = hop_gidx
+        self.hop_vec = hop_vec
+        #: owning chain per hop
+        self.hop_chain = hop_chain
+        #: executing-pattern count per chain (round-report field)
+        self.exec_count = exec_count
+        #: chain -> frozen-robot count (impossible-overlap defensive path)
+        self.conflicts = conflicts
+
+
+def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
+                       kk: np.ndarray, dcode: np.ndarray) -> FleetMergePlan:
+    """Fleet-wide merge planning over global cells.
+
+    Lifts :func:`repro.core.merges._plan_arrays_np` to the arena:
+    black expansion, the per-black minimum pattern length
+    (``np.minimum.at`` over the span), white-of-shorter-black
+    cancellation and the Fig. 3a/3b hop resolution all run once for
+    every pattern of every chain.  Segment bases keep chains disjoint,
+    so the per-chain results match the per-chain planner exactly.
+    """
+    base = arena.base
+    n = arena.length[pch]
+    b = base[pch]
+    m = len(pch)
+    rep = np.repeat(np.arange(m, dtype=np.int64), kk)
+    offs = np.arange(len(rep), dtype=np.int64) \
+        - np.repeat(np.cumsum(kk) - kk, kk)
+    black_g = b[rep] + (fb[rep] + offs) % n[rep]
+
+    min_k = np.full(arena.span, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(min_k, black_g, kk[rep])
+    w0 = b + (fb - 1) % n
+    w1 = b + (fb + kk) % n
+    keep = ~((min_k[w0] < kk) | (min_k[w1] < kk))
+
+    part_flat = np.zeros(arena.span, dtype=bool)
+    exec_count = np.bincount(pch[keep], minlength=len(arena.chains))
+    if not keep.any():
+        e = np.empty(0, dtype=np.int64)
+        return FleetMergePlan(part_flat, e, e.reshape(0, 2), e,
+                              exec_count, {})
+    keep_rep = keep[rep]
+    bidx = black_g[keep_rep]
+    part_flat[bidx] = True
+    part_flat[w0[keep]] = True
+    part_flat[w1[keep]] = True
+
+    # deduplicate (black cell, hop direction) pairs, then resolve each
+    # robot by its distinct hop-direction count (Fig. 3a/3b)
+    key = np.unique(bidx * 4 + dcode[rep][keep_rep])
+    idx_u = key >> 2
+    code_u = key & 3
+    first = np.flatnonzero(np.r_[True, idx_u[1:] != idx_u[:-1]])
+    counts = np.diff(np.append(first, len(idx_u)))
+
+    conflicts: Dict[int, int] = {}
+    single = first[counts == 1]
+    hop_g = [idx_u[single]]
+    hop_v = [_DIR_TABLE[code_u[single]]]
+    double = first[counts == 2]
+    if len(double):
+        ca, cb = code_u[double], code_u[double + 1]
+        perp = ((ca ^ cb) & 1) == 1
+        hop_g.append(idx_u[double[perp]])
+        hop_v.append(_DIR_TABLE[ca[perp]] + _DIR_TABLE[cb[perp]])
+        for cell in idx_u[double[~perp]].tolist():   # impossible; freeze
+            ci = int(np.searchsorted(base, cell, side="right")) - 1
+            conflicts[ci] = conflicts.get(ci, 0) + 1
+    for cell in idx_u[first[counts > 2]].tolist():
+        ci = int(np.searchsorted(base, cell, side="right")) - 1
+        conflicts[ci] = conflicts.get(ci, 0) + 1
+    hop_gidx = np.concatenate(hop_g)
+    hop_chain = np.searchsorted(base, hop_gidx, side="right") - 1
+    return FleetMergePlan(part_flat, hop_gidx, np.concatenate(hop_v),
+                          hop_chain, exec_count, conflicts)
+
+
+def _fleet_run_starts(arena: ChainArena
+                      ) -> List[Tuple[int, int, "RunStart"]]:
+    """Every live chain's Fig. 5 run-start decisions, one fleet pass.
+
+    Fleet rendering of :func:`repro.core.engine_vectorized.scan_run_starts`:
+    the rolled-code comparisons become gathers through the arena
+    topology, and only the (rare) fired candidates are refined in
+    Python against their chain's cached code list.  Returns ``(chain,
+    robot_id, RunStart)`` triples in reference order — ascending chain,
+    ascending index, direction +1 before -1 — with the robot captured
+    at snapshot time (indices shift under the later contraction).
+    """
+    cells, cell_chain, prev_pos, next_pos = arena.topology()
+    if len(cells) == 0:
+        return []
+    codes = arena.codes
+    c0 = codes[cells]
+    cm1 = c0[prev_pos]
+    cm2 = cm1[prev_pos]
+    cp1 = c0[next_pos]
+
+    v0 = c0 >= 0
+    vm1 = cm1 >= 0
+    perp = ((c0 ^ cm1) & 1) == 1
+    base_p = v0 & (cp1 == c0) & vm1 & perp
+    base_m = vm1 & (cm2 == cm1) & v0 & perp
+
+    fired = np.flatnonzero(base_p | base_m)
+    if len(fired) == 0:
+        return []
+    # candidate refinement runs in Python (rare hits): pre-gather the
+    # per-candidate scalars as lists and read codes straight off one
+    # flat list rendering, so the loop never touches NumPy or chains
+    cl = arena.codes.tolist()
+    f_cells = cells[fired]
+    f_chain = cell_chain[fired].tolist()
+    f_base = arena.base[cell_chain[fired]].tolist()
+    f_n = arena.length[cell_chain[fired]].tolist()
+    f_cell = f_cells.tolist()
+    f_rid = arena.ids[f_cells].tolist()
+    f_p = base_p[fired].tolist()
+    f_m = base_m[fired].tolist()
+    starts: List[Tuple[int, int, RunStart]] = []
+    for ci, b, n, gcell, rid, bp, bm in zip(f_chain, f_base, f_n, f_cell,
+                                            f_rid, f_p, f_m):
+        i = gcell - b
+        if bp:
+            g1 = cl[b + (i - 1) % n]       # code behind the anchor
+            g2 = cl[b + (i - 2) % n]
+            if g2 == g1:
+                starts.append((ci, rid, RunStart(1, "ii", _CODE_TO_DIR[cl[gcell]])))
+            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[b + (i - 3) % n] == g1:
+                starts.append((ci, rid, RunStart(1, "i", _CODE_TO_DIR[cl[gcell]])))
+        if bm:
+            g1 = cl[gcell]                 # code "behind" toward +1
+            g2 = cl[b + (i + 1) % n]
+            axis = _CODE_TO_DIR[cl[b + (i - 1) % n] ^ 2]
+            if g2 == g1:
+                starts.append((ci, rid, RunStart(-1, "ii", axis)))
+            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[b + (i + 2) % n] == g1:
+                starts.append((ci, rid, RunStart(-1, "i", axis)))
+    return starts
+
+
+class FleetKernel:
+    """Advance a fleet of chains round-for-round in shared arrays.
+
+    Parameters
+    ----------
+    chains:
+        Fleet members — :class:`ClosedChain` instances (adopted and
+        mutated in place) or position sequences.
+    params:
+        Algorithm constants shared by the fleet.
+    check_invariants:
+        Per-chain model invariants after every round (slow; the
+        property suite runs with it on).
+    keep_reports:
+        Build per-chain :class:`RoundReport` lists.  Off for pure
+        throughput sweeps — the fleet then skips all per-chain report
+        bookkeeping.
+    validate_initial:
+        Enforce the paper's initial-configuration assumptions.
+    """
+
+    def __init__(self, chains: Sequence[Union[ClosedChain, Sequence[Vec]]],
+                 params: Parameters = DEFAULT_PARAMETERS,
+                 check_invariants: bool = False,
+                 keep_reports: bool = True,
+                 validate_initial: bool = True):
+        objs: List[ClosedChain] = []
+        for c in chains:
+            if not isinstance(c, ClosedChain):
+                c = ClosedChain(c, require_disjoint_neighbors=validate_initial)
+            elif validate_initial:
+                c.validate(initial=True)
+            objs.append(c)
+        self.params = params
+        self.arena = ChainArena(objs)
+        self.registry = RunRegistry()
+        self.registry.keep_stopped = False   # never read; skip view builds
+        self.round_index = 0
+        self._check = check_invariants
+        self._keep = keep_reports
+        n_chains = len(objs)
+        self._n0 = [c.n for c in objs]
+        self.reports: List[List[RoundReport]] = [[] for _ in range(n_chains)]
+        self.results: List[Optional[GatheringResult]] = [None] * n_chains
+        #: chains whose Python-side id list/index awaits _sync_ids
+        self._ids_dirty: set = set()
+
+    # ------------------------------------------------------------------
+    def run(self, max_rounds: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> List[GatheringResult]:
+        """Gather the whole fleet; per-chain results in input order.
+
+        Each chain retires exactly when its own
+        ``Simulator(engine="kernel").run()`` would stop: the 2×2
+        termination box observed at the start of a round, or its
+        per-chain round budget (``max_rounds`` when given, the
+        parameters' linear stall budget otherwise).  ``progress`` is
+        called as ``progress(completed, total)`` whenever chains
+        retire.
+        """
+        arena = self.arena
+        total = len(arena.chains)
+        if total == 0:
+            return []
+        if max_rounds is not None:
+            budgets = np.full(total, max_rounds, dtype=np.int64)
+        else:
+            budgets = np.array([self.params.round_budget(n)
+                                for n in self._n0], dtype=np.int64)
+        t0 = time.perf_counter()
+        done = 0
+        while True:
+            live = arena.live_indices()
+            if len(live) == 0:
+                break
+            live_ids, gathered = arena.gathered_mask()
+            retire = gathered | (self.round_index >= budgets[live_ids])
+            if retire.any():
+                for ci, g in zip(live_ids[retire].tolist(),
+                                 gathered[retire].tolist()):
+                    self._retire(int(ci), bool(g), t0)
+                    done += 1
+                if progress is not None:
+                    progress(done, total)
+                if retire.all():
+                    continue
+            self._step_round()
+            self.round_index += 1
+        return list(self.results)
+
+    # ------------------------------------------------------------------
+    def _retire(self, ci: int, gathered: bool, t0: float) -> None:
+        """Remove a finished chain from the fleet and record its result."""
+        self._sync_ids(ci)
+        registry = self.registry
+        slots = registry.active_slots()
+        if len(slots):
+            mine = slots[registry.chain_col[slots] == ci]
+            if len(mine):
+                registry.drop_slots(mine)
+        self.arena.retire(ci)
+        chain = self.arena.chains[ci]
+        self.results[ci] = GatheringResult(
+            gathered=gathered,
+            rounds=self.round_index,
+            initial_n=self._n0[ci],
+            final_n=chain.n,
+            final_positions=chain.positions,
+            params=self.params,
+            reports=self.reports[ci],
+            trace=None,
+            stalled=not gathered,
+            wall_time=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_round(self) -> None:
+        """One FSYNC round for every live chain (kernel-engine order)."""
+        arena, registry, params = self.arena, self.registry, self.params
+        round_index = self.round_index
+        keep = self._keep
+        base = arena.base
+        chains = arena.chains
+        live = arena.live_indices()
+        live_list = live.tolist()
+        n_before = dict(zip(live_list, arena.length[live].tolist()))
+        if self._check:
+            for ci in list(self._ids_dirty):
+                self._sync_ids(ci)
+            before = {ci: (chains[ci].ids_array().copy(),
+                           chains[ci].positions_array().copy())
+                      for ci in live_list}
+
+        # (chain, stop-reason code) tallies for the round reports
+        terminated: List[Tuple[int, int]] = []
+
+        # 1-2. merge plan: fleet-wide RLE detection and planning (the
+        # kernel engine's n >= 4 gate applies per chain) --------------------
+        eligible = np.zeros(len(chains), dtype=bool)
+        eligible[live] = arena.length[live] >= 4
+        cand = _fleet_merge_candidates(arena, eligible,
+                                       params.effective_k_max) \
+            if eligible.any() else None
+        plan: Optional[FleetMergePlan] = None
+        part_flat: Optional[np.ndarray] = None
+        if cand is not None:
+            plan = _fleet_plan_merges(arena, *cand)
+            part_flat = plan.part_flat
+
+        # 3, 5-6. run decisions, fused with their registry application ------
+        dec = decide_and_apply_fleet(arena, registry, params, part_flat,
+                                     round_index)
+        terminated.extend(dec.terminated)
+
+        # 4. run starts (every L-th round; reads only the snapshot codes) ---
+        starts: List[Tuple[int, int, RunStart]] = []
+        if round_index % params.start_interval == 0:
+            scanned = _fleet_run_starts(arena)
+            if part_flat is None:
+                starts = scanned
+            else:
+                index_flat = arena.index
+                starts = [(ci, rid, rs) for ci, rid, rs in scanned
+                          if not part_flat[base[ci]
+                                           + index_flat[base[ci] + rid]]]
+
+        # 6'. simultaneous movement: merge hops + accepted runner hops ------
+        if plan is not None and len(plan.hop_gidx):
+            move_g = np.concatenate(
+                [plan.hop_gidx, np.asarray(dec.move_gidx, dtype=np.int64)])
+            move_v = np.concatenate(
+                [plan.hop_vec,
+                 np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)])
+            move_c = np.concatenate(
+                [plan.hop_chain, np.asarray(dec.move_chain, dtype=np.int64)])
+        else:
+            move_g = np.asarray(dec.move_gidx, dtype=np.int64)
+            move_v = np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)
+            move_c = np.asarray(dec.move_chain, dtype=np.int64)
+        zero_cells = arena.apply_moves(move_g, move_v, move_c)
+
+        # 7-8. contraction + run/target removal, fleet-wide -----------------
+        merges_by_chain: Dict[int, List[MergeRecord]] = {}
+        if len(zero_cells):
+            self._contract_fleet(zero_cells, move_g, move_c,
+                                 merges_by_chain, terminated)
+
+        # 9. move surviving runs one robot along their direction ------------
+        moved, crowded = registry.advance_fleet(
+            base, arena.length, arena.ids, arena.index,
+            collect_moved=self._check)
+        # contraction can push two same-direction runs onto one robot; a
+        # robot cannot tell them apart, so the younger run dissolves.
+        if crowded:
+            terminated.extend(self._dissolve_duplicates(round_index))
+
+        # 10. create the new runs decided in step 4 -------------------------
+        started: Dict[int, int] = {}
+        if starts:
+            self._apply_starts(starts, round_index, started)
+
+        # 11. reports and invariants ----------------------------------------
+        if keep:
+            self._build_reports(live_list, n_before, plan, merges_by_chain,
+                                move_c, terminated, dec.conflicts, started,
+                                round_index)
+        if self._check:
+            self._check_invariants(live_list, before, moved)
+
+    # ------------------------------------------------------------------
+    def _sync_ids(self, ci: int) -> None:
+        """Rebuild a chain's Python-side id list/index from the arena.
+
+        The fleet contraction defers this O(n) per-chain work (the flat
+        tables are already exact); it is required only where per-chain
+        Python state is actually read — retirement, invariant checking
+        and the wrap-around contraction fallback.
+        """
+        if ci not in self._ids_dirty:
+            return
+        chain = self.arena.chains[ci]
+        b = int(self.arena.base[ci])
+        n = int(self.arena.length[ci])
+        chain._ids = self.arena.ids[b:b + n].tolist()
+        chain._rebuild_index()
+        self._ids_dirty.discard(ci)
+
+    # ------------------------------------------------------------------
+    def _contract_fleet(self, zero_cells: np.ndarray, move_g: np.ndarray,
+                        move_c: np.ndarray,
+                        merges_by_chain: Dict[int, List[MergeRecord]],
+                        terminated: List[Tuple[int, int]]) -> None:
+        """Kernel steps 7-8 fleet-wide: merge coincident neighbours and
+        terminate the runs that lost their carrier or target.
+
+        ``zero_cells`` are the round's coincident neighbour pairs (one
+        zero edge each, ascending).  Blocks of co-located robots fold
+        in Python per merge *event* (bounded by robots removed — the
+        reference scan order and survivor rule exactly); everything
+        structural — dropping merged robots, compacting each segment
+        prefix, deleting the zero edge codes, refreshing the id →
+        index table — is one batch of array passes over the
+        contracting chains only.  A chain whose *wrap* edge went zero
+        (robot n-1 meets robot 0) resolves after its interior blocks:
+        once consecutive survivors are distinct, the reference wrap
+        loop performs at most one merge, done here with a few array
+        assignments per wrap chain.
+        """
+        arena = self.arena
+        registry = self.registry
+        base = arena.base
+        length = arena.length
+        chains = arena.chains
+        pos = arena.pos
+        ids_flat = arena.ids
+        keep_recs = self._keep
+        round_index = self.round_index
+
+        zch = np.searchsorted(base, zero_cells, side="right") - 1
+        wrap = (zero_cells - base[zch]) == length[zch] - 1
+        if wrap.any():
+            # the wrap pair resolves last (reference scan order); its
+            # chain's interior zeros still take the batch path below
+            wrap_cis = np.unique(zch[wrap])
+            zf = zero_cells[~wrap]
+            zcf = zch[~wrap]
+        else:
+            wrap_cis = None
+            zf, zcf = zero_cells, zch
+
+        # moved-robot membership in id space (survivor rule input)
+        moved_flat = np.zeros(arena.span, dtype=bool)
+        if len(move_g):
+            moved_flat[base[move_c] + ids_flat[move_g]] = True
+
+        removed_keys: List[int] = []
+        contracted: List[int] = []
+
+        if len(zf):
+            # --- survivor fold, one Python step per merge event --------
+            # every per-event scalar is pre-gathered into plain lists so
+            # the (bounded-by-robots-removed) loop never touches NumPy
+            surv_cells: List[int] = []
+            surv_vals: List[int] = []
+            zlist = zf.tolist()
+            zchl = zcf.tolist()
+            bases_l = base[zcf].tolist()
+            top_ids = ids_flat[zf].tolist()
+            nxt_ids = ids_flat[zf + 1].tolist()
+            top_mv = moved_flat[base[zcf] + ids_flat[zf]].tolist()
+            nxt_mv = moved_flat[base[zcf] + ids_flat[zf + 1]].tolist()
+            if keep_recs:
+                px = pos[zf, 0].tolist()
+                py = pos[zf, 1].tolist()
+            m = len(zlist)
+            i = 0
+            while i < m:
+                j = i + 1
+                while j < m and zlist[j] == zlist[j - 1] + 1 \
+                        and zchl[j] == zchl[i]:
+                    j += 1
+                ci = zchl[i]
+                bb = bases_l[i]
+                e0 = zlist[i]
+                s = top_ids[i]
+                s_mv = top_mv[i]
+                first_id = s
+                if keep_recs:
+                    recs = merges_by_chain.setdefault(ci, [])
+                    p = (px[i], py[i])
+                for ev in range(i, j):
+                    rid = nxt_ids[ev]
+                    r_mv = nxt_mv[ev]
+                    keep_first = s_mv if s_mv != r_mv else s < rid
+                    if keep_first:
+                        removed = rid
+                    else:
+                        removed = s
+                        s = rid
+                        s_mv = r_mv
+                    if keep_recs:
+                        recs.append(MergeRecord(s, removed, p))
+                    removed_keys.append(bb + removed)
+                if s != first_id:
+                    surv_cells.append(e0)
+                    surv_vals.append(s)
+                i = j
+
+            if surv_cells:
+                ids_flat[surv_cells] = surv_vals
+
+            # --- batch segment compaction over the contracting chains --
+            zero_flag = np.zeros(arena.span, dtype=bool)
+            zero_flag[zf] = True
+            cis = np.unique(zcf)
+            lens_old = length[cis]
+            total = int(lens_old.sum())
+            rep = np.repeat(np.arange(len(cis), dtype=np.int64), lens_old)
+            within = np.arange(total, dtype=np.int64) - \
+                np.repeat(np.cumsum(lens_old) - lens_old, lens_old)
+            cell = base[cis][rep] + within
+            seg_first = within == 0
+            # a robot merges away exactly when the edge before it is zero
+            drop = zero_flag[cell - 1]
+            drop[seg_first] = False
+            shift = np.cumsum(drop) - drop
+            shift -= np.repeat(shift[seg_first], lens_old)
+            kr = np.flatnonzero(~drop)
+            dst = base[cis][rep[kr]] + within[kr] - shift[kr]
+            pos[dst] = pos[cell[kr]]
+            ids_flat[dst] = ids_flat[cell[kr]]
+            # the fused edge keeps the following edge's code: deleting
+            # the -1 entries is exactly the reference np.delete carry
+            ke = np.flatnonzero(~zero_flag[cell])
+            eshift = np.cumsum(zero_flag[cell]) - zero_flag[cell]
+            eshift -= np.repeat(eshift[seg_first], lens_old)
+            arena.codes[base[cis][rep[ke]] + within[ke] - eshift[ke]] = \
+                arena.codes[cell[ke]]
+            # id -> index table: removed ids out, survivors re-ranked
+            arena.index[np.asarray(removed_keys, dtype=np.int64)] = -1
+            arena.index[base[cis][rep[kr]] + ids_flat[dst]] = \
+                within[kr] - shift[kr]
+            length[cis] = lens_old - np.bincount(
+                zcf, minlength=len(chains))[cis]
+            # per-chain Python state: views re-point now, the O(n) id
+            # list/dict rebuild defers to _sync_ids
+            for ci, nl in zip(cis.tolist(), length[cis].tolist()):
+                c = chains[ci]
+                b = int(base[ci])
+                c._arr = pos[b:b + nl]
+                buf = arena.codes[b:b + nl]
+                c._codes_buf = buf
+                c._codes_cache = buf
+                c._codes_view_cache = None
+                c._codes_list_cache = None
+                c._pos_cache = None
+                c._invalid_edges = 0
+                self._ids_dirty.add(ci)
+            arena._topo_dirty = True
+            contracted.extend(cis.tolist())
+
+        # --- wrap-around pairs: after the interior collapse no two
+        # consecutive survivors coincide, so the reference wrap loop
+        # performs at most one merge — the tail survivor against the
+        # head survivor — resolved here with a handful of array ops
+        # per wrap chain instead of a full rescan ------------------------
+        if wrap_cis is not None:
+            codes = arena.codes
+            for ci in wrap_cis.tolist():
+                b = int(base[ci])
+                nl = int(length[ci])
+                if nl <= 1:
+                    continue
+                t_cell = b + nl - 1
+                t_id = int(ids_flat[t_cell])
+                h_id = int(ids_flat[b])
+                a_m = moved_flat[b + t_id]
+                b_m = moved_flat[b + h_id]
+                keep_first = a_m if a_m != b_m else t_id < h_id
+                p = (int(pos[t_cell, 0]), int(pos[t_cell, 1]))
+                if keep_first:
+                    removed = h_id
+                    # drop the head entry: the segment shifts left and
+                    # the new wrap edge inherits the old lead edge
+                    pos[b:t_cell] = pos[b + 1:t_cell + 1].copy()
+                    ids_flat[b:t_cell] = ids_flat[b + 1:t_cell + 1].copy()
+                    lead = int(codes[b])
+                    codes[b:t_cell - 1] = codes[b + 1:t_cell].copy()
+                    codes[t_cell - 1] = lead
+                    idx_seg = arena.index[b:b + int(arena.n0[ci])]
+                    idx_seg[:] = -1
+                    idx_seg[ids_flat[b:t_cell]] = \
+                        np.arange(nl - 1, dtype=np.int64)
+                    if keep_recs:
+                        merges_by_chain.setdefault(ci, []).append(
+                            MergeRecord(t_id, h_id, p))
+                else:
+                    removed = t_id
+                    # drop the tail entry: the zero wrap edge vanishes
+                    # and everything else stays in place
+                    arena.index[b + t_id] = -1
+                    if keep_recs:
+                        merges_by_chain.setdefault(ci, []).append(
+                            MergeRecord(h_id, t_id, p))
+                removed_keys.append(b + removed)
+                length[ci] = nl - 1
+                c = chains[ci]
+                c._arr = pos[b:b + nl - 1]
+                buf = codes[b:b + nl - 1]
+                c._codes_buf = buf
+                c._codes_cache = buf
+                c._codes_view_cache = None
+                c._codes_list_cache = None
+                c._pos_cache = None
+                c._invalid_edges = 0
+                self._ids_dirty.add(ci)
+                contracted.append(ci)
+            arena._topo_dirty = True
+
+        if not removed_keys:
+            return
+
+        # --- Table 1.3 runner loss: runs whose carrier merged away -----
+        removed_arr = np.asarray(removed_keys, dtype=np.int64)
+        slots = registry.active_slots()
+        if len(slots):
+            cc = registry.chain_col[slots]
+            dead = np.flatnonzero(
+                np.isin(base[cc] + registry.robot[slots], removed_arr))
+            if len(dead):
+                registry.stop_slots(
+                    slots[dead],
+                    np.full(len(dead), _STOP_RUNNER_REMOVED, np.int64),
+                    round_index)
+                for ci in cc[dead].tolist():
+                    terminated.append((ci, _STOP_RUNNER_REMOVED))
+
+        # --- Table 1.4/1.5: passing/travel targets merged away ---------
+        slots = registry.active_slots()
+        if len(slots):
+            cc = registry.chain_col[slots]
+            rows = np.flatnonzero(np.isin(cc, np.asarray(contracted)))
+            if len(rows):
+                targets = registry.target[slots[rows]]
+                has_t = targets >= 0
+                gone = has_t.copy()
+                gone[has_t] = arena.index[
+                    base[cc[rows[has_t]]] + targets[has_t]] < 0
+                hit = rows[np.flatnonzero(gone)]
+                if len(hit):
+                    hs = slots[hit]
+                    reasons = np.where(
+                        registry.mode_code[hs] == MODE_PASSING,
+                        _STOP_PASSING_TARGET, _STOP_TRAVEL_TARGET)
+                    registry.stop_slots(hs, reasons, round_index)
+                    for ci, code in zip(cc[hit].tolist(), reasons.tolist()):
+                        terminated.append((ci, int(code)))
+
+    # ------------------------------------------------------------------
+    def _dissolve_duplicates(self, round_index: int
+                             ) -> List[Tuple[int, int]]:
+        """Duplicate-direction sweep over the fleet registry.
+
+        Mirrors the kernel engine's crowded-run loop with robots keyed
+        fleet-uniquely (``base + robot_id``); groups never span chains,
+        so the per-chain dissolution order matches exactly.
+        """
+        registry = self.registry
+        arena = self.arena
+        slots = registry.active_slots()
+        cc = registry.chain_col[slots]
+        keys = arena.base[cc] + registry.robot[slots]
+        by_robot: Dict[int, List[int]] = {}
+        for s, k in zip(slots.tolist(), keys.tolist()):
+            by_robot.setdefault(k, []).append(s)
+        crowded = sorted(s for group in by_robot.values()
+                         if len(group) > 1 for s in group)
+        key_of = dict(zip(slots.tolist(), keys.tolist()))
+        dirn = registry.dirn
+        stopped: set = set()
+        out: List[Tuple[int, int]] = []
+        for s in crowded:
+            if s in stopped:
+                continue
+            d = dirn[s]
+            twins = [x for x in by_robot[key_of[s]]
+                     if x not in stopped and dirn[x] == d]
+            if len(twins) > 1:
+                youngest = max(twins)
+                registry.stop_slot(youngest, _STOP_DUPLICATE, round_index)
+                stopped.add(youngest)
+                out.append((int(registry.chain_col[youngest]),
+                            _STOP_DUPLICATE))
+        return out
+
+    # ------------------------------------------------------------------
+    def _apply_starts(self, starts: List[Tuple[int, int, RunStart]],
+                      round_index: int, started: Dict[int, int]) -> None:
+        """Kernel step 10 fleet-wide: capacity-checked run creation.
+
+        The per-robot capacity rule (at most two runs, never two with
+        one direction) is enforced against fleet-unique robot keys from
+        one gather of the live registry rows, updated as runs are
+        created — matching the reference registry's dynamic check.
+        """
+        registry = self.registry
+        arena = self.arena
+        base = arena.base
+        index_flat = arena.index
+        slots = registry.active_slots()
+        existing: Dict[int, List[int]] = {}
+        if len(slots):
+            cc = registry.chain_col[slots]
+            keys = base[cc] + registry.robot[slots]
+            dirs = registry.dirn[slots]
+            for k, d in zip(keys.tolist(), dirs.tolist()):
+                existing.setdefault(k, []).append(d)
+        cand_ci = np.fromiter((s[0] for s in starts), np.int64, len(starts))
+        cand_rid = np.fromiter((s[1] for s in starts), np.int64, len(starts))
+        keys_l = (base[cand_ci] + cand_rid).tolist()
+        # robots merged away this round fail the index lookup
+        valid = (index_flat[base[cand_ci] + cand_rid] >= 0).tolist()
+        rows: List[Tuple[int, int, int, int, int, int]] = []
+        for (ci, rid, rs), key, ok in zip(starts, keys_l, valid):
+            if not ok:
+                continue
+            dirs_on = existing.get(key)
+            if dirs_on is not None and (len(dirs_on) >= 2
+                                        or rs.direction in dirs_on):
+                continue
+            rows.append((ci, rid, rs.direction,
+                         MODE_INIT_CORNER if rs.kind == "ii" else MODE_NORMAL,
+                         rs.axis[0], rs.axis[1]))
+            existing.setdefault(key, []).append(rs.direction)
+            started[ci] = started.get(ci, 0) + 1
+        registry.start_fleet_bulk(rows, round_index)
+
+    # ------------------------------------------------------------------
+    def _build_reports(self, live_list: List[int], n_before: Dict[int, int],
+                       plan: Optional[FleetMergePlan],
+                       merges_by_chain: Dict[int, List[MergeRecord]],
+                       move_c: np.ndarray,
+                       terminated: List[Tuple[int, int]],
+                       conflicts: Dict[int, int],
+                       started: Dict[int, int], round_index: int) -> None:
+        """Assemble per-chain RoundReports identical to the kernel's."""
+        registry = self.registry
+        n_chains = len(self.arena.chains)
+        hops = np.bincount(move_c, minlength=n_chains) if len(move_c) \
+            else np.zeros(n_chains, dtype=np.int64)
+        slots = registry.active_slots()
+        active = np.bincount(registry.chain_col[slots],
+                             minlength=n_chains) if len(slots) \
+            else np.zeros(n_chains, dtype=np.int64)
+        term_by_chain: Dict[int, Dict[StopReason, int]] = {}
+        for ci, code in terminated:
+            d = term_by_chain.setdefault(ci, {})
+            reason = StopReason(code)
+            d[reason] = d.get(reason, 0) + 1
+        length = self.arena.length
+        for ci in live_list:
+            self.reports[ci].append(RoundReport(
+                round_index=round_index,
+                n_before=n_before[ci],
+                n_after=int(length[ci]),
+                hops=int(hops[ci]),
+                merge_patterns=int(plan.exec_count[ci])
+                if plan is not None else 0,
+                merges=merges_by_chain.get(ci, []),
+                runs_started=started.get(ci, 0),
+                runs_terminated=term_by_chain.get(ci, {}),
+                active_runs=int(active[ci]),
+                merge_conflicts=plan.conflicts.get(ci, 0)
+                if plan is not None else 0,
+                runner_hop_conflicts=conflicts.get(ci, 0)))
+
+    # ------------------------------------------------------------------
+    def _check_invariants(self, live_list: List[int], before: Dict,
+                          moved) -> None:
+        """Per-chain model invariants over the fleet state."""
+        registry = self.registry
+        arena = self.arena
+        for ci in list(self._ids_dirty):
+            self._sync_ids(ci)
+        slots = registry.active_slots()
+        cc = registry.chain_col[slots] if len(slots) else slots
+        for ci in live_list:
+            chain = arena.chains[ci]
+            ids_b, pos_b = before[ci]
+            invariants.check_connectivity(chain)
+            invariants.check_monotone_count(len(ids_b), chain.n)
+            invariants.check_hop_lengths_arrays(
+                ids_b, pos_b, chain.ids_array(), chain.positions_array())
+            if len(slots):
+                mine = registry.robot[slots[cc == ci]]
+                if len(mine):
+                    idx = chain.index_array()
+                    if (idx[mine] < 0).any():
+                        raise InvariantViolation(
+                            f"fleet chain {ci}: run rides removed robot")
+                    _, counts = np.unique(mine, return_counts=True)
+                    if (counts > 2).any():
+                        raise InvariantViolation(
+                            f"fleet chain {ci}: robot carries more than "
+                            f"two runs")
+        if moved is not None:
+            mc, old, new, dirs = moved
+            for ci in np.unique(mc).tolist():
+                if not arena.live[ci]:
+                    continue
+                rows = mc == ci
+                invariants.check_run_speed(
+                    arena.chains[ci],
+                    list(zip(old[rows].tolist(), new[rows].tolist(),
+                             dirs[rows].tolist())))
+
+
+def gather_fleet(chains: Sequence[Union[ClosedChain, Sequence[Vec]]],
+                 params: Parameters = DEFAULT_PARAMETERS,
+                 check_invariants: bool = False,
+                 keep_reports: bool = True,
+                 max_rounds: Optional[int] = None,
+                 validate_initial: bool = True,
+                 progress: Optional[Callable[[int, int], None]] = None
+                 ) -> List[GatheringResult]:
+    """Gather a fleet in one shared-array pass (convenience API)."""
+    fleet = FleetKernel(chains, params=params,
+                        check_invariants=check_invariants,
+                        keep_reports=keep_reports,
+                        validate_initial=validate_initial)
+    return fleet.run(max_rounds=max_rounds, progress=progress)

@@ -68,12 +68,15 @@ MODE_TO_CODE: Dict[RunMode, int] = {m: i for i, m in enumerate(MODE_FROM_CODE)}
 STOP_FROM_CODE: Tuple[Optional[StopReason], ...] = (
     None,) + tuple(StopReason(v) for v in range(1, 8))
 
-#: Columns of the registry matrix.  The six decision-hot fields come
-#: first so the scalar decision path gathers ``[:, :6]`` only.
+#: Columns of the registry matrix.  The seven decision-hot fields come
+#: first so the scalar decision path and the row-snapshot builder
+#: gather ``[:, :7]`` only.  ``COL_CHAIN`` tags the owning fleet
+#: member (always 0 for single-chain engines) so one registry can hold
+#: every live run of a fleet (:mod:`repro.core.engine_fleet`).
 (COL_ROBOT, COL_DIRN, COL_MODE, COL_TARGET, COL_STEPS, COL_AXY,
- COL_AXX, COL_BORN, COL_HOPS, COL_STOP, COL_STOPPED) = range(11)
-_COLS = 11
-_HOT_COLS = 6
+ COL_AXX, COL_BORN, COL_HOPS, COL_STOP, COL_STOPPED, COL_CHAIN) = range(12)
+_COLS = 12
+_HOT_COLS = 7
 
 #: target_id / stopped_round sentinel for "None" in the int matrix.
 _NONE = -1
@@ -226,6 +229,33 @@ class RunState:
                 f"active={self.active})")
 
 
+class DecisionRow:
+    """Row-local snapshot of one run's decision-hot fields.
+
+    The reference decision loop reads each field once or twice per
+    round; going through :class:`RunState`'s matrix-backed properties
+    costs a NumPy scalar read per access.  A ``DecisionRow`` is built
+    from one bulk row gather (:meth:`RunRegistry.decision_rows`) and
+    serves those reads as plain attribute access —
+    :func:`repro.core.algorithm.decide_run` accepts either flavour
+    (it only reads; state application still goes through the view).
+    """
+
+    __slots__ = ("run_id", "robot_id", "direction", "axis", "mode",
+                 "target_id", "travel_steps_left")
+
+    def __init__(self, run_id: int, robot_id: int, direction: int, axis: Vec,
+                 mode: RunMode, target_id: Optional[int],
+                 travel_steps_left: int):
+        self.run_id = run_id
+        self.robot_id = robot_id
+        self.direction = direction
+        self.axis = axis
+        self.mode = mode
+        self.target_id = target_id
+        self.travel_steps_left = travel_steps_left
+
+
 class RunRegistry:
     """All live runs, indexed by carrier robot.
 
@@ -238,7 +268,8 @@ class RunRegistry:
     """
 
     __slots__ = ("_data", "_count", "_active", "_active_arr",
-                 "_by_robot", "_by_robot_dirty", "_views", "stopped")
+                 "_by_robot", "_by_robot_dirty", "_views", "stopped",
+                 "keep_stopped")
 
     _INITIAL_CAP = 16
 
@@ -251,6 +282,10 @@ class RunRegistry:
         self._by_robot_dirty = False
         self._views: Dict[int, RunState] = {}
         self.stopped: List[RunState] = []
+        #: keep view objects of terminated runs on ``stopped`` (the
+        #: engines' trace/debug surface).  The fleet engine turns this
+        #: off — it never reads ``stopped`` and skips the view builds.
+        self.keep_stopped = True
 
     # -- column views (bulk access API) ------------------------------------
     @property
@@ -297,6 +332,11 @@ class RunRegistry:
     def axis_parity(self) -> np.ndarray:
         """Axis parity (0 = x, 1 = y), indexed by run id."""
         return (self._data[:, COL_AXY] != 0).astype(np.int64)
+
+    @property
+    def chain_col(self) -> np.ndarray:
+        """Owning fleet-chain ids (0 for single-chain engines), by run id."""
+        return self._data[:, COL_CHAIN]
 
     # -- internals ---------------------------------------------------------
     def _grow(self) -> None:
@@ -358,6 +398,23 @@ class RunRegistry:
         magnitude faster per element).
         """
         return self._data[self.active_slots(), :_HOT_COLS].tolist()
+
+    def decision_rows(self) -> List[DecisionRow]:
+        """Row-local read snapshots of all live runs (stable run-id order).
+
+        One bulk gather serving the reference decision loop: every
+        field :func:`~repro.core.algorithm.decide_run` reads becomes a
+        plain attribute instead of a matrix-backed property
+        (DESIGN.md §2.9 — the SoA refactor's scalar-read tax on the
+        reference/vectorized engines).
+        """
+        return [
+            DecisionRow(rid, row[COL_ROBOT], row[COL_DIRN],
+                        (row[COL_AXX], row[COL_AXY]),
+                        MODE_FROM_CODE[row[COL_MODE]],
+                        None if row[COL_TARGET] == _NONE else row[COL_TARGET],
+                        row[COL_STEPS])
+            for rid, row in zip(self._active, self.active_rows())]
 
     def runs_on(self, robot_id: int) -> List[RunState]:
         """Live runs carried by a robot."""
@@ -437,12 +494,66 @@ class RunRegistry:
             data = self._data
         self._count = run_id + 1
         data[run_id] = (robot_id, direction, MODE_TO_CODE[mode], _NONE, 0,
-                        axis[1], axis[0], round_index, 0, 0, _NONE)
+                        axis[1], axis[0], round_index, 0, 0, _NONE, 0)
         self._active.append(run_id)
         self._active_arr = None
         if not self._by_robot_dirty:
             self._by_robot.setdefault(robot_id, []).append(run_id)
         return self._view(run_id)
+
+    def start_fleet_bulk(self, rows: List[Tuple[int, int, int, int, int,
+                                                int]],
+                         round_index: int) -> None:
+        """Create many chain-tagged runs in one matrix write.
+
+        Fleet counterpart of :meth:`start`: each row is ``(chain_id,
+        robot_id, direction, mode_code, axis_x, axis_y)``, pre-checked
+        by the caller against fleet-unique ``(chain, robot)`` capacity
+        keys (robot ids collide across chains, so the robot-keyed
+        ``_by_robot`` index stays permanently dirty — a fleet registry
+        must not be queried through :meth:`runs_on` /
+        :meth:`directions_on` / :meth:`crowded_runs`).  Run ids are
+        assigned in row order.
+        """
+        m = len(rows)
+        if m == 0:
+            return
+        first = self._count
+        while first + m > len(self._data):
+            self._grow()
+        block = np.empty((m, _COLS), dtype=np.int64)
+        r = np.asarray(rows, dtype=np.int64)
+        block[:, COL_CHAIN] = r[:, 0]
+        block[:, COL_ROBOT] = r[:, 1]
+        block[:, COL_DIRN] = r[:, 2]
+        block[:, COL_MODE] = r[:, 3]
+        block[:, COL_AXX] = r[:, 4]
+        block[:, COL_AXY] = r[:, 5]
+        block[:, COL_TARGET] = _NONE
+        block[:, COL_STEPS] = 0
+        block[:, COL_BORN] = round_index
+        block[:, COL_HOPS] = 0
+        block[:, COL_STOP] = 0
+        block[:, COL_STOPPED] = _NONE
+        self._data[first:first + m] = block
+        self._count = first + m
+        self._active.extend(range(first, first + m))
+        self._active_arr = None
+        self._by_robot_dirty = True
+
+    def drop_slots(self, run_ids) -> None:
+        """Remove runs from the live set without stop bookkeeping.
+
+        Used when a fleet chain retires (gathered or out of budget):
+        the per-chain engine would simply stop stepping, so its runs
+        disappear from the fleet without a Table 1 termination record.
+        """
+        dead = set(int(r) for r in run_ids)
+        if not dead:
+            return
+        self._active = [rid for rid in self._active if rid not in dead]
+        self._active_arr = None
+        self._by_robot_dirty = True
 
     def stop(self, run: RunState, reason: StopReason, round_index: int) -> None:
         """Terminate a run (Table 1)."""
@@ -466,7 +577,8 @@ class RunRegistry:
                 robot_runs.remove(run_id)
                 if not robot_runs:
                     del self._by_robot[robot_id]
-        self.stopped.append(self._view(run_id))
+        if self.keep_stopped:
+            self.stopped.append(self._view(run_id))
 
     def stop_slots(self, run_ids: np.ndarray, reason_codes: np.ndarray,
                    round_index: int) -> None:
@@ -485,9 +597,10 @@ class RunRegistry:
         self._active = [rid for rid in self._active if rid not in dead]
         self._active_arr = None
         self._by_robot_dirty = True
-        view = self._view
-        for rid in sorted(dead):
-            self.stopped.append(view(rid))
+        if self.keep_stopped:
+            view = self._view
+            for rid in sorted(dead):
+                self.stopped.append(view(rid))
 
     def advance_runs(self, post_ids: List[int], post_index: Dict[int, int]
                      ) -> List[Tuple[int, int, int]]:
@@ -564,6 +677,39 @@ class RunRegistry:
         self._data[slots, COL_ROBOT] = new
         self._by_robot_dirty = True
         return (old, new, dirs) if collect_moved else None
+
+    def advance_fleet(self, base: np.ndarray, length: np.ndarray,
+                      ids_flat: np.ndarray, index_flat: np.ndarray,
+                      collect_moved: bool = False):
+        """Fleet-wide :meth:`advance_slots` over the arena's flat tables.
+
+        ``base``/``length`` are the arena's per-chain segment tables,
+        ``ids_flat``/``index_flat`` its id and id → index arrays; runs
+        resolve their next carrier through their chain column.  Returns
+        ``(moved, crowded)`` where ``moved`` is ``(chain, old, new,
+        dirs)`` arrays when requested (the run-speed invariant) and
+        ``crowded`` flags a robot now carrying more than one run.
+        """
+        slots = self.active_slots()
+        if len(slots) == 0:
+            return None, False
+        data = self._data
+        cc = data[slots, COL_CHAIN]
+        old = data[slots, COL_ROBOT]
+        dirs = data[slots, COL_DIRN]
+        bs = base[cc]
+        new = ids_flat[bs + (index_flat[bs + old] + dirs) % length[cc]]
+        data[slots, COL_ROBOT] = new
+        self._by_robot_dirty = True
+        keys = bs + new
+        # duplicate detection by scatter-mark (keys are fleet-unique
+        # robot slots, so a sort-based unique would be overkill)
+        seen = np.zeros(len(ids_flat), dtype=bool)
+        seen[keys] = True
+        crowded = int(np.count_nonzero(seen)) < len(keys)
+        if collect_moved:
+            return (cc, old, new, dirs), crowded
+        return None, crowded
 
     def move(self, run: RunState, new_robot_id: int) -> None:
         """Hand a run to the next robot along its direction."""
