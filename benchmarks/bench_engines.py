@@ -33,6 +33,17 @@ from repro.chains import (
     staircase_ring,
 )
 
+
+def _merge_dense_chain(n_teeth, base_height=13):
+    """Crenellated chain whose teeth all spike-merge round after round.
+
+    The merge-heavy workload family (Castenow et al. 2020 motivates
+    merge-dense configurations as first-class): every tooth is a
+    width-1 spike, so each early round fires a merge pattern per tooth
+    and the contraction stage sees many events at once.
+    """
+    return crenellation(teeth=n_teeth, tooth_width=1, base_height=base_height)
+
 DETECTOR_SIZES = [64, 256, 1024]
 
 ENGINES = ["reference", "vectorized", "kernel"]
@@ -57,6 +68,7 @@ SCENARIOS = {
                                          random.Random(11)),     # n=1068
     ("perturbed", 4000): lambda: perturb(square_ring(940), 320,
                                          random.Random(11)),     # n=4360
+    ("merge_dense", 1000): lambda: _merge_dense_chain(162),      # n=998
 }
 
 
@@ -177,6 +189,12 @@ FLEETS = {
                                    for s in range(64)], 60),
     "fleet_mixed96": (lambda: [square_ring(8 + 3 * (i % 12))
                                for i in range(96)], None),
+    # merge-dense acceptance fleet: 128 identical crenellations whose
+    # teeth all merge in the same rounds, so the contraction stage
+    # folds hundreds of merge events per round — the workload that
+    # gates the vectorised survivor/run-start passes in CI
+    "fleet128_merge_dense": (lambda: [_merge_dense_chain(8, base_height=4)
+                                      for _ in range(128)], None),
 }
 
 

@@ -174,27 +174,29 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
               f"{base[key]:.6f}s ({ratio:.2f}x, limit {threshold}x) {verdict}")
         if ratio > threshold:
             regressed += 1
-    # fleet throughput gate: chains/sec on the acceptance fleet must
-    # stay within 1/threshold of the committed value
-    fleet_key = "fleet256_ring_n60"
-    base_fleet = committed.get("derived", {}).get(
-        "scenario_matrix", {}).get(fleet_key, {})
-    fresh_fleet = fresh.get("derived", {}).get(
-        "scenario_matrix", {}).get(fleet_key, {})
-    b_cps = base_fleet.get("fleet_chains_per_s")
-    f_cps = fresh_fleet.get("fleet_chains_per_s")
-    if b_cps and f_cps:
-        ratio = b_cps / f_cps
-        verdict = "REGRESSION" if ratio > threshold else "ok"
-        print(f"  check {fleet_key} fleet_chains_per_s: fresh {f_cps:.1f} "
-              f"vs committed {b_cps:.1f} ({ratio:.2f}x slower, "
-              f"limit {threshold}x) {verdict}")
-        if ratio > threshold:
+    # fleet throughput gates: chains/sec on the acceptance fleets must
+    # stay within 1/threshold of the committed values.  The merge-dense
+    # fleet additionally guards the vectorised contraction/run-start
+    # passes (its rounds are dominated by merge events).
+    for fleet_key in ("fleet256_ring_n60", "fleet128_merge_dense"):
+        base_fleet = committed.get("derived", {}).get(
+            "scenario_matrix", {}).get(fleet_key, {})
+        fresh_fleet = fresh.get("derived", {}).get(
+            "scenario_matrix", {}).get(fleet_key, {})
+        b_cps = base_fleet.get("fleet_chains_per_s")
+        f_cps = fresh_fleet.get("fleet_chains_per_s")
+        if b_cps and f_cps:
+            ratio = b_cps / f_cps
+            verdict = "REGRESSION" if ratio > threshold else "ok"
+            print(f"  check {fleet_key} fleet_chains_per_s: fresh "
+                  f"{f_cps:.1f} vs committed {b_cps:.1f} ({ratio:.2f}x "
+                  f"slower, limit {threshold}x) {verdict}")
+            if ratio > threshold:
+                regressed += 1
+        elif b_cps:
+            print(f"regression check: fresh run lacks {fleet_key} "
+                  f"fleet_chains_per_s", file=sys.stderr)
             regressed += 1
-    elif b_cps:
-        print(f"regression check: fresh run lacks {fleet_key} "
-              f"fleet_chains_per_s", file=sys.stderr)
-        regressed += 1
     return regressed
 
 
@@ -217,7 +219,7 @@ def main(argv=None) -> int:
     if args.smoke:
         selectors = ["benchmarks/bench_engines.py::test_large_ring_by_engine",
                      "benchmarks/bench_engines.py::test_fleet_throughput"]
-        extra = ["-k", "large_ring or fleet256"]
+        extra = ["-k", "large_ring or fleet256 or fleet128_merge_dense"]
     else:
         selectors = ["benchmarks/bench_engines.py"]
         extra = []
@@ -232,14 +234,30 @@ def main(argv=None) -> int:
             raw = json.load(fh)
 
     condensed = condense(raw)
-    # carry the pinned seed baseline (measured once from the v0 commit)
-    # across regenerations, and keep the derived vs-seed ratios current
+    # carry the pinned baselines across regenerations: the seed
+    # baseline (measured once from the v0 commit) and the Python-fold
+    # baseline (measured once from the pre-vectorisation PR-3 code on
+    # the merge-dense rows); keep the derived ratios current
     if os.path.exists(args.out):
         try:
             with open(args.out, "r", encoding="utf-8") as fh:
                 previous = json.load(fh)
         except (OSError, ValueError):
             previous = {}
+        fold_base = previous.get("python_fold_baseline")
+        if fold_base:
+            condensed["python_fold_baseline"] = fold_base
+            matrix = condensed["derived"].get("scenario_matrix", {})
+            fleet = matrix.get("fleet128_merge_dense")
+            b = fold_base.get("fleet128_merge_dense", {}).get("fleet_min_s")
+            if fleet and b and fleet.get("fleet_min_s"):
+                fleet["speedup_vs_python_fold"] = \
+                    round(b / fleet["fleet_min_s"], 3)
+            row = matrix.get("merge_dense_n1000")
+            bk = fold_base.get("merge_dense_n1000", {}).get("kernel_min_s")
+            if row and bk and row.get("kernel_min_s"):
+                row["kernel_speedup_vs_python_fold"] = \
+                    round(bk / row["kernel_min_s"], 3)
         baseline = previous.get("seed_baseline")
         if baseline:
             condensed["seed_baseline"] = baseline

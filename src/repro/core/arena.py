@@ -187,9 +187,14 @@ class ChainArena:
         hop vectors, ``mover_chain`` the owning chain ids.  The scatter
         writes through every chain's position view; the two edges
         incident to each mover are re-encoded in bulk (the fleet-wide
-        form of :meth:`ClosedChain._post_move_codes`), per-chain
-        zero-edge counters stay exact, and the movers' chains drop
-        their Python-side list renderings.
+        form of :meth:`ClosedChain._post_move_codes`).  Per-chain
+        Python-side caches (tuple lists, zero-edge counters) are *not*
+        maintained here — the flat arrays are the fleet's source of
+        truth and chain-level state settles at the fleet's sync points
+        (``FleetKernel._sync_ids`` / retirement), so a round costs no
+        per-chain loop.  Single-segment arenas move through
+        :meth:`ClosedChain.apply_moves_indexed` instead, which *does*
+        keep the chain caches coherent.
 
         Returns the global cells of the edges that *became* zero this
         round, ascending — exactly the fleet's coincident neighbour
@@ -225,18 +230,4 @@ class ChainArena:
         ch = oc != nc
         if ch.any():
             self.codes[E[ch]] = nc[ch]
-            delta = (nc[ch] == -1).astype(np.int64) \
-                - (oc[ch] == -1).astype(np.int64)
-            if delta.any():
-                per = np.bincount(ec[ch], weights=delta,
-                                  minlength=len(self.chains))
-                for ci in np.flatnonzero(per).tolist():
-                    self.chains[ci]._invalid_edges += int(per[ci])
-        chains = self.chains
-        tm = np.zeros(len(chains), dtype=bool)
-        tm[mover_chain] = True
-        for ci in np.flatnonzero(tm).tolist():
-            c = chains[ci]
-            c._pos_cache = None
-            c._codes_list_cache = None
         return E[nc == -1]

@@ -182,10 +182,8 @@ class BatchSimulator:
                 f"engine {engine!r} needs backend='process'")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
-        self.positions: List[List[tuple]] = [
-            list(c.positions) if isinstance(c, ClosedChain) else
-            [(int(x), int(y)) for x, y in c]
-            for c in chains]
+        self.positions: List[List[tuple]] = [self._as_positions(c)
+                                             for c in chains]
         self.params = params
         self.engine = engine
         self.backend = backend if backend != "auto" else (
@@ -194,6 +192,22 @@ class BatchSimulator:
         self.workers = int(workers) if workers else 1
         self.keep_reports = keep_reports
         self.validate_initial = validate_initial
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_positions(c) -> List[tuple]:
+        """One chain input as a plain picklable position list.
+
+        Lists of int tuples — the generator families' native output —
+        pass through with a shallow copy; everything else (chains,
+        iterables, NumPy scalars) normalises element-wise.
+        """
+        if isinstance(c, ClosedChain):
+            return list(c.positions)
+        if type(c) is list and (not c or (type(c[0]) is tuple
+                                          and type(c[0][0]) is int)):
+            return list(c)
+        return [(int(x), int(y)) for x, y in c]
 
     # ------------------------------------------------------------------
     def _jobs(self, max_rounds: Optional[int]) -> List[_Job]:

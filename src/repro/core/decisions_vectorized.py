@@ -3,30 +3,31 @@
 The reference engine decides each run through a per-robot
 :class:`~repro.core.view.ChainWindow` (:func:`repro.core.algorithm.decide_run`).
 This module executes the same decision table over the run registry's
-struct-of-arrays state and the chain's cached edge-code array, then
-applies the outcome (terminations, mode/target/steps transitions, hop
+struct-of-arrays state and the arena's edge-code arrays, then applies
+the outcome (terminations, mode/target/steps transitions, hop
 collection with conflict resolution) straight to the registry — the
 fused form of the reference engine's steps 3 + 5-6.
 
-Two behaviourally identical paths sit behind :func:`decide_and_apply`
-(the same adaptive trick as the detector's ``_NUMPY_MIN_N``):
+Two behaviourally identical paths serve the unified kernel/fleet
+substrate (:mod:`repro.core.engine_fleet`):
 
-* ``_decide_numpy`` — rolled/gathered array comparisons: nearest
-  sequent/oncoming runs via ``searchsorted`` over the carrier index
-  arrays, the Table 1.2 endpoint check as a vectorised
-  necessary-condition filter (a window without two equal adjacent
-  perpendicular codes, a stairway step or a broken edge can never show
-  an endpoint) with only the flagged candidates parsed through the
-  reference quasi-line grammar (same memoised parser), and the Fig. 11
-  operations as elementwise code comparisons.  The rare
-  ``INIT_CORNER`` rows fall back to the reference per-window
-  :func:`decide_run` — the fallback contract of DESIGN.md §2.9.
-* ``_decide_scalar`` — a tight integer loop over the same arrays for
-  rounds with only a handful of runs, where per-call NumPy dispatch
-  overhead would dominate.
+* :func:`decide_and_apply_fleet` — rolled/gathered array comparisons
+  over the whole arena: nearest sequent/oncoming runs via one
+  fleet-wide ``searchsorted`` over the carrier key arrays, the
+  Table 1.2 endpoint check as a vectorised necessary-condition filter
+  (a window without two equal adjacent perpendicular codes, a
+  stairway step or a broken edge can never show an endpoint) with
+  only the flagged candidates parsed through the reference quasi-line
+  grammar (same memoised parser), and the Fig. 11 operations —
+  including the ``INIT_CORNER`` op (c) corner cut — as elementwise
+  code comparisons.
+* :func:`decide_and_apply_scalar` — a tight integer loop over the
+  same registry arrays for single-segment arenas with only a handful
+  of runs, where per-call NumPy dispatch overhead would dominate
+  (the adaptive crossover is :data:`NUMPY_MIN_RUNS`).
 
 Equivalence of both paths against the reference engine is
-property-tested decision-for-decision (``tests/test_kernel_engine.py``).
+property-tested decision-for-decision (``tests/test_conformance.py``).
 """
 
 from __future__ import annotations
@@ -53,7 +54,6 @@ from repro.core.runs import (
     MODE_NORMAL,
     MODE_PASSING,
     MODE_TRAVEL,
-    RunMode,
     RunRegistry,
     StopReason,
 )
@@ -104,37 +104,8 @@ class AppliedDecisions:
         self.runner_hop_conflicts = runner_hop_conflicts
 
 
-_EMPTY = AppliedDecisions({}, (), (), 0)
-
-
-def decide_and_apply(chain: ClosedChain, registry: RunRegistry,
-                     params: Parameters, part_mask: Optional[np.ndarray],
-                     round_index: int,
-                     numpy_min_runs: Optional[int] = None) -> AppliedDecisions:
-    """Decide every active run and apply the outcome to the registry.
-
-    ``part_mask`` flags the chain indices participating in an executing
-    merge pattern (Table 1.3), or is ``None`` on merge-free rounds.
-    Movement is *not* applied: the returned hop arrays join the merge
-    hops in the engine's simultaneous-movement step.
-    """
-    n_runs = len(registry)
-    if n_runs == 0:
-        return _EMPTY
-    if params.passing_distance > params.viewing_path_length:
-        # the reference window raises when the passing scan exceeds the
-        # viewing range; mirror the contract rather than widening it
-        raise LocalityViolation(
-            f"passing distance {params.passing_distance} exceeds viewing "
-            f"path length {params.viewing_path_length}")
-    threshold = NUMPY_MIN_RUNS if numpy_min_runs is None else numpy_min_runs
-    if n_runs < threshold:
-        return _decide_scalar(chain, registry, params, part_mask, round_index)
-    return _decide_numpy(chain, registry, params, part_mask, round_index)
-
-
 # ---------------------------------------------------------------------------
-# scalar path (small run counts)
+# scalar path (single-segment arenas with small run counts)
 # ---------------------------------------------------------------------------
 
 def _ahead_codes(cl: List[int], n: int, a: int, d: int, count: int) -> List[int]:
@@ -159,9 +130,25 @@ def _ahead_codes(cl: List[int], n: int, a: int, d: int, count: int) -> List[int]
     return [c ^ 2 if c >= 0 else c for c in reversed(seg)]
 
 
-def _decide_scalar(chain: ClosedChain, registry: RunRegistry,
-                   params: Parameters, part_mask: Optional[np.ndarray],
-                   round_index: int) -> AppliedDecisions:
+def decide_and_apply_scalar(chain: ClosedChain, registry: RunRegistry,
+                            params: Parameters,
+                            part_mask: Optional[np.ndarray],
+                            round_index: int) -> AppliedDecisions:
+    """Decide every active run of one chain in a tight integer loop.
+
+    Scalar counterpart of :func:`decide_and_apply_fleet` for the
+    fleet-of-one below the :data:`NUMPY_MIN_RUNS` crossover (the
+    kernel engine's small-chain latency floor).  ``part_mask`` flags
+    merge participants by chain index (Table 1.3); movement is *not*
+    applied — the returned hop lists join the merge hops in the
+    engine's simultaneous-movement step.
+    """
+    if params.passing_distance > params.viewing_path_length:
+        # the reference window raises when the passing scan exceeds the
+        # viewing range; mirror the contract rather than widening it
+        raise LocalityViolation(
+            f"passing distance {params.passing_distance} exceeds viewing "
+            f"path length {params.viewing_path_length}")
     cl = chain.edge_codes_list()
     ids = chain.ids_view()
     index_map = chain.index_map()
@@ -428,288 +415,6 @@ def _decide_scalar(chain: ClosedChain, registry: RunRegistry,
         else:
             data[hop_slots, COL_HOPS] += 1   # slots unique: one batched RMW
     return AppliedDecisions(terminated, move_idx, move_deltas, conflicts)
-
-
-# ---------------------------------------------------------------------------
-# NumPy path (bulk run counts)
-# ---------------------------------------------------------------------------
-
-def _nearest_ahead(anchors: np.ndarray, carriers: np.ndarray, n: int,
-                   big: int) -> np.ndarray:
-    """Cyclic offset to the next carrier at a strictly larger index."""
-    if len(carriers) == 0:
-        return np.full(len(anchors), big, dtype=np.int64)
-    j = np.searchsorted(carriers, anchors, side="right") % len(carriers)
-    off = (carriers[j] - anchors) % n
-    off[off == 0] = n                      # the anchor re-appears after a lap
-    return off
-
-
-def _nearest_behind(anchors: np.ndarray, carriers: np.ndarray, n: int,
-                    big: int) -> np.ndarray:
-    """Cyclic offset to the next carrier at a strictly smaller index."""
-    if len(carriers) == 0:
-        return np.full(len(anchors), big, dtype=np.int64)
-    j = np.searchsorted(carriers, anchors, side="left") - 1
-    off = (anchors - carriers[j]) % n
-    off[off == 0] = n
-    return off
-
-
-def _decide_numpy(chain: ClosedChain, registry: RunRegistry,
-                  params: Parameters, part_mask: Optional[np.ndarray],
-                  round_index: int) -> AppliedDecisions:
-    reg = registry
-    data = reg._data
-    slots = reg.active_slots()
-    R = len(slots)
-    rr = data[slots, COL_ROBOT]
-    dd = data[slots, COL_DIRN]
-    mm = data[slots, COL_MODE]
-    tt = data[slots, COL_TARGET]
-    st = data[slots, COL_STEPS]
-    ap = (data[slots, COL_AXY] != 0).astype(np.int64)
-
-    c = chain.edge_codes()
-    n = chain.n
-    ids_arr = chain.ids_array()
-    index_arr = chain.index_array()
-    a = index_arr[rr]
-    v = params.viewing_path_length
-    pd = params.passing_distance
-
-    stop = np.zeros(R, dtype=np.int64)
-    # Table 1.3 — merge participants
-    if part_mask is not None:
-        stop[part_mask[a]] = _STOP_MERGE
-
-    # nearest sequent / oncoming run ahead: searchsorted over the
-    # direction-split carrier index arrays (the windows' runs_ahead)
-    is_f = dd == 1
-    fr = np.flatnonzero(is_f)
-    br = np.flatnonzero(~is_f)
-    fwd = np.sort(a[fr])
-    bwd = np.sort(a[br])
-    big = n + v + 1
-    seq = np.full(R, big, dtype=np.int64)
-    onc = np.full(R, big, dtype=np.int64)
-    seq[fr] = _nearest_ahead(a[fr], fwd, n, big)
-    onc[fr] = _nearest_ahead(a[fr], bwd, n, big)
-    seq[br] = _nearest_behind(a[br], bwd, n, big)
-    onc[br] = _nearest_behind(a[br], fwd, n, big)
-    has_seq = seq <= v
-    has_onc = onc <= v
-
-    # Table 1.1 — sequent run ahead, with the sequent guard
-    if params.sequent_guard:
-        guarded = has_onc & (seq >= onc)
-    else:
-        guarded = np.zeros(R, dtype=bool)
-    stop[(stop == 0) & has_seq & ~guarded] = _STOP_SEQUENT
-
-    # gather each run's walking-direction code window (R, v)
-    offsets = np.arange(v, dtype=np.int64)
-    d1 = is_f[:, None]
-    idx = np.where(d1, a[:, None] + offsets, a[:, None] - 1 - offsets) % n
-    W = c[idx]
-    W = np.where(d1 | (W < 0), W, W ^ 2)   # flip valid codes when walking -1
-
-    # Table 1.2 — endpoint visible ahead.  Necessary-condition filter:
-    # the grammar can only report an endpoint at two equal adjacent
-    # perpendicular codes, a stairway step (perp, axis, same perp) or a
-    # broken (diagonal) edge; windows without any of these are verdict
-    # False without parsing.  Flagged candidates run the reference
-    # memoised grammar.
-    if params.endpoint_guard:
-        need = (stop == 0) & ~has_onc
-    else:
-        need = stop == 0
-    if need.any():
-        perp = (W >= 0) & ((W & 1) != ap[:, None])
-        axis_par = (W >= 0) & ((W & 1) == ap[:, None])
-        feature = np.zeros(R, dtype=bool)
-        feature |= (perp[:, :-1] & (W[:, 1:] == W[:, :-1])).any(axis=1)
-        if v >= 3:
-            feature |= (perp[:, :-2] & axis_par[:, 1:-1]
-                        & (W[:, 2:] == W[:, :-2])).any(axis=1)
-        feature |= (W == -2).any(axis=1)
-        k_eff = params.effective_k_max
-        for r in np.flatnonzero(need & feature).tolist():
-            if endpoint_visible_codes(W[r].tolist(), v, int(ap[r]), k_eff):
-                stop[r] = _STOP_ENDPOINT
-
-    alive = stop == 0
-
-    # arrival bookkeeping: leaving passing/travel when on target
-    m2 = mm.copy()
-    t2 = tt.copy()
-    arr_p = alive & (m2 == MODE_PASSING) & (t2 >= 0) & (t2 == rr)
-    m2[arr_p] = MODE_NORMAL
-    t2[arr_p] = -1
-    arr_t = alive & (m2 == MODE_TRAVEL) & (((t2 >= 0) & (t2 == rr))
-                                           | (st <= 0))
-    m2[arr_t] = MODE_NORMAL
-    t2[arr_t] = -1
-
-    out_mode = np.full(R, MODE_NORMAL, dtype=np.int64)
-    out_t = np.full(R, -1, dtype=np.int64)
-    set_steps = np.zeros(R, dtype=bool)
-    out_steps = np.zeros(R, dtype=np.int64)
-    hop_has = np.zeros(R, dtype=bool)
-    hop_vec = np.zeros((R, 2), dtype=np.int64)
-
-    # run passing (Fig. 8 / Fig. 14): continue, then entry
-    is_pass = alive & (m2 == MODE_PASSING)
-    out_mode[is_pass] = MODE_PASSING
-    out_t[is_pass] = t2[is_pass]
-    rem = alive & ~is_pass
-    enter = rem & (onc <= pd) & (m2 != MODE_INIT_CORNER)
-    keep = enter & (m2 == MODE_TRAVEL) & (t2 >= 0)   # Fig. 14 settled target
-    gather = enter & ~keep
-    out_mode[enter] = MODE_PASSING
-    out_t[keep] = t2[keep]
-    out_t[gather] = ids_arr[(a[gather] + onc[gather] * dd[gather]) % n]
-    rem &= ~enter
-
-    # continue an operation already in progress (Fig. 11 b/c)
-    trv = rem & (m2 == MODE_TRAVEL)
-    out_mode[trv] = MODE_TRAVEL
-    out_t[trv] = t2[trv]
-    set_steps[trv] = True
-    out_steps[trv] = st[trv] - 1
-    rem &= ~trv
-
-    # rare INIT_CORNER rows: reference per-window fallback (op (c))
-    init_rows = rem & (m2 == MODE_INIT_CORNER)
-    rem &= ~init_rows
-    fallback_rows = np.flatnonzero(init_rows)
-
-    # normal operation: (a) reshape or (b) travel
-    c1 = W[:, 0]
-    al2 = rem & (c1 >= 0) & (W[:, 1] == c1)
-    al3 = al2 & (W[:, 2] == c1)
-    braw = np.where(is_f, c[(a - 1) % n], c[a])
-    behind = np.where(is_f & (braw >= 0), braw ^ 2, braw)
-    hop3 = al3 & (behind >= 0) & (((behind ^ c1) & 1) == 1)
-    hop_rows = np.flatnonzero(hop3)
-    hop_has[hop_rows] = True
-    hop_vec[hop_rows] = _DIR_TABLE[behind[hop_rows]] + _DIR_TABLE[c1[hop_rows]]
-    opb = al2 & ~al3
-    out_mode[opb] = MODE_TRAVEL
-    out_t[opb] = ids_arr[(a[opb] + 3 * dd[opb]) % n]
-    set_steps[opb] = True
-    out_steps[opb] = params.travel_steps
-    # al3-without-hop and non-aligned rows keep the defaults
-    # (NORMAL, target cleared): the shared _CONTINUE decision
-
-    if len(fallback_rows):
-        _decide_fallback(chain, reg, params, part_mask, slots, fallback_rows,
-                         tt, stop, out_mode, out_t, set_steps, out_steps,
-                         hop_has, hop_vec)
-        alive = stop == 0
-
-    # --- apply: terminations, state transitions, hop resolution -----------
-    terminated: Dict[int, int] = {}
-    dead_rows = np.flatnonzero(stop != 0)
-    if len(dead_rows):
-        reg.stop_slots(slots[dead_rows], stop[dead_rows], round_index)
-        codes, counts = np.unique(stop[dead_rows], return_counts=True)
-        terminated = dict(zip(codes.tolist(), counts.tolist()))
-        hop_has &= alive                   # fallback rows may have stopped
-
-    live_rows = np.flatnonzero(alive)
-    live_slots = slots[live_rows]
-    data[live_slots, COL_MODE] = out_mode[live_rows]
-    data[live_slots, COL_TARGET] = out_t[live_rows]
-    step_rows = live_rows[set_steps[live_rows]]
-    data[slots[step_rows], COL_STEPS] = out_steps[step_rows]
-
-    # hop conflict resolution: a robot carrying two hopping runs moves
-    # only when both demand the same hop (then each run counts it)
-    hr = np.flatnonzero(hop_has)
-    conflicts = 0
-    if len(hr) == 0:
-        return AppliedDecisions(terminated, (), (), 0)
-    order = np.argsort(rr[hr], kind="stable")
-    hr = hr[order]
-    rh = rr[hr]
-    boundary = rh[1:] != rh[:-1]
-    firsts = np.r_[True, boundary]
-    lasts = np.r_[boundary, True]
-    single = firsts & lasts
-    pair = np.flatnonzero(firsts & ~lasts) # groups are at most 2 (capacity)
-    accept = hr[single]
-    if len(pair):
-        agree = (hop_vec[hr[pair]] == hop_vec[hr[pair + 1]]).all(axis=1)
-        conflicts = int(np.count_nonzero(~agree))
-        good = pair[agree]
-        data[slots[hr[good]], COL_HOPS] += 1
-        data[slots[hr[good + 1]], COL_HOPS] += 1
-        accept = np.concatenate([accept, hr[good]])
-    data[slots[hr[single]], COL_HOPS] += 1
-    return AppliedDecisions(terminated, a[accept], hop_vec[accept], conflicts)
-
-
-class _MaskParticipants:
-    """Set-like view of the participant mask for the window fallback."""
-
-    __slots__ = ("_mask", "_index_map")
-
-    def __init__(self, mask: Optional[np.ndarray], index_map):
-        self._mask = mask
-        self._index_map = index_map
-
-    def __contains__(self, robot_id: int) -> bool:
-        if self._mask is None:
-            return False
-        return bool(self._mask[self._index_map[robot_id]])
-
-
-def _apply_window_decision(r, dec, reg, slots, tt, stop, out_mode, out_t,
-                           set_steps, out_steps, hop_has, hop_vec) -> None:
-    """Write one reference :func:`decide_run` outcome into the row arrays."""
-    from repro.core.runs import MODE_TO_CODE
-
-    if dec.stop_reason is not None:
-        stop[r] = dec.stop_reason.value
-        return
-    if dec.hop is not None:
-        hop_has[r] = True
-        hop_vec[r] = dec.hop
-    mode_after = dec.mode_after
-    if mode_after is not None:
-        out_mode[r] = MODE_TO_CODE[mode_after]
-    else:
-        out_mode[r] = int(reg._data[slots[r], COL_MODE])
-    if dec.target_after_set:
-        out_t[r] = -1 if dec.target_after is None else dec.target_after
-    elif mode_after is RunMode.NORMAL:
-        out_t[r] = -1
-    else:
-        out_t[r] = tt[r]
-    if dec.travel_steps_after is not None:
-        set_steps[r] = True
-        out_steps[r] = dec.travel_steps_after
-
-
-def _decide_fallback(chain, reg, params, part_mask, slots, rows, tt, stop,
-                     out_mode, out_t, set_steps, out_steps, hop_has,
-                     hop_vec) -> None:
-    """Reference per-window :func:`decide_run` on the flagged rows only."""
-    from repro.core.algorithm import decide_run
-    from repro.core.view import ChainWindow
-
-    index_map = chain.index_map()
-    runs_of, fwd, bwd = reg.round_state(index_map)
-    window = ChainWindow(chain, 0, params.viewing_path_length, runs_of,
-                         carriers=(fwd, bwd))
-    participants = _MaskParticipants(part_mask, index_map)
-    for r in rows.tolist():
-        run = reg._view(int(slots[r]))
-        window.reanchor(index_map[run.robot_id])
-        dec = decide_run(run, window, params, participants)
-        _apply_window_decision(r, dec, reg, slots, tt, stop, out_mode, out_t,
-                               set_steps, out_steps, hop_has, hop_vec)
 
 
 # ---------------------------------------------------------------------------

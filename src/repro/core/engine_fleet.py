@@ -1,32 +1,32 @@
-"""The fleet kernel: many chains per round in shared arrays.
+"""The fleet kernel: the unified round pipeline in shared arrays.
 
-Fourth execution tier (DESIGN.md §2.10).  The kernel engine
-(:mod:`repro.core.engine_kernel`) runs one chain's round on arrays but
-hits a per-chain Python floor on small chains: at n ≈ 60 only a
-handful of runs are live, so every round pays scalar-loop and
-dispatch costs that arrays cannot amortise.  :class:`FleetKernel`
-advances an entire batch of chains round-for-round inside one process
-instead: all per-robot state lives in one :class:`~repro.core.arena.ChainArena`,
-all per-run state in one chain-tagged
-:class:`~repro.core.runs.RunRegistry`, and every pipeline stage —
-merge detection, run decisions, movement, termination bookkeeping,
-run advancement — executes fleet-wide.  A fleet of 256 small chains
-presents the decision stage with thousands of runs per round, which
-keeps it on the NumPy path that the per-chain engine could never
-reach.
+The one array-native execution substrate (DESIGN.md §2.9/§2.10):
+:class:`FleetKernel` advances a batch of chains round-for-round
+inside one process — all per-robot state in one
+:class:`~repro.core.arena.ChainArena`, all per-run state in one
+chain-tagged :class:`~repro.core.runs.RunRegistry`, every pipeline
+stage (merge detection and planning, run decisions, movement,
+contraction, termination bookkeeping, run advancement and starts)
+executing fleet-wide.  A fleet of 256 small chains presents the
+decision stage with thousands of runs per round, which keeps it on
+the NumPy path a per-chain loop could never reach; a *single-segment*
+arena is the ``"kernel"`` engine (:mod:`repro.core.engine_kernel` is
+a thin adapter), with adaptive scalar tiers for the stages a lone
+small chain cannot amortise.
 
 Per-chain results are **bit-identical** to running each chain through
 ``Simulator(engine="kernel")``: same rounds, same final positions,
 same per-round :class:`~repro.core.events.RoundReport` content
-(property-tested in ``tests/test_fleet_kernel.py``).  Even the rare
-sub-cases run fleet-wide: merge planning lifts over global cells,
-``INIT_CORNER`` corner-cuts vectorise inline (the scalar decision
-path's direct form), and only the per-merge-*event* survivor fold and
-the endpoint-grammar candidates drop to Python — both bounded by
-actual occurrences, not by fleet size.
+(property-tested in ``tests/test_fleet_kernel.py``; the engine itself
+conforms to the reference in ``tests/test_conformance.py``).  The
+rare sub-cases run fleet-wide too: merge planning lifts over global
+cells, ``INIT_CORNER`` corner-cuts, the run-start corner refinement
+and the contraction survivor rule are all elementwise/segmented array
+passes, and only the endpoint-grammar candidates drop to Python —
+bounded by actual occurrences, not by fleet size.
 
 Scheduling: FSYNC only (the fleet exists for batch throughput; SSYNC
-ablations go through the per-chain engines).
+ablations go through the reference pipeline's scheduler hook).
 """
 
 from __future__ import annotations
@@ -40,9 +40,16 @@ from repro.grid.lattice import Vec
 from repro.core.arena import ChainArena
 from repro.core.chain import CODE_TO_DIR, ClosedChain, MergeRecord
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
-from repro.core.decisions_vectorized import decide_and_apply_fleet
+from repro.core.decisions_vectorized import (
+    NUMPY_MIN_RUNS,
+    FleetDecisions,
+    decide_and_apply_fleet,
+    decide_and_apply_scalar,
+)
+from repro.core.engine_vectorized import find_merge_patterns_np
 from repro.core.events import RoundReport
-from repro.core.patterns import RunStart
+from repro.core.merges import plan_merges_arrays
+from repro.core.results import GatheringResult
 from repro.core.runs import (
     MODE_INIT_CORNER,
     MODE_NORMAL,
@@ -50,7 +57,6 @@ from repro.core.runs import (
     RunRegistry,
     StopReason,
 )
-from repro.core.simulator import GatheringResult
 from repro.core import invariants
 from repro.errors import InvariantViolation
 
@@ -63,6 +69,23 @@ _CODE_TO_DIR = CODE_TO_DIR
 
 #: Direction-code -> unit-vector table for the fleet planner.
 _DIR_TABLE = np.array(CODE_TO_DIR, dtype=np.int64)
+
+_EMPTY_CELLS = np.empty(0, dtype=np.int64)
+
+
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Distinct values of an already-sorted array (boundary mask).
+
+    The contraction's chain lists arrive sorted (zero cells ascend),
+    so deduplication is one comparison — ``np.unique`` would re-sort
+    and hash for nothing on the hot merge rounds.
+    """
+    if len(a) < 2:
+        return a
+    keep = np.empty(len(a), dtype=bool)
+    keep[0] = True
+    np.not_equal(a[1:], a[:-1], out=keep[1:])
+    return a[keep]
 
 
 def _fleet_merge_candidates(arena: ChainArena, eligible: np.ndarray,
@@ -99,9 +122,13 @@ def _fleet_merge_candidates(arena: ChainArena, eligible: np.ndarray,
     # per-chain segmentation of the fleet-wide run list
     m = len(starts_pos)
     idx = np.arange(m, dtype=np.int64)
-    first = np.r_[True, run_chain[1:] != run_chain[:-1]]
+    first = np.empty(m, dtype=bool)
+    first[0] = True
+    np.not_equal(run_chain[1:], run_chain[:-1], out=first[1:])
     seg_first = np.flatnonzero(first)
-    seg_last = np.r_[seg_first[1:] - 1, m - 1]
+    seg_last = np.empty(len(seg_first), dtype=np.int64)
+    seg_last[:-1] = seg_first[1:] - 1
+    seg_last[-1] = m - 1
     seg_id = np.cumsum(first) - 1
     prev_run = idx - 1
     prev_run[seg_first] = seg_last
@@ -198,8 +225,9 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
     part_flat[w1[keep]] = True
 
     # deduplicate (black cell, hop direction) pairs, then resolve each
-    # robot by its distinct hop-direction count (Fig. 3a/3b)
-    key = np.unique(bidx * 4 + dcode[rep][keep_rep])
+    # robot by its distinct hop-direction count (Fig. 3a/3b); sorted
+    # boundary masking beats np.unique's hash pass on these sizes
+    key = _sorted_unique(np.sort(bidx * 4 + dcode[rep][keep_rep]))
     idx_u = key >> 2
     code_u = key & 3
     first = np.flatnonzero(np.r_[True, idx_u[1:] != idx_u[:-1]])
@@ -227,21 +255,30 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
                           hop_chain, exec_count, conflicts)
 
 
-def _fleet_run_starts(arena: ChainArena
-                      ) -> List[Tuple[int, int, "RunStart"]]:
+#: One round's run-start candidates in array form: ``(cells, chain,
+#: robot_id, direction, mode_code, axis_code)``, reference-ordered.
+FleetStarts = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                    np.ndarray, np.ndarray]
+
+
+def _fleet_run_starts(arena: ChainArena) -> Optional[FleetStarts]:
     """Every live chain's Fig. 5 run-start decisions, one fleet pass.
 
     Fleet rendering of :func:`repro.core.engine_vectorized.scan_run_starts`:
     the rolled-code comparisons become gathers through the arena
-    topology, and only the (rare) fired candidates are refined in
-    Python against their chain's cached code list.  Returns ``(chain,
-    robot_id, RunStart)`` triples in reference order — ascending chain,
+    topology, and the candidate refinement — the Fig. 5 (i)/(ii)
+    corner grammar on the three codes behind each fired anchor — is a
+    masked comparison over further topology gathers, evaluated only
+    where the cheap base condition fired.  No per-candidate Python.
+    Returns ``(cells, chain, robot_id, direction, mode_code,
+    axis_code)`` arrays in reference order — ascending chain,
     ascending index, direction +1 before -1 — with the robot captured
-    at snapshot time (indices shift under the later contraction).
+    at snapshot time (indices shift under the later contraction), or
+    ``None`` when no start fires.
     """
     cells, cell_chain, prev_pos, next_pos = arena.topology()
     if len(cells) == 0:
-        return []
+        return None
     codes = arena.codes
     c0 = codes[cells]
     cm1 = c0[prev_pos]
@@ -253,42 +290,35 @@ def _fleet_run_starts(arena: ChainArena
     perp = ((c0 ^ cm1) & 1) == 1
     base_p = v0 & (cp1 == c0) & vm1 & perp
     base_m = vm1 & (cm2 == cm1) & v0 & perp
+    if not (base_p.any() or base_m.any()):
+        return None
 
-    fired = np.flatnonzero(base_p | base_m)
-    if len(fired) == 0:
-        return []
-    # candidate refinement runs in Python (rare hits): pre-gather the
-    # per-candidate scalars as lists and read codes straight off one
-    # flat list rendering, so the loop never touches NumPy or chains
-    cl = arena.codes.tolist()
-    f_cells = cells[fired]
-    f_chain = cell_chain[fired].tolist()
-    f_base = arena.base[cell_chain[fired]].tolist()
-    f_n = arena.length[cell_chain[fired]].tolist()
-    f_cell = f_cells.tolist()
-    f_rid = arena.ids[f_cells].tolist()
-    f_p = base_p[fired].tolist()
-    f_m = base_m[fired].tolist()
-    starts: List[Tuple[int, int, RunStart]] = []
-    for ci, b, n, gcell, rid, bp, bm in zip(f_chain, f_base, f_n, f_cell,
-                                            f_rid, f_p, f_m):
-        i = gcell - b
-        if bp:
-            g1 = cl[b + (i - 1) % n]       # code behind the anchor
-            g2 = cl[b + (i - 2) % n]
-            if g2 == g1:
-                starts.append((ci, rid, RunStart(1, "ii", _CODE_TO_DIR[cl[gcell]])))
-            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[b + (i - 3) % n] == g1:
-                starts.append((ci, rid, RunStart(1, "i", _CODE_TO_DIR[cl[gcell]])))
-        if bm:
-            g1 = cl[gcell]                 # code "behind" toward +1
-            g2 = cl[b + (i + 1) % n]
-            axis = _CODE_TO_DIR[cl[b + (i - 1) % n] ^ 2]
-            if g2 == g1:
-                starts.append((ci, rid, RunStart(-1, "ii", axis)))
-            elif g2 >= 0 and ((g2 ^ g1) & 1) and cl[b + (i + 2) % n] == g1:
-                starts.append((ci, rid, RunStart(-1, "i", axis)))
-    return starts
+    # refinement: Fig. 5(ii) needs two equal codes right behind the
+    # anchor, Fig. 5(i) a perpendicular jog then the resumed axis
+    cm3 = cm2[prev_pos]
+    cp2 = cp1[next_pos]
+    ii_p = base_p & (cm2 == cm1)
+    i_p = base_p & ~ii_p & (cm2 >= 0) & (((cm2 ^ cm1) & 1) == 1) \
+        & (cm3 == cm1)
+    ii_m = base_m & (cp1 == c0)
+    i_m = base_m & ~ii_m & (cp1 >= 0) & (((cp1 ^ c0) & 1) == 1) \
+        & (cp2 == c0)
+
+    pi = np.flatnonzero(ii_p | i_p)
+    mi = np.flatnonzero(ii_m | i_m)
+    if len(pi) == 0 and len(mi) == 0:
+        return None
+    # reference order: ascending anchor, +1 before -1 at one anchor
+    order = np.argsort(np.concatenate([2 * pi, 2 * mi + 1]), kind="stable")
+    tpos = np.concatenate([pi, mi])[order]
+    dirs = np.concatenate([np.ones(len(pi), dtype=np.int64),
+                           np.full(len(mi), -1, dtype=np.int64)])[order]
+    modes = np.concatenate([
+        np.where(ii_p[pi], MODE_INIT_CORNER, MODE_NORMAL),
+        np.where(ii_m[mi], MODE_INIT_CORNER, MODE_NORMAL)])[order]
+    axc = np.concatenate([c0[pi], cm1[mi] ^ 2])[order]
+    gcells = cells[tpos]
+    return gcells, cell_chain[tpos], arena.ids[gcells], dirs, modes, axc
 
 
 class FleetKernel:
@@ -310,13 +340,25 @@ class FleetKernel:
         bookkeeping.
     validate_initial:
         Enforce the paper's initial-configuration assumptions.
+    numpy_min_runs:
+        Scalar/NumPy crossover of the decision stage for a
+        *single-segment* arena (the fleet-of-one that backs
+        ``Simulator(engine="kernel")``): below this many active runs
+        the tight scalar fold of
+        :func:`~repro.core.decisions_vectorized.decide_and_apply_scalar`
+        beats the array dispatch overhead.  ``None`` uses the shared
+        :data:`~repro.core.decisions_vectorized.NUMPY_MIN_RUNS`
+        default; multi-chain fleets always run the NumPy path (their
+        run counts amortise it by construction).  Behaviourally
+        identical either way (tests pin both paths).
     """
 
     def __init__(self, chains: Sequence[Union[ClosedChain, Sequence[Vec]]],
                  params: Parameters = DEFAULT_PARAMETERS,
                  check_invariants: bool = False,
                  keep_reports: bool = True,
-                 validate_initial: bool = True):
+                 validate_initial: bool = True,
+                 numpy_min_runs: Optional[int] = None):
         objs: List[ClosedChain] = []
         for c in chains:
             if not isinstance(c, ClosedChain):
@@ -329,6 +371,8 @@ class FleetKernel:
         self.registry = RunRegistry()
         self.registry.keep_stopped = False   # never read; skip view builds
         self.round_index = 0
+        self.numpy_min_runs = numpy_min_runs
+        self._single = len(objs) == 1
         self._check = check_invariants
         self._keep = keep_reports
         n_chains = len(objs)
@@ -386,6 +430,13 @@ class FleetKernel:
     def _retire(self, ci: int, gathered: bool, t0: float) -> None:
         """Remove a finished chain from the fleet and record its result."""
         self._sync_ids(ci)
+        chain = self.arena.chains[ci]
+        # the fleet-wide movement scatter leaves chain-level caches to
+        # settle here, once per chain lifetime, instead of per round
+        chain._pos_cache = None
+        chain._codes_view_cache = None
+        chain._codes_list_cache = None
+        chain._invalid_edges = -1
         registry = self.registry
         slots = registry.active_slots()
         if len(slots):
@@ -415,6 +466,12 @@ class FleetKernel:
         keep = self._keep
         base = arena.base
         chains = arena.chains
+        if self._single:
+            # the single-segment tiers (per-chain detector, scalar
+            # decisions, movement scatter) read the chain's Python-side
+            # views; settle the deferred id bookkeeping first (no-op on
+            # contraction-free rounds)
+            self._sync_ids(0)
         live = arena.live_indices()
         live_list = live.tolist()
         n_before = dict(zip(live_list, arena.length[live].tolist()))
@@ -429,49 +486,77 @@ class FleetKernel:
         terminated: List[Tuple[int, int]] = []
 
         # 1-2. merge plan: fleet-wide RLE detection and planning (the
-        # kernel engine's n >= 4 gate applies per chain) --------------------
-        eligible = np.zeros(len(chains), dtype=bool)
-        eligible[live] = arena.length[live] >= 4
-        cand = _fleet_merge_candidates(arena, eligible,
-                                       params.effective_k_max) \
-            if eligible.any() else None
+        # kernel engine's n >= 4 gate applies per chain).  A
+        # single-segment arena routes through the per-chain detector
+        # and planner (shared with the vectorised engine) — same plan,
+        # a fraction of the gather indirection
         plan: Optional[FleetMergePlan] = None
         part_flat: Optional[np.ndarray] = None
-        if cand is not None:
-            plan = _fleet_plan_merges(arena, *cand)
+        if self._single:
+            if arena.length[0] >= 4:
+                plan = self._merge_plan_single(params.effective_k_max)
+        else:
+            eligible = np.zeros(len(chains), dtype=bool)
+            eligible[live] = arena.length[live] >= 4
+            cand = _fleet_merge_candidates(arena, eligible,
+                                           params.effective_k_max) \
+                if eligible.any() else None
+            if cand is not None:
+                plan = _fleet_plan_merges(arena, *cand)
+        if plan is not None:
             part_flat = plan.part_flat
 
         # 3, 5-6. run decisions, fused with their registry application ------
-        dec = decide_and_apply_fleet(arena, registry, params, part_flat,
-                                     round_index)
+        dec = self._decide(part_flat, round_index)
         terminated.extend(dec.terminated)
 
         # 4. run starts (every L-th round; reads only the snapshot codes) ---
-        starts: List[Tuple[int, int, RunStart]] = []
+        starts: Optional[FleetStarts] = None
         if round_index % params.start_interval == 0:
-            scanned = _fleet_run_starts(arena)
-            if part_flat is None:
-                starts = scanned
-            else:
-                index_flat = arena.index
-                starts = [(ci, rid, rs) for ci, rid, rs in scanned
-                          if not part_flat[base[ci]
-                                           + index_flat[base[ci] + rid]]]
+            starts = _fleet_run_starts(arena)
+            if starts is not None and part_flat is not None:
+                # merge participants never start runs (Table 1.3); the
+                # candidate cells are snapshot cells, so the mask
+                # applies by direct global-cell lookup
+                keep_start = ~part_flat[starts[0]]
+                if not keep_start.all():
+                    starts = tuple(s[keep_start] for s in starts)
 
-        # 6'. simultaneous movement: merge hops + accepted runner hops ------
-        if plan is not None and len(plan.hop_gidx):
+        # 6'. simultaneous movement: merge hops + accepted runner hops.
+        # Single-segment arenas scatter through the chain's adaptive
+        # incremental-code path (scalar below ~32 movers); multi-chain
+        # fleets take the arena-wide scatter
+        pidx = plan.hop_gidx if plan is not None else _EMPTY_CELLS
+        didx = dec.move_gidx
+        if not len(pidx):
+            move_g, move_v = didx, dec.move_deltas
+            move_c = dec.move_chain
+        elif not len(didx):
+            move_g, move_v, move_c = pidx, plan.hop_vec, plan.hop_chain
+        else:
             move_g = np.concatenate(
-                [plan.hop_gidx, np.asarray(dec.move_gidx, dtype=np.int64)])
+                [pidx, np.asarray(didx, dtype=np.int64)])
             move_v = np.concatenate(
                 [plan.hop_vec,
                  np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)])
             move_c = np.concatenate(
                 [plan.hop_chain, np.asarray(dec.move_chain, dtype=np.int64)])
+        if self._single:
+            chain0 = chains[0]
+            if len(move_g):
+                chain0.apply_moves_indexed(move_g, move_v)
+                # the dense tier defers its re-encode; settle it into
+                # the arena's code slice before any fleet-wide read
+                chain0.edge_codes()
+                zero_cells = np.flatnonzero(chain0._codes_cache == -1) \
+                    if chain0._invalid_edges else _EMPTY_CELLS
+            else:
+                zero_cells = _EMPTY_CELLS
         else:
-            move_g = np.asarray(dec.move_gidx, dtype=np.int64)
-            move_v = np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)
-            move_c = np.asarray(dec.move_chain, dtype=np.int64)
-        zero_cells = arena.apply_moves(move_g, move_v, move_c)
+            move_g = np.asarray(move_g, dtype=np.int64)
+            move_v = np.asarray(move_v, dtype=np.int64).reshape(-1, 2)
+            move_c = np.asarray(move_c, dtype=np.int64)
+            zero_cells = arena.apply_moves(move_g, move_v, move_c)
 
         # 7-8. contraction + run/target removal, fleet-wide -----------------
         merges_by_chain: Dict[int, List[MergeRecord]] = {}
@@ -480,9 +565,21 @@ class FleetKernel:
                                  merges_by_chain, terminated)
 
         # 9. move surviving runs one robot along their direction ------------
-        moved, crowded = registry.advance_fleet(
-            base, arena.length, arena.ids, arena.index,
-            collect_moved=self._check)
+        # adaptive like the decision stage: on contraction-free rounds
+        # of a single-segment arena with few runs, the chain views are
+        # still fresh and a scalar sweep beats the array dispatch
+        moved = None
+        threshold = NUMPY_MIN_RUNS if self.numpy_min_runs is None \
+            else self.numpy_min_runs
+        if self._single and not self._check and not len(zero_cells) \
+                and len(registry._active) < threshold:
+            chain0 = chains[0]
+            crowded = registry.advance_active(chain0.ids_view(),
+                                              chain0.index_map())
+        else:
+            moved, crowded = registry.advance_fleet(
+                base, arena.length, arena.ids, arena.index,
+                collect_moved=self._check)
         # contraction can push two same-direction runs onto one robot; a
         # robot cannot tell them apart, so the younger run dissolves.
         if crowded:
@@ -490,7 +587,7 @@ class FleetKernel:
 
         # 10. create the new runs decided in step 4 -------------------------
         started: Dict[int, int] = {}
-        if starts:
+        if starts is not None:
             self._apply_starts(starts, round_index, started)
 
         # 11. reports and invariants ----------------------------------------
@@ -502,20 +599,88 @@ class FleetKernel:
             self._check_invariants(live_list, before, moved)
 
     # ------------------------------------------------------------------
-    def _sync_ids(self, ci: int) -> None:
-        """Rebuild a chain's Python-side id list/index from the arena.
+    def _merge_plan_single(self, k_max: int) -> Optional[FleetMergePlan]:
+        """Merge stage of a single-segment arena via the per-chain path.
 
-        The fleet contraction defers this O(n) per-chain work (the flat
-        tables are already exact); it is required only where per-chain
-        Python state is actually read — retirement, invariant checking
-        and the wrap-around contraction fallback.
+        Runs the vectorised engine's detector and the shared
+        :func:`~repro.core.merges.plan_merges_arrays` planner over the
+        one chain (identical plans to the fleet-wide scan, pinned by
+        the conformance suite) and lifts the result into fleet terms —
+        a single segment's chain indices are its global cells, so the
+        lift is a handful of wrappers, not a copy.
+        """
+        chain = self.arena.chains[0]
+        patterns = find_merge_patterns_np(chain.positions_view(), k_max,
+                                          codes=chain.edge_codes(),
+                                          codes_list=chain.edge_codes_list())
+        if not patterns:
+            return None
+        kplan = plan_merges_arrays(patterns, chain.n)
+        hop_gidx = np.asarray(kplan.hop_idx, dtype=np.int64)
+        hop_vec = np.asarray(kplan.hop_vec,
+                             dtype=np.int64).reshape(-1, 2)
+        exec_count = np.array([len(kplan.patterns)], dtype=np.int64)
+        conflicts = {0: kplan.conflicts} if kplan.conflicts else {}
+        return FleetMergePlan(kplan.part_mask, hop_gidx, hop_vec,
+                              np.zeros(len(hop_gidx), dtype=np.int64),
+                              exec_count, conflicts)
+
+    # ------------------------------------------------------------------
+    def _decide(self, part_flat: Optional[np.ndarray],
+                round_index: int) -> FleetDecisions:
+        """Decision stage, adaptive on single-segment arenas.
+
+        A fleet of one small chain (the kernel engine's substrate) has
+        too few runs to amortise the NumPy dispatch; below the
+        crossover it runs the scalar fold and lifts the outcome into
+        fleet terms (a single segment's chain indices *are* its global
+        cells).  Every multi-chain fleet takes the NumPy path.
+        """
+        registry = self.registry
+        n_runs = len(registry._active)
+        threshold = NUMPY_MIN_RUNS if self.numpy_min_runs is None \
+            else self.numpy_min_runs
+        if not (self._single and 0 < n_runs < threshold):
+            return decide_and_apply_fleet(self.arena, registry, self.params,
+                                          part_flat, round_index)
+        # chain views are coherent: _step_round synced the segment
+        adec = decide_and_apply_scalar(self.arena.chains[0], registry,
+                                       self.params, part_flat, round_index)
+        terminated = [(0, code) for code, count in adec.terminated.items()
+                      for _ in range(count)]
+        conflicts = {0: adec.runner_hop_conflicts} \
+            if adec.runner_hop_conflicts else {}
+        return FleetDecisions(terminated, adec.move_idx, adec.move_deltas,
+                              [0] * len(adec.move_idx), conflicts)
+
+    # ------------------------------------------------------------------
+    def _sync_ids(self, ci: int) -> None:
+        """Re-point a chain's Python-side state at its (shrunk) segment.
+
+        The fleet contraction defers all O(n) per-chain bookkeeping —
+        the id list/index rebuild *and* the view/cache re-pointing
+        (the flat tables are already exact); it is required only where
+        per-chain Python state is actually read: every round of a
+        single-segment arena, retirement, and invariant checking.
+        ``_invalid_edges`` settles to 0 because sync points sit at
+        round starts, where the previous round's contraction has
+        cleared every zero edge.
         """
         if ci not in self._ids_dirty:
             return
-        chain = self.arena.chains[ci]
-        b = int(self.arena.base[ci])
-        n = int(self.arena.length[ci])
-        chain._ids = self.arena.ids[b:b + n].tolist()
+        arena = self.arena
+        chain = arena.chains[ci]
+        b = int(arena.base[ci])
+        n = int(arena.length[ci])
+        chain._arr = arena.pos[b:b + n]
+        buf = arena.codes[b:b + n]
+        chain._codes_buf = buf
+        chain._codes_cache = buf
+        chain._codes_view_cache = None
+        chain._codes_list_cache = None
+        chain._pos_cache = None
+        chain._invalid_edges = 0
+        chain._ids = arena.ids[b:b + n].tolist()
         chain._rebuild_index()
         self._ids_dirty.discard(ci)
 
@@ -529,11 +694,14 @@ class FleetKernel:
 
         ``zero_cells`` are the round's coincident neighbour pairs (one
         zero edge each, ascending).  Blocks of co-located robots fold
-        in Python per merge *event* (bounded by robots removed — the
-        reference scan order and survivor rule exactly); everything
-        structural — dropping merged robots, compacting each segment
-        prefix, deleting the zero edge codes, refreshing the id →
-        index table — is one batch of array passes over the
+        as one segmented-minimum pass over the merge events: the
+        reference survivor rule ("the mover survives; tie → lower id")
+        is a total order on block members, so the block survivor is
+        the key-minimum and every event's removed robot falls out of a
+        segmented inclusive prefix minimum — no per-event Python.
+        Everything structural — dropping merged robots, compacting
+        each segment prefix, deleting the zero edge codes, refreshing
+        the id → index table — is one batch of array passes over the
         contracting chains only.  A chain whose *wrap* edge went zero
         (robot n-1 meets robot 0) resolves after its interior blocks:
         once consecutive survivors are distinct, the reference wrap
@@ -555,7 +723,7 @@ class FleetKernel:
         if wrap.any():
             # the wrap pair resolves last (reference scan order); its
             # chain's interior zeros still take the batch path below
-            wrap_cis = np.unique(zch[wrap])
+            wrap_cis = _sorted_unique(zch[wrap])
             zf = zero_cells[~wrap]
             zcf = zch[~wrap]
         else:
@@ -567,66 +735,67 @@ class FleetKernel:
         if len(move_g):
             moved_flat[base[move_c] + ids_flat[move_g]] = True
 
-        removed_keys: List[int] = []
+        wrap_removed: List[int] = []
+        removed_interior = _EMPTY_CELLS
         contracted: List[int] = []
 
         if len(zf):
-            # --- survivor fold, one Python step per merge event --------
-            # every per-event scalar is pre-gathered into plain lists so
-            # the (bounded-by-robots-removed) loop never touches NumPy
-            surv_cells: List[int] = []
-            surv_vals: List[int] = []
-            zlist = zf.tolist()
-            zchl = zcf.tolist()
-            bases_l = base[zcf].tolist()
-            top_ids = ids_flat[zf].tolist()
-            nxt_ids = ids_flat[zf + 1].tolist()
-            top_mv = moved_flat[base[zcf] + ids_flat[zf]].tolist()
-            nxt_mv = moved_flat[base[zcf] + ids_flat[zf + 1]].tolist()
-            if keep_recs:
-                px = pos[zf, 0].tolist()
-                py = pos[zf, 1].tolist()
-            m = len(zlist)
-            i = 0
-            while i < m:
-                j = i + 1
-                while j < m and zlist[j] == zlist[j - 1] + 1 \
-                        and zchl[j] == zchl[i]:
-                    j += 1
-                ci = zchl[i]
-                bb = bases_l[i]
-                e0 = zlist[i]
-                s = top_ids[i]
-                s_mv = top_mv[i]
-                first_id = s
-                if keep_recs:
-                    recs = merges_by_chain.setdefault(ci, [])
-                    p = (px[i], py[i])
-                for ev in range(i, j):
-                    rid = nxt_ids[ev]
-                    r_mv = nxt_mv[ev]
-                    keep_first = s_mv if s_mv != r_mv else s < rid
-                    if keep_first:
-                        removed = rid
-                    else:
-                        removed = s
-                        s = rid
-                        s_mv = r_mv
-                    if keep_recs:
-                        recs.append(MergeRecord(s, removed, p))
-                    removed_keys.append(bb + removed)
-                if s != first_id:
-                    surv_cells.append(e0)
-                    surv_vals.append(s)
-                i = j
+            # --- survivor rule, one segmented-minimum pass -------------
+            # events partition into blocks of consecutive zero edges
+            # (runs of co-located robots); the pairwise fold "mover
+            # wins, tie -> lower id" is a total order with key
+            # (not-moved, id), so the survivor of any prefix is its
+            # key-minimum.  An offset-staircase cumulative minimum
+            # resets at block boundaries (earlier blocks sit on
+            # strictly larger offsets), yielding every event's running
+            # survivor — and its removed robot as the pairwise loser —
+            # without per-event Python.
+            m = len(zf)
+            blk_first = np.empty(m, dtype=bool)
+            blk_first[0] = True
+            np.logical_or(zf[1:] != zf[:-1] + 1, zcf[1:] != zcf[:-1],
+                          out=blk_first[1:])
+            blk_id = np.cumsum(blk_first) - 1
+            first_idx = np.flatnonzero(blk_first)
+            span = arena.span
+            ev_base = base[zcf]
+            top_cells = zf[first_idx]
+            top_ids = ids_flat[top_cells]
+            nxt_ids = ids_flat[zf + 1]
+            top_key = np.where(moved_flat[ev_base[first_idx] + top_ids],
+                               0, span) + top_ids
+            nxt_key = np.where(moved_flat[ev_base + nxt_ids],
+                               0, span) + nxt_ids
+            nblk = len(first_idx)
+            off = (nblk - blk_id) * (2 * span + 2)
+            run_min = np.minimum.accumulate(nxt_key + off) - off
+            pm = np.minimum(run_min, top_key[blk_id])   # running survivor
+            prev_pm = np.empty(m, dtype=np.int64)
+            prev_pm[1:] = pm[:-1]
+            prev_pm[first_idx] = top_key
+            removed_ids = np.maximum(prev_pm, nxt_key) % span
+            removed_interior = ev_base + removed_ids
+            last_idx = np.empty(nblk, dtype=np.int64)
+            last_idx[:-1] = first_idx[1:] - 1
+            last_idx[-1] = m - 1
+            ids_flat[top_cells] = pm[last_idx] % span   # block survivors
 
-            if surv_cells:
-                ids_flat[surv_cells] = surv_vals
+            if keep_recs:
+                # merge records materialise from the computed arrays
+                # (per-event survivor, loser, shared block position)
+                zchl = zcf.tolist()
+                surv_l = (pm % span).tolist()
+                rem_l = removed_ids.tolist()
+                pxl = pos[zf, 0].tolist()
+                pyl = pos[zf, 1].tolist()
+                for ci, s, r, x, y in zip(zchl, surv_l, rem_l, pxl, pyl):
+                    merges_by_chain.setdefault(ci, []).append(
+                        MergeRecord(s, r, (x, y)))
 
             # --- batch segment compaction over the contracting chains --
             zero_flag = np.zeros(arena.span, dtype=bool)
             zero_flag[zf] = True
-            cis = np.unique(zcf)
+            cis = _sorted_unique(zcf)
             lens_old = length[cis]
             total = int(lens_old.sum())
             rep = np.repeat(np.arange(len(cis), dtype=np.int64), lens_old)
@@ -651,27 +820,17 @@ class FleetKernel:
             arena.codes[base[cis][rep[ke]] + within[ke] - eshift[ke]] = \
                 arena.codes[cell[ke]]
             # id -> index table: removed ids out, survivors re-ranked
-            arena.index[np.asarray(removed_keys, dtype=np.int64)] = -1
+            arena.index[removed_interior] = -1
             arena.index[base[cis][rep[kr]] + ids_flat[dst]] = \
                 within[kr] - shift[kr]
             length[cis] = lens_old - np.bincount(
                 zcf, minlength=len(chains))[cis]
-            # per-chain Python state: views re-point now, the O(n) id
-            # list/dict rebuild defers to _sync_ids
-            for ci, nl in zip(cis.tolist(), length[cis].tolist()):
-                c = chains[ci]
-                b = int(base[ci])
-                c._arr = pos[b:b + nl]
-                buf = arena.codes[b:b + nl]
-                c._codes_buf = buf
-                c._codes_cache = buf
-                c._codes_view_cache = None
-                c._codes_list_cache = None
-                c._pos_cache = None
-                c._invalid_edges = 0
-                self._ids_dirty.add(ci)
+            # per-chain Python state (view re-pointing, id list/dict
+            # rebuild) defers wholesale to _sync_ids
+            cis_list = cis.tolist()
+            self._ids_dirty.update(cis_list)
             arena._topo_dirty = True
-            contracted.extend(cis.tolist())
+            contracted.extend(cis_list)
 
         # --- wrap-around pairs: after the interior collapse no two
         # consecutive survivors coincide, so the reference wrap loop
@@ -716,26 +875,20 @@ class FleetKernel:
                     if keep_recs:
                         merges_by_chain.setdefault(ci, []).append(
                             MergeRecord(h_id, t_id, p))
-                removed_keys.append(b + removed)
+                wrap_removed.append(b + removed)
                 length[ci] = nl - 1
-                c = chains[ci]
-                c._arr = pos[b:b + nl - 1]
-                buf = codes[b:b + nl - 1]
-                c._codes_buf = buf
-                c._codes_cache = buf
-                c._codes_view_cache = None
-                c._codes_list_cache = None
-                c._pos_cache = None
-                c._invalid_edges = 0
                 self._ids_dirty.add(ci)
                 contracted.append(ci)
             arena._topo_dirty = True
 
-        if not removed_keys:
+        if not len(removed_interior) and not wrap_removed:
             return
 
         # --- Table 1.3 runner loss: runs whose carrier merged away -----
-        removed_arr = np.asarray(removed_keys, dtype=np.int64)
+        removed_arr = np.concatenate(
+            [removed_interior,
+             np.asarray(wrap_removed, dtype=np.int64)]) \
+            if wrap_removed else removed_interior
         slots = registry.active_slots()
         if len(slots):
             cc = registry.chain_col[slots]
@@ -808,46 +961,49 @@ class FleetKernel:
         return out
 
     # ------------------------------------------------------------------
-    def _apply_starts(self, starts: List[Tuple[int, int, RunStart]],
-                      round_index: int, started: Dict[int, int]) -> None:
+    def _apply_starts(self, starts: FleetStarts, round_index: int,
+                      started: Dict[int, int]) -> None:
         """Kernel step 10 fleet-wide: capacity-checked run creation.
 
         The per-robot capacity rule (at most two runs, never two with
-        one direction) is enforced against fleet-unique robot keys from
-        one gather of the live registry rows, updated as runs are
-        created — matching the reference registry's dynamic check.
+        one direction) vectorises: the scan yields at most one
+        candidate per direction per robot, so the reference registry's
+        dynamic check reduces to "no same-direction run yet, and fewer
+        than two existing runs" — one scatter of the live registry
+        rows, no per-candidate Python.
         """
         registry = self.registry
         arena = self.arena
         base = arena.base
-        index_flat = arena.index
-        slots = registry.active_slots()
-        existing: Dict[int, List[int]] = {}
-        if len(slots):
-            cc = registry.chain_col[slots]
-            keys = base[cc] + registry.robot[slots]
-            dirs = registry.dirn[slots]
-            for k, d in zip(keys.tolist(), dirs.tolist()):
-                existing.setdefault(k, []).append(d)
-        cand_ci = np.fromiter((s[0] for s in starts), np.int64, len(starts))
-        cand_rid = np.fromiter((s[1] for s in starts), np.int64, len(starts))
-        keys_l = (base[cand_ci] + cand_rid).tolist()
+        _, ci, rid, dirs, modes, axc = starts
+        keys = base[ci] + rid
         # robots merged away this round fail the index lookup
-        valid = (index_flat[base[cand_ci] + cand_rid] >= 0).tolist()
-        rows: List[Tuple[int, int, int, int, int, int]] = []
-        for (ci, rid, rs), key, ok in zip(starts, keys_l, valid):
-            if not ok:
-                continue
-            dirs_on = existing.get(key)
-            if dirs_on is not None and (len(dirs_on) >= 2
-                                        or rs.direction in dirs_on):
-                continue
-            rows.append((ci, rid, rs.direction,
-                         MODE_INIT_CORNER if rs.kind == "ii" else MODE_NORMAL,
-                         rs.axis[0], rs.axis[1]))
-            existing.setdefault(key, []).append(rs.direction)
-            started[ci] = started.get(ci, 0) + 1
+        accept = arena.index[keys] >= 0
+        slots = registry.active_slots()
+        if len(slots):
+            ekeys = base[registry.chain_col[slots]] + registry.robot[slots]
+            counts = np.zeros(arena.span, dtype=np.int64)
+            np.add.at(counts, ekeys, 1)
+            fwd_on = np.zeros(arena.span, dtype=bool)
+            bwd_on = np.zeros(arena.span, dtype=bool)
+            ed = registry.dirn[slots]
+            fwd_on[ekeys[ed == 1]] = True
+            bwd_on[ekeys[ed != 1]] = True
+            accept &= counts[keys] <= 1
+            accept &= ~np.where(dirs == 1, fwd_on[keys], bwd_on[keys])
+        hit = np.flatnonzero(accept)
+        if len(hit) == 0:
+            return
+        rows = np.empty((len(hit), 6), dtype=np.int64)
+        rows[:, 0] = ci[hit]
+        rows[:, 1] = rid[hit]
+        rows[:, 2] = dirs[hit]
+        rows[:, 3] = modes[hit]
+        rows[:, 4:6] = _DIR_TABLE[axc[hit]]
         registry.start_fleet_bulk(rows, round_index)
+        per = np.bincount(ci[hit])
+        for c in np.flatnonzero(per).tolist():
+            started[c] = int(per[c])
 
     # ------------------------------------------------------------------
     def _build_reports(self, live_list: List[int], n_before: Dict[int, int],
@@ -860,12 +1016,16 @@ class FleetKernel:
         """Assemble per-chain RoundReports identical to the kernel's."""
         registry = self.registry
         n_chains = len(self.arena.chains)
-        hops = np.bincount(move_c, minlength=n_chains) if len(move_c) \
-            else np.zeros(n_chains, dtype=np.int64)
-        slots = registry.active_slots()
-        active = np.bincount(registry.chain_col[slots],
-                             minlength=n_chains) if len(slots) \
-            else np.zeros(n_chains, dtype=np.int64)
+        if n_chains == 1:                  # fleet-of-one: no bincounts
+            hops = (len(move_c),)
+            active = (len(registry._active),)
+        else:
+            hops = np.bincount(move_c, minlength=n_chains) if len(move_c) \
+                else np.zeros(n_chains, dtype=np.int64)
+            slots = registry.active_slots()
+            active = np.bincount(registry.chain_col[slots],
+                                 minlength=n_chains) if len(slots) \
+                else np.zeros(n_chains, dtype=np.int64)
         term_by_chain: Dict[int, Dict[StopReason, int]] = {}
         for ci, code in terminated:
             d = term_by_chain.setdefault(ci, {})
@@ -896,6 +1056,12 @@ class FleetKernel:
         arena = self.arena
         for ci in list(self._ids_dirty):
             self._sync_ids(ci)
+        if not self._single:
+            # the fleet-wide movement scatter leaves the per-chain
+            # tuple caches stale (they settle at sync/retire); the
+            # connectivity check reads them, so drop them here
+            for ci in live_list:
+                arena.chains[ci]._pos_cache = None
         slots = registry.active_slots()
         cc = registry.chain_col[slots] if len(slots) else slots
         for ci in live_list:

@@ -1,105 +1,60 @@
-"""The kernel engine: the whole FSYNC round pipeline on arrays.
+"""The kernel engine: a fleet-of-one on the shared fleet substrate.
 
 Third engine variant (after ``"reference"`` and ``"vectorized"``,
-DESIGN.md §2.9).  Where the vectorised engine replaced the two
-per-snapshot scans and kept the reference pipeline, the kernel engine
-executes every stage of :meth:`repro.core.engine.Engine.step` in bulk:
+DESIGN.md §2.9).  Since the fleet tier (DESIGN.md §2.10) exists, the
+whole array-native round pipeline lives in one place —
+:class:`~repro.core.engine_fleet.FleetKernel` — and the single-chain
+kernel engine is simply that pipeline driven over a single-segment
+:class:`~repro.core.arena.ChainArena`: merge detection and planning,
+the fused decision stage, the movement scatter, the segmented
+contraction pass and the bulk run advancement/starts all execute the
+fleet code paths with one chain in the arena.  The bespoke per-chain
+round loop this module used to carry is gone; what the unification
+buys concretely:
 
-* merge planning over chain indices (:func:`plan_merges_arrays` —
-  black expansion, short-pattern priority and Fig. 3 overlap
-  resolution as array passes);
-* the per-run decision stage fused with its state application
-  (:mod:`repro.core.decisions_vectorized` — no per-robot Python in the
-  common case, reference-grammar/ per-window fallback on flagged rare
-  rows only);
-* movement as one indexed scatter (:meth:`ClosedChain.apply_moves_indexed`),
-  terminations as masked bulk stops over the registry's
-  struct-of-arrays state, and the run advancement as a single gathered
-  assignment (:meth:`RunRegistry.advance_slots`).
+* one vectorised pipeline to maintain and test instead of two
+  (``merge/move/advance`` stages existed once per tier before);
+* the fleet's fully vectorised rare-case handling — ``INIT_CORNER``
+  op (c) hops, run-start corner refinement, the contraction survivor
+  rule — replaces the per-window / per-event Python fallbacks the
+  single-chain loop still contained;
+* the decision stage stays adaptive: a single-segment arena below
+  :data:`~repro.core.decisions_vectorized.NUMPY_MIN_RUNS` active runs
+  drops to the tight scalar fold
+  (:func:`~repro.core.decisions_vectorized.decide_and_apply_scalar`),
+  so small chains keep their low per-round latency.
 
-The rounds it produces are bit-identical to the reference engine —
+The rounds produced are bit-identical to the reference engine —
 property-tested trace-for-trace and report-for-report in
-``tests/test_kernel_engine.py``.
+``tests/test_conformance.py``.
 
 Scheduler compatibility: a subclass overriding
 :meth:`~repro.core.engine.Engine._select_moves` (the SSYNC hook) is
-detected at construction and routed through the legacy ``Dict[int,
-Vec]`` movement path, so activation policies keep working at the cost
-of the dict round-trip.
+detected at construction and routed through the reference round
+pipeline with the vectorised scanners (the ``"vectorized"`` engine's
+configuration — behaviourally identical rounds), so activation
+policies keep working at the cost of the per-robot loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from repro.grid.lattice import Vec
 from repro.core.chain import ClosedChain
 from repro.core.config import Parameters
-from repro.core.decisions_vectorized import NUMPY_MIN_RUNS, decide_and_apply
 from repro.core.engine import Engine
+from repro.core.engine_fleet import FleetKernel
 from repro.core.engine_vectorized import find_merge_patterns_np, scan_run_starts
 from repro.core.events import RoundReport, Trace
-from repro.core.merges import KernelMergePlan, plan_merges_arrays
-from repro.core.patterns import RunStart
-from repro.core.runs import (
-    MODE_PASSING,
-    RunMode,
-    StopReason,
-)
-from repro.core import invariants
-
-_STOP_RUNNER_REMOVED = StopReason.RUNNER_REMOVED.value
-_STOP_PASSING_TARGET = StopReason.PASSING_TARGET_REMOVED.value
-_STOP_TRAVEL_TARGET = StopReason.TRAVEL_TARGET_REMOVED.value
-_STOP_DUPLICATE = StopReason.DUPLICATE_DIRECTION.value
-
-def _numpy_min(override: Optional[int]) -> int:
-    """The engine's scalar/NumPy crossover (shared with the decisions)."""
-    return NUMPY_MIN_RUNS if override is None else override
-
-
-class _LazyMovedIds:
-    """Moved-robot id set, materialised on first membership probe.
-
-    Contraction consults the moved set only when a coincident pair
-    exists, so merge-free rounds never pay for building it.
-    """
-
-    __slots__ = ("_chain", "_move_idx", "_set")
-
-    def __init__(self, chain: ClosedChain, move_idx):
-        self._chain = chain
-        self._move_idx = move_idx
-        self._set = None
-
-    def _materialise(self) -> set:
-        s = self._set
-        if s is None:
-            idx = self._move_idx
-            if isinstance(idx, np.ndarray):
-                s = set(self._chain.ids_array()[idx].tolist())
-            else:
-                ids = self._chain.ids_view()
-                s = {ids[i] for i in idx}
-            self._set = s
-        return s
-
-    def __contains__(self, robot_id: int) -> bool:
-        return robot_id in self._materialise()
-
-    def __bool__(self) -> bool:
-        return len(self._move_idx) > 0
 
 
 class KernelEngine(Engine):
     """Array-native FSYNC engine (behaviourally identical to reference).
 
-    Parameters match :class:`~repro.core.engine.Engine`; the merge
-    detector and run-start scanner are fixed to the vectorised
-    implementations.  ``numpy_min_runs`` overrides the decision stage's
-    adaptive scalar/NumPy threshold (tests pin it to force one path).
+    Parameters match :class:`~repro.core.engine.Engine`; the round
+    pipeline is the fleet kernel's, over a single-segment arena.
+    ``numpy_min_runs`` overrides the decision stage's adaptive
+    scalar/NumPy threshold (tests pin it to force one path).
     """
 
     def __init__(self, chain: ClosedChain, params: Parameters,
@@ -111,226 +66,47 @@ class KernelEngine(Engine):
                          start_scanner=scan_run_starts,
                          check_invariants=check_invariants,
                          trace=trace)
-        self.numpy_min_runs = numpy_min_runs
-        self._legacy_select = \
-            type(self)._select_moves is not Engine._select_moves
-        # (patterns, plan) of the previous round, carried over only when
-        # that round changed nothing (no hop applied, no contraction):
-        # the snapshot codes are then identical and the detector — a
-        # pure function of them — would reproduce the same output
-        self._static_merge: Optional[Tuple[List, Optional[KernelMergePlan]]] \
-            = None
+        if type(self)._select_moves is not Engine._select_moves:
+            # scheduler-hook compatibility: partial-activation
+            # subclasses run the reference pipeline (vectorised
+            # scanners), which funnels every move through the hook
+            self._fleet: Optional[FleetKernel] = None
+            return
+        self._fleet = FleetKernel(
+            [chain], params=params, check_invariants=check_invariants,
+            keep_reports=True, validate_initial=False,
+            numpy_min_runs=numpy_min_runs)
+        # engine semantics: terminated-run views stay observable
+        self._fleet.registry.keep_stopped = True
+        self.registry = self._fleet.registry
+
+    # ------------------------------------------------------------------
+    @property
+    def numpy_min_runs(self) -> Optional[int]:
+        """Scalar/NumPy crossover override of the decision stage."""
+        return self._fleet.numpy_min_runs if self._fleet is not None else None
+
+    @numpy_min_runs.setter
+    def numpy_min_runs(self, value: Optional[int]) -> None:
+        if self._fleet is not None:
+            self._fleet.numpy_min_runs = value
 
     # ------------------------------------------------------------------
     def step(self) -> RoundReport:
         """Execute one full FSYNC round and return its report."""
-        chain, params, registry = self.chain, self.params, self.registry
-        round_index = self.round_index
-        n0 = chain.n
+        fleet = self._fleet
+        if fleet is None:                  # SSYNC-hook subclass
+            return Engine.step(self)
         if self.trace is not None:
             self.trace.record_snapshot(self.snapshot())
-        if self._check:
-            ids_before = chain.ids_array().copy()
-            pos_before = chain.positions_array().copy()
-
-        # 1-2. merge plan ---------------------------------------------------
-        mplan: Optional[KernelMergePlan] = None
-        patterns: List = []
-        if n0 >= 4:
-            if self._static_merge is not None:
-                patterns, mplan = self._static_merge
-            else:
-                patterns = self._detector(chain.positions_view(),
-                                          params.effective_k_max,
-                                          codes=chain.edge_codes(),
-                                          codes_list=chain.edge_codes_list())
-                if patterns:
-                    mplan = plan_merges_arrays(patterns, n0)
-        part_mask = mplan.part_mask if mplan is not None else None
-
-        # 3, 5-6. run decisions, fused with their registry application ------
-        dec = decide_and_apply(chain, registry, params, part_mask,
-                               round_index, self.numpy_min_runs)
-        terminated: Dict[int, int] = dict(dec.terminated)
-
-        # 4. run starts (every L-th round; reads only the snapshot codes) ---
-        starts: List[Tuple[int, RunStart]] = []
-        if round_index % params.start_interval == 0:
-            ids = chain.ids_view()
-            if part_mask is None:
-                starts = [(ids[i], rs) for i, rs in self._start_scanner(chain)]
-            else:
-                starts = [(ids[i], rs)
-                          for i, rs in self._start_scanner(chain)
-                          if not part_mask[i]]
-
-        # 6'. simultaneous movement: merge hops + accepted runner hops ------
-        # (lists from the scalar paths, arrays from the NumPy paths)
-        pidx = mplan.hop_idx if mplan is not None else ()
-        didx = dec.move_idx
-        if not len(pidx):
-            move_idx, move_del = didx, dec.move_deltas
-        elif not len(didx):
-            move_idx, move_del = pidx, mplan.hop_vec
-        elif isinstance(pidx, list) and isinstance(didx, list):
-            move_idx = pidx + didx
-            move_del = mplan.hop_vec + dec.move_deltas
-        else:
-            move_idx = np.concatenate([
-                np.asarray(pidx, dtype=np.int64),
-                np.asarray(didx, dtype=np.int64)])
-            move_del = np.concatenate([
-                np.asarray(mplan.hop_vec, dtype=np.int64).reshape(-1, 2),
-                np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)])
-
-        # moved ids resolve lazily: contraction only consults them when
-        # a coincident pair actually exists (merge rounds)
-        moved_ids = _LazyMovedIds(chain, move_idx) if len(move_idx) else set()
-        if self._legacy_select:
-            # scheduler-hook compatibility: round-trip through the
-            # reference Dict[int, Vec] movement path
-            if isinstance(move_idx, np.ndarray):
-                move_idx = move_idx.tolist()
-                move_del = move_del.tolist()
-            ids_list = chain.ids_view()
-            moves: Dict[int, Vec] = {
-                ids_list[i]: (int(dx), int(dy))
-                for i, (dx, dy) in zip(move_idx, move_del)}
-            moves = self._select_moves(moves)
-            chain.apply_moves(moves)
-            moved_ids = set(moves)
-            hop_total = len(moves)
-        else:
-            chain.apply_moves_indexed(move_idx, move_del)
-            hop_total = len(move_idx)
-
-        # 7. contraction (merging co-located chain neighbours) --------------
-        records = chain.contract_coincident(moved_ids)
-        if records:
-            # a run can only lose its carrier or target through this
-            # round's contraction, so both sweeps are no-ops without one
-            removed = np.fromiter((r.removed_id for r in records),
-                                  np.int64, len(records))
-            slots = registry.active_slots()
-            if len(slots):
-                dead = np.flatnonzero(
-                    np.isin(registry.robot[slots], removed))
-                if len(dead):
-                    registry.stop_slots(
-                        slots[dead],
-                        np.full(len(dead), _STOP_RUNNER_REMOVED, np.int64),
-                        round_index)
-                    terminated[_STOP_RUNNER_REMOVED] = \
-                        terminated.get(_STOP_RUNNER_REMOVED, 0) + len(dead)
-
-            # 8. target-removal terminations (Table 1.4/1.5) ----------------
-            slots = registry.active_slots()
-            if len(slots):
-                targets = registry.target[slots]
-                has_t = targets >= 0
-                gone = has_t.copy()
-                gone[has_t] = chain.index_array()[targets[has_t]] < 0
-                rows = np.flatnonzero(gone)
-                if len(rows):
-                    reasons = np.where(
-                        registry.mode_code[slots[rows]] == MODE_PASSING,
-                        _STOP_PASSING_TARGET, _STOP_TRAVEL_TARGET)
-                    registry.stop_slots(slots[rows], reasons, round_index)
-                    for code in reasons.tolist():
-                        terminated[code] = terminated.get(code, 0) + 1
-
-        # 9. move surviving runs one robot along their direction ------------
-        # adaptive like the decision stage: the gathered-assignment
-        # advance only amortises its array dispatch over enough runs
-        moved_list = None
-        moved_pairs = None
-        if len(registry) < _numpy_min(self.numpy_min_runs):
-            moved_list, crowded = registry.advance_active(
-                chain.ids_view(), chain.index_map(),
-                collect_moved=self._check)
-        else:
-            moved_pairs = registry.advance_slots(chain.ids_array(),
-                                                 chain.index_array(),
-                                                 collect_moved=self._check)
-            crowded = registry.has_crowding()
-        # contraction can push two same-direction runs onto one robot; a
-        # robot cannot tell them apart, so the younger run dissolves.
-        if crowded:
-            terminated_dups = self._dissolve_duplicates(round_index)
-            if terminated_dups:
-                terminated[_STOP_DUPLICATE] = \
-                    terminated.get(_STOP_DUPLICATE, 0) + terminated_dups
-
-        # 10. create the new runs decided in step 4 -------------------------
-        runs_started = 0
-        for rid, rs in starts:
-            if not chain.has_id(rid):
-                continue
-            mode = RunMode.INIT_CORNER if rs.kind == "ii" else RunMode.NORMAL
-            created = registry.start(rid, rs.direction, rs.axis,
-                                     round_index, mode=mode)
-            if created is not None:
-                runs_started += 1
-
-        # 11. invariants and bookkeeping ------------------------------------
-        self._static_merge = (patterns, mplan) \
-            if hop_total == 0 and not records and n0 >= 4 else None
-        report = RoundReport(
-            round_index=round_index, n_before=n0, n_after=chain.n,
-            hops=hop_total,
-            merge_patterns=len(mplan.patterns) if mplan is not None else 0,
-            merges=records, runs_started=runs_started,
-            runs_terminated={StopReason(code): count
-                             for code, count in terminated.items()},
-            active_runs=len(registry),
-            merge_conflicts=mplan.conflicts if mplan is not None else 0,
-            runner_hop_conflicts=dec.runner_hop_conflicts)
-        if self._check:
-            invariants.check_connectivity(chain)
-            invariants.check_monotone_count(n0, chain.n)
-            invariants.check_hop_lengths_arrays(
-                ids_before, pos_before,
-                chain.ids_array(), chain.positions_array())
-            invariants.check_runs_alive(chain, registry)
-            if moved_pairs is not None:
-                old, new, dirs = moved_pairs
-                moved_list = list(zip(old.tolist(), new.tolist(),
-                                      dirs.tolist()))
-            if moved_list is not None:
-                invariants.check_run_speed(chain, moved_list)
+        fleet.round_index = self.round_index
+        fleet._step_round()
+        # the fleet defers the chain's Python-side id bookkeeping;
+        # settle it every round so observers (simulator, traces,
+        # tests) read coherent ids/index between steps
+        fleet._sync_ids(0)
+        report = fleet.reports[0][-1]
         if self.trace is not None:
             self.trace.record_report(report)
         self.round_index += 1
         return report
-
-    # ------------------------------------------------------------------
-    def _dissolve_duplicates(self, round_index: int) -> int:
-        """Reference duplicate-direction sweep over the array state.
-
-        Mirrors the engine's crowded-run loop exactly: visit crowded
-        runs in ascending id order and dissolve the youngest
-        same-direction twin of each still-active one.
-        """
-        registry = self.registry
-        slots = registry.active_slots()
-        carriers = registry.robot[slots]
-        by_robot: Dict[int, List[int]] = {}
-        for slot, robot in zip(slots.tolist(), carriers.tolist()):
-            by_robot.setdefault(robot, []).append(slot)
-        crowded = sorted(s for group in by_robot.values()
-                         if len(group) > 1 for s in group)
-        dirn = registry.dirn
-        stopped: set = set()
-        count = 0
-        for s in crowded:
-            if s in stopped:
-                continue
-            d = dirn[s]
-            twins = [x for x in by_robot[int(registry.robot[s])]
-                     if x not in stopped and dirn[x] == d]
-            if len(twins) > 1:
-                youngest = max(twins)
-                registry.stop_slot(youngest, _STOP_DUPLICATE, round_index)
-                stopped.add(youngest)
-                count += 1
-        return count

@@ -1,0 +1,52 @@
+"""Simulation outcome dataclasses.
+
+:class:`GatheringResult` is produced by every execution tier — the
+single-chain :class:`~repro.core.simulator.Simulator`, the shared-array
+:class:`~repro.core.engine_fleet.FleetKernel` and the
+:class:`~repro.core.batch.BatchSimulator` fan-out — so it lives below
+all of them: the simulator facade imports the kernel engine, which
+imports the fleet kernel, which must not import the facade back.
+(Import it from :mod:`repro.core.simulator` or :mod:`repro.core` as
+before; both re-export it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.grid.lattice import Vec
+from repro.core.config import Parameters
+from repro.core.events import RoundReport, Trace
+
+
+@dataclass
+class GatheringResult:
+    """Outcome of a gathering simulation."""
+
+    gathered: bool
+    rounds: int
+    initial_n: int
+    final_n: int
+    final_positions: List[Vec]
+    params: Parameters
+    reports: List[RoundReport] = field(default_factory=list)
+    trace: Optional[Trace] = None
+    stalled: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def total_merges(self) -> int:
+        """Robots removed over the whole simulation."""
+        return self.initial_n - self.final_n
+
+    @property
+    def rounds_per_robot(self) -> float:
+        """Normalised round count — the paper predicts an O(1) value."""
+        return self.rounds / max(self.initial_n, 1)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        state = "gathered" if self.gathered else ("STALLED" if self.stalled else "stopped")
+        return (f"{state}: n={self.initial_n} -> {self.final_n} in {self.rounds} rounds "
+                f"({self.rounds_per_robot:.2f} rounds/robot)")

@@ -501,19 +501,18 @@ class RunRegistry:
             self._by_robot.setdefault(robot_id, []).append(run_id)
         return self._view(run_id)
 
-    def start_fleet_bulk(self, rows: List[Tuple[int, int, int, int, int,
-                                                int]],
-                         round_index: int) -> None:
+    def start_fleet_bulk(self, rows, round_index: int) -> None:
         """Create many chain-tagged runs in one matrix write.
 
-        Fleet counterpart of :meth:`start`: each row is ``(chain_id,
-        robot_id, direction, mode_code, axis_x, axis_y)``, pre-checked
-        by the caller against fleet-unique ``(chain, robot)`` capacity
-        keys (robot ids collide across chains, so the robot-keyed
-        ``_by_robot`` index stays permanently dirty — a fleet registry
-        must not be queried through :meth:`runs_on` /
-        :meth:`directions_on` / :meth:`crowded_runs`).  Run ids are
-        assigned in row order.
+        Fleet counterpart of :meth:`start`: ``rows`` is an ``(m, 6)``
+        int64 array (or equivalent sequence of tuples) of ``(chain_id,
+        robot_id, direction, mode_code, axis_x, axis_y)`` rows,
+        pre-checked by the caller against fleet-unique ``(chain,
+        robot)`` capacity keys (robot ids collide across chains, so
+        the robot-keyed ``_by_robot`` index stays permanently dirty —
+        a multi-chain fleet registry must not be queried through
+        :meth:`runs_on` / :meth:`directions_on` / :meth:`crowded_runs`).
+        Run ids are assigned in row order.
         """
         m = len(rows)
         if m == 0:
@@ -631,57 +630,32 @@ class RunRegistry:
         self._by_robot_dirty = False
         return moved
 
-    def advance_active(self, post_ids: List[int], post_index: Dict[int, int],
-                       collect_moved: bool = False
-                       ) -> Tuple[Optional[List[Tuple[int, int, int]]], bool]:
-        """Scalar-path advance: one gather, one comprehension, one scatter.
+    def advance_active(self, post_ids: List[int], post_index: Dict[int, int]
+                       ) -> bool:
+        """Scalar-tier advance: one gather, one comprehension, one scatter.
 
-        Kernel counterpart of :meth:`advance_runs` for small run counts.
-        Returns ``(moved, crowded)`` where ``moved`` is the Lemma 3.1
-        triple list (``None`` unless ``collect_moved``) and ``crowded``
-        flags a robot now carrying more than one run — derived from the
-        new carrier list for free, so the engine's duplicate-direction
-        gate costs nothing.  Leaves the per-robot index stale (rebuilt
-        lazily on the next query).
+        Single-segment counterpart of :meth:`advance_fleet` for rounds
+        with a handful of runs and fresh chain views (the fleet's
+        adaptive tier, mirroring the decision stage's scalar path).
+        Returns the crowded flag — derived from the new carrier list
+        for free, so the duplicate-direction gate costs nothing.
+        Leaves the per-robot index stale (rebuilt lazily on the next
+        query).
         """
         slots_arr = self.active_slots()
         if len(slots_arr) == 0:
-            return None, False
+            return False
         pairs = self._data[slots_arr, :2].tolist()   # (robot, direction)
         n = len(post_ids)
         news = [post_ids[(post_index[o] + d) % n] for o, d in pairs]
         self._data[slots_arr, COL_ROBOT] = news
         self._by_robot_dirty = True
-        crowded = len(set(news)) < len(news)
-        if collect_moved:
-            return [(o, nw, d) for (o, d), nw in zip(pairs, news)], crowded
-        return None, crowded
-
-    def advance_slots(self, ids_array: np.ndarray, index_array: np.ndarray,
-                      collect_moved: bool = False
-                      ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Vectorised :meth:`advance_runs` over the registry matrix.
-
-        ``ids_array``/``index_array`` are the chain's post-contraction
-        id array and id → index inverse.  When ``collect_moved`` is on,
-        returns ``(old_ids, new_ids, directions)`` arrays for the
-        run-speed invariant; otherwise returns ``None`` and skips the
-        materialisation.
-        """
-        slots = self.active_slots()
-        if len(slots) == 0:
-            return (np.empty(0, np.int64),) * 3 if collect_moved else None
-        old = self._data[slots, COL_ROBOT]
-        dirs = self._data[slots, COL_DIRN]
-        new = ids_array[(index_array[old] + dirs) % len(ids_array)]
-        self._data[slots, COL_ROBOT] = new
-        self._by_robot_dirty = True
-        return (old, new, dirs) if collect_moved else None
+        return len(set(news)) < len(news)
 
     def advance_fleet(self, base: np.ndarray, length: np.ndarray,
                       ids_flat: np.ndarray, index_flat: np.ndarray,
                       collect_moved: bool = False):
-        """Fleet-wide :meth:`advance_slots` over the arena's flat tables.
+        """Advance every live run fleet-wide over the arena's flat tables.
 
         ``base``/``length`` are the arena's per-chain segment tables,
         ``ids_flat``/``index_flat`` its id and id → index arrays; runs

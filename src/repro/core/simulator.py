@@ -8,7 +8,6 @@ examples and experiments.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 from repro.errors import StallError
@@ -19,41 +18,11 @@ from repro.core.engine import Engine
 from repro.core.engine_kernel import KernelEngine
 from repro.core.engine_vectorized import find_merge_patterns_np, scan_run_starts
 from repro.core.events import RoundReport, Trace
+from repro.core.results import GatheringResult
 
+__all__ = ["ENGINES", "GatheringResult", "Simulator", "gather"]
 
 ENGINES = ("reference", "vectorized", "kernel")
-
-
-@dataclass
-class GatheringResult:
-    """Outcome of a gathering simulation."""
-
-    gathered: bool
-    rounds: int
-    initial_n: int
-    final_n: int
-    final_positions: List[Vec]
-    params: Parameters
-    reports: List[RoundReport] = field(default_factory=list)
-    trace: Optional[Trace] = None
-    stalled: bool = False
-    wall_time: float = 0.0
-
-    @property
-    def total_merges(self) -> int:
-        """Robots removed over the whole simulation."""
-        return self.initial_n - self.final_n
-
-    @property
-    def rounds_per_robot(self) -> float:
-        """Normalised round count — the paper predicts an O(1) value."""
-        return self.rounds / max(self.initial_n, 1)
-
-    def summary(self) -> str:
-        """One-line human-readable outcome."""
-        state = "gathered" if self.gathered else ("STALLED" if self.stalled else "stopped")
-        return (f"{state}: n={self.initial_n} -> {self.final_n} in {self.rounds} rounds "
-                f"({self.rounds_per_robot:.2f} rounds/robot)")
 
 
 class Simulator:
@@ -68,8 +37,10 @@ class Simulator:
     engine:
         ``"reference"`` (pure Python merge scan), ``"vectorized"``
         (NumPy merge/run-start scans on the reference pipeline) or
-        ``"kernel"`` (whole round pipeline on arrays).  All three are
-        behaviourally identical (property-tested).
+        ``"kernel"`` (the fleet substrate driven over a
+        single-segment arena — the whole round pipeline on arrays).
+        All three are behaviourally identical (property-tested in
+        ``tests/test_conformance.py``).
     check_invariants:
         Verify model invariants every round.
     record_trace:

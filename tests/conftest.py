@@ -9,7 +9,15 @@ from hypothesis import HealthCheck, settings, strategies as st
 
 from repro.core.chain import ClosedChain
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
-from repro.chains import random_chain, random_polyomino, outline
+from repro.chains import (
+    comb,
+    crenellation,
+    needle,
+    outline,
+    perturb,
+    random_chain,
+    random_polyomino,
+)
 
 settings.register_profile(
     "repro",
@@ -49,3 +57,31 @@ def small_vectors(draw, bound: int = 50):
     x = draw(st.integers(min_value=-bound, max_value=bound))
     y = draw(st.integers(min_value=-bound, max_value=bound))
     return (x, y)
+
+
+@st.composite
+def merge_dense_chain_positions(draw, max_teeth: int = 10):
+    """Chains whose early rounds are dominated by merge events.
+
+    Width-1 teeth (crenellations, combs, needles) are spike patterns:
+    every tooth fires a merge in the first rounds, so robots go
+    coincident in many cells at once — long blocks of zero edges, the
+    stress input for the contraction survivor pass and the merge
+    planner's overlap resolution.  Optional perturbation adds
+    off-phase spikes so merges also spread over later rounds.
+    """
+    family = draw(st.sampled_from(
+        ["crenellation", "comb", "needle", "perturbed_crenellation"]))
+    if family == "crenellation":
+        return crenellation(teeth=draw(st.integers(2, max_teeth)),
+                            tooth_width=1,
+                            base_height=draw(st.integers(2, 8)))
+    if family == "comb":
+        return comb(teeth=draw(st.integers(2, 6)),
+                    tooth_height=draw(st.integers(2, 6)))
+    if family == "needle":
+        return needle(draw(st.integers(3, 16)))
+    pts = crenellation(teeth=draw(st.integers(2, 6)), tooth_width=1,
+                       base_height=4)
+    return perturb(list(pts), draw(st.integers(1, 8)),
+                   random.Random(draw(st.integers(0, 2 ** 16))))

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.batch import BatchResult, BatchSimulator, gather_batch
 from repro.core.simulator import Simulator, gather
-from repro.chains import random_chain, square_ring
+from repro.chains import crenellation, random_chain, square_ring
 
 
 def _fleet(sizes=(8, 12, 16)):
@@ -64,6 +64,79 @@ class TestBatchBasics:
         batch = gather_batch([square_ring(20)], max_rounds=1)
         assert not batch[0].gathered
         assert batch[0].rounds == 1
+
+
+def _result_key(r):
+    return (r.gathered, r.stalled, r.rounds, r.initial_n, r.final_n,
+            tuple(r.final_positions),
+            tuple((rep.round_index, rep.n_before, rep.n_after, rep.hops,
+                   rep.runs_started, tuple(sorted(
+                       (k.value, v) for k, v in rep.runs_terminated.items())),
+                   rep.active_runs, tuple(rep.merges))
+                  for rep in r.reports))
+
+
+class TestBackendDeterminism:
+    """Every backend × workers combination is bit-deterministic.
+
+    The simulation itself is deterministic (no RNG inside the round
+    pipeline), so ``backend="fleet"``, ``"process"`` and ``"auto"``
+    must produce identical per-chain results — including full report
+    streams and the fleet-of-one kernel path — under any ``workers``
+    sharding, and must not consume or perturb the caller's RNG
+    streams.
+    """
+
+    FLEET = staticmethod(lambda: (
+        [random_chain(40 + 12 * k, random.Random(100 + k)) for k in range(3)]
+        + [crenellation(5, 1, 4), square_ring(10)]))
+
+    def test_backends_and_sharding_identical(self):
+        chains = self.FLEET()
+        combos = [("fleet", 1), ("fleet", 2), ("fleet", 3),
+                  ("process", 1), ("process", 2), ("auto", 1), ("auto", 2)]
+        keys = None
+        for backend, workers in combos:
+            batch = gather_batch([list(c) for c in chains], backend=backend,
+                                 workers=workers)
+            got = [_result_key(r) for r in batch]
+            if keys is None:
+                keys = got
+            else:
+                assert got == keys, f"backend={backend} workers={workers}"
+
+    def test_single_chain_auto_is_fleet_of_one(self):
+        # auto + kernel engine routes one chain through the fleet
+        # backend; must equal the process backend bit for bit
+        pts = crenellation(6, 1, 5)
+        auto = gather_batch([list(pts)], backend="auto")
+        proc = gather_batch([list(pts)], backend="process")
+        assert BatchSimulator([list(pts)]).backend == "fleet"
+        assert [_result_key(r) for r in auto] == \
+            [_result_key(r) for r in proc]
+
+    def test_rng_streams_untouched(self):
+        # gathering must not advance or reseed the global RNG streams
+        # (sweeps interleave chain generation with batch runs)
+        import numpy as np
+        random.seed(0xDEAD)
+        np.random.seed(0xBEEF)
+        state_py = random.getstate()
+        state_np = np.random.get_state()
+        for backend, workers in [("fleet", 1), ("fleet", 2), ("process", 2)]:
+            gather_batch(self.FLEET(), backend=backend, workers=workers,
+                         keep_reports=False)
+        assert random.getstate() == state_py
+        fresh = np.random.get_state()
+        assert fresh[0] == state_np[0]
+        assert (fresh[1] == state_np[1]).all()
+        assert fresh[2:] == state_np[2:]
+
+    def test_repeated_runs_identical(self):
+        chains = self.FLEET()
+        a = gather_batch([list(c) for c in chains], backend="fleet")
+        b = gather_batch([list(c) for c in chains], backend="fleet")
+        assert [_result_key(r) for r in a] == [_result_key(r) for r in b]
 
 
 class TestProcessPool:

@@ -19,11 +19,11 @@ from repro.core.batch import BatchSimulator, gather_batch
 from repro.core.engine_fleet import FleetKernel, gather_fleet
 from repro.core.simulator import Simulator
 from repro.chains import (
-    comb, perturb, random_chain, serpentine_ring, spiral, square_ring,
-    staircase_ring, stairway_octagon,
+    comb, crenellation, perturb, random_chain, serpentine_ring, spiral,
+    square_ring, staircase_ring, stairway_octagon,
 )
 
-from tests.conftest import closed_chain_positions
+from tests.conftest import closed_chain_positions, merge_dense_chain_positions
 
 
 def _report_key(report):
@@ -80,8 +80,26 @@ class TestFamilies:
         pts += [random_chain(50 + 30 * k, rng) for k in range(4)]
         assert_fleet_equals_singles(pts)
 
+    def test_merge_dense_fleet(self):
+        # every tooth of every chain spike-merges in the same rounds:
+        # the contraction stage folds long runs of simultaneous merge
+        # events across many chains (the vectorised survivor pass)
+        assert_fleet_equals_singles(
+            [crenellation(8, 1, 4)] * 6
+            + [crenellation(4, 1, 8), crenellation(12, 1, 3), comb(3)])
+
+    def test_merge_dense_mixed_with_rings(self):
+        assert_fleet_equals_singles(
+            [crenellation(6, 1, 5), square_ring(16),
+             crenellation(3, 1, 9), square_ring(8)])
+
     def test_single_chain_fleet(self):
         assert_fleet_equals_singles([square_ring(12)])
+
+    def test_single_chain_fleet_merge_dense(self):
+        # a fleet of one takes the single-segment tiers (per-chain
+        # detector, scalar decisions, chain movement scatter)
+        assert_fleet_equals_singles([crenellation(10, 1, 6)])
 
     def test_empty_fleet(self):
         assert gather_fleet([]) == []
@@ -97,6 +115,19 @@ class TestHypothesisFleets:
     @given(st.lists(closed_chain_positions(max_cells=25),
                     min_size=2, max_size=5))
     def test_property_fleets(self, fleet_pts):
+        assert_fleet_equals_singles(fleet_pts, check_invariants=False)
+
+    @settings(max_examples=10)
+    @given(st.lists(merge_dense_chain_positions(max_teeth=6),
+                    min_size=2, max_size=4))
+    def test_merge_dense_fleets(self, fleet_pts):
+        assert_fleet_equals_singles(fleet_pts, check_invariants=False)
+
+    @settings(max_examples=8)
+    @given(st.lists(st.one_of(closed_chain_positions(max_cells=20),
+                              merge_dense_chain_positions(max_teeth=5)),
+                    min_size=2, max_size=4))
+    def test_mixed_merge_dense_fleets(self, fleet_pts):
         assert_fleet_equals_singles(fleet_pts, check_invariants=False)
 
 

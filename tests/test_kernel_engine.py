@@ -1,118 +1,18 @@
-"""Kernel engine ≡ reference engine, decision for decision.
+"""Kernel engine wiring: the fleet-of-one behind ``engine="kernel"``.
 
-The ``"kernel"`` engine executes the whole round pipeline on arrays
-(DESIGN.md §2.9); these tests pin bit-identical behaviour against the
-reference engine: positions, ids, round reports (hops, merges, run
-starts/terminations with exact stop reasons, conflict counters) and
-the live run states themselves, every round, on generator families,
-random blobs, perturbed shapes and the mid-gathering states the
-lockstep traversal passes through.  Both decision paths (adaptive
-scalar and forced NumPy) are exercised.
+Behavioural equivalence lives in the cross-engine conformance suite
+(``tests/test_conformance.py``); this module pins the plumbing —
+simulator/batch acceptance, the fleet-of-one substrate, trace capture
+and the SSYNC scheduler-hook fallback.
 """
 
-import random
-
 import pytest
-from hypothesis import given, settings
 
-from repro.core.runs import RunRegistry
-from repro.core.simulator import ENGINES, Simulator
-from repro.chains import (
-    comb, perturb, random_chain, serpentine_ring, spiral, square_ring,
-    staircase_ring, stairway_octagon,
-)
-
-from tests.conftest import closed_chain_positions
-
-
-def _registry_state(registry: RunRegistry):
-    return sorted(
-        (r.robot_id, r.direction, r.mode.value, r.target_id,
-         r.travel_steps_left, r.axis)
-        for r in registry.active_runs())
-
-
-def _report_key(report):
-    return (report.n_before, report.n_after, report.hops,
-            report.merge_patterns, report.merges, report.runs_started,
-            report.runs_terminated, report.active_runs,
-            report.merge_conflicts, report.runner_hop_conflicts)
-
-
-def assert_lockstep_equal(pts, max_rounds=4000, numpy_min_runs=None,
-                          check_invariants=True):
-    """Run reference and kernel side by side and compare every round."""
-    a = Simulator(list(pts), engine="reference",
-                  check_invariants=check_invariants)
-    b = Simulator(list(pts), engine="kernel",
-                  check_invariants=check_invariants)
-    if numpy_min_runs is not None:
-        b.engine.numpy_min_runs = numpy_min_runs
-    for i in range(max_rounds):
-        if a.is_gathered() and b.is_gathered():
-            break
-        ra = a.step()
-        rb = b.step()
-        assert a.chain.positions == b.chain.positions, f"round {i}"
-        assert a.chain.ids == b.chain.ids, f"round {i}"
-        assert _report_key(ra) == _report_key(rb), f"round {i}"
-        assert _registry_state(a.engine.registry) == \
-            _registry_state(b.engine.registry), f"round {i}"
-    assert a.is_gathered() and b.is_gathered()
-    return a.round_index
-
-
-class TestFamilies:
-    @pytest.mark.parametrize("pts", [
-        square_ring(16), square_ring(40), stairway_octagon(12, 2), comb(4),
-        spiral(1), staircase_ring(4), serpentine_ring(3, 10, 4),
-    ], ids=["sq16", "sq40", "octagon", "comb", "spiral", "staircase",
-            "serpentine"])
-    def test_lockstep(self, pts):
-        assert_lockstep_equal(pts)
-
-    def test_forced_numpy_decisions(self):
-        # numpy_min_runs=0 forces the bulk decision path on every round
-        assert_lockstep_equal(square_ring(24), numpy_min_runs=0)
-        assert_lockstep_equal(stairway_octagon(10, 2), numpy_min_runs=0)
-
-    def test_full_run_equivalence_all_engines(self):
-        pts = square_ring(20)
-        results = [Simulator(list(pts), engine=e,
-                             check_invariants=False).run()
-                   for e in ENGINES]
-        assert len({r.rounds for r in results}) == 1
-        assert len({tuple(r.final_positions) for r in results}) == 1
-
-
-class TestRandomChains:
-    def test_random_blobs(self):
-        rng = random.Random(1234)
-        for k in range(6):
-            pts = random_chain(50 + 30 * k, rng)
-            assert_lockstep_equal(pts)
-
-    def test_perturbed_shapes(self):
-        rng = random.Random(99)
-        for base in (square_ring(14), stairway_octagon(8, 2)):
-            pts = perturb(list(base), 10)
-            assert_lockstep_equal(pts)
-
-    def test_random_blobs_numpy_path(self):
-        rng = random.Random(77)
-        for k in range(3):
-            pts = random_chain(60 + 40 * k, rng)
-            assert_lockstep_equal(pts, numpy_min_runs=0)
-
-    @settings(max_examples=15)
-    @given(closed_chain_positions(max_cells=30))
-    def test_property_equivalence(self, pts):
-        assert_lockstep_equal(pts, check_invariants=False)
-
-    @settings(max_examples=10)
-    @given(closed_chain_positions(max_cells=20))
-    def test_property_equivalence_numpy(self, pts):
-        assert_lockstep_equal(pts, check_invariants=False, numpy_min_runs=0)
+from repro.core.engine import Engine
+from repro.core.engine_kernel import KernelEngine
+from repro.core.simulator import Simulator
+from repro.core.config import DEFAULT_PARAMETERS
+from repro.chains import square_ring
 
 
 class TestKernelWiring:
@@ -140,3 +40,52 @@ class TestKernelWiring:
             assert sa.ids == sb.ids
             assert [(r.robot_id, r.direction, r.mode) for r in sa.runs] == \
                 [(r.robot_id, r.direction, r.mode) for r in sb.runs]
+
+
+class TestFleetOfOneSubstrate:
+    def test_kernel_runs_on_single_segment_arena(self):
+        from repro.core.chain import ClosedChain
+        engine = KernelEngine(ClosedChain(square_ring(10)),
+                              DEFAULT_PARAMETERS)
+        assert engine._fleet is not None
+        assert len(engine._fleet.arena.chains) == 1
+        assert engine.registry is engine._fleet.registry
+
+    def test_numpy_min_runs_forwards_to_fleet(self):
+        from repro.core.chain import ClosedChain
+        engine = KernelEngine(ClosedChain(square_ring(10)),
+                              DEFAULT_PARAMETERS, numpy_min_runs=7)
+        assert engine.numpy_min_runs == 7
+        engine.numpy_min_runs = 0
+        assert engine._fleet.numpy_min_runs == 0
+
+    def test_ssync_hook_subclass_falls_back(self):
+        """A subclass overriding _select_moves routes through the
+        reference pipeline and still sees every move offered."""
+        seen = []
+
+        class Hooked(KernelEngine):
+            def _select_moves(self, moves):
+                seen.append(dict(moves))
+                return moves
+
+        from repro.core.chain import ClosedChain
+        pts = square_ring(12)
+        engine = Hooked(ClosedChain(list(pts)), DEFAULT_PARAMETERS,
+                        check_invariants=False)
+        assert engine._fleet is None       # legacy path selected
+        reference = Simulator(list(pts), engine="reference",
+                              check_invariants=False)
+        for _ in range(30):
+            if engine.chain.is_gathered():
+                break
+            engine.step()
+            reference.step()
+            assert engine.chain.positions == reference.chain.positions
+        assert seen and any(m for m in seen)
+
+    def test_plain_kernel_has_no_legacy_hook(self):
+        from repro.core.chain import ClosedChain
+        engine = KernelEngine(ClosedChain(square_ring(8)),
+                              DEFAULT_PARAMETERS)
+        assert type(engine)._select_moves is Engine._select_moves
