@@ -116,6 +116,26 @@ def condense(raw: dict) -> dict:
             row["fleet_chains_per_s"] = round(row["chains"] / f, 1)
         if p and f:
             row["speedup_fleet_vs_process"] = round(p / f, 3)
+    # streaming-throughput rows (bounded-occupancy pipeline): chains/sec
+    # plus the occupancy telemetry the bounded-memory claim rides on
+    for entry in entries:
+        params = entry.get("params") or {}
+        if not entry["name"].startswith("test_stream_throughput["):
+            continue
+        info = entry.get("extra_info", {})
+        key = params["stream_name"]
+        row = matrix.setdefault(key, {})
+        row.update({
+            "chains": info.get("chains"),
+            "slots": info.get("slots"),
+            "peak_live_chains": info.get("peak_live_chains"),
+            "peak_cells": info.get("peak_cells"),
+            "arena_span": info.get("arena_span"),
+            "stream_min_s": entry["min_s"],
+        })
+        if row.get("chains"):
+            row["stream_chains_per_s"] = round(row["chains"]
+                                               / entry["min_s"], 1)
     if matrix:
         derived["scenario_matrix"] = dict(sorted(matrix.items()))
     for size in (64, 256, 1024):
@@ -174,28 +194,33 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
               f"{base[key]:.6f}s ({ratio:.2f}x, limit {threshold}x) {verdict}")
         if ratio > threshold:
             regressed += 1
-    # fleet throughput gates: chains/sec on the acceptance fleets must
-    # stay within 1/threshold of the committed values.  The merge-dense
-    # fleet additionally guards the vectorised contraction/run-start
-    # passes (its rounds are dominated by merge events).
-    for fleet_key in ("fleet256_ring_n60", "fleet128_merge_dense"):
+    # fleet/stream throughput gates: chains/sec on the acceptance
+    # workloads must stay within 1/threshold of the committed values.
+    # The merge-dense fleet additionally guards the vectorised
+    # contraction/run-start passes (its rounds are dominated by merge
+    # events); the streaming row guards the slot-lifecycle pipeline
+    # (admission, reclamation, registry recycling).
+    for fleet_key, field in (("fleet256_ring_n60", "fleet_chains_per_s"),
+                             ("fleet128_merge_dense", "fleet_chains_per_s"),
+                             ("stream4096_slots256",
+                              "stream_chains_per_s")):
         base_fleet = committed.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})
         fresh_fleet = fresh.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})
-        b_cps = base_fleet.get("fleet_chains_per_s")
-        f_cps = fresh_fleet.get("fleet_chains_per_s")
+        b_cps = base_fleet.get(field)
+        f_cps = fresh_fleet.get(field)
         if b_cps and f_cps:
             ratio = b_cps / f_cps
             verdict = "REGRESSION" if ratio > threshold else "ok"
-            print(f"  check {fleet_key} fleet_chains_per_s: fresh "
+            print(f"  check {fleet_key} {field}: fresh "
                   f"{f_cps:.1f} vs committed {b_cps:.1f} ({ratio:.2f}x "
                   f"slower, limit {threshold}x) {verdict}")
             if ratio > threshold:
                 regressed += 1
         elif b_cps:
             print(f"regression check: fresh run lacks {fleet_key} "
-                  f"fleet_chains_per_s", file=sys.stderr)
+                  f"{field}", file=sys.stderr)
             regressed += 1
     return regressed
 
@@ -206,7 +231,8 @@ def main(argv=None) -> int:
                         help="output path (default: BENCH_engines.json at repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke: the large-ring engine comparison "
-                             "plus the gated 256-chain fleet throughput")
+                             "plus the gated fleet and streaming "
+                             "throughput rows")
     parser.add_argument("--check-against", metavar="BASELINE_JSON",
                         help="fail (exit 2) when the fresh large_ring_side60 "
                              "timings exceed this committed baseline by more "
@@ -218,8 +244,10 @@ def main(argv=None) -> int:
 
     if args.smoke:
         selectors = ["benchmarks/bench_engines.py::test_large_ring_by_engine",
-                     "benchmarks/bench_engines.py::test_fleet_throughput"]
-        extra = ["-k", "large_ring or fleet256 or fleet128_merge_dense"]
+                     "benchmarks/bench_engines.py::test_fleet_throughput",
+                     "benchmarks/bench_engines.py::test_stream_throughput"]
+        extra = ["-k", "large_ring or fleet256 or fleet128_merge_dense "
+                       "or stream4096"]
     else:
         selectors = ["benchmarks/bench_engines.py"]
         extra = []

@@ -83,15 +83,80 @@ def _batch_progress(every: int = 100):
 
     def cb(done: int, total: int) -> None:
         if done // every > last[0] // every or done == total:
-            print(f"  completed {done}/{total} chains", flush=True)
+            # a streaming batch reports total == -1 until its input
+            # iterator is exhausted; elide the unknown
+            of = "" if total < 0 else f"/{total}"
+            print(f"  completed {done}{of} chains", flush=True)
         last[0] = done
 
     return cb
 
 
+def _iter_jsonl_chains(path: str):
+    """Yield position lists from a JSONL file ('-' reads stdin).
+
+    One chain per line: a JSON array of ``[x, y]`` pairs.  Blank lines
+    are skipped, so concatenated outputs stream through unchanged.
+    """
+    fh = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                pts = json.loads(line)
+                yield [(int(x), int(y)) for x, y in pts]
+            except (ValueError, TypeError) as exc:
+                raise SystemExit(
+                    f"{path}:{lineno}: not a JSON position list: {exc}")
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
+
+
+def cmd_batch_stream(args) -> int:
+    """Bounded-memory streaming batch: JSONL chains in, results out."""
+    from repro.core.batch import BatchSimulator
+    if args.engine != "kernel":
+        raise SystemExit("--stream runs on the fleet backend; it requires "
+                         "--engine kernel")
+    if args.backend == "process":
+        raise SystemExit("--stream runs on the fleet backend; "
+                         "--backend process has no shared arena to bound")
+    sim = BatchSimulator([], params=_params(args), engine="kernel",
+                         check_invariants=args.check, workers=args.workers,
+                         keep_reports=False, backend="fleet")
+    progress = _batch_progress() if args.progress else None
+    chains = _iter_jsonl_chains(args.stream)
+    total = gathered = rounds = robots = 0
+    for idx, result in sim.run_stream(chains, slots=args.slots,
+                                      max_rounds=args.max_rounds,
+                                      progress=progress):
+        total += 1
+        gathered += bool(result.gathered)
+        rounds += result.rounds
+        robots += result.initial_n
+        if args.json:
+            # NDJSON, one line per finished chain, in completion order
+            print(json.dumps({"chain": idx, "n": result.initial_n,
+                              "rounds": result.rounds,
+                              "gathered": result.gathered,
+                              "rounds_per_robot":
+                              round(result.rounds_per_robot, 3)}),
+                  flush=True)
+    stats = sim.last_stream_stats or {}
+    print(f"{gathered}/{total} gathered, {robots} robots in {rounds} rounds "
+          f"total (slots={args.slots}, workers={sim.workers}, "
+          f"peak_live={stats.get('peak_live_chains', 'n/a')})")
+    return 0 if gathered == total else 2
+
+
 def cmd_batch(args) -> int:
     import random
     from repro.core.batch import BatchSimulator
+    if args.stream:
+        return cmd_batch_stream(args)
     family = FAMILIES.get(args.family)
     if family is None:
         raise SystemExit(f"unknown family {args.family!r}; "
@@ -202,6 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workers", type=int, default=None,
                    help="process-pool width (default: in-process; the fleet "
                         "backend shards the batch across workers)")
+    b.add_argument("--stream", metavar="JSONL",
+                   help="stream chains from a JSONL file of position lists "
+                        "('-' reads stdin) through a bounded arena instead "
+                        "of materialising a fleet; results print as chains "
+                        "finish (kernel engine only)")
+    b.add_argument("--slots", type=int, default=256,
+                   help="streaming slot budget: max chains concurrently "
+                        "resident in total (default: 256; with --workers "
+                        "each worker kernel gets slots//workers)")
     b.add_argument("--progress", action="store_true",
                    help="print per-100-chain completion milestones")
     b.add_argument("--max-rounds", type=int, default=None)

@@ -1,6 +1,7 @@
 """Core: the paper's gathering algorithm and its FSYNC execution model."""
 
-from repro.core.batch import BatchResult, BatchSimulator, gather_batch
+from repro.core.batch import (BatchResult, BatchSimulator, gather_batch,
+                              gather_stream)
 from repro.core.chain import ClosedChain, MergeRecord
 from repro.core.config import DEFAULT_PARAMETERS, PROOF_PARAMETERS, Parameters
 from repro.core.engine import Engine
@@ -23,6 +24,7 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "gather_batch",
+    "gather_stream",
     "ClosedChain",
     "MergeRecord",
     "Parameters",

@@ -1,34 +1,47 @@
 """The chain arena: struct-of-arrays storage for a fleet of chains.
 
-The fleet execution tier (DESIGN.md §2.10) advances many closed chains
-round-for-round inside one process.  Its storage is this arena: every
-fleet member's positions, edge codes, robot ids and id → index tables
-live in contiguous fleet-wide arrays, one fixed segment per chain, and
+The fleet execution tier (DESIGN.md §2.10/§2.11) advances many closed
+chains round-for-round inside one process.  Its storage is this arena:
+every fleet member's positions, edge codes, robot ids and id → index
+tables live in contiguous fleet-wide arrays, one *slot* per chain, and
 each :class:`~repro.core.chain.ClosedChain` stays a thin view — its
 ``_arr`` *is* a slice of the arena's position buffer and its edge-code
 cache *is* a slice of the arena's code buffer, so every in-place
 mutation the chain performs (indexed scatter moves, incremental code
 maintenance) keeps the fleet-wide arrays coherent for free.
 
-Layout.  Segment bases are assigned once, from the initial chain
-lengths, and never move: a chain's base simultaneously offsets its
-*cells* (``base + chain_index``) and its *id space* (``base +
-robot_id`` — ids are handed out densely at construction and never
-grow), so one fixed table serves both addressings and ``base[c] +
-robot_id`` is a fleet-unique robot key.  Contraction shrinks a chain
-within its segment (the chain re-packs into the segment prefix —
-per-segment compaction); retirement drops the chain from the live set,
-and the compact *topology arrays* — the live cells in fleet order with
+Layout.  A chain's slot base simultaneously offsets its *cells*
+(``base + chain_index``) and its *id space* (``base + robot_id`` —
+ids are handed out densely at construction and never grow), so one
+fixed table serves both addressings and ``base[c] + robot_id`` is a
+fleet-unique robot key.  Slots are exactly ``n0`` cells (the chain's
+initial length == its id-space size); contraction shrinks a chain
+within its slot (the chain re-packs into the slot prefix).
+
+Lifecycle (DESIGN.md §2.11).  Slots are *reclaimable*: :meth:`retire`
+returns a finished chain's slot to a coalescing free list,
+:meth:`admit` packs an incoming chain into a free slot (best fit over
+hole sizes), and :meth:`compact` re-bases the live slots into the
+buffer prefix — re-pointing every chain view — when fragmentation
+blocks an admission that would otherwise fit.  Because admission
+reuses holes, slot bases are *not* ordered by chain id; the
+span-sized :attr:`owner` table maps any live cell back to its owning
+chain (the fixed ``searchsorted(base)`` lookup of the fixed-fleet
+arena would be wrong after the first out-of-order admission).
+
+The compact *topology arrays* — the live cells in fleet order with
 per-cell cyclic predecessor/successor and owning chain — are rebuilt
 lazily whenever the layout changed.  Every fleet-wide stage (merge
 detection, run-start scan, decision windows, movement, termination
-checks) indexes through these arrays, so retired segments cost
-nothing.
+checks) indexes through these arrays, so retired slots cost nothing.
+Per-round span-sized masks come from a :class:`ScratchPool` so
+steady-state rounds allocate nothing.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,34 +51,115 @@ from repro.core.chain import ClosedChain
 Topology = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
+def append_cell(buf: np.ndarray, count: int, value) -> np.ndarray:
+    """Write ``value`` at row ``count - 1`` of an append-only column.
+
+    The amortised-doubling idiom shared by every admission-appended
+    per-chain table (the arena's base/length tables, the scheduler's
+    birth/budget columns): the caller keeps the returned buffer and
+    re-slices its ``[:count]`` view, so a long stream pays O(1) per
+    admitted chain instead of a full table copy.
+    """
+    if len(buf) < count:
+        grown = np.empty(max(count, 2 * len(buf), 8), dtype=buf.dtype)
+        grown[:count - 1] = buf[:count - 1]
+        buf = grown
+    buf[count - 1] = value
+    return buf
+
+
+class ScratchPool:
+    """Reusable scratch buffers for the per-round span-sized masks.
+
+    The fleet pipeline needs a handful of span-sized work arrays every
+    round (participant masks, mover flags, zero-edge flags, run-count
+    scatters).  Allocating them anew each round costs page-zeroing on
+    large arenas; the pool hands out one persistent buffer per ``(tag,
+    dtype, shape)`` use site instead — refilled, never reallocated
+    while the requested size fits — so steady-state rounds allocate
+    nothing.  Tags are unique per call site, which is what makes the
+    reuse safe: two buffers live at the same time never share a tag.
+    Buffers only ever grow (to the largest size a tag requested), and
+    the returned view is not safe to hold across rounds.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[tuple, np.ndarray] = {}
+
+    def take(self, tag: str, size: int, dtype, fill=None) -> np.ndarray:
+        """A length-``size`` scratch array for ``tag``, optionally filled."""
+        key = (tag, np.dtype(dtype).str)
+        buf = self._bufs.get(key)
+        if buf is None or len(buf) < size:
+            buf = np.empty(max(size, 16), dtype=dtype)
+            self._bufs[key] = buf
+        view = buf[:size]
+        if fill is not None:
+            view.fill(fill)
+        return view
+
+
 class ChainArena:
-    """Fleet-wide struct-of-arrays storage with per-chain segments.
+    """Fleet-wide struct-of-arrays storage with reclaimable slots.
 
     Parameters
     ----------
     chains:
-        The fleet members (mutated in place as the fleet steps).  Each
-        chain is adopted: its backing arrays become views into the
-        arena buffers.
+        The initial fleet members (mutated in place as the fleet
+        steps).  Each chain is adopted: its backing arrays become
+        views into the arena buffers.  May be empty for a streaming
+        arena that fills by :meth:`admit`.
+    capacity:
+        Total cell capacity.  Defaults to exactly the initial chains'
+        footprint; a larger value pre-provisions free space for
+        admissions (streaming tier).
     """
 
     __slots__ = ("chains", "base", "n0", "length", "pos", "codes", "ids",
-                 "index", "live", "_topo", "_topo_dirty")
+                 "index", "owner", "live", "free", "free_ids", "scratch",
+                 "live_cells", "peak_cells", "peak_live", "_topo",
+                 "_topo_dirty", "_base_buf", "_n0_buf", "_len_buf",
+                 "_live_buf", "n_live")
 
-    def __init__(self, chains: Sequence[ClosedChain]):
+    def __init__(self, chains: Sequence[ClosedChain] = (), capacity: int = 0):
         self.chains: List[ClosedChain] = list(chains)
         ns = np.array([c.n for c in self.chains], dtype=np.int64)
         self.n0 = ns
         self.base = np.concatenate([[0], np.cumsum(ns)[:-1]]) \
             if len(ns) else np.empty(0, np.int64)
-        span = int(ns.sum())
+        used = int(ns.sum())
+        cap = max(int(capacity), used)
         # one padding row so reduceat segment ends may equal the span
-        self.pos = np.empty((span + 1, 2), dtype=np.int64)
-        self.codes = np.empty(span, dtype=np.int64)
-        self.ids = np.empty(span, dtype=np.int64)
-        self.index = np.full(span, -1, dtype=np.int64)
+        self.pos = np.empty((cap + 1, 2), dtype=np.int64)
+        self.codes = np.empty(cap, dtype=np.int64)
+        self.ids = np.empty(cap, dtype=np.int64)
+        self.index = np.full(cap, -1, dtype=np.int64)
+        self.owner = np.full(cap, -1, dtype=np.int64)
         self.length = ns.copy()
         self.live = np.ones(len(self.chains), dtype=bool)
+        # the per-chain tables are views of amortised-doubling buffers
+        # (admission appends a row; a growing stream must not pay a
+        # full table copy per admitted chain)
+        self._base_buf = self.base
+        self._n0_buf = self.n0
+        self._len_buf = self.length
+        self._live_buf = self.live
+        #: free holes as (offset, size) pairs, ascending by offset
+        self.free: List[Tuple[int, int]] = [(used, cap - used)] \
+            if cap > used else []
+        #: retired chain rows available for reuse, ascending.  Row
+        #: recycling is what keeps every per-chain table — and every
+        #: per-round count-sized pass over them — bounded by *peak
+        #: occupancy* instead of by chains ever admitted; a stream of
+        #: millions must not decay as its chain tables grow.
+        self.free_ids: List[int] = []
+        self.scratch = ScratchPool()
+        self.live_cells = used
+        self.peak_cells = used
+        self.n_live = len(self.chains)
+        self.peak_live = self.n_live
         self._topo: Optional[Topology] = None
         self._topo_dirty = True
         for ci in range(len(self.chains)):
@@ -74,24 +168,37 @@ class ChainArena:
     # ------------------------------------------------------------------
     @property
     def span(self) -> int:
-        """Total arena cells (sum of initial chain lengths)."""
+        """Total arena cell capacity (live slots + free holes)."""
         return len(self.codes)
+
+    @property
+    def free_cells(self) -> int:
+        """Cells currently sitting in free holes."""
+        return sum(size for _, size in self.free)
+
+    @property
+    def largest_hole(self) -> int:
+        """Size of the largest free hole (0 when the arena is full)."""
+        return max((size for _, size in self.free), default=0)
 
     def live_indices(self) -> np.ndarray:
         """Chain ids of the live fleet members, ascending."""
         return np.flatnonzero(self.live)
 
+    def live_count(self) -> int:
+        """Number of live fleet members (occupied slots), O(1)."""
+        return self.n_live
+
     # ------------------------------------------------------------------
     def attach(self, ci: int) -> None:
-        """(Re-)pack a chain into its segment and adopt its storage.
+        """(Re-)pack a chain into its slot and adopt its storage.
 
-        Called at construction and after every contraction (the chain's
-        rebuilt arrays are private then).  Copies the chain's current
-        positions into the segment prefix and re-points ``_arr`` at the
-        arena; the edge-code cache is carried over when the chain kept
-        it alive through the contraction (the isolated-pair fast path
-        does, preserving its exact zero-edge counter) and re-encoded
-        into the segment otherwise.  Refreshes the id and index tables.
+        Called at construction and admission (the chain's arrays are
+        private then).  Copies the chain's current positions into the
+        slot prefix and re-points ``_arr`` at the arena; the edge-code
+        cache is carried over when the chain kept it alive (preserving
+        its exact zero-edge counter) and re-encoded into the slot
+        otherwise.  Refreshes the id, index and owner tables.
         """
         chain = self.chains[ci]
         b = int(self.base[ci])
@@ -116,11 +223,210 @@ class ChainArena:
         idx_seg = self.index[b:b + int(self.n0[ci])]
         idx_seg[:] = -1
         idx_seg[ids] = np.arange(n, dtype=np.int64)
+        self.owner[b:b + int(self.n0[ci])] = ci
         self._topo_dirty = True
 
+    # ------------------------------------------------------------------
+    # slot lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, chain: ClosedChain) -> int:
+        """Pack an incoming chain into a free slot (best fit).
+
+        Returns the chain id — the lowest retired row is recycled when
+        one exists (so the per-chain tables stay sized to peak
+        occupancy), a fresh row is appended otherwise — or ``-1`` when
+        no hole fits (the caller may :meth:`compact` — when the total
+        free space would fit — or :meth:`grow`, then retry).  The slot
+        is exactly ``chain.n`` cells; a larger hole is split and the
+        remainder stays free.
+        """
+        n = chain.n
+        best = -1
+        best_size = 0
+        for i, (_, size) in enumerate(self.free):
+            if size >= n and (best < 0 or size < best_size):
+                best = i
+                best_size = size
+                if size == n:              # exact fit: cannot do better
+                    break
+        if best < 0:
+            return -1
+        off, size = self.free[best]
+        if size == n:
+            del self.free[best]
+        else:
+            self.free[best] = (off + n, size - n)
+        if self.free_ids:
+            ci = self.free_ids.pop(0)      # lowest first: deterministic
+            self.chains[ci] = chain
+            self.base[ci] = off
+            self.n0[ci] = n
+            self.length[ci] = n
+            self.live[ci] = True
+        else:
+            ci = len(self.chains)
+            self.chains.append(chain)
+            count = ci + 1
+            self._base_buf = append_cell(self._base_buf, count, off)
+            self._n0_buf = append_cell(self._n0_buf, count, n)
+            self._len_buf = append_cell(self._len_buf, count, n)
+            self._live_buf = append_cell(self._live_buf, count, True)
+            self.base = self._base_buf[:count]
+            self.n0 = self._n0_buf[:count]
+            self.length = self._len_buf[:count]
+            self.live = self._live_buf[:count]
+        self.attach(ci)
+        self.live_cells += n
+        if self.live_cells > self.peak_cells:
+            self.peak_cells = self.live_cells
+        self.n_live += 1
+        if self.n_live > self.peak_live:
+            self.peak_live = self.n_live
+        return ci
+
+    def _release_slot(self, off: int, size: int) -> None:
+        """Insert a hole into the free list, coalescing neighbours."""
+        free = self.free
+        lo, hi = 0, len(free)
+        while lo < hi:                     # bisect by offset
+            mid = (lo + hi) // 2
+            if free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (off, size))
+        # merge with successor, then predecessor
+        if lo + 1 < len(free) and off + size == free[lo + 1][0]:
+            free[lo] = (off, size + free[lo + 1][1])
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == off:
+            free[lo - 1] = (free[lo - 1][0], free[lo - 1][1] + free[lo][1])
+            del free[lo]
+
     def retire(self, ci: int) -> None:
-        """Drop a chain from the live set (gathered or out of budget)."""
+        """Return a finished chain's slot (and row) to the free lists."""
         self.live[ci] = False
+        self._release_slot(int(self.base[ci]), int(self.n0[ci]))
+        self.live_cells -= int(self.n0[ci])
+        self.n_live -= 1
+        bisect.insort(self.free_ids, ci)
+        self._topo_dirty = True
+
+    def retire_batch(self, cis: np.ndarray) -> None:
+        """Retire many chains at once: one merge pass over the free list.
+
+        The retiring slots and the existing holes are both sorted and
+        disjoint, so one linear two-list merge — coalescing adjacent
+        entries as it goes — replaces the per-chain bisect-inserts of
+        :meth:`retire` (a draining stream retires most of a fleet in a
+        few of these calls).
+        """
+        cis = np.asarray(cis, dtype=np.int64)
+        if len(cis) == 0:
+            return
+        self.live[cis] = False
+        self.live_cells -= int(self.n0[cis].sum())
+        self.n_live -= len(cis)
+        self.free_ids = sorted(self.free_ids + cis.tolist())
+        holes = sorted(zip(self.base[cis].tolist(), self.n0[cis].tolist()))
+        old = self.free
+        merged: List[Tuple[int, int]] = []
+        i = j = 0
+        while i < len(old) or j < len(holes):
+            if j >= len(holes) or (i < len(old)
+                                   and old[i][0] < holes[j][0]):
+                nxt = old[i]
+                i += 1
+            else:
+                nxt = holes[j]
+                j += 1
+            if merged and merged[-1][0] + merged[-1][1] == nxt[0]:
+                merged[-1] = (merged[-1][0], merged[-1][1] + nxt[1])
+            else:
+                merged.append(nxt)
+        self.free = merged
+        self._topo_dirty = True
+
+    # ------------------------------------------------------------------
+    def _repoint(self, ci: int) -> None:
+        """Re-point a live chain's views at its (possibly moved) slot.
+
+        Content-preserving: the slot already holds the chain's exact
+        positions/codes/ids, so only the array views change — the
+        Python-side caches (tuple list, code list, id list/index) stay
+        valid exactly as they were (stale ones stay stale and settle
+        at the kernel's usual sync points).
+        """
+        chain = self.chains[ci]
+        b = int(self.base[ci])
+        n = int(self.length[ci])
+        chain._arr = self.pos[b:b + n]
+        buf = self.codes[b:b + n]
+        had = chain._codes_cache is not None and len(chain._codes_cache) == n
+        chain._codes_buf = buf
+        chain._codes_cache = buf if had else None
+        chain._codes_view_cache = None
+
+    def compact(self) -> int:
+        """Re-base live slots into the buffer prefix; one tail hole.
+
+        Moves slots in ascending base order (every destination is at
+        or below its source), rebuilds the owner and index tables for
+        the moved slots and re-points every moved chain's views.
+        Returns the number of cells reclaimed into the tail hole.
+        """
+        live = self.live_indices()
+        order = live[np.argsort(self.base[live], kind="stable")]
+        before = self.largest_hole
+        cursor = 0
+        for ci in order.tolist():
+            b = int(self.base[ci])
+            n0 = int(self.n0[ci])
+            n = int(self.length[ci])
+            if b != cursor:
+                self.pos[cursor:cursor + n] = self.pos[b:b + n].copy()
+                self.codes[cursor:cursor + n] = self.codes[b:b + n].copy()
+                seg_ids = self.ids[b:b + n].copy()
+                self.ids[cursor:cursor + n] = seg_ids
+                idx_seg = self.index[cursor:cursor + n0]
+                idx_seg[:] = -1
+                idx_seg[seg_ids] = np.arange(n, dtype=np.int64)
+                self.owner[cursor:cursor + n0] = ci
+                self.base[ci] = cursor
+                self._repoint(ci)
+            cursor += n0
+        cap = self.span
+        self.owner[cursor:] = -1
+        self.free = [(cursor, cap - cursor)] if cap > cursor else []
+        self._topo_dirty = True
+        return self.largest_hole - before
+
+    def grow(self, min_capacity: int) -> None:
+        """Reallocate the buffers to at least ``min_capacity`` cells.
+
+        Slot bases are unchanged; every live chain's views re-point at
+        the new buffers and the tail hole absorbs the added cells.
+        Rare by construction — the streaming tier provisions capacity
+        from its slot budget and reuses retired slots.
+        """
+        old = self.span
+        cap = max(int(min_capacity), old)
+        if cap == old:
+            return
+        pos = np.empty((cap + 1, 2), dtype=np.int64)
+        pos[:old] = self.pos[:old]
+        self.pos = pos
+        for name in ("codes", "ids"):
+            buf = np.empty(cap, dtype=np.int64)
+            buf[:old] = getattr(self, name)
+            setattr(self, name, buf)
+        for name in ("index", "owner"):
+            buf = np.full(cap, -1, dtype=np.int64)
+            buf[:old] = getattr(self, name)
+            setattr(self, name, buf)
+        self._release_slot(old, cap - old)
+        for ci in self.live_indices().tolist():
+            self._repoint(ci)
         self._topo_dirty = True
 
     # ------------------------------------------------------------------
@@ -158,17 +464,23 @@ class ChainArena:
         return self._topo
 
     # ------------------------------------------------------------------
-    def gathered_mask(self) -> Tuple[np.ndarray, np.ndarray]:
+    def gathered_mask(self, cis: Optional[np.ndarray] = None
+                      ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-chain 2×2-subgrid termination check, one reduceat pass.
 
-        Returns ``(live_chain_ids, gathered)``.  Segment bounds are
+        Returns ``(chain_ids, gathered)`` — all live chains by
+        default, or just ``cis`` (the streaming scheduler re-checks
+        only fresh admissions between rounds).  Segment bounds are
         interleaved ``[start, end, start, end, ...]`` so the even
         reduceat groups are exactly the per-chain reductions — the odd
-        (inter-segment) groups absorb retired segments and are
-        discarded, which is what lets retired chains keep their cells
-        without polluting live bounding boxes.
+        (inter-segment) groups absorb free holes and retired cells and
+        are discarded.  Admission may hand out bases out of chain-id
+        order; an out-of-order odd group then degenerates to a single
+        element (reduceat's ``start >= end`` rule), which is discarded
+        all the same, so the even groups stay exact.
         """
-        live = self.live_indices()
+        live = self.live_indices() if cis is None \
+            else np.asarray(cis, dtype=np.int64)
         b = self.base[live]
         bounds = np.empty(2 * len(live), dtype=np.int64)
         bounds[0::2] = b
@@ -209,12 +521,12 @@ class ChainArena:
         local = gidx - base_m
         e_prev = np.where(local == 0, len_m - 1, local - 1) + base_m
         # dedup by scatter-mark (adjacent movers share an edge); the
-        # owning chain re-derives from the fixed base table
-        emask = np.zeros(self.span, dtype=bool)
+        # owning chain re-derives from the owner table
+        emask = self.scratch.take("move_edges", self.span, bool, fill=False)
         emask[e_prev] = True
         emask[gidx] = True
         E = np.flatnonzero(emask)
-        ec = np.searchsorted(self.base, E, side="right") - 1
+        ec = self.owner[E]
         lb = self.base[ec]
         el = E - lb
         nxt = np.where(el + 1 == self.length[ec], 0, el + 1) + lb

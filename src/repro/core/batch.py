@@ -18,6 +18,16 @@ Two in-process backends execute the fleet (DESIGN.md §2.10):
 * ``"process"`` — one simulation per chain through
   :class:`~repro.core.simulator.Simulator` (any engine).
 
+The streaming tier (DESIGN.md §2.11) lifts the fleet backend from
+one-shot to pipeline: :meth:`BatchSimulator.run_stream` /
+:func:`gather_stream` consume an *iterator* of chains, keep the arena
+at a bounded slot occupancy — retired slots are reclaimed for the
+next admissions — and yield ``(index, result)`` pairs as chains
+finish, so a million-chain sweep runs in constant memory.  With
+``workers >= 2`` the stream shards round-robin across a process pool,
+each worker running its own bounded kernel; per-chain results are
+bit-identical to :func:`gather_batch` either way.
+
 ``backend="auto"`` (the default) picks ``"fleet"`` whenever the
 engine is ``"kernel"``.  With ``workers > 1`` either backend
 distributes over a process pool (simulations are pure CPU-bound
@@ -35,9 +45,11 @@ See DESIGN.md §3 for how this layer relates to the single-chain
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.core.chain import ClosedChain
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
@@ -77,6 +89,26 @@ def _fleet_job(job: _FleetJob) -> List[GatheringResult]:
                         keep_reports=keep_reports,
                         validate_initial=validate_initial)
     return fleet.run(max_rounds=max_rounds)
+
+
+#: One stream shard: global chain indices + everything to gather them.
+_StreamJob = Tuple[List[int], List[List[tuple]], Parameters, int, bool,
+                   Optional[int], bool, bool]
+
+
+def _stream_job(job: _StreamJob) -> List[Tuple[int, GatheringResult]]:
+    """Stream one shard through a bounded kernel (top-level: must pickle)."""
+    (indices, positions, params, slots, check_invariants, max_rounds,
+     validate_initial, keep_reports) = job
+    from repro.core.engine_fleet import FleetKernel
+    fleet = FleetKernel([], params=params,
+                        check_invariants=check_invariants,
+                        keep_reports=keep_reports,
+                        validate_initial=validate_initial)
+    return [(indices[ci], res)
+            for ci, res in fleet.run_stream(positions, slots=slots,
+                                            max_rounds=max_rounds,
+                                            release=True)]
 
 
 @dataclass
@@ -192,6 +224,8 @@ class BatchSimulator:
         self.workers = int(workers) if workers else 1
         self.keep_reports = keep_reports
         self.validate_initial = validate_initial
+        #: occupancy telemetry of the last exhausted :meth:`run_stream`
+        self.last_stream_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -234,6 +268,120 @@ class BatchSimulator:
         return BatchResult(results=results,
                            wall_time=time.perf_counter() - t0,
                            workers=workers)
+
+    # ------------------------------------------------------------------
+    def run_stream(self, chains: Iterable = (),
+                   slots: int = 256,
+                   max_rounds: Optional[int] = None,
+                   progress: Optional[Callable[[int, int], None]] = None
+                   ) -> Iterator[Tuple[int, GatheringResult]]:
+        """Stream chains through a bounded arena; yield as they finish.
+
+        ``chains`` is any iterable of chains / position lists —
+        consumed lazily, after any chains given to the constructor —
+        and ``slots`` caps the *total* number of chains concurrently
+        resident, so arbitrarily long streams run in bounded memory
+        (retired slots and chain rows are reclaimed for the next
+        admissions, DESIGN.md §2.11).  Yields ``(index, result)``
+        pairs in completion order; ``index`` is the chain's stream
+        position.
+        Per-chain results are bit-identical to :meth:`run` /
+        :func:`gather_batch` on the same inputs.
+
+        ``workers >= 2`` shards the stream round-robin across a
+        process pool — chain ``i`` goes to worker ``i % workers``,
+        each worker streaming its shard through ``slots // workers``
+        slots of its own — with at most one in-flight chunk per worker
+        plus one filling buffer, so the pipeline stays bounded
+        end-to-end.  After exhaustion, :attr:`last_stream_stats` holds
+        the occupancy telemetry (peak live chains / cells, admission
+        and compaction counts) of the in-process kernel.
+
+        Streaming executes on the fleet backend only (the process
+        backend has no shared arena to bound).
+        """
+        if self.backend != "fleet":
+            raise ValueError(
+                "run_stream() executes on the fleet backend "
+                f"(engine='kernel'); this simulator resolved to "
+                f"backend={self.backend!r}")
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        stream = itertools.chain(iter(self.positions), iter(chains))
+        if self.workers <= 1:
+            yield from self._stream_inprocess(stream, slots, max_rounds,
+                                              progress)
+        else:
+            yield from self._stream_pool(stream, slots, max_rounds, progress)
+
+    def _stream_inprocess(self, stream, slots, max_rounds, progress):
+        from repro.core.engine_fleet import FleetKernel
+        kernel = FleetKernel([], params=self.params,
+                             check_invariants=self.check_invariants,
+                             keep_reports=self.keep_reports,
+                             validate_initial=self.validate_initial)
+        yield from kernel.run_stream(stream, slots=slots,
+                                     max_rounds=max_rounds,
+                                     progress=progress, release=True)
+        arena = kernel.arena
+        self.last_stream_stats = {
+            "workers": 1,
+            "admitted": kernel.stream_stats["admitted"],
+            "compactions": kernel.stream_stats["compactions"],
+            "grows": kernel.stream_stats["grows"],
+            "peak_live_chains": arena.peak_live,
+            "peak_cells": arena.peak_cells,
+            "arena_span": arena.span,
+            "rounds": kernel.round_index,
+        }
+
+    def _stream_pool(self, stream, slots, max_rounds, progress):
+        from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                        as_completed, wait)
+        # slots is the *total* residency budget: never hand out more
+        # than one slot per worker beyond it (slots < workers just
+        # means fewer workers)
+        workers = min(self.workers, slots)
+        per_slots = slots // workers
+        chunk = per_slots * 4              # amortise per-job startup
+        done = 0
+        self.last_stream_stats = {"workers": workers,
+                                  "slots_per_worker": per_slots}
+
+        def job(buf) -> _StreamJob:
+            return ([i for i, _ in buf], [p for _, p in buf], self.params,
+                    per_slots, self.check_invariants, max_rounds,
+                    self.validate_initial, self.keep_reports)
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            buffers: List[list] = [[] for _ in range(workers)]
+            futures = set()
+            for i, c in enumerate(stream):
+                buffers[i % workers].append((i, self._as_positions(c)))
+                k = i % workers
+                if len(buffers[k]) >= chunk:
+                    if len(futures) >= workers:   # bounded pipeline
+                        ready, futures = wait(futures,
+                                              return_when=FIRST_COMPLETED)
+                        for fut in ready:
+                            for pair in fut.result():
+                                done += 1
+                                yield pair
+                            if progress is not None:
+                                progress(done, -1)
+                    futures.add(pool.submit(_stream_job, job(buffers[k])))
+                    buffers[k] = []
+            for buf in buffers:
+                if buf:
+                    futures.add(pool.submit(_stream_job, job(buf)))
+            for fut in as_completed(futures):
+                for pair in fut.result():
+                    done += 1
+                    yield pair
+                if progress is not None:
+                    progress(done, -1)
+        if progress is not None:
+            progress(done, done)
 
     # ------------------------------------------------------------------
     def _run_fleet(self, max_rounds: Optional[int], workers: int,
@@ -297,6 +445,35 @@ class BatchSimulator:
             if progress is not None:
                 progress(k + 1, total)
         return results
+
+
+def gather_stream(chains: Iterable,
+                  slots: int = 256,
+                  params: Parameters = DEFAULT_PARAMETERS,
+                  check_invariants: bool = False,
+                  workers: Optional[int] = None,
+                  keep_reports: bool = True,
+                  max_rounds: Optional[int] = None,
+                  validate_initial: bool = True,
+                  progress=None) -> Iterator[Tuple[int, GatheringResult]]:
+    """Stream a chain iterator through a bounded fleet (convenience API).
+
+    Generator form of :func:`gather_batch` for workloads that do not
+    fit — or should not sit — in memory at once: ``chains`` is
+    consumed lazily, at most ``slots`` chains are resident in total
+    (split ``slots // workers`` per worker kernel under a pool), and
+    ``(index, result)`` pairs yield as chains finish.
+    Kernel engine / fleet backend only (that is where the shared arena
+    lives); per-chain results are bit-identical to
+    :func:`gather_batch` on the same inputs.
+    """
+    sim = BatchSimulator([], params=params, engine="kernel",
+                         check_invariants=check_invariants,
+                         workers=workers, keep_reports=keep_reports,
+                         validate_initial=validate_initial,
+                         backend="fleet")
+    return sim.run_stream(chains, slots=slots, max_rounds=max_rounds,
+                          progress=progress)
 
 
 def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],

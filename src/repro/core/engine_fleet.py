@@ -37,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.grid.lattice import Vec
-from repro.core.arena import ChainArena
+from repro.core.arena import ChainArena, append_cell
 from repro.core.chain import CODE_TO_DIR, ClosedChain, MergeRecord
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
 from repro.core.decisions_vectorized import (
@@ -206,13 +206,15 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
         - np.repeat(np.cumsum(kk) - kk, kk)
     black_g = b[rep] + (fb[rep] + offs) % n[rep]
 
-    min_k = np.full(arena.span, np.iinfo(np.int64).max, dtype=np.int64)
+    min_k = arena.scratch.take("merge_min_k", arena.span, np.int64,
+                               fill=np.iinfo(np.int64).max)
     np.minimum.at(min_k, black_g, kk[rep])
     w0 = b + (fb - 1) % n
     w1 = b + (fb + kk) % n
     keep = ~((min_k[w0] < kk) | (min_k[w1] < kk))
 
-    part_flat = np.zeros(arena.span, dtype=bool)
+    part_flat = arena.scratch.take("merge_part", arena.span, bool,
+                                   fill=False)
     exec_count = np.bincount(pch[keep], minlength=len(arena.chains))
     if not keep.any():
         e = np.empty(0, dtype=np.int64)
@@ -244,13 +246,13 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
         hop_g.append(idx_u[double[perp]])
         hop_v.append(_DIR_TABLE[ca[perp]] + _DIR_TABLE[cb[perp]])
         for cell in idx_u[double[~perp]].tolist():   # impossible; freeze
-            ci = int(np.searchsorted(base, cell, side="right")) - 1
+            ci = int(arena.owner[cell])
             conflicts[ci] = conflicts.get(ci, 0) + 1
     for cell in idx_u[first[counts > 2]].tolist():
-        ci = int(np.searchsorted(base, cell, side="right")) - 1
+        ci = int(arena.owner[cell])
         conflicts[ci] = conflicts.get(ci, 0) + 1
     hop_gidx = np.concatenate(hop_g)
-    hop_chain = np.searchsorted(base, hop_gidx, side="right") - 1
+    hop_chain = arena.owner[hop_gidx]
     return FleetMergePlan(part_flat, hop_gidx, np.concatenate(hop_v),
                           hop_chain, exec_count, conflicts)
 
@@ -261,8 +263,10 @@ FleetStarts = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
                     np.ndarray, np.ndarray]
 
 
-def _fleet_run_starts(arena: ChainArena) -> Optional[FleetStarts]:
-    """Every live chain's Fig. 5 run-start decisions, one fleet pass.
+def _fleet_run_starts(arena: ChainArena,
+                      eligible: Optional[np.ndarray] = None
+                      ) -> Optional[FleetStarts]:
+    """Every eligible chain's Fig. 5 run-start decisions, one fleet pass.
 
     Fleet rendering of :func:`repro.core.engine_vectorized.scan_run_starts`:
     the rolled-code comparisons become gathers through the arena
@@ -270,6 +274,8 @@ def _fleet_run_starts(arena: ChainArena) -> Optional[FleetStarts]:
     corner grammar on the three codes behind each fired anchor — is a
     masked comparison over further topology gathers, evaluated only
     where the cheap base condition fired.  No per-candidate Python.
+    ``eligible`` masks chains by id (mid-run admission staggers the
+    start-interval phase across the fleet; ``None`` scans everyone).
     Returns ``(cells, chain, robot_id, direction, mode_code,
     axis_code)`` arrays in reference order — ascending chain,
     ascending index, direction +1 before -1 — with the robot captured
@@ -304,8 +310,14 @@ def _fleet_run_starts(arena: ChainArena) -> Optional[FleetStarts]:
     i_m = base_m & ~ii_m & (cp1 >= 0) & (((cp1 ^ c0) & 1) == 1) \
         & (cp2 == c0)
 
-    pi = np.flatnonzero(ii_p | i_p)
-    mi = np.flatnonzero(ii_m | i_m)
+    fire_p = ii_p | i_p
+    fire_m = ii_m | i_m
+    if eligible is not None:
+        ok = eligible[cell_chain]
+        fire_p &= ok
+        fire_m &= ok
+    pi = np.flatnonzero(fire_p)
+    mi = np.flatnonzero(fire_m)
     if len(pi) == 0 and len(mi) == 0:
         return None
     # reference order: ascending anchor, +1 before -1 at one anchor
@@ -358,7 +370,8 @@ class FleetKernel:
                  check_invariants: bool = False,
                  keep_reports: bool = True,
                  validate_initial: bool = True,
-                 numpy_min_runs: Optional[int] = None):
+                 numpy_min_runs: Optional[int] = None,
+                 capacity: int = 0):
         objs: List[ClosedChain] = []
         for c in chains:
             if not isinstance(c, ClosedChain):
@@ -367,7 +380,7 @@ class FleetKernel:
                 c.validate(initial=True)
             objs.append(c)
         self.params = params
-        self.arena = ChainArena(objs)
+        self.arena = ChainArena(objs, capacity=capacity)
         self.registry = RunRegistry()
         self.registry.keep_stopped = False   # never read; skip view builds
         self.round_index = 0
@@ -375,12 +388,107 @@ class FleetKernel:
         self._single = len(objs) == 1
         self._check = check_invariants
         self._keep = keep_reports
+        self._validate = validate_initial
         n_chains = len(objs)
         self._n0 = [c.n for c in objs]
+        #: global round each chain entered the fleet (0 for the initial
+        #: members).  A chain's *local* round — what its own simulator
+        #: would call ``round_index`` — is ``round_index - birth[ci]``;
+        #: the start-interval phase, the round budget and the report
+        #: numbering all run on local rounds, which is what makes
+        #: mid-run admission bit-identical to a fresh single run.
+        self.birth = np.zeros(n_chains, dtype=np.int64)
+        #: per-chain round budgets from the parameters' stall bound; a
+        #: ``max_rounds`` cap is applied at check time by the run that
+        #: carries it, never written here (so one capped run cannot
+        #: leak its cap into later admissions or runs)
+        self._budgets = np.array([params.round_budget(n) for n in self._n0],
+                                 dtype=np.int64)
+        # amortised-doubling backing for the two admission-appended
+        # columns (same pattern as the arena's per-chain tables)
+        self._birth_buf = self.birth
+        self._budget_buf = self._budgets
         self.reports: List[List[RoundReport]] = [[] for _ in range(n_chains)]
         self.results: List[Optional[GatheringResult]] = [None] * n_chains
-        #: chains whose Python-side id list/index awaits _sync_ids
-        self._ids_dirty: set = set()
+        #: internal chain row -> external stream position.  Rows are
+        #: recycled after retirement (the per-chain tables stay sized
+        #: to peak occupancy — million-chain streams must not decay as
+        #: the tables grow), so the stream index a result is yielded
+        #: under lives here; for a fixed fleet the mapping is identity.
+        self._ext_of: List[int] = list(range(n_chains))
+        self._submitted = n_chains
+        #: streaming telemetry (admissions, lifecycle churn; peak
+        #: occupancy lives on the arena)
+        self.stream_stats: Dict[str, int] = {
+            "admitted": 0, "compactions": 0, "grows": 0}
+        #: chains whose Python-side id list/index awaits _sync_ids —
+        #: value None forces a full rebuild; a dict carries the round's
+        #: splice plan (removed positions / survivor overwrites) so the
+        #: sync can edit the live caches in place
+        self._ids_dirty: Dict[int, Optional[dict]] = {}
+
+    # ------------------------------------------------------------------
+    def _as_chain(self, c: Union[ClosedChain, Sequence[Vec]]) -> ClosedChain:
+        """Normalise one fleet input (constructor and admission path)."""
+        if not isinstance(c, ClosedChain):
+            return ClosedChain(c, require_disjoint_neighbors=self._validate)
+        if self._validate:
+            c.validate(initial=True)
+        return c
+
+    # ------------------------------------------------------------------
+    def admit(self, chain: ClosedChain, slots_hint: Optional[int] = None
+              ) -> int:
+        """Admit a chain into a reclaimed arena slot (streaming tier).
+
+        Best-fit over the free holes; when fragmentation blocks a fit
+        that the total free space allows, the arena compacts and the
+        admission retries; only a genuine capacity shortfall grows the
+        buffers (``slots_hint`` provisions a uniform stream's whole
+        working set — slot budget × this chain's size — in one step).
+        The chain starts at local round 0: birth round, round budget
+        and report numbering are per chain.  Returns the chain id.
+        """
+        n = chain.n
+        arena = self.arena
+        ci = arena.admit(chain)
+        if ci < 0 and arena.free_cells >= n:
+            arena.compact()
+            self.stream_stats["compactions"] += 1
+            ci = arena.admit(chain)
+        if ci < 0:
+            want = arena.live_cells + n
+            if slots_hint is not None:
+                want = max(want, slots_hint * n)
+            # span + n guarantees the grown tail hole alone fits the
+            # chain even when the existing free space is fragmented
+            arena.grow(max(want, 2 * arena.span, arena.span + n))
+            self.stream_stats["grows"] += 1
+            ci = arena.admit(chain)
+        self._single = False
+        ext = self._submitted
+        self._submitted = ext + 1
+        if ci < len(self._n0):             # recycled row: reset in place
+            self._n0[ci] = n
+            self.birth[ci] = self.round_index
+            self._budgets[ci] = self.params.round_budget(n)
+            self.reports[ci] = []
+            self.results[ci] = None
+            self._ext_of[ci] = ext
+        else:
+            self._n0.append(n)
+            count = ci + 1
+            self._birth_buf = append_cell(self._birth_buf, count,
+                                          self.round_index)
+            self._budget_buf = append_cell(self._budget_buf, count,
+                                           self.params.round_budget(n))
+            self.birth = self._birth_buf[:count]
+            self._budgets = self._budget_buf[:count]
+            self.reports.append([])
+            self.results.append(None)
+            self._ext_of.append(ext)
+        self.stream_stats["admitted"] += 1
+        return ci
 
     # ------------------------------------------------------------------
     def run(self, max_rounds: Optional[int] = None,
@@ -396,67 +504,178 @@ class FleetKernel:
         called as ``progress(completed, total)`` whenever chains
         retire.
         """
-        arena = self.arena
-        total = len(arena.chains)
+        total = len(self.arena.chains)
         if total == 0:
             return []
-        if max_rounds is not None:
-            budgets = np.full(total, max_rounds, dtype=np.int64)
-        else:
-            budgets = np.array([self.params.round_budget(n)
-                                for n in self._n0], dtype=np.int64)
-        t0 = time.perf_counter()
-        done = 0
-        while True:
-            live = arena.live_indices()
-            if len(live) == 0:
-                break
-            live_ids, gathered = arena.gathered_mask()
-            retire = gathered | (self.round_index >= budgets[live_ids])
-            if retire.any():
-                for ci, g in zip(live_ids[retire].tolist(),
-                                 gathered[retire].tolist()):
-                    self._retire(int(ci), bool(g), t0)
-                    done += 1
-                if progress is not None:
-                    progress(done, total)
-                if retire.all():
-                    continue
-            self._step_round()
-            self.round_index += 1
+        cb = None
+        if progress is not None:
+            def cb(done: int, _total: int) -> None:
+                progress(done, total)
+        for ci, res in self.run_stream((), max_rounds=max_rounds,
+                                       progress=cb):
+            self.results[ci] = res
         return list(self.results)
 
     # ------------------------------------------------------------------
-    def _retire(self, ci: int, gathered: bool, t0: float) -> None:
-        """Remove a finished chain from the fleet and record its result."""
-        self._sync_ids(ci)
-        chain = self.arena.chains[ci]
-        # the fleet-wide movement scatter leaves chain-level caches to
-        # settle here, once per chain lifetime, instead of per round
-        chain._pos_cache = None
-        chain._codes_view_cache = None
-        chain._codes_list_cache = None
-        chain._invalid_edges = -1
+    def run_stream(self, chains: Union[Sequence, object] = (),
+                   slots: Optional[int] = None,
+                   max_rounds: Optional[int] = None,
+                   progress: Optional[Callable[[int, int], None]] = None,
+                   release: bool = False):
+        """Stream chains through the arena; yield results as chains finish.
+
+        The scheduler core of the streaming tier (DESIGN.md §2.11): an
+        admission queue fed by ``chains`` (any iterable — consumed
+        lazily) is drained between rounds — whenever occupancy drops
+        below the ``slots`` budget (``None``: admit everything
+        immediately), the next chains are admitted into reclaimed
+        arena slots, tagged with their birth round, and their first
+        runs start in the next round's bulk start.  Chains already in
+        the arena (constructor members) run ahead of the stream.
+
+        Yields ``(chain_id, result)`` pairs the moment each chain
+        retires; chain ids count up in admission order, so they are
+        stream positions.  Per-chain results are bit-identical to
+        ``gather_batch`` / ``Simulator(engine="kernel")`` on the same
+        inputs.  ``release`` drops the kernel's own reference to each
+        yielded chain and its reports (bounded-memory sweeps);
+        ``progress`` is called as ``progress(done, total)`` with
+        ``total == -1`` while the stream end is unknown.
+        """
+        if slots is not None and slots < 1:
+            raise ValueError("slots must be >= 1")
+        arena = self.arena
+        it = iter(chains)
+        exhausted = False
+        done = 0
+        t0 = time.perf_counter()
+        while True:
+            # --- between-round scheduling --------------------------------
+            # one retire pass over the stepped fleet, then a top-up /
+            # re-check loop over *fresh admissions only* (an admitted
+            # chain that is already gathered — or has a zero budget —
+            # retires at local round 0 without ever stepping, exactly
+            # as its own simulator would)
+            retired = False
+            live = arena.live_indices()
+            if len(live):
+                live_ids, gathered = arena.gathered_mask()
+                local = self.round_index - self.birth[live_ids]
+                # a max_rounds cap applies for this run only — the
+                # stored budgets stay the parameters' stall bounds
+                retire = gathered | (local >= (self._budgets[live_ids]
+                                               if max_rounds is None
+                                               else max_rounds))
+                if retire.any():
+                    retired = True
+                    for ci, res in self._retire_batch(
+                            live_ids[retire], gathered[retire], t0,
+                            release=release):
+                        done += 1
+                        yield ci, res
+            while True:
+                fresh: List[int] = []
+                while not exhausted and (slots is None
+                                         or arena.n_live < slots):
+                    try:
+                        nxt = next(it)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    fresh.append(self.admit(self._as_chain(nxt),
+                                            slots_hint=slots))
+                if not fresh:
+                    break
+                cis = np.asarray(fresh, dtype=np.int64)
+                _, gathered = arena.gathered_mask(cis)
+                # fresh admissions sit at local round 0; only a
+                # non-positive budget can retire them unstepped
+                if max_rounds is None:
+                    retire = gathered | (self._budgets[cis] <= 0)
+                else:
+                    retire = gathered | np.full(len(cis), max_rounds <= 0)
+                if not retire.any():
+                    break
+                retired = True
+                for ci, res in self._retire_batch(cis[retire],
+                                                  gathered[retire], t0,
+                                                  release=release):
+                    done += 1
+                    yield ci, res
+            if retired and progress is not None:
+                progress(done, self._submitted if exhausted else -1)
+            if arena.n_live == 0:
+                break
+            self._maybe_compact_registry()
+            self._step_round()
+            self.round_index += 1
+
+    # ------------------------------------------------------------------
+    def _maybe_compact_registry(self) -> None:
+        """Reclaim dead registry rows once admission churn dominates.
+
+        Run rows are append-only within a round; a long stream would
+        grow the matrix with every run ever started.  Between rounds —
+        when no stage holds row numbers — the live rows re-pack to the
+        prefix (relative age preserved, so behaviour is unchanged),
+        keeping registry memory bounded by the live fleet.
+        """
+        reg = self.registry
+        if reg.keep_stopped or reg.stopped:
+            return                         # engine surface holds views
+        if reg._count >= 1024 and len(reg._active) * 4 <= reg._count:
+            reg.compact_rows()
+
+    # ------------------------------------------------------------------
+    def _retire_batch(self, cis: np.ndarray, gathered: np.ndarray,
+                      t0: float, release: bool = False
+                      ) -> List[Tuple[int, GatheringResult]]:
+        """Retire finished chains: one registry drop, one arena pass.
+
+        All finishing chains' registry rows leave in a single masked
+        ``drop_slots`` and their arena slots return to the free list in
+        one :meth:`ChainArena.retire_batch` sweep — the per-chain work
+        left is exactly the result materialisation.  ``release`` drops
+        the kernel's references to the retired chain and its report
+        list (the stream consumer owns the yielded result).
+        """
+        arena = self.arena
         registry = self.registry
+        cis = np.asarray(cis, dtype=np.int64)
         slots = registry.active_slots()
         if len(slots):
-            mine = slots[registry.chain_col[slots] == ci]
-            if len(mine):
-                registry.drop_slots(mine)
-        self.arena.retire(ci)
-        chain = self.arena.chains[ci]
-        self.results[ci] = GatheringResult(
-            gathered=gathered,
-            rounds=self.round_index,
-            initial_n=self._n0[ci],
-            final_n=chain.n,
-            final_positions=chain.positions,
-            params=self.params,
-            reports=self.reports[ci],
-            trace=None,
-            stalled=not gathered,
-            wall_time=time.perf_counter() - t0,
-        )
+            drop = slots[np.isin(registry.chain_col[slots], cis)]
+            if len(drop):
+                registry.drop_slots(drop)
+        wall = time.perf_counter() - t0
+        out: List[Tuple[int, GatheringResult]] = []
+        for ci, g in zip(cis.tolist(), np.asarray(gathered).tolist()):
+            self._sync_ids(ci)
+            chain = arena.chains[ci]
+            # the fleet-wide movement scatter leaves chain-level caches
+            # to settle here, once per chain lifetime, not per round
+            chain._pos_cache = None
+            chain._codes_view_cache = None
+            chain._codes_list_cache = None
+            chain._invalid_edges = -1
+            result = GatheringResult(
+                gathered=bool(g),
+                rounds=self.round_index - int(self.birth[ci]),
+                initial_n=self._n0[ci],
+                final_n=chain.n,
+                final_positions=chain.positions,
+                params=self.params,
+                reports=self.reports[ci],
+                trace=None,
+                stalled=not g,
+                wall_time=wall,
+            )
+            out.append((self._ext_of[ci], result))
+            if release:
+                self.reports[ci] = []
+                arena.chains[ci] = None    # type: ignore[call-overload]
+        arena.retire_batch(cis)
+        return out
 
     # ------------------------------------------------------------------
     def _step_round(self) -> None:
@@ -510,10 +729,22 @@ class FleetKernel:
         dec = self._decide(part_flat, round_index)
         terminated.extend(dec.terminated)
 
-        # 4. run starts (every L-th round; reads only the snapshot codes) ---
+        # 4. run starts (every L-th *local* round; mid-run admission
+        # staggers the phase per chain, so the scan carries a chain
+        # eligibility mask whenever the fleet is out of phase) ----------
         starts: Optional[FleetStarts] = None
-        if round_index % params.start_interval == 0:
-            starts = _fleet_run_starts(arena)
+        if self._single:
+            do_starts = round_index % params.start_interval == 0
+            start_mask = None
+        else:
+            ph = (round_index - self.birth[live]) % params.start_interval == 0
+            do_starts = bool(ph.any())
+            start_mask = None
+            if do_starts and not ph.all():
+                start_mask = np.zeros(len(chains), dtype=bool)
+                start_mask[live[ph]] = True
+        if do_starts:
+            starts = _fleet_run_starts(arena, start_mask)
             if starts is not None and part_flat is not None:
                 # merge participants never start runs (Table 1.3); the
                 # candidate cells are snapshot cells, so the mask
@@ -579,7 +810,7 @@ class FleetKernel:
         else:
             moved, crowded = registry.advance_fleet(
                 base, arena.length, arena.ids, arena.index,
-                collect_moved=self._check)
+                collect_moved=self._check, scratch=arena.scratch)
         # contraction can push two same-direction runs onto one robot; a
         # robot cannot tell them apart, so the younger run dissolves.
         if crowded:
@@ -665,8 +896,17 @@ class FleetKernel:
         ``_invalid_edges`` settles to 0 because sync points sit at
         round starts, where the previous round's contraction has
         cleared every zero edge.
+
+        When the contraction recorded a *splice plan* (single-segment
+        arenas do — one round's worth of removed positions and
+        survivor overwrites), the live tuple/code/id caches are edited
+        in place: a handful of C-level ``del``/assignments instead of
+        three O(n) list rebuilds per merge round, which is what keeps
+        the merge-dense single-chain path at the old spliced-chain
+        speed.
         """
-        if ci not in self._ids_dirty:
+        info = self._ids_dirty.pop(ci, False)
+        if info is False:
             return
         arena = self.arena
         chain = arena.chains[ci]
@@ -677,12 +917,27 @@ class FleetKernel:
         chain._codes_buf = buf
         chain._codes_cache = buf
         chain._codes_view_cache = None
-        chain._codes_list_cache = None
-        chain._pos_cache = None
         chain._invalid_edges = 0
-        chain._ids = arena.ids[b:b + n].tolist()
+        if info is not None:
+            drop_pos = info["drop_pos"]
+            cl = chain._codes_list_cache
+            if cl is not None:
+                for e in reversed(info["drop_edges"]):
+                    del cl[e]
+            pc = chain._pos_cache
+            if pc is not None:
+                for p in reversed(drop_pos):
+                    del pc[p]
+            ids = chain._ids
+            for p, rid in zip(info["over_pos"], info["over_ids"]):
+                ids[p] = rid
+            for p in reversed(drop_pos):
+                del ids[p]
+        else:
+            chain._codes_list_cache = None
+            chain._pos_cache = None
+            chain._ids = arena.ids[b:b + n].tolist()
         chain._rebuild_index()
-        self._ids_dirty.discard(ci)
 
     # ------------------------------------------------------------------
     def _contract_fleet(self, zero_cells: np.ndarray, move_g: np.ndarray,
@@ -718,7 +973,7 @@ class FleetKernel:
         keep_recs = self._keep
         round_index = self.round_index
 
-        zch = np.searchsorted(base, zero_cells, side="right") - 1
+        zch = arena.owner[zero_cells]
         wrap = (zero_cells - base[zch]) == length[zch] - 1
         if wrap.any():
             # the wrap pair resolves last (reference scan order); its
@@ -731,7 +986,8 @@ class FleetKernel:
             zf, zcf = zero_cells, zch
 
         # moved-robot membership in id space (survivor rule input)
-        moved_flat = np.zeros(arena.span, dtype=bool)
+        moved_flat = arena.scratch.take("contract_moved", arena.span, bool,
+                                        fill=False)
         if len(move_g):
             moved_flat[base[move_c] + ids_flat[move_g]] = True
 
@@ -793,7 +1049,8 @@ class FleetKernel:
                         MergeRecord(s, r, (x, y)))
 
             # --- batch segment compaction over the contracting chains --
-            zero_flag = np.zeros(arena.span, dtype=bool)
+            zero_flag = arena.scratch.take("contract_zero", arena.span, bool,
+                                           fill=False)
             zero_flag[zf] = True
             cis = _sorted_unique(zcf)
             lens_old = length[cis]
@@ -826,9 +1083,22 @@ class FleetKernel:
             length[cis] = lens_old - np.bincount(
                 zcf, minlength=len(chains))[cis]
             # per-chain Python state (view re-pointing, id list/dict
-            # rebuild) defers wholesale to _sync_ids
+            # rebuild) defers wholesale to _sync_ids.  A single-segment
+            # arena — synced every round, so never already dirty —
+            # records the round's splice plan instead: _sync_ids then
+            # edits the live caches in place rather than rebuilding
             cis_list = cis.tolist()
-            self._ids_dirty.update(cis_list)
+            if self._single and 0 not in self._ids_dirty:
+                b0 = int(base[0])
+                self._ids_dirty[0] = {
+                    "drop_edges": (zf - b0).tolist(),
+                    "drop_pos": (zf - b0 + 1).tolist(),
+                    "over_pos": (top_cells - b0).tolist(),
+                    "over_ids": (pm[last_idx] % span).tolist(),
+                }
+            else:
+                for c in cis_list:
+                    self._ids_dirty[c] = None
             arena._topo_dirty = True
             contracted.extend(cis_list)
 
@@ -877,7 +1147,7 @@ class FleetKernel:
                             MergeRecord(h_id, t_id, p))
                 wrap_removed.append(b + removed)
                 length[ci] = nl - 1
-                self._ids_dirty.add(ci)
+                self._ids_dirty[ci] = None   # wrap shuffles; full rebuild
                 contracted.append(ci)
             arena._topo_dirty = True
 
@@ -982,10 +1252,13 @@ class FleetKernel:
         slots = registry.active_slots()
         if len(slots):
             ekeys = base[registry.chain_col[slots]] + registry.robot[slots]
-            counts = np.zeros(arena.span, dtype=np.int64)
+            counts = arena.scratch.take("start_counts", arena.span,
+                                        np.int64, fill=0)
             np.add.at(counts, ekeys, 1)
-            fwd_on = np.zeros(arena.span, dtype=bool)
-            bwd_on = np.zeros(arena.span, dtype=bool)
+            fwd_on = arena.scratch.take("start_fwd", arena.span, bool,
+                                        fill=False)
+            bwd_on = arena.scratch.take("start_bwd", arena.span, bool,
+                                        fill=False)
             ed = registry.dirn[slots]
             fwd_on[ekeys[ed == 1]] = True
             bwd_on[ekeys[ed != 1]] = True
@@ -1032,9 +1305,10 @@ class FleetKernel:
             reason = StopReason(code)
             d[reason] = d.get(reason, 0) + 1
         length = self.arena.length
+        birth = self.birth
         for ci in live_list:
             self.reports[ci].append(RoundReport(
-                round_index=round_index,
+                round_index=round_index - int(birth[ci]),
                 n_before=n_before[ci],
                 n_after=int(length[ci]),
                 hops=int(hops[ci]),
@@ -1078,14 +1352,17 @@ class FleetKernel:
                     if (idx[mine] < 0).any():
                         raise InvariantViolation(
                             f"fleet chain {ci}: run rides removed robot")
-                    _, counts = np.unique(mine, return_counts=True)
-                    if (counts > 2).any():
+                    # sorted-boundary triple check (a value repeated 3x
+                    # sits 2 apart in sorted order) — same dedup idiom
+                    # as the contraction sweeps, no np.unique hash pass
+                    srt = np.sort(mine)
+                    if len(srt) > 2 and (srt[2:] == srt[:-2]).any():
                         raise InvariantViolation(
                             f"fleet chain {ci}: robot carries more than "
                             f"two runs")
         if moved is not None:
             mc, old, new, dirs = moved
-            for ci in np.unique(mc).tolist():
+            for ci in _sorted_unique(np.sort(mc)).tolist():
                 if not arena.live[ci]:
                     continue
                 rows = mc == ci

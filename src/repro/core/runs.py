@@ -540,6 +540,43 @@ class RunRegistry:
         self._active_arr = None
         self._by_robot_dirty = True
 
+    def compact_rows(self) -> None:
+        """Re-pack the live rows into the matrix prefix (streaming tier).
+
+        Run ids are renumbered 0..m-1 in their current (ascending, ==
+        age) order, so every relative-age comparison — the
+        duplicate-direction sweep's "youngest run dissolves", the
+        ascending-id stop ordering — is preserved and per-chain
+        behaviour stays bit-identical.  Only valid on a registry that
+        keeps no terminated-run surface (``keep_stopped`` off and
+        nothing on ``stopped``): stopped views hold absolute row
+        numbers and would dangle.  The fleet scheduler calls this
+        between rounds when admission has left the matrix mostly dead
+        rows, which is what keeps registry memory bounded by the live
+        fleet instead of by every run ever started.
+        """
+        if self.keep_stopped or self.stopped:
+            raise ValueError("compact_rows() requires keep_stopped=False "
+                             "and no retained stopped views")
+        live = self.active_slots()
+        m = len(live)
+        data = self._data
+        if m:
+            data[:m] = data[live]
+        # shrink a matrix that admission churn left mostly dead
+        cap = len(data)
+        target = cap
+        while target > self._INITIAL_CAP and m * 4 <= target:
+            target //= 2
+        if target < cap:
+            self._data = data[:target].copy()
+        self._count = m
+        self._active = list(range(m))
+        self._active_arr = None
+        self._by_robot = {}
+        self._by_robot_dirty = True
+        self._views.clear()
+
     def drop_slots(self, run_ids) -> None:
         """Remove runs from the live set without stop bookkeeping.
 
@@ -654,7 +691,7 @@ class RunRegistry:
 
     def advance_fleet(self, base: np.ndarray, length: np.ndarray,
                       ids_flat: np.ndarray, index_flat: np.ndarray,
-                      collect_moved: bool = False):
+                      collect_moved: bool = False, scratch=None):
         """Advance every live run fleet-wide over the arena's flat tables.
 
         ``base``/``length`` are the arena's per-chain segment tables,
@@ -663,6 +700,9 @@ class RunRegistry:
         ``(moved, crowded)`` where ``moved`` is ``(chain, old, new,
         dirs)`` arrays when requested (the run-speed invariant) and
         ``crowded`` flags a robot now carrying more than one run.
+        ``scratch`` may pass the arena's
+        :class:`~repro.core.arena.ScratchPool` so the span-sized
+        duplicate mask reuses its buffer round over round.
         """
         slots = self.active_slots()
         if len(slots) == 0:
@@ -678,7 +718,11 @@ class RunRegistry:
         keys = bs + new
         # duplicate detection by scatter-mark (keys are fleet-unique
         # robot slots, so a sort-based unique would be overkill)
-        seen = np.zeros(len(ids_flat), dtype=bool)
+        if scratch is not None:
+            seen = scratch.take("advance_seen", len(ids_flat), bool,
+                                fill=False)
+        else:
+            seen = np.zeros(len(ids_flat), dtype=bool)
         seen[keys] = True
         crowded = int(np.count_nonzero(seen)) < len(keys)
         if collect_moved:

@@ -1,0 +1,488 @@
+"""Arena slot lifecycle and the streaming fleet scheduler.
+
+The streaming tier (DESIGN.md §2.11) turns the arena's fixed segments
+into reclaimable slots: :meth:`ChainArena.retire` returns a slot to a
+coalescing free list, :meth:`ChainArena.admit` best-fit packs an
+incoming chain into a hole, and :meth:`ChainArena.compact` re-bases
+the live slots when fragmentation blocks a fit.  These tests drive
+random retire → reclaim → admit → compact cycles and assert the
+arena's structural invariants — fleet-unique robot keys, coherent
+owner/id/index tables, coherent topology arrays — plus the scheduler
+property that matters most: chains admitted mid-run through
+``FleetKernel.run_stream`` produce **bit-identical** per-chain
+``RoundReport`` streams to ``Simulator(engine="kernel")``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arena import ChainArena, ScratchPool
+from repro.core.batch import BatchSimulator, gather_batch, gather_stream
+from repro.core.chain import ClosedChain
+from repro.core.engine_fleet import FleetKernel
+from repro.core.runs import RunRegistry
+from repro.core.simulator import Simulator
+from repro.chains import crenellation, random_chain, square_ring
+
+from tests.conftest import closed_chain_positions
+
+
+# ---------------------------------------------------------------------------
+# coherence assertions
+# ---------------------------------------------------------------------------
+
+def assert_arena_coherent(arena: ChainArena) -> None:
+    """Structural invariants of the slot lifecycle.
+
+    Live slots are disjoint and exactly ``n0`` cells; the owner table
+    maps every live cell to its chain; ids are unique per chain with an
+    exact id → index table, so ``base + robot_id`` keys are
+    fleet-unique; chain views alias the arena buffers; free holes are
+    sorted, disjoint from the slots, coalesced, and account for every
+    unoccupied cell.
+    """
+    live = arena.live_indices()
+    claimed = np.zeros(arena.span, dtype=bool)
+    keys = set()
+    for ci in live.tolist():
+        b = int(arena.base[ci])
+        n0 = int(arena.n0[ci])
+        n = int(arena.length[ci])
+        assert 0 < n <= n0
+        assert not claimed[b:b + n0].any(), "overlapping slots"
+        claimed[b:b + n0] = True
+        assert (arena.owner[b:b + n0] == ci).all()
+        chain = arena.chains[ci]
+        assert chain.n == n
+        assert np.shares_memory(chain._arr, arena.pos)
+        ids = arena.ids[b:b + n].tolist()
+        assert len(set(ids)) == n, "duplicate robot ids in slot"
+        assert all(0 <= rid < n0 for rid in ids)
+        for k, rid in enumerate(ids):
+            assert arena.index[b + rid] == k
+            key = b + rid
+            assert key not in keys, "fleet robot key collision"
+            keys.add(key)
+        # removed ids resolve to -1
+        for rid in set(range(n0)) - set(ids):
+            assert arena.index[b + rid] == -1
+    # retired rows all sit on the recycling list, exactly once
+    assert sorted(arena.free_ids) == [ci for ci in range(len(arena.chains))
+                                      if not arena.live[ci]]
+    # free holes: sorted, coalesced, disjoint from slots, complete
+    prev_end = None
+    free_cells = 0
+    for off, size in arena.free:
+        assert size > 0
+        assert not claimed[off:off + size].any(), "hole overlaps a slot"
+        claimed[off:off + size] = True
+        if prev_end is not None:
+            assert off > prev_end, "free list not coalesced/sorted"
+        prev_end = off + size
+        free_cells += size
+    assert free_cells == arena.free_cells
+    assert arena.live_cells == int(arena.n0[live].sum())
+    # topology arrays: one entry per live robot, cyclic and chain-closed
+    cells, cell_chain, prev_pos, next_pos = arena.topology()
+    assert len(cells) == int(arena.length[live].sum())
+    idx = np.arange(len(cells))
+    assert (next_pos[prev_pos] == idx).all()
+    assert (prev_pos[next_pos] == idx).all()
+    assert (cell_chain[prev_pos] == cell_chain).all()
+    assert (arena.owner[cells] == cell_chain).all()
+
+
+def _report_key(report):
+    return (report.round_index, report.n_before, report.n_after, report.hops,
+            report.merge_patterns, report.merges, report.runs_started,
+            report.runs_terminated, report.active_runs,
+            report.merge_conflicts, report.runner_hop_conflicts)
+
+
+def _result_key(res):
+    return (res.gathered, res.stalled, res.rounds, res.initial_n,
+            res.final_n, res.final_positions,
+            [_report_key(r) for r in res.reports])
+
+
+def assert_stream_equals_singles(fleet_pts, slots, max_rounds=None,
+                                 check_invariants=True, workers=None):
+    """Stream the chains through a bounded arena; compare each result
+    against its own ``Simulator(engine="kernel")`` run."""
+    singles = [Simulator(list(p), engine="kernel",
+                         check_invariants=check_invariants).run(
+                             max_rounds=max_rounds)
+               for p in fleet_pts]
+    sim = BatchSimulator([], engine="kernel", backend="fleet",
+                         check_invariants=check_invariants,
+                         keep_reports=True, workers=workers)
+    got = dict(sim.run_stream([list(p) for p in fleet_pts], slots=slots,
+                              max_rounds=max_rounds))
+    assert sorted(got) == list(range(len(fleet_pts)))
+    for i, s in enumerate(singles):
+        assert _result_key(got[i]) == _result_key(s), f"chain {i}"
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# scratch pool
+# ---------------------------------------------------------------------------
+
+class TestScratchPool:
+    def test_reuse_and_fill(self):
+        pool = ScratchPool()
+        a = pool.take("mask", 64, bool, fill=False)
+        a[:] = True
+        b = pool.take("mask", 64, bool, fill=False)
+        assert b is not None and not b.any()        # refilled
+        assert np.shares_memory(a, b)               # same storage
+        c = pool.take("mask", 32, bool, fill=False)
+        assert len(c) == 32 and np.shares_memory(b, c)
+
+    def test_distinct_tags_distinct_buffers(self):
+        pool = ScratchPool()
+        a = pool.take("a", 16, np.int64, fill=0)
+        b = pool.take("b", 16, np.int64, fill=7)
+        assert not np.shares_memory(a, b)
+        assert (b == 7).all() and (a == 0).all()
+
+    def test_growth(self):
+        pool = ScratchPool()
+        a = pool.take("m", 8, np.int64, fill=1)
+        b = pool.take("m", 1024, np.int64, fill=2)
+        assert len(b) == 1024 and (b == 2).all()
+        assert not np.shares_memory(a, b)
+
+
+# ---------------------------------------------------------------------------
+# slot lifecycle (direct arena driving)
+# ---------------------------------------------------------------------------
+
+class TestSlotLifecycle:
+    def test_retire_reclaims_and_admit_reuses(self):
+        chains = [ClosedChain(square_ring(8)) for _ in range(4)]
+        arena = ChainArena(chains)
+        n = chains[0].n
+        base1 = int(arena.base[1])
+        assert arena.free_cells == 0
+        arena.retire(1)
+        assert arena.free_cells == n
+        ci = arena.admit(ClosedChain(square_ring(8)))
+        assert ci == 1                      # row recycled, tables bounded
+        assert int(arena.base[ci]) == base1  # slot reused
+        assert arena.free_cells == 0
+        assert len(arena.chains) == 4
+        assert_arena_coherent(arena)
+
+    def test_best_fit_prefers_smallest_hole(self):
+        chains = [ClosedChain(square_ring(20)),   # big slot
+                  ClosedChain(square_ring(6)),    # keeper between holes
+                  ClosedChain(square_ring(8)),    # small slot
+                  ClosedChain(square_ring(6))]
+        arena = ChainArena(chains)
+        arena.retire(0)
+        arena.retire(2)                     # two non-adjacent holes
+        assert len(arena.free) == 2
+        small = ClosedChain(square_ring(8))
+        ci = arena.admit(small)
+        assert int(arena.base[ci]) == int(arena.base[2]),  \
+            "best fit must pick the smaller hole"
+        assert_arena_coherent(arena)
+
+    def test_free_list_coalesces(self):
+        chains = [ClosedChain(square_ring(8)) for _ in range(3)]
+        arena = ChainArena(chains)
+        arena.retire(0)
+        arena.retire(2)
+        assert len(arena.free) == 2
+        arena.retire(1)                     # bridges both neighbours
+        assert len(arena.free) == 1
+        assert arena.free[0] == (0, arena.span)
+
+    def test_admit_returns_minus_one_when_fragmented(self):
+        chains = [ClosedChain(square_ring(8)) for _ in range(4)]
+        arena = ChainArena(chains)
+        arena.retire(0)
+        arena.retire(2)                     # two disjoint small holes
+        big = ClosedChain(square_ring(14))
+        assert big.n > chains[0].n
+        assert arena.admit(big) == -1
+        if arena.free_cells >= big.n:
+            arena.compact()
+            assert arena.admit(big) >= 0
+        assert_arena_coherent(arena)
+
+    def test_compact_rebases_and_repoints(self):
+        chains = [ClosedChain(square_ring(8)) for _ in range(5)]
+        arena = ChainArena(chains)
+        positions = {ci: arena.chains[ci].positions for ci in (1, 3, 4)}
+        arena.retire(0)
+        arena.retire(2)
+        reclaimed = arena.compact()
+        assert reclaimed >= 0
+        assert len(arena.free) == 1
+        # slots packed into the prefix, content preserved, views live
+        assert int(arena.base[1]) == 0
+        for ci, pos in positions.items():
+            assert arena.chains[ci].positions == pos
+        assert_arena_coherent(arena)
+
+    def test_grow_preserves_content(self):
+        chains = [ClosedChain(square_ring(8)) for _ in range(2)]
+        arena = ChainArena(chains)
+        before = [c.positions for c in chains]
+        old_span = arena.span
+        arena.grow(old_span * 3)
+        assert arena.span == old_span * 3
+        assert [c.positions for c in arena.chains] == before
+        assert_arena_coherent(arena)
+        # the new tail is a single admissible hole
+        ci = arena.admit(ClosedChain(square_ring(8)))
+        assert ci == 2
+        assert_arena_coherent(arena)
+
+    def test_kernel_admit_grows_past_fragmented_free_space(self):
+        # free space smaller than the incoming chain *and* fragmented:
+        # the kernel's grow target must leave a tail hole that fits the
+        # chain on its own
+        kernel = FleetKernel([square_ring(6), square_ring(6),
+                              square_ring(6)], validate_initial=False)
+        kernel.arena.retire(0)
+        kernel.arena.retire(2)              # two disjoint 20-cell holes
+        big = ClosedChain(square_ring(20))  # n = 76 > free total
+        assert kernel.arena.free_cells < big.n
+        ci = kernel.admit(big)
+        assert ci >= 0
+        assert kernel.stream_stats["grows"] == 1
+        assert_arena_coherent(kernel.arena)
+
+    def test_capacity_preprovisions_free_space(self):
+        chains = [ClosedChain(square_ring(8))]
+        arena = ChainArena(chains, capacity=chains[0].n * 4)
+        assert arena.free_cells == chains[0].n * 3
+        assert_arena_coherent(arena)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_random_lifecycle_cycles(self, data):
+        """Random retire → reclaim → admit → compact cycles stay coherent."""
+        rng_seed = data.draw(st.integers(0, 2 ** 16))
+        rng = random.Random(rng_seed)
+        sizes = [6, 8, 10, 14]
+        arena = ChainArena([ClosedChain(square_ring(rng.choice(sizes)))
+                            for _ in range(data.draw(st.integers(1, 5)))])
+        live = set(range(len(arena.chains)))
+        ops = data.draw(st.lists(
+            st.sampled_from(["retire", "admit", "compact", "grow"]),
+            min_size=1, max_size=25))
+        for op in ops:
+            if op == "retire" and live:
+                ci = rng.choice(sorted(live))
+                live.discard(ci)
+                arena.retire(ci)
+            elif op == "admit":
+                chain = ClosedChain(square_ring(rng.choice(sizes)))
+                ci = arena.admit(chain)
+                if ci < 0 and arena.free_cells >= chain.n:
+                    arena.compact()
+                    ci = arena.admit(chain)
+                if ci < 0:
+                    arena.grow(arena.span + chain.n)
+                    ci = arena.admit(chain)
+                assert ci >= 0
+                live.add(ci)
+            elif op == "compact":
+                arena.compact()
+            elif op == "grow":
+                arena.grow(arena.span + rng.choice(sizes))
+            assert_arena_coherent(arena)
+        assert sorted(live) == arena.live_indices().tolist()
+
+
+# ---------------------------------------------------------------------------
+# registry row compaction
+# ---------------------------------------------------------------------------
+
+class TestRegistryCompaction:
+    def test_compact_rows_preserves_relative_age(self):
+        reg = RunRegistry()
+        reg.keep_stopped = False
+        for k in range(8):
+            reg.start(robot_id=k, direction=1 if k % 2 else -1,
+                      axis=(1, 0), round_index=0)
+        reg.stop_slot(0, 1, 1)
+        reg.stop_slot(3, 1, 1)
+        reg.stop_slot(4, 1, 1)
+        survivors = [int(reg.robot[rid]) for rid in reg._active]
+        dirs = [int(reg.dirn[rid]) for rid in reg._active]
+        reg.compact_rows()
+        assert reg._active == [0, 1, 2, 3, 4]
+        assert reg._count == 5
+        assert [int(reg.robot[rid]) for rid in reg._active] == survivors
+        assert [int(reg.dirn[rid]) for rid in reg._active] == dirs
+
+    def test_compact_rows_shrinks_matrix(self):
+        reg = RunRegistry()
+        reg.keep_stopped = False
+        for k in range(300):
+            reg.start_fleet_bulk(np.array([[0, k, 1, 1, 1, 0]]), 0)
+        slots = reg.active_slots()
+        reg.stop_slots(slots[:-2], np.ones(len(slots) - 2, np.int64), 1)
+        assert len(reg._data) >= 300
+        reg.compact_rows()
+        assert reg._count == 2
+        assert len(reg._data) < 300
+
+    def test_compact_rows_refuses_with_stopped_views(self):
+        reg = RunRegistry()                 # keep_stopped defaults True
+        reg.start(0, 1, (1, 0), 0)
+        with pytest.raises(ValueError):
+            reg.compact_rows()
+
+
+# ---------------------------------------------------------------------------
+# streaming scheduler: bit-identical admissions
+# ---------------------------------------------------------------------------
+
+class TestStreamingEquivalence:
+    def test_mixed_stream_small_slots(self):
+        # members retire in very different rounds, so admissions land
+        # at staggered birth phases relative to the start interval
+        pts = [square_ring(8), square_ring(16), crenellation(5, 1, 4),
+               square_ring(24), crenellation(3, 1, 8), square_ring(10),
+               square_ring(12), crenellation(8, 1, 3)]
+        sim = assert_stream_equals_singles(pts, slots=3)
+        stats = sim.last_stream_stats
+        assert stats["peak_live_chains"] <= 3
+        assert stats["admitted"] == len(pts)
+
+    def test_stream_matches_gather_batch(self):
+        rng = random.Random(11)
+        pts = [random_chain(40 + 10 * k, rng) for k in range(6)]
+        batch = gather_batch([list(p) for p in pts], keep_reports=True)
+        got = dict(gather_stream([list(p) for p in pts], slots=2,
+                                 keep_reports=True))
+        for i, b in enumerate(batch):
+            assert _result_key(got[i]) == _result_key(b)
+
+    def test_budget_stalls_stream(self):
+        pts = [square_ring(20), square_ring(8), square_ring(16)]
+        assert_stream_equals_singles(pts, slots=2, max_rounds=5)
+
+    def test_slots_one_serialises(self):
+        pts = [square_ring(8), crenellation(4, 1, 4), square_ring(12)]
+        sim = assert_stream_equals_singles(pts, slots=1)
+        assert sim.last_stream_stats["peak_live_chains"] == 1
+
+    def test_uniform_stream_spans_slot_budget(self):
+        # uniform chains: one provisioning grow to slots × n cells,
+        # perfect slot recycling afterwards — the bounded-memory claim
+        n_chains, slots = 40, 8
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             keep_reports=False)
+        results = list(sim.run_stream(
+            (square_ring(10) for _ in range(n_chains)), slots=slots))
+        assert len(results) == n_chains
+        stats = sim.last_stream_stats
+        n = len(square_ring(10))
+        assert stats["peak_live_chains"] <= slots
+        assert stats["peak_cells"] <= slots * n
+        assert stats["arena_span"] <= slots * n
+        assert stats["grows"] <= 1
+
+    def test_long_stream_bounds_registry(self):
+        kernel = FleetKernel([], keep_reports=False, validate_initial=False)
+        total = 0
+        for _ci, res in kernel.run_stream(
+                (square_ring(12) for _ in range(300)), slots=8,
+                release=True):
+            total += 1
+            assert res.gathered
+        assert total == 300
+        # row recycling kept the registry matrix *and* the per-chain
+        # tables bounded by the live fleet, not by chains ever admitted
+        assert len(kernel.registry._data) < 4096
+        assert len(kernel.arena.chains) <= 8
+        assert len(kernel.reports) <= 8
+        assert kernel.stream_stats["admitted"] == 300
+
+    def test_workers_round_robin_identical(self):
+        pts = [square_ring(8 + 2 * (k % 6)) for k in range(12)] \
+            + [crenellation(4, 1, 4)] * 3
+        sim = assert_stream_equals_singles(pts, slots=4, workers=2)
+        assert sim.last_stream_stats["workers"] == 2
+
+    def test_constructor_chains_run_ahead_of_stream(self):
+        head = [square_ring(8), square_ring(12)]
+        tail = [square_ring(16), crenellation(3, 1, 5)]
+        singles = [Simulator(list(p), engine="kernel").run()
+                   for p in head + tail]
+        sim = BatchSimulator([list(p) for p in head], engine="kernel",
+                             backend="fleet", keep_reports=True)
+        got = dict(sim.run_stream([list(p) for p in tail], slots=2))
+        for i, s in enumerate(singles):
+            assert _result_key(got[i]) == _result_key(s)
+
+    def test_max_rounds_cap_does_not_leak_across_runs(self):
+        # a capped stream must not poison later admissions or a later
+        # uncapped run with its cap (budgets stay the params' bounds)
+        kernel = FleetKernel([], validate_initial=False)
+        capped = list(kernel.run_stream([list(square_ring(20))], slots=1,
+                                        max_rounds=2))
+        assert capped[0][1].stalled and capped[0][1].rounds == 2
+        uncapped = dict(kernel.run_stream([list(square_ring(20))], slots=1))
+        single = Simulator(list(square_ring(20)), engine="kernel").run()
+        assert uncapped[1].gathered
+        assert uncapped[1].rounds == single.rounds
+
+    def test_empty_stream(self):
+        sim = BatchSimulator([], engine="kernel", backend="fleet")
+        assert list(sim.run_stream((), slots=4)) == []
+
+    def test_stream_requires_fleet_backend(self):
+        sim = BatchSimulator([], engine="vectorized", backend="process")
+        with pytest.raises(ValueError):
+            list(sim.run_stream([square_ring(8)], slots=2))
+
+    def test_invalid_slots(self):
+        kernel = FleetKernel([])
+        with pytest.raises(ValueError):
+            list(kernel.run_stream([square_ring(8)], slots=0))
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             workers=2)
+        with pytest.raises(ValueError):       # pool path validates too
+            list(sim.run_stream([square_ring(8)], slots=0))
+
+    def test_pool_honours_total_slot_budget(self):
+        # slots < workers must not multiply residency to one per
+        # worker: the pool shrinks to `slots` workers instead
+        pts = [square_ring(8 + 2 * (k % 4)) for k in range(8)]
+        singles = [Simulator(list(p), engine="kernel").run() for p in pts]
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             workers=4)
+        got = dict(sim.run_stream([list(p) for p in pts], slots=2))
+        assert sim.last_stream_stats["workers"] == 2
+        for i, s in enumerate(singles):
+            assert _result_key(got[i]) == _result_key(s)
+
+    def test_progress_reports_unknown_total(self):
+        calls = []
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             keep_reports=False)
+        list(sim.run_stream([square_ring(8) for _ in range(5)], slots=2,
+                            progress=lambda d, t: calls.append((d, t))))
+        assert calls and calls[-1] == (5, 5)   # total == chains submitted,
+        assert all(t in (-1, 5) for _, t in calls)  # not peak rows
+        assert all(d1 <= d2 for (d1, _), (d2, _)
+                   in zip(calls, calls[1:]))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(closed_chain_positions(max_cells=20),
+                    min_size=2, max_size=6),
+           st.integers(min_value=1, max_value=3))
+    def test_property_streams(self, fleet_pts, slots):
+        assert_stream_equals_singles(fleet_pts, slots=slots,
+                                     check_invariants=True)

@@ -138,6 +138,26 @@ class TestBackendDeterminism:
         b = gather_batch([list(c) for c in chains], backend="fleet")
         assert [_result_key(r) for r in a] == [_result_key(r) for r in b]
 
+    def test_stream_matches_batch_any_slots_and_workers(self):
+        # the streaming pipeline (bounded arena, mid-run admission,
+        # slot reuse) is the same per-chain computation: every slot
+        # budget and worker sharding reproduces gather_batch bit for bit
+        chains = [list(c) for c in self.FLEET()]
+        want = [_result_key(r) for r in gather_batch(chains)]
+        for slots, workers in [(1, 1), (2, 1), (len(chains), 1), (2, 2)]:
+            sim = BatchSimulator([], engine="kernel", backend="fleet",
+                                 workers=workers)
+            got = dict(sim.run_stream(iter(chains), slots=slots))
+            assert [_result_key(got[i]) for i in range(len(chains))] \
+                == want, f"slots={slots} workers={workers}"
+
+    def test_gather_stream_convenience(self):
+        from repro.core.batch import gather_stream
+        chains = [list(square_ring(8)), list(crenellation(4, 1, 4))]
+        want = [_result_key(r) for r in gather_batch(chains)]
+        got = dict(gather_stream(iter(chains), slots=1))
+        assert [_result_key(got[i]) for i in range(len(chains))] == want
+
 
 class TestProcessPool:
     def test_parallel_equals_serial(self):

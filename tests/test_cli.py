@@ -75,6 +75,61 @@ class TestVerify:
         assert main(["verify", "--n", "12", "--limit", "20"]) == 0
 
 
+class TestBatchStream:
+    """``repro batch --stream``: JSONL in, streaming results out."""
+
+    @staticmethod
+    def _write_jsonl(tmp_path, fleets):
+        path = tmp_path / "chains.jsonl"
+        lines = [json.dumps([list(p) for p in pts]) for pts in fleets]
+        path.write_text("\n".join(lines) + "\n\n")   # trailing blank ok
+        return str(path)
+
+    def test_stream_file(self, tmp_path, capsys):
+        path = self._write_jsonl(tmp_path, [square_ring(8), square_ring(12)])
+        assert main(["batch", "--stream", path, "--slots", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 gathered" in out
+
+    def test_stream_json_lines(self, tmp_path, capsys):
+        path = self._write_jsonl(tmp_path,
+                                 [square_ring(8), square_ring(10)])
+        assert main(["batch", "--stream", path, "--slots", "2",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines()
+                if line.startswith("{")]
+        assert sorted(r["chain"] for r in rows) == [0, 1]
+        assert all(r["gathered"] for r in rows)
+
+    def test_stream_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+        payload = json.dumps([list(p) for p in square_ring(8)]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        assert main(["batch", "--stream", "-"]) == 0
+        assert "1/1 gathered" in capsys.readouterr().out
+
+    def test_stream_budget_exit_code(self, tmp_path, capsys):
+        path = self._write_jsonl(tmp_path, [square_ring(20)])
+        assert main(["batch", "--stream", path, "--max-rounds", "2"]) == 2
+
+    def test_stream_requires_kernel_engine(self, tmp_path):
+        path = self._write_jsonl(tmp_path, [square_ring(8)])
+        with pytest.raises(SystemExit):
+            main(["batch", "--stream", path, "--engine", "reference"])
+
+    def test_stream_rejects_process_backend(self, tmp_path):
+        path = self._write_jsonl(tmp_path, [square_ring(8)])
+        with pytest.raises(SystemExit):
+            main(["batch", "--stream", path, "--backend", "process"])
+
+    def test_stream_rejects_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "--stream", str(path)])
+
+
 class TestMisc:
     def test_families_listing(self, capsys):
         assert main(["families"]) == 0
