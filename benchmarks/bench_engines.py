@@ -231,6 +231,11 @@ def test_fleet_throughput(benchmark, fleet_name, backend):
 STREAMS = {
     "stream4096_slots256": (lambda: (list(_STREAM_RING)
                                      for _ in range(4096)), 4096, 256),
+    # same workload write-ahead-logged (DESIGN.md §2.12): the gated
+    # durability overhead — round deltas + periodic snapshots — must
+    # stay within a small factor of the WAL-free row
+    "stream4096_slots256_wal": (lambda: (list(_STREAM_RING)
+                                         for _ in range(4096)), 4096, 256),
 }
 
 _STREAM_RING = square_ring(16)             # n = 60, the fleet256 chain
@@ -247,14 +252,23 @@ def test_stream_throughput(benchmark, stream_name):
     one-shot ``fleet256_ring_n60`` row (same per-chain computation,
     bit-identical results, pipelined arrival).
     """
+    import shutil
+    import tempfile
     from repro.core.batch import BatchSimulator
     gen, chains, slots = STREAMS[stream_name]
+    walled = stream_name.endswith("_wal")
 
     def run():
         sim = BatchSimulator([], engine="kernel", backend="fleet",
                              keep_reports=False)
-        count = sum(1 for _idx, res in sim.run_stream(gen(), slots=slots)
-                    if res.gathered)
+        wal_dir = tempfile.mkdtemp(prefix="bench-wal-") if walled else None
+        try:
+            count = sum(1 for _idx, res in
+                        sim.run_stream(gen(), slots=slots, wal_dir=wal_dir)
+                        if res.gathered)
+        finally:
+            if wal_dir is not None:
+                shutil.rmtree(wal_dir, ignore_errors=True)
         return count, sim.last_stream_stats
 
     count, stats = benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Kill-and-recover harness for the WAL streaming tier.
+
+Proves the durability contract of DESIGN.md §2.12 end to end, through
+the real CLI and real process death:
+
+1. Generate a deterministic JSONL chain stream.
+2. Run it once, uninterrupted and WAL-free, to ``clean.ndjson``.
+3. Run it again with ``--wal`` and ``--out``, SIGKILL the worker at a
+   seeded random round (watched through the growing ``wal.ndjson``),
+   then ``--resume`` — killing again at each of the remaining kill
+   points — until the run completes.
+4. Byte-compare the recovered NDJSON against the clean one.
+
+Exit status 0 iff every kill was actually delivered mid-run (or the
+run raced to completion first, which is reported) and the final output
+is byte-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/crash_harness.py \
+        --chains 120 --slots 16 --kills 3 --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_stream(path: str, chains: int, seed: int) -> None:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro.chains.random_blobs import random_chain
+
+    rng = random.Random(seed)
+    with open(path, "w", encoding="utf-8") as fh:
+        for _ in range(chains):
+            chain = random_chain(rng.choice([8, 12, 16, 20, 24]), rng=rng)
+            fh.write(json.dumps([list(p) for p in chain]) + "\n")
+
+
+def batch_cmd(jsonl: str, out: str, slots: int, wal: str | None,
+              resume: bool = False) -> list:
+    cmd = [sys.executable, "-m", "repro.cli", "batch", "--stream", jsonl,
+           "--slots", str(slots), "--out", out, "--snapshot-every", "16"]
+    if wal:
+        cmd += ["--wal", wal]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def wal_round(log: str) -> int:
+    """Highest round index recorded so far (-1 before the first)."""
+    try:
+        with open(log, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return -1
+    last = -1
+    for line in data[:data.rfind(b"\n") + 1].splitlines():
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if doc.get("type") == "round":
+            last = doc["r"]
+    return last
+
+
+def run_until_round(cmd: list, env: dict, log: str, target: int) -> str:
+    """Run ``cmd``; SIGKILL it once the WAL reaches round ``target``.
+
+    Returns 'killed' or 'finished' (the run completed before the
+    target round was reached — possible near the stream's tail).
+    """
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE)
+    try:
+        while True:
+            rc = proc.poll()
+            if rc is not None:
+                if rc != 0:
+                    sys.stderr.write(proc.stderr.read().decode())
+                    raise SystemExit(f"worker exited rc={rc} before kill")
+                return "finished"
+            if wal_round(log) >= target:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                return "killed"
+            time.sleep(0.005)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--chains", type=int, default=120)
+    ap.add_argument("--slots", type=int, default=16)
+    ap.add_argument("--kills", type=int, default=3,
+                    help="number of SIGKILLs before letting the run finish")
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--max-round", type=int, default=None,
+                    help="kill rounds are drawn from [0, max-round] "
+                         "(default: clean run's final round)")
+    args = ap.parse_args(argv)
+
+    tmp = tempfile.mkdtemp(prefix="crash-harness-")
+    jsonl = os.path.join(tmp, "chains.jsonl")
+    make_stream(jsonl, args.chains, args.seed)
+    env = {**os.environ, "PYTHONPATH": os.path.join(ROOT, "src")}
+
+    clean = os.path.join(tmp, "clean.ndjson")
+    subprocess.run(batch_cmd(jsonl, clean, args.slots, wal=None),
+                   env=env, check=True, stdout=subprocess.DEVNULL)
+    clean_bytes = open(clean, "rb").read()
+
+    # Kill targets: seeded, sorted so each resume makes forward progress.
+    wal = os.path.join(tmp, "wal")
+    log = os.path.join(wal, "wal.ndjson")
+    out = os.path.join(tmp, "recovered.ndjson")
+    hi = args.max_round
+    if hi is None:
+        last = max((json.loads(l)["rounds"] for l in clean_bytes.splitlines()),
+                   default=1)
+        hi = max(1, 2 * last)
+    rng = random.Random(args.seed ^ 0x5EED)
+    targets = sorted(rng.randrange(hi) for _ in range(args.kills))
+    print(f"[crash-harness] {args.chains} chains, slots={args.slots}, "
+          f"kill rounds {targets}")
+
+    resume = False
+    for target in targets:
+        fate = run_until_round(batch_cmd(jsonl, out, args.slots, wal, resume),
+                               env, log, target)
+        print(f"[crash-harness] round>={target}: {fate}")
+        if fate == "finished":
+            break
+        resume = True
+    if resume:
+        subprocess.run(batch_cmd(jsonl, out, args.slots, wal, resume=True),
+                       env=env, check=True, stdout=subprocess.DEVNULL)
+
+    recovered = open(out, "rb").read()
+    if recovered != clean_bytes:
+        a = clean_bytes.decode().splitlines()
+        b = recovered.decode().splitlines()
+        print(f"[crash-harness] MISMATCH: clean {len(a)} lines, "
+              f"recovered {len(b)} lines", file=sys.stderr)
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                print(f"  first diff at line {i}:\n   clean: {x}\n   "
+                      f"recov: {y}", file=sys.stderr)
+                break
+        return 1
+    print(f"[crash-harness] OK: recovered NDJSON byte-identical "
+          f"({len(clean_bytes)} bytes, {len(targets)} kill points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -203,6 +203,8 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
     for fleet_key, field in (("fleet256_ring_n60", "fleet_chains_per_s"),
                              ("fleet128_merge_dense", "fleet_chains_per_s"),
                              ("stream4096_slots256",
+                              "stream_chains_per_s"),
+                             ("stream4096_slots256_wal",
                               "stream_chains_per_s")):
         base_fleet = committed.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})

@@ -115,6 +115,35 @@ def _iter_jsonl_chains(path: str):
             fh.close()
 
 
+def _open_stream_out(path: str, resume: bool):
+    """The NDJSON output file and the stream indices it already holds.
+
+    On ``--resume`` the existing file is the idempotence ledger: a
+    torn trailing line (the crash window between write and flush
+    completion) is truncated away, every complete line's ``chain``
+    index joins the seen set, and new lines append — so the finished
+    file is byte-identical to an uninterrupted run's.
+    """
+    import os
+    seen = set()
+    if resume and os.path.exists(path):
+        with open(path, "rb") as fh:
+            data = fh.read()
+        keep = data.rfind(b"\n") + 1
+        for line in data[:keep].splitlines():
+            if line.strip():
+                try:
+                    seen.add(json.loads(line)["chain"])
+                except (ValueError, KeyError) as exc:
+                    raise SystemExit(f"{path}: corrupt NDJSON line "
+                                     f"cannot be resumed: {exc}")
+        if keep < len(data):
+            with open(path, "r+b") as fh:
+                fh.truncate(keep)
+        return open(path, "a", encoding="utf-8"), seen
+    return open(path, "w", encoding="utf-8"), seen
+
+
 def cmd_batch_stream(args) -> int:
     """Bounded-memory streaming batch: JSONL chains in, results out."""
     from repro.core.batch import BatchSimulator
@@ -124,27 +153,58 @@ def cmd_batch_stream(args) -> int:
     if args.backend == "process":
         raise SystemExit("--stream runs on the fleet backend; "
                          "--backend process has no shared arena to bound")
+    if args.resume and not args.wal:
+        raise SystemExit("--resume continues a write-ahead-logged run; "
+                         "it needs --wal DIR")
+    if args.wal and args.workers and args.workers > 1:
+        raise SystemExit("--wal streams in-process (one log, one kernel); "
+                         "drop --workers")
+    faults = None
+    if args.faults:
+        from repro.core.faults import FaultPlan
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+    out_fh, seen = (None, set())
+    if args.out:
+        out_fh, seen = _open_stream_out(args.out, args.resume)
     sim = BatchSimulator([], params=_params(args), engine="kernel",
                          check_invariants=args.check, workers=args.workers,
                          keep_reports=False, backend="fleet")
     progress = _batch_progress() if args.progress else None
     chains = _iter_jsonl_chains(args.stream)
     total = gathered = rounds = robots = 0
-    for idx, result in sim.run_stream(chains, slots=args.slots,
-                                      max_rounds=args.max_rounds,
-                                      progress=progress):
-        total += 1
-        gathered += bool(result.gathered)
-        rounds += result.rounds
-        robots += result.initial_n
-        if args.json:
-            # NDJSON, one line per finished chain, in completion order
-            print(json.dumps({"chain": idx, "n": result.initial_n,
-                              "rounds": result.rounds,
-                              "gathered": result.gathered,
-                              "rounds_per_robot":
-                              round(result.rounds_per_robot, 3)}),
-                  flush=True)
+    try:
+        for idx, result in sim.run_stream(chains, slots=args.slots,
+                                          max_rounds=args.max_rounds,
+                                          progress=progress,
+                                          wal_dir=args.wal,
+                                          snapshot_every=args.snapshot_every,
+                                          faults=faults,
+                                          resume=args.resume):
+            total += 1
+            gathered += bool(result.gathered)
+            rounds += result.rounds
+            robots += result.initial_n
+            # NDJSON, one line per finished chain, in completion order.
+            # The line is flushed *before* the loop re-enters the
+            # generator (which appends the WAL yield record), so a
+            # recorded yield always implies a durable output line.
+            line = json.dumps({"chain": idx, "n": result.initial_n,
+                               "rounds": result.rounds,
+                               "gathered": result.gathered,
+                               "rounds_per_robot":
+                               round(result.rounds_per_robot, 3)})
+            if out_fh is not None:
+                if idx not in seen:
+                    out_fh.write(line + "\n")
+                    out_fh.flush()
+            elif args.json:
+                print(line, flush=True)
+    finally:
+        if out_fh is not None:
+            out_fh.close()
     stats = sim.last_stream_stats or {}
     print(f"{gathered}/{total} gathered, {robots} robots in {rounds} rounds "
           f"total (slots={args.slots}, workers={sim.workers}, "
@@ -157,6 +217,9 @@ def cmd_batch(args) -> int:
     from repro.core.batch import BatchSimulator
     if args.stream:
         return cmd_batch_stream(args)
+    if args.wal or args.resume or args.out or args.faults:
+        raise SystemExit("--wal/--resume/--out/--faults apply to streaming "
+                         "batches; add --stream JSONL")
     family = FAMILIES.get(args.family)
     if family is None:
         raise SystemExit(f"unknown family {args.family!r}; "
@@ -276,6 +339,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="streaming slot budget: max chains concurrently "
                         "resident in total (default: 256; with --workers "
                         "each worker kernel gets slots//workers)")
+    b.add_argument("--wal", metavar="DIR",
+                   help="write-ahead-log the stream to DIR (round deltas + "
+                        "periodic snapshots) so a killed run can --resume "
+                        "bit-identically; in-process only")
+    b.add_argument("--resume", action="store_true",
+                   help="resume a crashed --wal run: restore the latest "
+                        "snapshot, replay the log, skip already-yielded "
+                        "results and continue the same stream")
+    b.add_argument("--out", metavar="FILE",
+                   help="write NDJSON results to FILE instead of stdout; "
+                        "with --resume, already-written lines are kept and "
+                        "deduplicated so the finished file is byte-identical "
+                        "to an uninterrupted run's")
+    b.add_argument("--snapshot-every", type=int, default=512,
+                   dest="snapshot_every", metavar="R",
+                   help="rounds between WAL snapshots (default 512)")
+    b.add_argument("--faults", metavar="SPEC",
+                   help="deterministic fault injection, e.g. "
+                        "'seed=7,crash=0.02,perturb=0.1,mutations=4': drop "
+                        "or reshape stream entries reproducibly")
     b.add_argument("--progress", action="store_true",
                    help="print per-100-chain completion milestones")
     b.add_argument("--max-rounds", type=int, default=None)

@@ -490,6 +490,110 @@ class ChainArena:
         return live, ((mx - mn) <= 1).all(axis=1)
 
     # ------------------------------------------------------------------
+    # snapshot / restore (durability tier, DESIGN.md §2.12)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """The arena's complete state as plain arrays + scalar metadata.
+
+        Everything the streaming scheduler's behaviour depends on is
+        captured: the cell buffers (positions without the padding row,
+        whose contents are never defined), the per-chain tables at
+        their current count, and the two free lists — hole *order*
+        controls where the next admission lands, so it is part of
+        bit-identical resume.  Scratch buffers, topology arrays and
+        the chain views are derived state and rebuild on restore.
+        """
+        span = self.span
+        count = len(self.chains)
+        arrays = {
+            "pos": self.pos[:span].copy(),
+            "codes": self.codes.copy(),
+            "ids": self.ids.copy(),
+            "index": self.index.copy(),
+            "owner": self.owner.copy(),
+            "base": self.base.copy(),
+            "n0": self.n0.copy(),
+            "length": self.length.copy(),
+            "live": self.live.copy(),
+            "free": np.array(self.free, dtype=np.int64).reshape(-1, 2),
+            "free_ids": np.array(self.free_ids, dtype=np.int64),
+        }
+        meta = {
+            "count": count,
+            "live_cells": int(self.live_cells),
+            "peak_cells": int(self.peak_cells),
+            "n_live": int(self.n_live),
+            "peak_live": int(self.peak_live),
+        }
+        return arrays, meta
+
+    @classmethod
+    def restore_state(cls, arrays: Dict[str, np.ndarray],
+                      meta: Dict[str, int]) -> "ChainArena":
+        """Rebuild an arena from :meth:`snapshot_state` output.
+
+        All buffers are copied (the restored arena never aliases the
+        snapshot arrays).  Chain objects are *not* revived here — the
+        ``chains`` list holds ``None`` placeholders until the kernel
+        calls :meth:`revive_chain` for each live slot.
+        """
+        self = cls.__new__(cls)
+        count = int(meta["count"])
+        span = len(arrays["codes"])
+        self.pos = np.empty((span + 1, 2), dtype=np.int64)
+        self.pos[:span] = arrays["pos"]
+        self.codes = np.array(arrays["codes"], dtype=np.int64)
+        self.ids = np.array(arrays["ids"], dtype=np.int64)
+        self.index = np.array(arrays["index"], dtype=np.int64)
+        self.owner = np.array(arrays["owner"], dtype=np.int64)
+        self._base_buf = np.array(arrays["base"], dtype=np.int64)
+        self._n0_buf = np.array(arrays["n0"], dtype=np.int64)
+        self._len_buf = np.array(arrays["length"], dtype=np.int64)
+        self._live_buf = np.array(arrays["live"], dtype=bool)
+        self.base = self._base_buf[:count]
+        self.n0 = self._n0_buf[:count]
+        self.length = self._len_buf[:count]
+        self.live = self._live_buf[:count]
+        self.free = [(int(o), int(s))
+                     for o, s in np.asarray(arrays["free"]).reshape(-1, 2)]
+        self.free_ids = [int(i) for i in arrays["free_ids"]]
+        self.chains = [None] * count
+        self.scratch = ScratchPool()
+        self.live_cells = int(meta["live_cells"])
+        self.peak_cells = int(meta["peak_cells"])
+        self.n_live = int(meta["n_live"])
+        self.peak_live = int(meta["peak_live"])
+        self._topo = None
+        self._topo_dirty = True
+        return self
+
+    def revive_chain(self, ci: int) -> ClosedChain:
+        """Reconstruct the ClosedChain view over a restored live slot.
+
+        Snapshots are taken at round boundaries, where the arena's
+        position and code buffers are exact, so the revived chain
+        adopts them directly (``_invalid_edges = 0``) and rebuilds
+        only its Python-side id index.  Ids are handed out densely at
+        admission and never grow, so ``_next_id`` is the slot's ``n0``.
+        """
+        b = int(self.base[ci])
+        n = int(self.length[ci])
+        chain = ClosedChain.__new__(ClosedChain)
+        chain._arr = self.pos[b:b + n]
+        buf = self.codes[b:b + n]
+        chain._codes_buf = buf
+        chain._codes_cache = buf
+        chain._codes_list_cache = None
+        chain._codes_view_cache = None
+        chain._pos_cache = None
+        chain._invalid_edges = 0
+        chain._next_id = int(self.n0[ci])
+        chain._ids = self.ids[b:b + n].tolist()
+        chain._rebuild_index()
+        self.chains[ci] = chain
+        return chain
+
+    # ------------------------------------------------------------------
     def apply_moves(self, gidx: np.ndarray, deltas: np.ndarray,
                     mover_chain: np.ndarray) -> np.ndarray:
         """Fleet-wide simultaneous movement: one scatter, codes kept exact.

@@ -273,7 +273,11 @@ class BatchSimulator:
     def run_stream(self, chains: Iterable = (),
                    slots: int = 256,
                    max_rounds: Optional[int] = None,
-                   progress: Optional[Callable[[int, int], None]] = None
+                   progress: Optional[Callable[[int, int], None]] = None,
+                   wal_dir: Optional[str] = None,
+                   snapshot_every: int = 512,
+                   faults=None,
+                   resume: bool = False
                    ) -> Iterator[Tuple[int, GatheringResult]]:
         """Stream chains through a bounded arena; yield as they finish.
 
@@ -299,6 +303,15 @@ class BatchSimulator:
 
         Streaming executes on the fleet backend only (the process
         backend has no shared arena to bound).
+
+        Durability (§2.12): ``wal_dir`` write-ahead-logs the stream
+        (one snapshot every ``snapshot_every`` rounds) so a killed run
+        continues with ``resume=True`` — the recorded configuration
+        (slots, params, faults, …) wins over the arguments, and
+        ``chains`` must be the same stream the crashed run was fed.
+        ``faults`` (a :class:`repro.core.faults.FaultPlan`) degrades
+        the stream deterministically at intake on either worker
+        topology; WAL and resume run in-process only (``workers`` 1).
         """
         if self.backend != "fleet":
             raise ValueError(
@@ -307,35 +320,59 @@ class BatchSimulator:
                 f"backend={self.backend!r}")
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if resume and wal_dir is None:
+            raise ValueError("resume=True needs wal_dir")
+        if (wal_dir is not None or resume) and self.workers > 1:
+            raise ValueError(
+                "WAL streaming is single-process (one log, one kernel); "
+                "drop wal_dir/resume or set workers=1")
         stream = itertools.chain(iter(self.positions), iter(chains))
         if self.workers <= 1:
             yield from self._stream_inprocess(stream, slots, max_rounds,
-                                              progress)
+                                              progress, wal_dir,
+                                              snapshot_every, faults, resume)
         else:
-            yield from self._stream_pool(stream, slots, max_rounds, progress)
+            yield from self._stream_pool(stream, slots, max_rounds, progress,
+                                         faults)
 
-    def _stream_inprocess(self, stream, slots, max_rounds, progress):
+    def _stream_inprocess(self, stream, slots, max_rounds, progress,
+                          wal_dir=None, snapshot_every=512, faults=None,
+                          resume=False):
         from repro.core.engine_fleet import FleetKernel
-        kernel = FleetKernel([], params=self.params,
-                             check_invariants=self.check_invariants,
-                             keep_reports=self.keep_reports,
-                             validate_initial=self.validate_initial)
-        yield from kernel.run_stream(stream, slots=slots,
-                                     max_rounds=max_rounds,
-                                     progress=progress, release=True)
+        if resume:
+            kernel, gen = FleetKernel.restore_stream(wal_dir, stream,
+                                                     progress=progress)
+            yield from gen
+        else:
+            kernel = FleetKernel([], params=self.params,
+                                 check_invariants=self.check_invariants,
+                                 keep_reports=self.keep_reports,
+                                 validate_initial=self.validate_initial)
+            wal = None
+            if wal_dir is not None:
+                from repro.io.wal import WalWriter
+                wal = WalWriter(wal_dir)
+            yield from kernel.run_stream(stream, slots=slots,
+                                         max_rounds=max_rounds,
+                                         progress=progress, release=True,
+                                         wal=wal,
+                                         snapshot_every=snapshot_every,
+                                         faults=faults)
         arena = kernel.arena
         self.last_stream_stats = {
             "workers": 1,
             "admitted": kernel.stream_stats["admitted"],
             "compactions": kernel.stream_stats["compactions"],
             "grows": kernel.stream_stats["grows"],
+            "fault_crashed": kernel.stream_stats["fault_crashed"],
+            "fault_perturbed": kernel.stream_stats["fault_perturbed"],
             "peak_live_chains": arena.peak_live,
             "peak_cells": arena.peak_cells,
             "arena_span": arena.span,
             "rounds": kernel.round_index,
         }
 
-    def _stream_pool(self, stream, slots, max_rounds, progress):
+    def _stream_pool(self, stream, slots, max_rounds, progress, faults=None):
         from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
                                         as_completed, wait)
         # slots is the *total* residency budget: never hand out more
@@ -357,6 +394,16 @@ class BatchSimulator:
             buffers: List[list] = [[] for _ in range(workers)]
             futures = set()
             for i, c in enumerate(stream):
+                if faults is not None:
+                    # same per-index decisions as the in-process kernel:
+                    # a crashed entry consumes its stream index (a gap
+                    # in the output, never a shift), a perturbed one is
+                    # reshaped before sharding
+                    kind = faults.decide(i)
+                    if kind == "crash":
+                        continue
+                    if kind == "perturb":
+                        c = faults.mutate(i, self._as_positions(c))
                 buffers[i % workers].append((i, self._as_positions(c)))
                 k = i % workers
                 if len(buffers[k]) >= chunk:
@@ -455,7 +502,12 @@ def gather_stream(chains: Iterable,
                   keep_reports: bool = True,
                   max_rounds: Optional[int] = None,
                   validate_initial: bool = True,
-                  progress=None) -> Iterator[Tuple[int, GatheringResult]]:
+                  progress=None,
+                  wal_dir: Optional[str] = None,
+                  snapshot_every: int = 512,
+                  faults=None,
+                  resume: bool = False
+                  ) -> Iterator[Tuple[int, GatheringResult]]:
     """Stream a chain iterator through a bounded fleet (convenience API).
 
     Generator form of :func:`gather_batch` for workloads that do not
@@ -465,7 +517,9 @@ def gather_stream(chains: Iterable,
     ``(index, result)`` pairs yield as chains finish.
     Kernel engine / fleet backend only (that is where the shared arena
     lives); per-chain results are bit-identical to
-    :func:`gather_batch` on the same inputs.
+    :func:`gather_batch` on the same inputs.  ``wal_dir`` /
+    ``snapshot_every`` / ``faults`` / ``resume`` pass through to
+    :meth:`BatchSimulator.run_stream` (durability tier, §2.12).
     """
     sim = BatchSimulator([], params=params, engine="kernel",
                          check_invariants=check_invariants,
@@ -473,7 +527,9 @@ def gather_stream(chains: Iterable,
                          validate_initial=validate_initial,
                          backend="fleet")
     return sim.run_stream(chains, slots=slots, max_rounds=max_rounds,
-                          progress=progress)
+                          progress=progress, wal_dir=wal_dir,
+                          snapshot_every=snapshot_every, faults=faults,
+                          resume=resume)
 
 
 def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],

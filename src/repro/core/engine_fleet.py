@@ -417,10 +417,15 @@ class FleetKernel:
         #: under lives here; for a fixed fleet the mapping is identity.
         self._ext_of: List[int] = list(range(n_chains))
         self._submitted = n_chains
-        #: streaming telemetry (admissions, lifecycle churn; peak
-        #: occupancy lives on the arena)
+        #: streaming telemetry (admissions, lifecycle churn, injected
+        #: faults; peak occupancy lives on the arena)
         self.stream_stats: Dict[str, int] = {
-            "admitted": 0, "compactions": 0, "grows": 0}
+            "admitted": 0, "compactions": 0, "grows": 0,
+            "fault_crashed": 0, "fault_perturbed": 0}
+        #: active WAL writer and the round record under construction
+        #: (durability tier, DESIGN.md §2.12; None outside WAL streams)
+        self._wal = None
+        self._wal_rec: Optional[Dict[str, list]] = None
         #: chains whose Python-side id list/index awaits _sync_ids —
         #: value None forces a full rebuild; a dict carries the round's
         #: splice plan (removed positions / survivor overwrites) so the
@@ -521,7 +526,11 @@ class FleetKernel:
                    slots: Optional[int] = None,
                    max_rounds: Optional[int] = None,
                    progress: Optional[Callable[[int, int], None]] = None,
-                   release: bool = False):
+                   release: bool = False,
+                   wal=None,
+                   snapshot_every: int = 512,
+                   faults=None,
+                   _resume: Optional[tuple] = None):
         """Stream chains through the arena; yield results as chains finish.
 
         The scheduler core of the streaming tier (DESIGN.md §2.11): an
@@ -541,14 +550,82 @@ class FleetKernel:
         yielded chain and its reports (bounded-memory sweeps);
         ``progress`` is called as ``progress(done, total)`` with
         ``total == -1`` while the stream end is unknown.
+
+        Durability (§2.12): ``wal`` — a :class:`repro.io.wal.WalWriter`
+        — logs every round's effects and every admission/retire/yield,
+        and writes a full state snapshot every ``snapshot_every``
+        rounds, making the stream resumable after a hard kill via
+        :meth:`FleetKernel.resume`.  ``faults`` — a
+        :class:`repro.core.faults.FaultPlan` — degrades the stream
+        deterministically at intake (entries dropped or perturbed by
+        their stream index).  ``_resume`` is the resume protocol's
+        internal handoff (progress counters and the already-yielded
+        skip set); use :meth:`resume`, never pass it directly.
         """
         if slots is not None and slots < 1:
             raise ValueError("slots must be >= 1")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
         arena = self.arena
         it = iter(chains)
+        self._wal = wal
+        skip: set = set()
+        consumed = 0
         exhausted = False
         done = 0
+        if _resume is not None:
+            exhausted, done, consumed, skip = _resume
+        elif wal is not None:
+            from repro.io.serialization import params_to_doc
+            wal.append("stream_start",
+                       params=params_to_doc(self.params),
+                       slots=slots, max_rounds=max_rounds,
+                       snapshot_every=snapshot_every, release=release,
+                       keep_reports=self._keep,
+                       check_invariants=self._check,
+                       validate_initial=self._validate,
+                       numpy_min_runs=self.numpy_min_runs,
+                       faults=faults.to_doc() if faults is not None
+                       else None)
         t0 = time.perf_counter()
+
+        def snap() -> None:
+            # full checkpoint at the between-round boundary: every
+            # retire-eligible chain has retired and the arena either
+            # sits at its slot budget or the stream is exhausted, so
+            # resume re-enters the scheduling pass as a provable no-op
+            wal.write_snapshot(self, {
+                "consumed": consumed, "done": done, "exhausted": exhausted,
+                "slots": slots, "max_rounds": max_rounds,
+                "release": release, "snapshot_every": snapshot_every})
+
+        def emit(pairs):
+            # idempotent yield protocol: one record per retire batch,
+            # appended *after* the consumer has resumed past the whole
+            # batch, so a logged yield implies the consumer fully
+            # processed every listed result.  A crash between delivery
+            # and record re-delivers that batch on resume (the
+            # consumer side deduplicates by stream index, and
+            # determinism makes re-deliveries bit-identical); a
+            # recorded-but-undelivered result cannot exist.  Results
+            # in the skip set were delivered before the crash — they
+            # re-log (a later crash must still skip them) but are not
+            # re-delivered.
+            nonlocal done
+            delivered: List[int] = []
+            for ext, res in pairs:
+                done += 1
+                if ext in skip:
+                    skip.discard(ext)
+                else:
+                    yield ext, res
+                delivered.append(ext)
+            if wal is not None and delivered:
+                wal.append("yield", i=delivered)
+
+        if wal is not None:
+            snap()                         # baseline (or resume re-base)
+        last_snap_round = self.round_index
         while True:
             # --- between-round scheduling --------------------------------
             # one retire pass over the stepped fleet, then a top-up /
@@ -568,11 +645,9 @@ class FleetKernel:
                                                else max_rounds))
                 if retire.any():
                     retired = True
-                    for ci, res in self._retire_batch(
-                            live_ids[retire], gathered[retire], t0,
-                            release=release):
-                        done += 1
-                        yield ci, res
+                    yield from emit(self._retire_batch(
+                        live_ids[retire], gathered[retire], t0,
+                        release=release))
             while True:
                 fresh: List[int] = []
                 while not exhausted and (slots is None
@@ -582,8 +657,32 @@ class FleetKernel:
                     except StopIteration:
                         exhausted = True
                         break
-                    fresh.append(self.admit(self._as_chain(nxt),
-                                            slots_hint=slots))
+                    consumed += 1
+                    if faults is not None:
+                        idx = self._submitted
+                        kind = faults.decide(idx)
+                        if kind == "crash":
+                            # dropped entries still consume a stream
+                            # index: survivors keep their positions and
+                            # the output gains a gap, never a shift
+                            self._submitted = idx + 1
+                            self.stream_stats["fault_crashed"] += 1
+                            if wal is not None:
+                                wal.append("fault", i=idx, kind="crash")
+                            continue
+                        if kind == "perturb":
+                            c = self._as_chain(nxt)
+                            nxt = faults.mutate(idx, c.positions)
+                            self.stream_stats["fault_perturbed"] += 1
+                            if wal is not None:
+                                wal.append("fault", i=idx, kind="perturb")
+                    ci = self.admit(self._as_chain(nxt), slots_hint=slots)
+                    fresh.append(ci)
+                if wal is not None and fresh:
+                    # one record per intake burst, not per chain
+                    wal.append("admit", i=[self._ext_of[ci] for ci in fresh],
+                               row=fresh, n=[self._n0[ci] for ci in fresh],
+                               cursor=consumed)
                 if not fresh:
                     break
                 cis = np.asarray(fresh, dtype=np.int64)
@@ -597,18 +696,86 @@ class FleetKernel:
                 if not retire.any():
                     break
                 retired = True
-                for ci, res in self._retire_batch(cis[retire],
-                                                  gathered[retire], t0,
-                                                  release=release):
-                    done += 1
-                    yield ci, res
+                yield from emit(self._retire_batch(cis[retire],
+                                                   gathered[retire], t0,
+                                                   release=release))
             if retired and progress is not None:
                 progress(done, self._submitted if exhausted else -1)
+            if wal is not None \
+                    and self.round_index - last_snap_round >= snapshot_every:
+                snap()
+                last_snap_round = self.round_index
             if arena.n_live == 0:
                 break
             self._maybe_compact_registry()
             self._step_round()
             self.round_index += 1
+        if wal is not None:
+            wal.append("stream_end", r=self.round_index, done=done)
+        self._wal = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore_stream(cls, wal_dir: str,
+                       chains: Union[Sequence, object] = (),
+                       progress: Optional[Callable[[int, int], None]] = None
+                       ) -> Tuple["FleetKernel", object]:
+        """Rebuild a crashed stream from its WAL directory.
+
+        Restores the newest snapshot, fast-forwards the (freshly
+        re-created) ``chains`` iterator to the recorded admission
+        cursor, truncates any torn log tail and returns ``(kernel,
+        generator)`` — the generator continues the stream through the
+        one engine code path, so the continuation is bit-identical to
+        the uninterrupted run; results delivered before the crash are
+        re-executed but not re-yielded (yield records after the
+        snapshot form the skip set).
+        """
+        from repro.core.faults import FaultPlan
+        from repro.io.wal import WalReader, load_fleet_snapshot
+        from repro.errors import WalError
+
+        reader = WalReader(wal_dir)
+        start = reader.stream_start()
+        snap = reader.last_snapshot()
+        if snap is None:
+            raise WalError(f"{wal_dir}: no usable snapshot to resume from")
+        kernel, stream = load_fleet_snapshot(reader.snapshot_path(snap))
+        skip = reader.yields_after(snap["lsn"])
+        consumed = int(stream["consumed"])
+        it = iter(chains)
+        for k in range(consumed):
+            try:
+                next(it)
+            except StopIteration:
+                raise WalError(
+                    f"{wal_dir}: chain stream ended after {k} entries but "
+                    f"the log recorded {consumed} consumed — resume needs "
+                    f"the same stream the crashed run was fed") from None
+        writer = reader.continue_writing()
+        writer.append("resume", snapshot_lsn=snap["lsn"],
+                      r=kernel.round_index)
+        fd = start.get("faults")
+        faults = FaultPlan.from_doc(fd) if fd else None
+        mr = stream["max_rounds"]
+        gen = kernel.run_stream(
+            it, slots=stream["slots"],
+            max_rounds=None if mr is None else int(mr),
+            progress=progress, release=bool(stream["release"]),
+            wal=writer, snapshot_every=int(stream["snapshot_every"]),
+            faults=faults,
+            _resume=(bool(stream["exhausted"]), int(stream["done"]),
+                     consumed, skip))
+        return kernel, gen
+
+    @classmethod
+    def resume(cls, wal_dir: str, chains: Union[Sequence, object] = (),
+               progress: Optional[Callable[[int, int], None]] = None):
+        """Continue an interrupted WAL stream; yields the remaining
+        ``(stream_index, result)`` pairs exactly as the uninterrupted
+        ``run_stream`` would have from the crash point onward.
+        """
+        return cls.restore_stream(wal_dir, chains, progress=progress)[1]
 
     # ------------------------------------------------------------------
     def _maybe_compact_registry(self) -> None:
@@ -674,6 +841,11 @@ class FleetKernel:
             if release:
                 self.reports[ci] = []
                 arena.chains[ci] = None    # type: ignore[call-overload]
+        if self._wal is not None:
+            self._wal.append("retire", r=self.round_index,
+                             c=cis.tolist(),
+                             i=[self._ext_of[ci] for ci in cis.tolist()],
+                             g=np.asarray(gathered, np.int64).tolist())
         arena.retire_batch(cis)
         return out
 
@@ -683,6 +855,15 @@ class FleetKernel:
         arena, registry, params = self.arena, self.registry, self.params
         round_index = self.round_index
         keep = self._keep
+        if self._wal is not None:
+            # one delta record per round, filled in by the pipeline
+            # stages: mv = [chain, robot, dx, dy]*, rm = [chain,
+            # removed_id]*, st = [chain, robot, dir, mode]*, tm =
+            # [chain, stop_code]* — the audit form of the round's
+            # effects (resume re-executes; it does not apply these).
+            # All four ship as pack_ints blobs, not JSON int lists:
+            # per-integer encoding dominated the WAL's overhead.
+            self._wal_rec = {"mv": (), "rm": [], "st": (), "tm": ()}
         base = arena.base
         chains = arena.chains
         if self._single:
@@ -772,6 +953,16 @@ class FleetKernel:
                  np.asarray(dec.move_deltas, dtype=np.int64).reshape(-1, 2)])
             move_c = np.concatenate(
                 [plan.hop_chain, np.asarray(dec.move_chain, dtype=np.int64)])
+        if self._wal_rec is not None and len(move_g):
+            # captured before the scatter: ids are only rewritten by
+            # the later contraction, and a single segment's chain
+            # indices are its global cells, so arena.ids[move_g] is
+            # the mover's robot id on both paths
+            mg = np.asarray(move_g, dtype=np.int64)
+            self._wal_rec["mv"] = np.column_stack(
+                [np.asarray(move_c, dtype=np.int64), arena.ids[mg],
+                 np.asarray(move_v, dtype=np.int64).reshape(-1, 2)]
+            ).ravel()
         if self._single:
             chain0 = chains[0]
             if len(move_g):
@@ -828,6 +1019,17 @@ class FleetKernel:
                                 round_index)
         if self._check:
             self._check_invariants(live_list, before, moved)
+
+        # 12. round delta record (durability tier) --------------------------
+        if self._wal_rec is not None:
+            from repro.io.wal import pack_ints
+            rec = self._wal_rec
+            self._wal_rec = None
+            self._wal.append(
+                "round", r=round_index,
+                mv=pack_ints(rec["mv"]), rm=pack_ints(rec["rm"]),
+                st=pack_ints(rec["st"]),
+                tm=pack_ints([x for t in terminated for x in t]))
 
     # ------------------------------------------------------------------
     def _merge_plan_single(self, k_max: int) -> Optional[FleetMergePlan]:
@@ -1031,6 +1233,9 @@ class FleetKernel:
             prev_pm[first_idx] = top_key
             removed_ids = np.maximum(prev_pm, nxt_key) % span
             removed_interior = ev_base + removed_ids
+            if self._wal_rec is not None:
+                self._wal_rec["rm"] = np.column_stack(
+                    [zcf, removed_ids]).ravel().tolist()
             last_idx = np.empty(nblk, dtype=np.int64)
             last_idx[:-1] = first_idx[1:] - 1
             last_idx[-1] = m - 1
@@ -1145,6 +1350,8 @@ class FleetKernel:
                     if keep_recs:
                         merges_by_chain.setdefault(ci, []).append(
                             MergeRecord(h_id, t_id, p))
+                if self._wal_rec is not None:
+                    self._wal_rec["rm"].extend((ci, removed))
                 wrap_removed.append(b + removed)
                 length[ci] = nl - 1
                 self._ids_dirty[ci] = None   # wrap shuffles; full rebuild
@@ -1273,6 +1480,8 @@ class FleetKernel:
         rows[:, 2] = dirs[hit]
         rows[:, 3] = modes[hit]
         rows[:, 4:6] = _DIR_TABLE[axc[hit]]
+        if self._wal_rec is not None:
+            self._wal_rec["st"] = rows[:, :4].ravel()
         registry.start_fleet_bulk(rows, round_index)
         per = np.bincount(ci[hit])
         for c in np.flatnonzero(per).tolist():

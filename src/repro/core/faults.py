@@ -1,0 +1,104 @@
+"""Deterministic fault injection for the streaming tier.
+
+A :class:`FaultPlan` degrades a chain stream *reproducibly*: each
+stream entry's fate (dropped, perturbed, or untouched) is a pure
+function of the plan's seed and the entry's stream index, so the same
+plan replayed over the same stream — including a crash/resume replay
+through the WAL, which records the plan in its ``stream_start``
+record — injects exactly the same faults.  The pattern follows the
+disabled-device handling of observatory control software: degraded
+inputs are first-class schedule entries, not exceptions, and the
+scheduler's output over them must stay deterministic and auditable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+Vec = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded per-entry fault decisions for a chain stream.
+
+    ``crash`` is the probability a stream entry is dropped outright —
+    it still consumes its stream index, so the surviving entries keep
+    their positions and the output gains a gap, never a shift.
+    ``perturb`` is the probability an entry's chain is reshaped at
+    admission by ``mutations`` validity-preserving mutations
+    (:func:`repro.chains.perturb.perturb`).  Probabilities are
+    disjoint slices of one uniform draw, so ``crash + perturb`` must
+    stay ≤ 1.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    perturb: float = 0.0
+    mutations: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash <= 1.0 or not 0.0 <= self.perturb <= 1.0 \
+                or self.crash + self.perturb > 1.0:
+            raise ValueError("crash/perturb must be probabilities with "
+                             "crash + perturb <= 1")
+        if self.mutations < 1:
+            raise ValueError("mutations must be >= 1")
+
+    # ------------------------------------------------------------------
+    def decide(self, index: int) -> Optional[str]:
+        """The fate of stream entry ``index``: 'crash', 'perturb' or None.
+
+        String-seeded ``random.Random`` — stable across processes and
+        Python runs, unlike hash-based seeding.
+        """
+        u = random.Random(f"repro.fault:{self.seed}:{index}").random()
+        if u < self.crash:
+            return "crash"
+        if u < self.crash + self.perturb:
+            return "perturb"
+        return None
+
+    def mutate(self, index: int, positions: Sequence[Vec]) -> List[Vec]:
+        """The perturbed chain for entry ``index`` (deterministic)."""
+        from repro.chains.perturb import perturb as _perturb
+        rng = random.Random(f"repro.fault.perturb:{self.seed}:{index}")
+        return _perturb(list(positions), mutations=self.mutations, rng=rng)
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-ready form (recorded in the WAL's stream_start)."""
+        return {"seed": self.seed, "crash": self.crash,
+                "perturb": self.perturb, "mutations": self.mutations}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        return cls(seed=int(doc["seed"]), crash=float(doc["crash"]),
+                   perturb=float(doc["perturb"]),
+                   mutations=int(doc["mutations"]))
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec like ``seed=7,crash=0.02,perturb=0.1``.
+
+        Keys: ``seed`` (int), ``crash``/``perturb`` (floats in [0, 1]),
+        ``mutations`` (int).  Unknown keys raise ValueError.
+        """
+        kwargs: Dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            if key in ("seed", "mutations"):
+                kwargs[key] = int(value)
+            elif key in ("crash", "perturb"):
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        return cls(**kwargs)

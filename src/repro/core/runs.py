@@ -344,6 +344,42 @@ class RunRegistry:
         new[:len(self._data)] = self._data
         self._data = new
 
+    # -- snapshot / restore (durability tier, DESIGN.md §2.12) -------------
+    def snapshot_state(self) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """Registry state as plain arrays + scalar metadata.
+
+        The run matrix rows up to ``_count`` and the live-run id list
+        capture everything the scheduler reads; view objects, the
+        by-robot index and the stopped list are derived or debug-only
+        state and are not part of a snapshot.
+        """
+        arrays = {
+            "data": self._data[:self._count].copy(),
+            "active": np.array(self._active, dtype=np.int64),
+        }
+        meta = {"count": int(self._count),
+                "keep_stopped": int(self.keep_stopped)}
+        return arrays, meta
+
+    @classmethod
+    def restore_state(cls, arrays: Dict[str, np.ndarray],
+                      meta: Dict[str, int]) -> "RunRegistry":
+        """Rebuild a registry from :meth:`snapshot_state` output."""
+        self = cls()
+        count = int(meta["count"])
+        cap = self._INITIAL_CAP
+        while cap < count:
+            cap *= 2
+        if cap > len(self._data):
+            self._data = np.zeros((cap, _COLS), dtype=np.int64)
+        self._data[:count] = arrays["data"]
+        self._count = count
+        self._active = [int(r) for r in arrays["active"]]
+        self._active_arr = None
+        self._by_robot_dirty = True
+        self.keep_stopped = bool(meta["keep_stopped"])
+        return self
+
     def _view(self, run_id: int) -> RunState:
         view = self._views.get(run_id)
         if view is None:

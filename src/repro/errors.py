@@ -36,3 +36,15 @@ class StallError(ReproError):
 
 class LocalityViolation(ReproError):
     """A decision procedure read beyond the viewing path length."""
+
+
+class WalError(ReproError):
+    """A write-ahead log or snapshot could not be written, read or resumed.
+
+    Raised by :mod:`repro.io.wal` for structural problems — a missing
+    or corrupt log, a broken LSN sequence, a snapshot whose file is
+    gone, or a resume whose chain stream is shorter than the recorded
+    admission cursor.  (Unknown record *versions* raise
+    :class:`ChainError` through the shared document validation, like
+    every other serialized format.)
+    """
