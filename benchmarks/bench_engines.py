@@ -15,6 +15,7 @@ pytest-benchmark and records the results in ``BENCH_engines.json`` at
 the repo root (the perf trajectory file).
 """
 
+import os
 import random
 
 import pytest
@@ -236,6 +237,12 @@ STREAMS = {
     # stay within a small factor of the WAL-free row
     "stream4096_slots256_wal": (lambda: (list(_STREAM_RING)
                                          for _ in range(4096)), 4096, 256),
+    # WAL row under full supervision (DESIGN.md §2.13): quarantine-mode
+    # normalisation to ChainOutcome plus dead-letter plumbing on top of
+    # the WAL; gated at ≤5% over the plain WAL row in CI
+    "stream4096_slots256_supervised": (lambda: (list(_STREAM_RING)
+                                                for _ in range(4096)),
+                                       4096, 256),
 }
 
 _STREAM_RING = square_ring(16)             # n = 60, the fleet256 chain
@@ -255,21 +262,30 @@ def test_stream_throughput(benchmark, stream_name):
     import shutil
     import tempfile
     from repro.core.batch import BatchSimulator
+    from repro.core.supervisor import StreamSupervisor
     gen, chains, slots = STREAMS[stream_name]
-    walled = stream_name.endswith("_wal")
+    supervised = stream_name.endswith("_supervised")
+    walled = stream_name.endswith("_wal") or supervised
 
     def run():
-        sim = BatchSimulator([], engine="kernel", backend="fleet",
-                             keep_reports=False)
         wal_dir = tempfile.mkdtemp(prefix="bench-wal-") if walled else None
         try:
+            if supervised:
+                sup = StreamSupervisor(
+                    slots=slots, wal_dir=wal_dir,
+                    dead_letter=os.path.join(wal_dir, "dead.ndjson"))
+                count = sum(1 for out in sup.run(gen())
+                            if out.ok and out.result.gathered)
+                return count, sup.stats
+            sim = BatchSimulator([], engine="kernel", backend="fleet",
+                                 keep_reports=False)
             count = sum(1 for _idx, res in
                         sim.run_stream(gen(), slots=slots, wal_dir=wal_dir)
                         if res.gathered)
+            return count, sim.last_stream_stats
         finally:
             if wal_dir is not None:
                 shutil.rmtree(wal_dir, ignore_errors=True)
-        return count, sim.last_stream_stats
 
     count, stats = benchmark.pedantic(run, rounds=3, iterations=1)
     assert count == chains

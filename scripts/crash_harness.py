@@ -1,25 +1,35 @@
 #!/usr/bin/env python
-"""Kill-and-recover harness for the WAL streaming tier.
+"""Kill-and-recover harness for the WAL streaming + supervision tiers.
 
-Proves the durability contract of DESIGN.md §2.12 end to end, through
-the real CLI and real process death:
+Proves the durability contract of DESIGN.md §2.12 and the supervision
+contract of §2.13 end to end, through the real CLI and real process
+death.  Three modes:
 
-1. Generate a deterministic JSONL chain stream.
-2. Run it once, uninterrupted and WAL-free, to ``clean.ndjson``.
-3. Run it again with ``--wal`` and ``--out``, SIGKILL the worker at a
-   seeded random round (watched through the growing ``wal.ndjson``),
-   then ``--resume`` — killing again at each of the remaining kill
-   points — until the run completes.
-4. Byte-compare the recovered NDJSON against the clean one.
+``cli-kill`` (default)
+    SIGKILL the whole CLI process at seeded WAL rounds, ``--resume``
+    after each kill, and byte-compare the recovered NDJSON against an
+    uninterrupted run's.  Finishes with ``repro wal audit`` over the
+    surviving log.
 
-Exit status 0 iff every kill was actually delivered mid-run (or the
-run raced to completion first, which is reported) and the final output
-is byte-identical.
+``worker-kill``
+    Run a supervised multi-worker stream (``--workers --wal``) and
+    SIGKILL individual *pool workers* (found via /proc) at seeded
+    shard-WAL rounds.  The run itself must complete rc=0 with zero
+    lost or duplicated results and per-chain output identical to the
+    unfaulted run's.
+
+``poison``
+    Plant invalid chains at seeded stream positions and run with
+    ``--dead-letter``: every poison entry must quarantine to the
+    ledger (never abort the stream), and the good chains' results
+    must match the clean run's under the index remap.
+
+Exit status 0 iff the mode's contract held.
 
 Usage::
 
     PYTHONPATH=src python scripts/crash_harness.py \
-        --chains 120 --slots 16 --kills 3 --seed 11
+        --mode worker-kill --chains 120 --slots 16 --kills 3 --seed 11
 """
 
 from __future__ import annotations
@@ -49,13 +59,18 @@ def make_stream(path: str, chains: int, seed: int) -> None:
 
 
 def batch_cmd(jsonl: str, out: str, slots: int, wal: str | None,
-              resume: bool = False) -> list:
+              resume: bool = False, workers: int | None = None,
+              dead_letter: str | None = None) -> list:
     cmd = [sys.executable, "-m", "repro.cli", "batch", "--stream", jsonl,
            "--slots", str(slots), "--out", out, "--snapshot-every", "16"]
     if wal:
         cmd += ["--wal", wal]
     if resume:
         cmd.append("--resume")
+    if workers:
+        cmd += ["--workers", str(workers)]
+    if dead_letter:
+        cmd += ["--dead-letter", dead_letter]
     return cmd
 
 
@@ -77,6 +92,52 @@ def wal_round(log: str) -> int:
     return last
 
 
+def shard_round(wal_dir: str) -> int:
+    """Highest round logged by any shard sub-WAL under ``wal_dir``."""
+    best = -1
+    try:
+        entries = os.listdir(wal_dir)
+    except OSError:
+        return best
+    for name in entries:
+        if name.startswith(("shard-", "solo-")):
+            best = max(best, wal_round(os.path.join(wal_dir, name,
+                                                    "wal.ndjson")))
+    return best
+
+
+def child_pids(pid: int) -> list:
+    """Direct children of ``pid`` (via /proc), minus the multiprocessing
+    resource tracker — killing workers is the test, killing the tracker
+    is just noise."""
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "rb") as fh:
+                stat = fh.read()
+            ppid = int(stat[stat.rfind(b")") + 2:].split()[1])
+            if ppid != pid:
+                continue
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmd = fh.read()
+            if b"resource_tracker" in cmd:
+                continue
+            kids.append(int(entry))
+        except (OSError, ValueError, IndexError):
+            continue
+    return kids
+
+
+def load_ndjson(path: str) -> list:
+    return [json.loads(line) for line in open(path, "rb").read().splitlines()
+            if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# mode: cli-kill (§2.12 resume)
+# ----------------------------------------------------------------------
 def run_until_round(cmd: list, env: dict, log: str, target: int) -> str:
     """Run ``cmd``; SIGKILL it once the WAL reaches round ``target``.
 
@@ -104,23 +165,7 @@ def run_until_round(cmd: list, env: dict, log: str, target: int) -> str:
             proc.wait()
 
 
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--chains", type=int, default=120)
-    ap.add_argument("--slots", type=int, default=16)
-    ap.add_argument("--kills", type=int, default=3,
-                    help="number of SIGKILLs before letting the run finish")
-    ap.add_argument("--seed", type=int, default=11)
-    ap.add_argument("--max-round", type=int, default=None,
-                    help="kill rounds are drawn from [0, max-round] "
-                         "(default: clean run's final round)")
-    args = ap.parse_args(argv)
-
-    tmp = tempfile.mkdtemp(prefix="crash-harness-")
-    jsonl = os.path.join(tmp, "chains.jsonl")
-    make_stream(jsonl, args.chains, args.seed)
-    env = {**os.environ, "PYTHONPATH": os.path.join(ROOT, "src")}
-
+def mode_cli_kill(args, tmp: str, jsonl: str, env: dict) -> int:
     clean = os.path.join(tmp, "clean.ndjson")
     subprocess.run(batch_cmd(jsonl, clean, args.slots, wal=None),
                    env=env, check=True, stdout=subprocess.DEVNULL)
@@ -164,9 +209,186 @@ def main(argv=None) -> int:
                       f"recov: {y}", file=sys.stderr)
                 break
         return 1
+    # the surviving log must also pass the machine audit (§2.13)
+    audit = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "wal", "audit", wal,
+         "--stream", jsonl], env=env, capture_output=True, text=True)
+    print(f"[crash-harness] {audit.stdout.strip()}")
+    if audit.returncode != 0:
+        print(f"[crash-harness] WAL AUDIT FAILED rc={audit.returncode}",
+              file=sys.stderr)
+        return 1
     print(f"[crash-harness] OK: recovered NDJSON byte-identical "
           f"({len(clean_bytes)} bytes, {len(targets)} kill points)")
     return 0
+
+
+# ----------------------------------------------------------------------
+# mode: worker-kill (§2.13 supervised pool)
+# ----------------------------------------------------------------------
+def mode_worker_kill(args, tmp: str, jsonl: str, env: dict) -> int:
+    clean = os.path.join(tmp, "clean.ndjson")
+    subprocess.run(batch_cmd(jsonl, clean, args.slots, wal=None),
+                   env=env, check=True, stdout=subprocess.DEVNULL)
+    clean_rows = sorted(load_ndjson(clean), key=lambda d: d["chain"])
+
+    wal = os.path.join(tmp, "wal")
+    out = os.path.join(tmp, "supervised.ndjson")
+    rng = random.Random(args.seed ^ 0xDEAD)
+    hi = args.max_round if args.max_round else 12
+    targets = sorted(rng.randrange(1, 1 + hi) for _ in range(args.kills))
+    print(f"[crash-harness] worker-kill: {args.chains} chains, "
+          f"workers={args.workers}, shard-round targets {targets}")
+
+    proc = subprocess.Popen(
+        batch_cmd(jsonl, out, args.slots, wal, workers=args.workers),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    delivered = 0
+    try:
+        while proc.poll() is None:
+            if delivered < len(targets) \
+                    and shard_round(wal) >= targets[delivered]:
+                kids = child_pids(proc.pid)
+                if kids:
+                    victim = rng.choice(kids)
+                    try:
+                        os.kill(victim, signal.SIGKILL)
+                    except OSError:
+                        continue           # worker raced to exit; retry
+                    delivered += 1
+                    print(f"[crash-harness] SIGKILL worker pid={victim} "
+                          f"(shard round >= {targets[delivered - 1]})")
+            time.sleep(0.002)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.read().decode())
+        print(f"[crash-harness] supervised run died rc={proc.returncode} "
+              f"— supervision failed to absorb the kills", file=sys.stderr)
+        return 1
+    if delivered < len(targets):
+        print(f"[crash-harness] note: only {delivered}/{len(targets)} kills "
+              f"delivered (run finished first)")
+
+    rows = load_ndjson(out)
+    indices = [d["chain"] for d in rows]
+    if len(set(indices)) != len(indices):
+        print("[crash-harness] DUPLICATED results after recovery",
+              file=sys.stderr)
+        return 1
+    rows = sorted(rows, key=lambda d: d["chain"])
+    if rows != clean_rows:
+        print(f"[crash-harness] MISMATCH: clean {len(clean_rows)} rows, "
+              f"supervised {len(rows)} rows", file=sys.stderr)
+        for x, y in zip(clean_rows, rows):
+            if x != y:
+                print(f"  first diff:\n   clean: {x}\n   super: {y}",
+                      file=sys.stderr)
+                break
+        return 1
+    print(f"[crash-harness] OK: {len(rows)} results, zero lost/duplicated, "
+          f"identical to unfaulted run ({delivered} worker kills)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mode: poison (§2.13 quarantine)
+# ----------------------------------------------------------------------
+def mode_poison(args, tmp: str, jsonl: str, env: dict) -> int:
+    clean = os.path.join(tmp, "clean.ndjson")
+    subprocess.run(batch_cmd(jsonl, clean, args.slots, wal=None),
+                   env=env, check=True, stdout=subprocess.DEVNULL)
+    clean_rows = sorted(load_ndjson(clean), key=lambda d: d["chain"])
+
+    # plant poison entries (valid JSON, invalid chains) at seeded
+    # positions of a new stream file
+    rng = random.Random(args.seed ^ 0xBAD)
+    npoison = max(1, args.kills)
+    good = open(jsonl, "r", encoding="utf-8").read().splitlines()
+    total = len(good) + npoison
+    slots_at = sorted(rng.sample(range(total), npoison))
+    poisoned = os.path.join(tmp, "poisoned.jsonl")
+    remap = {}                      # faulted stream index -> clean index
+    git = iter(range(len(good)))
+    with open(poisoned, "w", encoding="utf-8") as fh:
+        gi = 0
+        for pos in range(total):
+            if pos in slots_at:
+                fh.write(json.dumps([[0, 0], [1, 0]]) + "\n")
+            else:
+                fh.write(good[gi] + "\n")
+                remap[pos] = gi
+                gi += 1
+    del git
+    print(f"[crash-harness] poison: {npoison} invalid chains at stream "
+          f"positions {slots_at} of {total}")
+
+    out = os.path.join(tmp, "survived.ndjson")
+    dl = os.path.join(tmp, "dead.ndjson")
+    proc = subprocess.run(
+        batch_cmd(poisoned, out, args.slots, wal=None,
+                  workers=args.workers, dead_letter=dl),
+        env=env, capture_output=True, text=True)
+    # rc 2 is the documented "not everything gathered" signal; any
+    # other nonzero means the stream aborted
+    if proc.returncode not in (0, 2):
+        sys.stderr.write(proc.stderr)
+        print(f"[crash-harness] poisoned run ABORTED rc={proc.returncode}",
+              file=sys.stderr)
+        return 1
+    dead = load_ndjson(dl)
+    quarantined = {d["chain"] for d in dead if d.get("kind") == "chain"}
+    if quarantined != set(slots_at):
+        print(f"[crash-harness] dead letter mismatch: expected "
+              f"{slots_at}, ledger has {sorted(quarantined)}",
+              file=sys.stderr)
+        return 1
+
+    rows = load_ndjson(out)
+    mapped = sorted(({**d, "chain": remap[d["chain"]]} for d in rows),
+                    key=lambda d: d["chain"])
+    if mapped != clean_rows:
+        print(f"[crash-harness] MISMATCH: clean {len(clean_rows)} rows, "
+              f"survived {len(mapped)} rows", file=sys.stderr)
+        for x, y in zip(clean_rows, mapped):
+            if x != y:
+                print(f"  first diff:\n   clean: {x}\n   survi: {y}",
+                      file=sys.stderr)
+                break
+        return 1
+    print(f"[crash-harness] OK: {npoison} poison chains quarantined to the "
+          f"dead letter, {len(mapped)} good chains identical to clean run")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--mode", choices=("cli-kill", "worker-kill", "poison"),
+                    default="cli-kill")
+    ap.add_argument("--chains", type=int, default=120)
+    ap.add_argument("--slots", type=int, default=16)
+    ap.add_argument("--workers", type=int, default=2,
+                    help="pool width for worker-kill/poison modes")
+    ap.add_argument("--kills", type=int, default=3,
+                    help="SIGKILLs (cli-kill/worker-kill) or poison "
+                         "chains (poison) to inject")
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--max-round", type=int, default=None,
+                    help="kill rounds are drawn from [0, max-round] "
+                         "(default: clean run's final round)")
+    args = ap.parse_args(argv)
+
+    tmp = tempfile.mkdtemp(prefix="crash-harness-")
+    jsonl = os.path.join(tmp, "chains.jsonl")
+    make_stream(jsonl, args.chains, args.seed)
+    env = {**os.environ, "PYTHONPATH": os.path.join(ROOT, "src")}
+    if args.mode == "worker-kill":
+        return mode_worker_kill(args, tmp, jsonl, env)
+    if args.mode == "poison":
+        return mode_poison(args, tmp, jsonl, env)
+    return mode_cli_kill(args, tmp, jsonl, env)
 
 
 if __name__ == "__main__":

@@ -205,6 +205,8 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
                              ("stream4096_slots256",
                               "stream_chains_per_s"),
                              ("stream4096_slots256_wal",
+                              "stream_chains_per_s"),
+                             ("stream4096_slots256_supervised",
                               "stream_chains_per_s")):
         base_fleet = committed.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})
@@ -223,6 +225,23 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
         elif b_cps:
             print(f"regression check: fresh run lacks {fleet_key} "
                   f"{field}", file=sys.stderr)
+            regressed += 1
+    # supervision-overhead gate (DESIGN.md §2.13): the supervised row
+    # re-runs the WAL workload through StreamSupervisor in the same
+    # fresh run, so the ratio is box-independent — normalisation and
+    # dead-letter plumbing must cost at most 5% over the bare WAL row
+    fresh_matrix = fresh.get("derived", {}).get("scenario_matrix", {})
+    wal_cps = fresh_matrix.get("stream4096_slots256_wal",
+                               {}).get("stream_chains_per_s")
+    sup_cps = fresh_matrix.get("stream4096_slots256_supervised",
+                               {}).get("stream_chains_per_s")
+    if wal_cps and sup_cps:
+        ratio = wal_cps / sup_cps
+        verdict = "REGRESSION" if ratio > 1.05 else "ok"
+        print(f"  check supervised-vs-wal overhead: {sup_cps:.1f} vs "
+              f"{wal_cps:.1f} chains/s ({ratio:.3f}x slower, limit "
+              f"1.05x) {verdict}")
+        if ratio > 1.05:
             regressed += 1
     return regressed
 

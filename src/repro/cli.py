@@ -92,11 +92,16 @@ def _batch_progress(every: int = 100):
     return cb
 
 
-def _iter_jsonl_chains(path: str):
+def _iter_jsonl_chains(path: str, skip_bad: bool = False, on_bad=None):
     """Yield position lists from a JSONL file ('-' reads stdin).
 
     One chain per line: a JSON array of ``[x, y]`` pairs.  Blank lines
     are skipped, so concatenated outputs stream through unchanged.
+    A line that is not a position list aborts (strict default) or —
+    with ``skip_bad`` — is quarantined: ``on_bad(lineno, error, raw)``
+    is called and the stream continues.  Skipped lines consume no
+    stream index (the scheduler never sees them), so the dead-letter
+    line number is the only handle back to the input.
     """
     fh = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
     try:
@@ -108,8 +113,11 @@ def _iter_jsonl_chains(path: str):
                 pts = json.loads(line)
                 yield [(int(x), int(y)) for x, y in pts]
             except (ValueError, TypeError) as exc:
-                raise SystemExit(
-                    f"{path}:{lineno}: not a JSON position list: {exc}")
+                if not skip_bad:
+                    raise SystemExit(
+                        f"{path}:{lineno}: not a JSON position list: {exc}")
+                if on_bad is not None:
+                    on_bad(lineno, exc, line)
     finally:
         if fh is not sys.stdin:
             fh.close()
@@ -147,6 +155,7 @@ def _open_stream_out(path: str, resume: bool):
 def cmd_batch_stream(args) -> int:
     """Bounded-memory streaming batch: JSONL chains in, results out."""
     from repro.core.batch import BatchSimulator
+    from repro.core.results import ChainOutcome
     if args.engine != "kernel":
         raise SystemExit("--stream runs on the fleet backend; it requires "
                          "--engine kernel")
@@ -156,9 +165,12 @@ def cmd_batch_stream(args) -> int:
     if args.resume and not args.wal:
         raise SystemExit("--resume continues a write-ahead-logged run; "
                          "it needs --wal DIR")
-    if args.wal and args.workers and args.workers > 1:
-        raise SystemExit("--wal streams in-process (one log, one kernel); "
-                         "drop --workers")
+    if args.resume and args.workers and args.workers > 1:
+        raise SystemExit("--resume continues the one top-level log "
+                         "in-process; drop --workers")
+    if args.skip_bad_lines and not args.dead_letter:
+        raise SystemExit("--skip-bad-lines quarantines rejected input "
+                         "lines; it needs --dead-letter FILE")
     faults = None
     if args.faults:
         from repro.core.faults import FaultPlan
@@ -166,6 +178,17 @@ def cmd_batch_stream(args) -> int:
             faults = FaultPlan.parse(args.faults)
         except ValueError as exc:
             raise SystemExit(f"--faults: {exc}")
+    dl = None
+    if args.dead_letter:
+        from repro.core.supervisor import DeadLetterWriter
+        dl = DeadLetterWriter(args.dead_letter)
+    bad_lines = [0]
+
+    def on_bad(lineno, exc, raw):
+        bad_lines[0] += 1
+        dl.write({"kind": "bad-line", "line": lineno,
+                  "error": str(exc), "raw": raw[:200]})
+
     out_fh, seen = (None, set())
     if args.out:
         out_fh, seen = _open_stream_out(args.out, args.resume)
@@ -173,8 +196,12 @@ def cmd_batch_stream(args) -> int:
                          check_invariants=args.check, workers=args.workers,
                          keep_reports=False, backend="fleet")
     progress = _batch_progress() if args.progress else None
-    chains = _iter_jsonl_chains(args.stream)
-    total = gathered = rounds = robots = 0
+    chains = _iter_jsonl_chains(args.stream, skip_bad=args.skip_bad_lines,
+                                on_bad=on_bad)
+    # a dead-letter ledger turns on the supervision tier (§2.13):
+    # poisoned chains quarantine to the ledger instead of aborting
+    on_error = "quarantine" if dl is not None else "raise"
+    total = gathered = rounds = robots = quarantined = 0
     try:
         for idx, result in sim.run_stream(chains, slots=args.slots,
                                           max_rounds=args.max_rounds,
@@ -182,7 +209,15 @@ def cmd_batch_stream(args) -> int:
                                           wal_dir=args.wal,
                                           snapshot_every=args.snapshot_every,
                                           faults=faults,
-                                          resume=args.resume):
+                                          resume=args.resume,
+                                          on_error=on_error,
+                                          max_retries=args.max_retries):
+            if isinstance(result, ChainOutcome) and not result.ok:
+                quarantined += 1
+                dl.write_outcome(result)
+                continue
+            if isinstance(result, ChainOutcome):
+                result = result.result
             total += 1
             gathered += bool(result.gathered)
             rounds += result.rounds
@@ -205,11 +240,18 @@ def cmd_batch_stream(args) -> int:
     finally:
         if out_fh is not None:
             out_fh.close()
+        if dl is not None:
+            dl.close()
     stats = sim.last_stream_stats or {}
+    extras = ""
+    if dl is not None:
+        extras = (f", quarantined={quarantined}, "
+                  f"bad_lines={bad_lines[0]}")
     print(f"{gathered}/{total} gathered, {robots} robots in {rounds} rounds "
           f"total (slots={args.slots}, workers={sim.workers}, "
-          f"peak_live={stats.get('peak_live_chains', 'n/a')})")
-    return 0 if gathered == total else 2
+          f"peak_live={stats.get('peak_live_chains', 'n/a')}{extras})")
+    return 0 if gathered == total and not quarantined and not bad_lines[0] \
+        else 2
 
 
 def cmd_batch(args) -> int:
@@ -217,9 +259,11 @@ def cmd_batch(args) -> int:
     from repro.core.batch import BatchSimulator
     if args.stream:
         return cmd_batch_stream(args)
-    if args.wal or args.resume or args.out or args.faults:
-        raise SystemExit("--wal/--resume/--out/--faults apply to streaming "
-                         "batches; add --stream JSONL")
+    if args.wal or args.resume or args.out or args.faults \
+            or args.dead_letter or args.skip_bad_lines:
+        raise SystemExit("--wal/--resume/--out/--faults/--dead-letter/"
+                         "--skip-bad-lines apply to streaming batches; "
+                         "add --stream JSONL")
     family = FAMILIES.get(args.family)
     if family is None:
         raise SystemExit(f"unknown family {args.family!r}; "
@@ -248,6 +292,32 @@ def cmd_batch(args) -> int:
                 for lbl, r in zip(labels, batch)]
         print(json.dumps({"summary": batch.summary(), "runs": rows}, indent=2))
     return 0 if batch.all_gathered else 2
+
+
+def cmd_wal_audit(args) -> int:
+    """Machine-check a WAL directory against a deterministic re-run."""
+    from repro.errors import WalError
+    from repro.io.wal import audit_wal
+    # unparseable lines never consumed a stream index (strict runs
+    # aborted on them, --skip-bad-lines runs quarantined them), so the
+    # audit filters them the same way the logged run did
+    skipped = [0]
+
+    def _on_bad(lineno, exc, raw):
+        skipped[0] += 1
+
+    chains = (_iter_jsonl_chains(args.stream, skip_bad=True, on_bad=_on_bad)
+              if args.stream else ())
+    try:
+        report = audit_wal(args.dir, chains)
+    except WalError as exc:
+        print(f"audit FAILED: {exc}")
+        return 1
+    if skipped[0]:
+        print(f"note: {skipped[0]} unparseable stream line(s) skipped, "
+              f"as the logged run did")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_experiment(args) -> int:
@@ -342,7 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--wal", metavar="DIR",
                    help="write-ahead-log the stream to DIR (round deltas + "
                         "periodic snapshots) so a killed run can --resume "
-                        "bit-identically; in-process only")
+                        "bit-identically; with --workers each worker logs "
+                        "to its own shard-<k>/ sub-WAL and a killed worker "
+                        "resumes from its shard snapshot")
     b.add_argument("--resume", action="store_true",
                    help="resume a crashed --wal run: restore the latest "
                         "snapshot, replay the log, skip already-yielded "
@@ -357,8 +429,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rounds between WAL snapshots (default 512)")
     b.add_argument("--faults", metavar="SPEC",
                    help="deterministic fault injection, e.g. "
-                        "'seed=7,crash=0.02,perturb=0.1,mutations=4': drop "
-                        "or reshape stream entries reproducibly")
+                        "'seed=7,crash=0.02,perturb=0.1,mid_crash=0.01,"
+                        "mid_restart=0.02,window=32': drop, reshape or "
+                        "mid-run-fault stream entries reproducibly")
+    b.add_argument("--dead-letter", metavar="FILE", dest="dead_letter",
+                   help="supervised streaming: append quarantined chains "
+                        "(poisoned inputs, invariant violations, chains "
+                        "that keep killing workers) to FILE as NDJSON and "
+                        "keep streaming instead of aborting")
+    b.add_argument("--skip-bad-lines", action="store_true",
+                   dest="skip_bad_lines",
+                   help="quarantine unparseable --stream input lines to "
+                        "the --dead-letter ledger (with line numbers) "
+                        "instead of aborting; default is strict")
+    b.add_argument("--max-retries", type=int, default=3, dest="max_retries",
+                   metavar="N",
+                   help="re-dispatches granted to a chunk whose worker "
+                        "died before it is bisected down to the poison "
+                        "chain (default 3)")
     b.add_argument("--progress", action="store_true",
                    help="print per-100-chain completion milestones")
     b.add_argument("--max-rounds", type=int, default=None)
@@ -382,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     f = sub.add_parser("families", help="list chain generator families")
     f.set_defaults(func=cmd_families)
+
+    w = sub.add_parser("wal", help="write-ahead-log maintenance")
+    wsub = w.add_subparsers(dest="wal_command", required=True)
+    wa = wsub.add_parser(
+        "audit",
+        help="re-execute a logged stream and diff it against its own "
+             "audit-only records (round effects, admissions, retires, "
+             "yields); exits 1 at the first divergent LSN")
+    wa.add_argument("dir", help="WAL directory (wal.ndjson + snapshots)")
+    wa.add_argument("--stream", metavar="JSONL",
+                    help="the JSONL chain stream the logged run was fed "
+                         "(required when the log admitted any chains "
+                         "after its last on-disk snapshot)")
+    wa.set_defaults(func=cmd_wal_audit)
 
     v = sub.add_parser("verify",
                        help="exhaustively verify all closed chains of length n")

@@ -16,8 +16,11 @@ from repro.core.patterns import (
     is_quasi_line,
     is_stairway,
 )
+from repro.core.results import ChainOutcome
 from repro.core.runs import RunMode, RunRegistry, RunState, StopReason
 from repro.core.simulator import GatheringResult, Simulator, gather
+from repro.core.supervisor import (DeadLetterWriter, StreamSupervisor,
+                                   supervise_stream)
 from repro.core.view import ChainWindow
 
 __all__ = [
@@ -51,4 +54,8 @@ __all__ = [
     "Simulator",
     "gather",
     "ChainWindow",
+    "ChainOutcome",
+    "DeadLetterWriter",
+    "StreamSupervisor",
+    "supervise_stream",
 ]

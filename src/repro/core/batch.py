@@ -79,6 +79,23 @@ def _gather_job(job: _Job) -> GatheringResult:
     return result
 
 
+def _pool_result(fut, worker: int, shard_positions, offset: int):
+    """Unwrap a one-shot pool future, lifting worker deaths and broken
+    result pipes into the :class:`~repro.errors.WorkerCrashError`
+    taxonomy so callers can catch one base class (``ReproError``)."""
+    from concurrent.futures import BrokenExecutor
+    try:
+        return fut.result()
+    except (BrokenExecutor, EOFError, OSError) as exc:
+        from repro.errors import WorkerCrashError
+        n = len(shard_positions)
+        raise WorkerCrashError(
+            f"pool worker died gathering chains "
+            f"[{offset}..{offset + n - 1}]: {type(exc).__name__}: {exc}",
+            worker=worker,
+            indices=list(range(offset, offset + n))) from exc
+
+
 def _fleet_job(job: _FleetJob) -> List[GatheringResult]:
     """Gather one fleet shard in-process (top-level: must pickle)."""
     (positions, params, check_invariants, max_rounds, validate_initial,
@@ -89,26 +106,6 @@ def _fleet_job(job: _FleetJob) -> List[GatheringResult]:
                         keep_reports=keep_reports,
                         validate_initial=validate_initial)
     return fleet.run(max_rounds=max_rounds)
-
-
-#: One stream shard: global chain indices + everything to gather them.
-_StreamJob = Tuple[List[int], List[List[tuple]], Parameters, int, bool,
-                   Optional[int], bool, bool]
-
-
-def _stream_job(job: _StreamJob) -> List[Tuple[int, GatheringResult]]:
-    """Stream one shard through a bounded kernel (top-level: must pickle)."""
-    (indices, positions, params, slots, check_invariants, max_rounds,
-     validate_initial, keep_reports) = job
-    from repro.core.engine_fleet import FleetKernel
-    fleet = FleetKernel([], params=params,
-                        check_invariants=check_invariants,
-                        keep_reports=keep_reports,
-                        validate_initial=validate_initial)
-    return [(indices[ci], res)
-            for ci, res in fleet.run_stream(positions, slots=slots,
-                                            max_rounds=max_rounds,
-                                            release=True)]
 
 
 @dataclass
@@ -277,7 +274,10 @@ class BatchSimulator:
                    wal_dir: Optional[str] = None,
                    snapshot_every: int = 512,
                    faults=None,
-                   resume: bool = False
+                   resume: bool = False,
+                   on_error: str = "raise",
+                   max_retries: int = 3,
+                   backoff: float = 0.05
                    ) -> Iterator[Tuple[int, GatheringResult]]:
         """Stream chains through a bounded arena; yield as they finish.
 
@@ -311,7 +311,23 @@ class BatchSimulator:
         ``chains`` must be the same stream the crashed run was fed.
         ``faults`` (a :class:`repro.core.faults.FaultPlan`) degrades
         the stream deterministically at intake on either worker
-        topology; WAL and resume run in-process only (``workers`` 1).
+        topology, and mid-run (robot crash/restart) on either as well.
+        Under a pool, ``wal_dir`` shards: each worker slot logs to
+        ``wal_dir/shard-<k>/`` and a killed worker resumes from its
+        own snapshot (supervision tier, §2.13); top-level
+        ``resume=True`` stays in-process only.
+
+        Supervision (§2.13): the pool path always survives worker
+        deaths — lost chunks re-dispatch with bounded retry
+        (``max_retries``) and exponential ``backoff``.
+        ``on_error="quarantine"`` additionally turns per-chain
+        failures (poisoned inputs, invariant violations, chains that
+        exhaust worker retries) into yielded
+        :class:`~repro.core.results.ChainOutcome` error records;
+        the strict default re-raises them (retry exhaustion as
+        :class:`~repro.errors.WorkerCrashError`).  Injected mid-run
+        fault *crashes* always yield ``ChainOutcome`` records — they
+        are planned degradations, not errors.
         """
         if self.backend != "fleet":
             raise ValueError(
@@ -322,22 +338,30 @@ class BatchSimulator:
             raise ValueError("slots must be >= 1")
         if resume and wal_dir is None:
             raise ValueError("resume=True needs wal_dir")
-        if (wal_dir is not None or resume) and self.workers > 1:
+        if resume and self.workers > 1:
             raise ValueError(
-                "WAL streaming is single-process (one log, one kernel); "
-                "drop wal_dir/resume or set workers=1")
+                "top-level resume is single-process (shard WALs already "
+                "resume crashed workers under a live parent); set "
+                "workers=1 to resume a killed run")
+        if wal_dir is not None and self.workers > 1 and self.keep_reports:
+            raise ValueError(
+                "sharded WAL streaming cannot keep per-round reports "
+                "(the shard results ledger archives scalar outcomes); "
+                "set keep_reports=False")
         stream = itertools.chain(iter(self.positions), iter(chains))
         if self.workers <= 1:
             yield from self._stream_inprocess(stream, slots, max_rounds,
                                               progress, wal_dir,
-                                              snapshot_every, faults, resume)
+                                              snapshot_every, faults, resume,
+                                              on_error)
         else:
             yield from self._stream_pool(stream, slots, max_rounds, progress,
-                                         faults)
+                                         faults, wal_dir, snapshot_every,
+                                         on_error, max_retries, backoff)
 
     def _stream_inprocess(self, stream, slots, max_rounds, progress,
                           wal_dir=None, snapshot_every=512, faults=None,
-                          resume=False):
+                          resume=False, on_error="raise"):
         from repro.core.engine_fleet import FleetKernel
         if resume:
             kernel, gen = FleetKernel.restore_stream(wal_dir, stream,
@@ -357,7 +381,7 @@ class BatchSimulator:
                                          progress=progress, release=True,
                                          wal=wal,
                                          snapshot_every=snapshot_every,
-                                         faults=faults)
+                                         faults=faults, on_error=on_error)
         arena = kernel.arena
         self.last_stream_stats = {
             "workers": 1,
@@ -366,69 +390,37 @@ class BatchSimulator:
             "grows": kernel.stream_stats["grows"],
             "fault_crashed": kernel.stream_stats["fault_crashed"],
             "fault_perturbed": kernel.stream_stats["fault_perturbed"],
+            "quarantined": kernel.stream_stats["quarantined"],
+            "mid_crashed": kernel.stream_stats["mid_crashed"],
+            "mid_restarted": kernel.stream_stats["mid_restarted"],
             "peak_live_chains": arena.peak_live,
             "peak_cells": arena.peak_cells,
             "arena_span": arena.span,
             "rounds": kernel.round_index,
         }
 
-    def _stream_pool(self, stream, slots, max_rounds, progress, faults=None):
-        from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
-                                        as_completed, wait)
-        # slots is the *total* residency budget: never hand out more
-        # than one slot per worker beyond it (slots < workers just
-        # means fewer workers)
+    def _stream_pool(self, stream, slots, max_rounds, progress, faults=None,
+                     wal_dir=None, snapshot_every=512, on_error="raise",
+                     max_retries=3, backoff=0.05):
+        # the supervised pool engine (§2.13): shard-per-worker chunks,
+        # crash recovery with bounded retry, poison isolation, and —
+        # with wal_dir — per-shard WALs + results ledgers
+        from repro.core.supervisor import pool_stream
         workers = min(self.workers, slots)
-        per_slots = slots // workers
-        chunk = per_slots * 4              # amortise per-job startup
-        done = 0
-        self.last_stream_stats = {"workers": workers,
-                                  "slots_per_worker": per_slots}
-
-        def job(buf) -> _StreamJob:
-            return ([i for i, _ in buf], [p for _, p in buf], self.params,
-                    per_slots, self.check_invariants, max_rounds,
-                    self.validate_initial, self.keep_reports)
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            buffers: List[list] = [[] for _ in range(workers)]
-            futures = set()
-            for i, c in enumerate(stream):
-                if faults is not None:
-                    # same per-index decisions as the in-process kernel:
-                    # a crashed entry consumes its stream index (a gap
-                    # in the output, never a shift), a perturbed one is
-                    # reshaped before sharding
-                    kind = faults.decide(i)
-                    if kind == "crash":
-                        continue
-                    if kind == "perturb":
-                        c = faults.mutate(i, self._as_positions(c))
-                buffers[i % workers].append((i, self._as_positions(c)))
-                k = i % workers
-                if len(buffers[k]) >= chunk:
-                    if len(futures) >= workers:   # bounded pipeline
-                        ready, futures = wait(futures,
-                                              return_when=FIRST_COMPLETED)
-                        for fut in ready:
-                            for pair in fut.result():
-                                done += 1
-                                yield pair
-                            if progress is not None:
-                                progress(done, -1)
-                    futures.add(pool.submit(_stream_job, job(buffers[k])))
-                    buffers[k] = []
-            for buf in buffers:
-                if buf:
-                    futures.add(pool.submit(_stream_job, job(buf)))
-            for fut in as_completed(futures):
-                for pair in fut.result():
-                    done += 1
-                    yield pair
-                if progress is not None:
-                    progress(done, -1)
-        if progress is not None:
-            progress(done, done)
+        stats: Dict[str, int] = {"workers": workers,
+                                 "slots_per_worker": slots // workers}
+        yield from pool_stream(stream, params=self.params, workers=workers,
+                               slots=slots, max_rounds=max_rounds,
+                               check_invariants=self.check_invariants,
+                               keep_reports=self.keep_reports,
+                               validate_initial=self.validate_initial,
+                               faults=faults, wal_dir=wal_dir,
+                               snapshot_every=snapshot_every,
+                               on_error=on_error, max_retries=max_retries,
+                               backoff=backoff, progress=progress,
+                               stats=stats,
+                               as_positions=self._as_positions)
+        self.last_stream_stats = stats
 
     # ------------------------------------------------------------------
     def _run_fleet(self, max_rounds: Optional[int], workers: int,
@@ -457,7 +449,7 @@ class BatchSimulator:
                        for k, job in enumerate(jobs)}
             for fut in as_completed(futures):
                 k = futures[fut]
-                shard_results = fut.result()
+                shard_results = _pool_result(fut, k, jobs[k][0], offsets[k])
                 results[offsets[k]:offsets[k] + len(shard_results)] = \
                     shard_results
                 done += len(shard_results)
@@ -476,13 +468,22 @@ class BatchSimulator:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 if progress is None:
                     chunk = max(1, len(jobs) // (4 * workers))
-                    return list(pool.map(_gather_job, jobs, chunksize=chunk))
+                    from concurrent.futures import BrokenExecutor
+                    try:
+                        return list(pool.map(_gather_job, jobs,
+                                             chunksize=chunk))
+                    except (BrokenExecutor, EOFError, OSError) as exc:
+                        from repro.errors import WorkerCrashError
+                        raise WorkerCrashError(
+                            f"pool worker died mid-batch: "
+                            f"{type(exc).__name__}: {exc}") from exc
                 results: List[Optional[GatheringResult]] = [None] * total
                 futures = {pool.submit(_gather_job, job): k
                            for k, job in enumerate(jobs)}
                 done = 0
                 for fut in as_completed(futures):
-                    results[futures[fut]] = fut.result()
+                    k = futures[fut]
+                    results[k] = _pool_result(fut, -1, [jobs[k][0]], k)
                     done += 1
                     progress(done, total)
                 return results  # type: ignore[return-value]
@@ -506,7 +507,10 @@ def gather_stream(chains: Iterable,
                   wal_dir: Optional[str] = None,
                   snapshot_every: int = 512,
                   faults=None,
-                  resume: bool = False
+                  resume: bool = False,
+                  on_error: str = "raise",
+                  max_retries: int = 3,
+                  backoff: float = 0.05
                   ) -> Iterator[Tuple[int, GatheringResult]]:
     """Stream a chain iterator through a bounded fleet (convenience API).
 
@@ -529,7 +533,8 @@ def gather_stream(chains: Iterable,
     return sim.run_stream(chains, slots=slots, max_rounds=max_rounds,
                           progress=progress, wal_dir=wal_dir,
                           snapshot_every=snapshot_every, faults=faults,
-                          resume=resume)
+                          resume=resume, on_error=on_error,
+                          max_retries=max_retries, backoff=backoff)
 
 
 def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],

@@ -49,7 +49,7 @@ from repro.core.decisions_vectorized import (
 from repro.core.engine_vectorized import find_merge_patterns_np
 from repro.core.events import RoundReport
 from repro.core.merges import plan_merges_arrays
-from repro.core.results import GatheringResult
+from repro.core.results import ChainOutcome, GatheringResult
 from repro.core.runs import (
     MODE_INIT_CORNER,
     MODE_NORMAL,
@@ -58,7 +58,7 @@ from repro.core.runs import (
     StopReason,
 )
 from repro.core import invariants
-from repro.errors import InvariantViolation
+from repro.errors import ChainError, InvariantViolation
 
 _STOP_RUNNER_REMOVED = StopReason.RUNNER_REMOVED.value
 _STOP_PASSING_TARGET = StopReason.PASSING_TARGET_REMOVED.value
@@ -421,7 +421,18 @@ class FleetKernel:
         #: faults; peak occupancy lives on the arena)
         self.stream_stats: Dict[str, int] = {
             "admitted": 0, "compactions": 0, "grows": 0,
-            "fault_crashed": 0, "fault_perturbed": 0}
+            "fault_crashed": 0, "fault_perturbed": 0,
+            "quarantined": 0, "mid_crashed": 0, "mid_restarted": 0}
+        #: pending mid-run fault triggers: chain row -> (kind, local
+        #: round).  Registered at admission from the fault plan, fired
+        #: at round boundaries, persisted in snapshots (a fired fault
+        #: must not re-fire after resume).
+        self._mid_faults: Dict[int, Tuple[str, int]] = {}
+        #: external-index override for sharded pool chunks: when set,
+        #: admissions consume global stream indices from this list
+        #: instead of the local counter (supervision tier, §2.13)
+        self._ext_list: Optional[List[int]] = None
+        self._ext_pos = 0
         #: active WAL writer and the round record under construction
         #: (durability tier, DESIGN.md §2.12; None outside WAL streams)
         self._wal = None
@@ -440,6 +451,21 @@ class FleetKernel:
         if self._validate:
             c.validate(initial=True)
         return c
+
+    # ------------------------------------------------------------------
+    def _peek_ext(self) -> int:
+        """The next external stream index (without consuming it)."""
+        if self._ext_list is not None:
+            return int(self._ext_list[self._ext_pos])
+        return self._submitted
+
+    def _next_ext(self) -> int:
+        """Consume and return the next external stream index."""
+        ext = self._peek_ext()
+        if self._ext_list is not None:
+            self._ext_pos += 1
+        self._submitted += 1
+        return ext
 
     # ------------------------------------------------------------------
     def admit(self, chain: ClosedChain, slots_hint: Optional[int] = None
@@ -471,8 +497,7 @@ class FleetKernel:
             self.stream_stats["grows"] += 1
             ci = arena.admit(chain)
         self._single = False
-        ext = self._submitted
-        self._submitted = ext + 1
+        ext = self._next_ext()
         if ci < len(self._n0):             # recycled row: reset in place
             self._n0[ci] = n
             self.birth[ci] = self.round_index
@@ -530,6 +555,8 @@ class FleetKernel:
                    wal=None,
                    snapshot_every: int = 512,
                    faults=None,
+                   on_error: str = "raise",
+                   ext_indices: Optional[Sequence[int]] = None,
                    _resume: Optional[tuple] = None):
         """Stream chains through the arena; yield results as chains finish.
 
@@ -558,14 +585,33 @@ class FleetKernel:
         :meth:`FleetKernel.resume`.  ``faults`` — a
         :class:`repro.core.faults.FaultPlan` — degrades the stream
         deterministically at intake (entries dropped or perturbed by
-        their stream index).  ``_resume`` is the resume protocol's
-        internal handoff (progress counters and the already-yielded
-        skip set); use :meth:`resume`, never pass it directly.
+        their stream index) and mid-run (seeded robot crash/restart at
+        chain-local round boundaries).  ``_resume`` is the resume
+        protocol's internal handoff (progress counters and the
+        already-yielded skip set); use :meth:`resume`, never pass it
+        directly.
+
+        Supervision (§2.13): ``on_error="quarantine"`` turns per-chain
+        failures — a poisoned input that fails chain validation at
+        admission, or an :class:`InvariantViolation` pinned to one
+        chain mid-round — into yielded
+        :class:`~repro.core.results.ChainOutcome` error records
+        instead of stream-aborting exceptions; mid-run fault crashes
+        are always yielded that way.  ``ext_indices`` maps this
+        kernel's admissions onto caller-chosen global stream indices
+        (the sharded pool path — each worker's kernel sees only its
+        chunk but logs, yields and fault-decides under global indices).
         """
         if slots is not None and slots < 1:
             raise ValueError("slots must be >= 1")
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError("on_error must be 'raise' or 'quarantine'")
+        quarantine = on_error == "quarantine"
+        if ext_indices is not None and _resume is None:
+            self._ext_list = [int(x) for x in ext_indices]
+            self._ext_pos = 0
         arena = self.arena
         it = iter(chains)
         self._wal = wal
@@ -585,6 +631,7 @@ class FleetKernel:
                        check_invariants=self._check,
                        validate_initial=self._validate,
                        numpy_min_runs=self.numpy_min_runs,
+                       on_error=on_error,
                        faults=faults.to_doc() if faults is not None
                        else None)
         t0 = time.perf_counter()
@@ -597,7 +644,8 @@ class FleetKernel:
             wal.write_snapshot(self, {
                 "consumed": consumed, "done": done, "exhausted": exhausted,
                 "slots": slots, "max_rounds": max_rounds,
-                "release": release, "snapshot_every": snapshot_every})
+                "release": release, "snapshot_every": snapshot_every,
+                "on_error": on_error})
 
         def emit(pairs):
             # idempotent yield protocol: one record per retire batch,
@@ -648,6 +696,11 @@ class FleetKernel:
                     yield from emit(self._retire_batch(
                         live_ids[retire], gathered[retire], t0,
                         release=release))
+            if self._mid_faults:
+                pairs = self._apply_mid_faults()
+                if pairs:
+                    retired = True
+                    yield from emit(pairs)
             while True:
                 fresh: List[int] = []
                 while not exhausted and (slots is None
@@ -658,25 +711,52 @@ class FleetKernel:
                         exhausted = True
                         break
                     consumed += 1
+                    try:
+                        if faults is not None:
+                            idx = self._peek_ext()
+                            kind = faults.decide(idx)
+                            if kind == "crash":
+                                # dropped entries still consume a stream
+                                # index: survivors keep their positions
+                                # and the output gains a gap, never a
+                                # shift
+                                self._next_ext()
+                                self.stream_stats["fault_crashed"] += 1
+                                if wal is not None:
+                                    wal.append("fault", i=idx,
+                                               kind="crash")
+                                continue
+                            if kind == "perturb":
+                                c = self._as_chain(nxt)
+                                nxt = faults.mutate(idx, c.positions)
+                                self.stream_stats["fault_perturbed"] += 1
+                                if wal is not None:
+                                    wal.append("fault", i=idx,
+                                               kind="perturb")
+                        ci = self.admit(self._as_chain(nxt),
+                                        slots_hint=slots)
+                    except (ChainError, ValueError, TypeError) as exc:
+                        # poisoned stream entry: the input never became
+                        # a live chain, so quarantine consumes its
+                        # stream index (gap, never a shift) and yields
+                        # a structured error outcome
+                        if not quarantine:
+                            raise
+                        idx = self._next_ext()
+                        self.stream_stats["quarantined"] += 1
+                        if wal is not None:
+                            wal.append("quarantine", i=idx,
+                                       r=self.round_index, stage="admit",
+                                       error=type(exc).__name__)
+                        yield from emit([(idx, ChainOutcome(
+                            index=idx, error=type(exc).__name__,
+                            message=str(exc), stage="admit",
+                            quarantined=True))])
+                        continue
                     if faults is not None:
-                        idx = self._submitted
-                        kind = faults.decide(idx)
-                        if kind == "crash":
-                            # dropped entries still consume a stream
-                            # index: survivors keep their positions and
-                            # the output gains a gap, never a shift
-                            self._submitted = idx + 1
-                            self.stream_stats["fault_crashed"] += 1
-                            if wal is not None:
-                                wal.append("fault", i=idx, kind="crash")
-                            continue
-                        if kind == "perturb":
-                            c = self._as_chain(nxt)
-                            nxt = faults.mutate(idx, c.positions)
-                            self.stream_stats["fault_perturbed"] += 1
-                            if wal is not None:
-                                wal.append("fault", i=idx, kind="perturb")
-                    ci = self.admit(self._as_chain(nxt), slots_hint=slots)
+                        mid = faults.decide_mid(self._ext_of[ci])
+                        if mid is not None:
+                            self._mid_faults[ci] = mid
                     fresh.append(ci)
                 if wal is not None and fresh:
                     # one record per intake burst, not per chain
@@ -708,7 +788,22 @@ class FleetKernel:
             if arena.n_live == 0:
                 break
             self._maybe_compact_registry()
-            self._step_round()
+            try:
+                self._step_round()
+            except InvariantViolation as exc:
+                # the violation is detected after the round's effects
+                # are applied and logged; when it can be pinned to one
+                # chain, quarantine mode retires that chain as an error
+                # outcome and the rest of the fleet streams on
+                ci = getattr(exc, "chain_index", None)
+                if not quarantine or ci is None or not arena.live[ci]:
+                    raise
+                self._mid_faults.pop(ci, None)
+                pair = self._quarantine_chain(ci, type(exc).__name__,
+                                              str(exc), "round")
+                self.round_index += 1
+                yield from emit([pair])
+                continue
             self.round_index += 1
         if wal is not None:
             wal.append("stream_end", r=self.round_index, done=done)
@@ -718,7 +813,8 @@ class FleetKernel:
     @classmethod
     def restore_stream(cls, wal_dir: str,
                        chains: Union[Sequence, object] = (),
-                       progress: Optional[Callable[[int, int], None]] = None
+                       progress: Optional[Callable[[int, int], None]] = None,
+                       ext_indices: Optional[Sequence[int]] = None
                        ) -> Tuple["FleetKernel", object]:
         """Rebuild a crashed stream from its WAL directory.
 
@@ -757,13 +853,16 @@ class FleetKernel:
                       r=kernel.round_index)
         fd = start.get("faults")
         faults = FaultPlan.from_doc(fd) if fd else None
+        if ext_indices is not None:
+            kernel._ext_list = [int(x) for x in ext_indices]
+            kernel._ext_pos = consumed
         mr = stream["max_rounds"]
         gen = kernel.run_stream(
             it, slots=stream["slots"],
             max_rounds=None if mr is None else int(mr),
             progress=progress, release=bool(stream["release"]),
             wal=writer, snapshot_every=int(stream["snapshot_every"]),
-            faults=faults,
+            faults=faults, on_error=str(stream.get("on_error", "raise")),
             _resume=(bool(stream["exhausted"]), int(stream["done"]),
                      consumed, skip))
         return kernel, gen
@@ -809,6 +908,9 @@ class FleetKernel:
         arena = self.arena
         registry = self.registry
         cis = np.asarray(cis, dtype=np.int64)
+        if self._mid_faults:
+            for ci in cis.tolist():
+                self._mid_faults.pop(ci, None)
         slots = registry.active_slots()
         if len(slots):
             drop = slots[np.isin(registry.chain_col[slots], cis)]
@@ -847,6 +949,77 @@ class FleetKernel:
                              i=[self._ext_of[ci] for ci in cis.tolist()],
                              g=np.asarray(gathered, np.int64).tolist())
         arena.retire_batch(cis)
+        return out
+
+    # ------------------------------------------------------------------
+    def _drop_runs(self, ci: int) -> None:
+        """Drop every registry run riding chain ``ci`` (one masked pass)."""
+        registry = self.registry
+        slots = registry.active_slots()
+        if len(slots):
+            drop = slots[registry.chain_col[slots] == ci]
+            if len(drop):
+                registry.drop_slots(drop)
+
+    def _quarantine_chain(self, ci: int, error: str, message: str,
+                          stage: str) -> Tuple[int, ChainOutcome]:
+        """Force-retire a live chain as a structured error outcome.
+
+        The supervision tier's eviction path (§2.13): the chain's runs
+        leave the registry, its arena slot returns to the free list and
+        a ``quarantine`` record pins the eviction in the WAL — all
+        deterministic, so resume and audit regenerate the exact same
+        eviction.  Returns the ``(stream_index, outcome)`` pair for the
+        idempotent yield protocol.
+        """
+        arena = self.arena
+        self._drop_runs(ci)
+        self._ids_dirty.pop(ci, None)
+        ext = self._ext_of[ci]
+        self.stream_stats["quarantined"] += 1
+        if self._wal is not None:
+            self._wal.append("quarantine", i=ext, r=self.round_index,
+                             c=ci, stage=stage, error=error)
+        self.reports[ci] = []
+        arena.chains[ci] = None            # type: ignore[call-overload]
+        arena.retire_batch(np.asarray([ci], dtype=np.int64))
+        return ext, ChainOutcome(index=ext, error=error, message=message,
+                                 stage=stage, quarantined=True)
+
+    def _apply_mid_faults(self) -> List[Tuple[int, ChainOutcome]]:
+        """Fire due mid-run robot faults at the between-round boundary.
+
+        A chain whose local round has reached its seeded trigger either
+        *crashes* (the whole chain of robots dies: quarantined as an
+        error outcome) or *restarts* (volatile run state wiped, birth
+        re-based so the gathering restarts from the current
+        configuration).  Both are logged, so resume and audit replay
+        them; entries for chains that retired normally first are
+        dropped.
+        """
+        arena = self.arena
+        out: List[Tuple[int, ChainOutcome]] = []
+        for ci, (kind, trig) in sorted(self._mid_faults.items()):
+            if not arena.live[ci]:
+                del self._mid_faults[ci]
+                continue
+            local = self.round_index - int(self.birth[ci])
+            if local < trig:
+                continue
+            del self._mid_faults[ci]
+            if kind == "mid_restart":
+                self._drop_runs(ci)
+                self.birth[ci] = self.round_index
+                self.stream_stats["mid_restarted"] += 1
+                if self._wal is not None:
+                    self._wal.append("fault", i=self._ext_of[ci],
+                                     kind="mid_restart",
+                                     r=self.round_index, c=ci)
+                continue
+            self.stream_stats["mid_crashed"] += 1
+            out.append(self._quarantine_chain(
+                ci, "FaultCrash",
+                f"injected mid-run crash at local round {trig}", "fault"))
         return out
 
     # ------------------------------------------------------------------
@@ -1012,15 +1185,17 @@ class FleetKernel:
         if starts is not None:
             self._apply_starts(starts, round_index, started)
 
-        # 11. reports and invariants ----------------------------------------
+        # 11. reports -------------------------------------------------------
         if keep:
             self._build_reports(live_list, n_before, plan, merges_by_chain,
                                 move_c, terminated, dec.conflicts, started,
                                 round_index)
-        if self._check:
-            self._check_invariants(live_list, before, moved)
 
         # 12. round delta record (durability tier) --------------------------
+        # appended *before* the invariant pass: the round's effects are
+        # already applied, so the log must carry them even when a check
+        # below fails and the offending chain is quarantined (§2.13) —
+        # a torn audit trail would make the violation unreproducible
         if self._wal_rec is not None:
             from repro.io.wal import pack_ints
             rec = self._wal_rec
@@ -1030,6 +1205,10 @@ class FleetKernel:
                 mv=pack_ints(rec["mv"]), rm=pack_ints(rec["rm"]),
                 st=pack_ints(rec["st"]),
                 tm=pack_ints([x for t in terminated for x in t]))
+
+        # 13. invariants ----------------------------------------------------
+        if self._check:
+            self._check_invariants(live_list, before, moved)
 
     # ------------------------------------------------------------------
     def _merge_plan_single(self, k_max: int) -> Optional[FleetMergePlan]:
@@ -1550,35 +1729,48 @@ class FleetKernel:
         for ci in live_list:
             chain = arena.chains[ci]
             ids_b, pos_b = before[ci]
-            invariants.check_connectivity(chain)
-            invariants.check_monotone_count(len(ids_b), chain.n)
-            invariants.check_hop_lengths_arrays(
-                ids_b, pos_b, chain.ids_array(), chain.positions_array())
-            if len(slots):
-                mine = registry.robot[slots[cc == ci]]
-                if len(mine):
-                    idx = chain.index_array()
-                    if (idx[mine] < 0).any():
-                        raise InvariantViolation(
-                            f"fleet chain {ci}: run rides removed robot")
-                    # sorted-boundary triple check (a value repeated 3x
-                    # sits 2 apart in sorted order) — same dedup idiom
-                    # as the contraction sweeps, no np.unique hash pass
-                    srt = np.sort(mine)
-                    if len(srt) > 2 and (srt[2:] == srt[:-2]).any():
-                        raise InvariantViolation(
-                            f"fleet chain {ci}: robot carries more than "
-                            f"two runs")
+            try:
+                invariants.check_connectivity(chain)
+                invariants.check_monotone_count(len(ids_b), chain.n)
+                invariants.check_hop_lengths_arrays(
+                    ids_b, pos_b, chain.ids_array(),
+                    chain.positions_array())
+                if len(slots):
+                    mine = registry.robot[slots[cc == ci]]
+                    if len(mine):
+                        idx = chain.index_array()
+                        if (idx[mine] < 0).any():
+                            raise InvariantViolation(
+                                f"fleet chain {ci}: run rides removed "
+                                f"robot")
+                        # sorted-boundary triple check (a value repeated
+                        # 3x sits 2 apart in sorted order) — same dedup
+                        # idiom as the contraction sweeps, no np.unique
+                        # hash pass
+                        srt = np.sort(mine)
+                        if len(srt) > 2 and (srt[2:] == srt[:-2]).any():
+                            raise InvariantViolation(
+                                f"fleet chain {ci}: robot carries more "
+                                f"than two runs")
+            except InvariantViolation as exc:
+                # pin the violation to its chain so quarantine mode can
+                # evict exactly the offender (§2.13)
+                exc.chain_index = ci
+                raise
         if moved is not None:
             mc, old, new, dirs = moved
             for ci in _sorted_unique(np.sort(mc)).tolist():
                 if not arena.live[ci]:
                     continue
                 rows = mc == ci
-                invariants.check_run_speed(
-                    arena.chains[ci],
-                    list(zip(old[rows].tolist(), new[rows].tolist(),
-                             dirs[rows].tolist())))
+                try:
+                    invariants.check_run_speed(
+                        arena.chains[ci],
+                        list(zip(old[rows].tolist(), new[rows].tolist(),
+                                 dirs[rows].tolist())))
+                except InvariantViolation as exc:
+                    exc.chain_index = ci
+                    raise
 
 
 def gather_fleet(chains: Sequence[Union[ClosedChain, Sequence[Vec]]],

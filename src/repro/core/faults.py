@@ -32,12 +32,23 @@ class FaultPlan:
     (:func:`repro.chains.perturb.perturb`).  Probabilities are
     disjoint slices of one uniform draw, so ``crash + perturb`` must
     stay ≤ 1.
+
+    ``mid_crash``/``mid_restart`` inject *mid-run* robot faults: an
+    affected chain is hit at a seeded chain-local round in
+    ``[1, window]`` — crash retires it as a structured error outcome,
+    restart wipes its volatile run state so the gathering restarts
+    from the current configuration (see :meth:`decide_mid`).  Both are
+    applied at round boundaries by the fleet kernel and recorded as
+    ``fault`` WAL records, so resume and audit replay them exactly.
     """
 
     seed: int = 0
     crash: float = 0.0
     perturb: float = 0.0
     mutations: int = 4
+    mid_crash: float = 0.0
+    mid_restart: float = 0.0
+    window: int = 32
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.crash <= 1.0 or not 0.0 <= self.perturb <= 1.0 \
@@ -46,6 +57,13 @@ class FaultPlan:
                              "crash + perturb <= 1")
         if self.mutations < 1:
             raise ValueError("mutations must be >= 1")
+        if not 0.0 <= self.mid_crash <= 1.0 \
+                or not 0.0 <= self.mid_restart <= 1.0 \
+                or self.mid_crash + self.mid_restart > 1.0:
+            raise ValueError("mid_crash/mid_restart must be probabilities "
+                             "with mid_crash + mid_restart <= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
 
     # ------------------------------------------------------------------
     def decide(self, index: int) -> Optional[str]:
@@ -61,6 +79,29 @@ class FaultPlan:
             return "perturb"
         return None
 
+    def decide_mid(self, index: int) -> Optional[Tuple[str, int]]:
+        """The mid-run fate of stream entry ``index``.
+
+        Returns ``None`` (unaffected) or ``(kind, round)`` where
+        ``kind`` is ``'mid_crash'`` (the whole chain of robots dies
+        mid-run and is retired as a crashed outcome) or
+        ``'mid_restart'`` (the robots reboot: volatile run state is
+        wiped and the chain restarts from its current configuration),
+        and ``round`` is the chain-local round, in ``[1, window]``, at
+        whose boundary the fault fires.  Pure function of seed and
+        index — a resumed or re-executed stream replays the same fault
+        at the same round.
+        """
+        if self.mid_crash <= 0.0 and self.mid_restart <= 0.0:
+            return None
+        rng = random.Random(f"repro.fault.mid:{self.seed}:{index}")
+        u = rng.random()
+        if u < self.mid_crash:
+            return ("mid_crash", 1 + rng.randrange(self.window))
+        if u < self.mid_crash + self.mid_restart:
+            return ("mid_restart", 1 + rng.randrange(self.window))
+        return None
+
     def mutate(self, index: int, positions: Sequence[Vec]) -> List[Vec]:
         """The perturbed chain for entry ``index`` (deterministic)."""
         from repro.chains.perturb import perturb as _perturb
@@ -71,20 +112,26 @@ class FaultPlan:
     def to_doc(self) -> Dict[str, Any]:
         """JSON-ready form (recorded in the WAL's stream_start)."""
         return {"seed": self.seed, "crash": self.crash,
-                "perturb": self.perturb, "mutations": self.mutations}
+                "perturb": self.perturb, "mutations": self.mutations,
+                "mid_crash": self.mid_crash,
+                "mid_restart": self.mid_restart, "window": self.window}
 
     @classmethod
     def from_doc(cls, doc: Dict[str, Any]) -> "FaultPlan":
         return cls(seed=int(doc["seed"]), crash=float(doc["crash"]),
                    perturb=float(doc["perturb"]),
-                   mutations=int(doc["mutations"]))
+                   mutations=int(doc["mutations"]),
+                   mid_crash=float(doc.get("mid_crash", 0.0)),
+                   mid_restart=float(doc.get("mid_restart", 0.0)),
+                   window=int(doc.get("window", 32)))
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Parse a CLI spec like ``seed=7,crash=0.02,perturb=0.1``.
 
-        Keys: ``seed`` (int), ``crash``/``perturb`` (floats in [0, 1]),
-        ``mutations`` (int).  Unknown keys raise ValueError.
+        Keys: ``seed`` (int), ``crash``/``perturb``/``mid_crash``/
+        ``mid_restart`` (floats in [0, 1]), ``mutations``/``window``
+        (ints).  Unknown keys raise ValueError.
         """
         kwargs: Dict[str, Any] = {}
         for part in spec.split(","):
@@ -95,9 +142,9 @@ class FaultPlan:
             key = key.strip()
             if not sep:
                 raise ValueError(f"fault spec entry {part!r} is not key=value")
-            if key in ("seed", "mutations"):
+            if key in ("seed", "mutations", "window"):
                 kwargs[key] = int(value)
-            elif key in ("crash", "perturb"):
+            elif key in ("crash", "perturb", "mid_crash", "mid_restart"):
                 kwargs[key] = float(value)
             else:
                 raise ValueError(f"unknown fault spec key {key!r}")

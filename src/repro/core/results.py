@@ -50,3 +50,62 @@ class GatheringResult:
         state = "gathered" if self.gathered else ("STALLED" if self.stalled else "stopped")
         return (f"{state}: n={self.initial_n} -> {self.final_n} in {self.rounds} rounds "
                 f"({self.rounds_per_robot:.2f} rounds/robot)")
+
+
+@dataclass
+class ChainOutcome:
+    """Per-entry outcome of a *supervised* stream.
+
+    Every stream index resolves to exactly one outcome: either a
+    :class:`GatheringResult` (which may itself be degraded — stalled or
+    budget-exhausted — but is still a result), or a structured error
+    record for a chain the supervision tier quarantined instead of
+    letting it abort the stream.  ``error`` is the exception class name
+    (``ChainError``, ``InvariantViolation``, ``WorkerCrashError``, or
+    the injected ``FaultCrash``), ``stage`` says where it was caught
+    (``admit``, ``round``, ``worker``, ``intake``), and ``retries``
+    counts re-dispatch attempts for worker-crash quarantines.
+    """
+
+    index: int
+    result: Optional[GatheringResult] = None
+    error: Optional[str] = None
+    message: str = ""
+    stage: str = ""
+    retries: int = 0
+    quarantined: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> GatheringResult:
+        """The result, or :class:`~repro.errors.QuarantinedChainError`."""
+        if self.result is not None:
+            return self.result
+        from repro.errors import QuarantinedChainError
+        raise QuarantinedChainError(
+            f"chain {self.index} quarantined at {self.stage or '?'}: "
+            f"{self.error}: {self.message}",
+            index=self.index, stage=self.stage)
+
+    def to_doc(self) -> dict:
+        """JSON-ready form (dead-letter ledger / shard results ledger)."""
+        doc = {"kind": "chain", "chain": self.index,
+               "quarantined": self.quarantined}
+        if self.error is not None:
+            doc["error"] = self.error
+            doc["message"] = self.message
+            doc["stage"] = self.stage
+            if self.retries:
+                doc["retries"] = self.retries
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ChainOutcome":
+        return cls(index=int(doc["chain"]),
+                   error=doc.get("error"),
+                   message=str(doc.get("message", "")),
+                   stage=str(doc.get("stage", "")),
+                   retries=int(doc.get("retries", 0)),
+                   quarantined=bool(doc.get("quarantined", False)))

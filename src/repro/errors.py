@@ -38,6 +38,42 @@ class LocalityViolation(ReproError):
     """A decision procedure read beyond the viewing path length."""
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker died (SIGKILL, OOM, broken pipe) or a job failed
+    to cross the process boundary (pickling).
+
+    Carries enough context to re-dispatch or quarantine: the worker
+    slot, the stream indices of the chunk that was in flight, and how
+    many re-dispatch attempts had been made when the supervisor gave
+    up.  Raised by :mod:`repro.core.supervisor` and the pool paths of
+    :class:`repro.core.batch.BatchSimulator` in strict mode; in
+    quarantine mode the same information rides in a
+    :class:`~repro.core.results.ChainOutcome` instead.
+    """
+
+    def __init__(self, message: str, worker: int = -1,
+                 indices=None, retries: int = 0):
+        super().__init__(message)
+        self.worker = worker
+        self.indices = list(indices) if indices is not None else []
+        self.retries = retries
+
+
+class QuarantinedChainError(ReproError):
+    """A stream entry was quarantined but the caller demanded a result.
+
+    Raised by :meth:`repro.core.results.ChainOutcome.unwrap` (and the
+    strict-mode streaming paths built on it) when a chain's outcome is
+    an error record — poisoned input, an invariant violation pinned to
+    the chain, or worker-crash retry exhaustion.
+    """
+
+    def __init__(self, message: str, index: int = -1, stage: str = ""):
+        super().__init__(message)
+        self.index = index
+        self.stage = stage
+
+
 class WalError(ReproError):
     """A write-ahead log or snapshot could not be written, read or resumed.
 

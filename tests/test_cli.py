@@ -130,6 +130,93 @@ class TestBatchStream:
             main(["batch", "--stream", str(path)])
 
 
+class TestSupervisedStream:
+    """``repro batch --stream`` under supervision (DESIGN.md §2.13)."""
+
+    @staticmethod
+    def _write_jsonl(tmp_path, fleets, name="chains.jsonl"):
+        path = tmp_path / name
+        lines = [json.dumps([list(p) for p in pts]) for pts in fleets]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_skip_bad_lines_quarantined_with_line_number(
+            self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        good = json.dumps([list(p) for p in square_ring(8)])
+        path.write_text(good + "\nnot json\n" + good + "\n")
+        dl = tmp_path / "dead.ndjson"
+        rc = main(["batch", "--stream", str(path), "--skip-bad-lines",
+                   "--dead-letter", str(dl)])
+        assert rc == 2                      # bad line ⇒ not fully clean
+        out = capsys.readouterr().out
+        assert "2/2 gathered" in out
+        assert "bad_lines=1" in out
+        docs = [json.loads(s) for s in dl.read_text().splitlines()]
+        assert docs[0]["kind"] == "bad-line" and docs[0]["line"] == 2
+
+    def test_skip_bad_lines_requires_dead_letter(self, tmp_path):
+        path = self._write_jsonl(tmp_path, [square_ring(8)])
+        with pytest.raises(SystemExit):
+            main(["batch", "--stream", path, "--skip-bad-lines"])
+
+    def test_poison_chain_quarantined_not_fatal(self, tmp_path, capsys):
+        path = tmp_path / "poison.jsonl"
+        good = json.dumps([list(p) for p in square_ring(8)])
+        path.write_text(good + "\n" + json.dumps([[0, 0], [1, 0]])
+                        + "\n" + good + "\n")
+        dl = tmp_path / "dead.ndjson"
+        out_file = tmp_path / "out.ndjson"
+        rc = main(["batch", "--stream", str(path), "--dead-letter",
+                   str(dl), "--out", str(out_file)])
+        assert rc == 2
+        assert "quarantined=1" in capsys.readouterr().out
+        docs = [json.loads(s) for s in dl.read_text().splitlines()]
+        assert docs[0]["chain"] == 1 and docs[0]["quarantined"]
+        # quarantined chains never reach the results ledger
+        rows = [json.loads(s) for s in out_file.read_text().splitlines()]
+        assert sorted(r["chain"] for r in rows) == [0, 2]
+
+    def test_wal_audit_clean_and_tampered(self, tmp_path, capsys):
+        path = self._write_jsonl(
+            tmp_path, [square_ring(8), square_ring(12), square_ring(8)])
+        wal = tmp_path / "wal"
+        assert main(["batch", "--stream", path, "--slots", "2",
+                     "--wal", str(wal)]) == 0
+        assert main(["wal", "audit", str(wal), "--stream", path]) == 0
+        assert "audit ok" in capsys.readouterr().out
+        # doctor one round record: swap its move blob for its starts
+        log = wal / "wal.ndjson"
+        recs = [json.loads(s) for s in log.read_text().splitlines()]
+        victim = next(r for r in recs
+                      if r["type"] == "round" and r.get("mv"))
+        victim["mv"], victim["st"] = victim["st"], victim["mv"]
+        log.write_text("\n".join(json.dumps(r) for r in recs) + "\n")
+        assert main(["wal", "audit", str(wal), "--stream", path]) == 1
+        out = capsys.readouterr().out
+        assert "audit FAILED" in out and str(victim["lsn"]) in out
+
+    def test_wal_audit_missing_dir(self, tmp_path, capsys):
+        assert main(["wal", "audit", str(tmp_path / "nope")]) == 1
+        assert "audit FAILED" in capsys.readouterr().out
+
+    def test_wal_audit_skips_bad_lines_like_the_run_did(
+            self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        good = json.dumps([list(p) for p in square_ring(8)])
+        path.write_text(good + "\nnot json\n" + good + "\n")
+        wal = tmp_path / "wal"
+        dl = tmp_path / "dead.ndjson"
+        assert main(["batch", "--stream", str(path), "--wal", str(wal),
+                     "--skip-bad-lines", "--dead-letter", str(dl)]) == 2
+        # the bad line consumed no stream index, so the audit must
+        # filter it out exactly as the logged run did
+        assert main(["wal", "audit", str(wal), "--stream",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "audit ok" in out and "1 unparseable" in out
+
+
 class TestMisc:
     def test_families_listing(self, capsys):
         assert main(["families"]) == 0

@@ -285,9 +285,13 @@ class TestBatchWiring:
         jl.write_text("")
         with pytest.raises(SystemExit):
             main(["batch", "--stream", str(jl), "--resume"])
+        # --wal with --workers is the sharded supervision tier now;
+        # only top-level --resume stays single-process
         with pytest.raises(SystemExit):
             main(["batch", "--stream", str(jl), "--wal",
-                  str(tmp_path / "w"), "--workers", "2"])
+                  str(tmp_path / "w"), "--workers", "2", "--resume"])
+        with pytest.raises(SystemExit):
+            main(["batch", "--stream", str(jl), "--skip-bad-lines"])
         with pytest.raises(SystemExit):
             main(["batch", "--stream", str(jl), "--faults", "bogus=1"])
         with pytest.raises(SystemExit):
