@@ -196,6 +196,12 @@ FLEETS = {
     # gates the vectorised survivor/run-start passes in CI
     "fleet128_merge_dense": (lambda: [_merge_dense_chain(8, base_height=4)
                                       for _ in range(128)], None),
+    # the same merge-dense workload at 8x the fleet width: the
+    # sort+reduceat merge planner's fold runs over thousands of merge
+    # events per round here, so this row guards the segmented-min
+    # formulation at scale (DESIGN.md §2.14)
+    "fleet1024_merge_dense": (lambda: [_merge_dense_chain(8, base_height=4)
+                                       for _ in range(1024)], None),
 }
 
 
@@ -225,27 +231,40 @@ def test_fleet_throughput(benchmark, fleet_name, backend):
 
 
 #: Streaming scenarios: name -> (chain generator factory, stream length,
-#: slot budget).  The generator factory returns a *fresh lazy iterator*
-#: per run — the streaming tier's contract is that the input never
-#: materialises — and the slot budget bounds arena occupancy, so the
-#: benchmark also asserts the bounded-memory claim it records.
+#: slot budget, max chain n).  The generator factory returns a *fresh
+#: lazy iterator* per run — the streaming tier's contract is that the
+#: input never materialises — and the slot budget bounds arena
+#: occupancy, so the benchmark also asserts the bounded-memory claim it
+#: records (peak cells at most ``slots * max chain n``).
 STREAMS = {
     "stream4096_slots256": (lambda: (list(_STREAM_RING)
-                                     for _ in range(4096)), 4096, 256),
+                                     for _ in range(4096)), 4096, 256, 60),
     # same workload write-ahead-logged (DESIGN.md §2.12): the gated
     # durability overhead — round deltas + periodic snapshots — must
     # stay within a small factor of the WAL-free row
     "stream4096_slots256_wal": (lambda: (list(_STREAM_RING)
-                                         for _ in range(4096)), 4096, 256),
+                                         for _ in range(4096)),
+                                4096, 256, 60),
     # WAL row under full supervision (DESIGN.md §2.13): quarantine-mode
     # normalisation to ChainOutcome plus dead-letter plumbing on top of
     # the WAL; gated at ≤5% over the plain WAL row in CI
     "stream4096_slots256_supervised": (lambda: (list(_STREAM_RING)
                                                 for _ in range(4096)),
-                                       4096, 256),
+                                       4096, 256, 60),
+    # churn-heavy acceptance row (DESIGN.md §2.14): small chains gather
+    # in a handful of rounds and the two sizes retire staggered, so
+    # slots turn over constantly round after round — the workload
+    # where per-admission full topology rebuilds used to dominate.
+    # Gates the incremental-topology delta path plus the batched
+    # intake; the pinned pre-PR baseline lives in BENCH_engines.json
+    # under ``incremental_topology_baseline``
+    "stream_churn8192_slots512": (lambda: (list(_CHURN_RINGS[i % 2])
+                                           for i in range(8192)),
+                                  8192, 512, 12),
 }
 
 _STREAM_RING = square_ring(16)             # n = 60, the fleet256 chain
+_CHURN_RINGS = [square_ring(3), square_ring(4)]          # n = 8 / 12
 
 
 @pytest.mark.parametrize("stream_name", sorted(STREAMS))
@@ -263,7 +282,7 @@ def test_stream_throughput(benchmark, stream_name):
     import tempfile
     from repro.core.batch import BatchSimulator
     from repro.core.supervisor import StreamSupervisor
-    gen, chains, slots = STREAMS[stream_name]
+    gen, chains, slots, max_n = STREAMS[stream_name]
     supervised = stream_name.endswith("_supervised")
     walled = stream_name.endswith("_wal") or supervised
 
@@ -290,10 +309,17 @@ def test_stream_throughput(benchmark, stream_name):
     count, stats = benchmark.pedantic(run, rounds=3, iterations=1)
     assert count == chains
     assert stats["peak_live_chains"] <= slots
-    assert stats["peak_cells"] <= slots * len(_STREAM_RING)
+    assert stats["peak_cells"] <= slots * max_n
     benchmark.extra_info["chains"] = chains
     benchmark.extra_info["slots"] = slots
     benchmark.extra_info["peak_live_chains"] = stats["peak_live_chains"]
     benchmark.extra_info["peak_cells"] = stats["peak_cells"]
     benchmark.extra_info["arena_span"] = stats["arena_span"]
     benchmark.extra_info["registry_rounds"] = stats["rounds"]
+    # incremental-topology telemetry (single-worker streams only): the
+    # churn rows should show rebuilds bounded by compactions/grows
+    # while deltas track per-round retire/admit/contract traffic
+    for key in ("topo_rebuilds", "topo_delta_ops", "topo_delta_cells",
+                "rounds_per_s"):
+        if key in stats:
+            benchmark.extra_info[key] = stats[key]

@@ -133,6 +133,12 @@ def condense(raw: dict) -> dict:
             "arena_span": info.get("arena_span"),
             "stream_min_s": entry["min_s"],
         })
+        # incremental-topology telemetry (DESIGN.md §2.14) rides along
+        # where the run recorded it: full rebuilds vs delta splices
+        for tkey in ("topo_rebuilds", "topo_delta_ops",
+                     "topo_delta_cells", "rounds_per_s"):
+            if tkey in info:
+                row[tkey] = info[tkey]
         if row.get("chains"):
             row["stream_chains_per_s"] = round(row["chains"]
                                                / entry["min_s"], 1)
@@ -202,11 +208,14 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
     # (admission, reclamation, registry recycling).
     for fleet_key, field in (("fleet256_ring_n60", "fleet_chains_per_s"),
                              ("fleet128_merge_dense", "fleet_chains_per_s"),
+                             ("fleet1024_merge_dense", "fleet_chains_per_s"),
                              ("stream4096_slots256",
                               "stream_chains_per_s"),
                              ("stream4096_slots256_wal",
                               "stream_chains_per_s"),
                              ("stream4096_slots256_supervised",
+                              "stream_chains_per_s"),
+                             ("stream_churn8192_slots512",
                               "stream_chains_per_s")):
         base_fleet = committed.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})
@@ -267,8 +276,12 @@ def main(argv=None) -> int:
         selectors = ["benchmarks/bench_engines.py::test_large_ring_by_engine",
                      "benchmarks/bench_engines.py::test_fleet_throughput",
                      "benchmarks/bench_engines.py::test_stream_throughput"]
+        # fleet1024_merge_dense smokes on the fleet backend only — the
+        # per-chain process backend at 1024 chains costs seconds and
+        # guards nothing the 128-chain row doesn't already cover
         extra = ["-k", "large_ring or fleet256 or fleet128_merge_dense "
-                       "or stream4096"]
+                       "or stream4096 or stream_churn8192 "
+                       "or (fleet1024_merge_dense and not process)"]
     else:
         selectors = ["benchmarks/bench_engines.py"]
         extra = []
@@ -293,6 +306,16 @@ def main(argv=None) -> int:
                 previous = json.load(fh)
         except (OSError, ValueError):
             previous = {}
+        topo_base = previous.get("incremental_topology_baseline")
+        if topo_base:
+            condensed["incremental_topology_baseline"] = topo_base
+            matrix = condensed["derived"].get("scenario_matrix", {})
+            row = matrix.get("stream_churn8192_slots512")
+            b = topo_base.get("stream_churn8192_slots512",
+                              {}).get("stream_min_s")
+            if row and b and row.get("stream_min_s"):
+                row["speedup_vs_pre_incremental"] = \
+                    round(b / row["stream_min_s"], 3)
         fold_base = previous.get("python_fold_baseline")
         if fold_base:
             condensed["python_fold_baseline"] = fold_base

@@ -247,6 +247,13 @@ def cmd_batch_stream(args) -> int:
     if dl is not None:
         extras = (f", quarantined={quarantined}, "
                   f"bad_lines={bad_lines[0]}")
+    if "topo_rebuilds" in stats:
+        # single-worker streams report the incremental-topology
+        # telemetry: delta splices vs full rebuilds plus round rate
+        extras += (f", rounds_per_s={stats.get('rounds_per_s', 0.0)}, "
+                   f"topo_rebuilds={stats['topo_rebuilds']}, "
+                   f"topo_delta_ops={stats['topo_delta_ops']}, "
+                   f"topo_delta_cells={stats['topo_delta_cells']}")
     print(f"{gathered}/{total} gathered, {robots} robots in {rounds} rounds "
           f"total (slots={args.slots}, workers={sim.workers}, "
           f"peak_live={stats.get('peak_live_chains', 'n/a')}{extras})")

@@ -50,6 +50,10 @@ from repro.core.chain import ClosedChain
 #: The four topology arrays: (cells, cell_chain, prev_pos, next_pos).
 Topology = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
+#: "No pending topology damage" sentinel — larger than any compact
+#: position, so ``min(damage, p0)`` accumulates naturally.
+_TOPO_CLEAN = 1 << 62
+
 
 def append_cell(buf: np.ndarray, count: int, value) -> np.ndarray:
     """Write ``value`` at row ``count - 1`` of an append-only column.
@@ -121,7 +125,9 @@ class ChainArena:
                  "index", "owner", "live", "free", "free_ids", "scratch",
                  "live_cells", "peak_cells", "peak_live", "_topo",
                  "_topo_dirty", "_base_buf", "_n0_buf", "_len_buf",
-                 "_live_buf", "n_live")
+                 "_live_buf", "n_live", "_topo_bufs", "_topo_len",
+                 "_topo_start_buf", "_topo_start", "_topo_p0",
+                 "topo_stats")
 
     def __init__(self, chains: Sequence[ClosedChain] = (), capacity: int = 0):
         self.chains: List[ClosedChain] = list(chains)
@@ -162,6 +168,22 @@ class ChainArena:
         self.peak_live = self.n_live
         self._topo: Optional[Topology] = None
         self._topo_dirty = True
+        # incremental-topology state: persistent compact-array buffers,
+        # the live length of their prefix, and each chain row's block
+        # start within the compact arrays (-1 when absent).  Valid
+        # exactly while ``_topo_dirty`` is clear — every delta op
+        # (retire/admit/contract) keeps them exact; the full-rebuild
+        # sites only flag dirty and let :meth:`topology` reset them.
+        self._topo_bufs: Optional[List[np.ndarray]] = None
+        self._topo_len = 0
+        self._topo_p0 = _TOPO_CLEAN
+        count = len(self.chains)
+        self._topo_start_buf = np.full(max(count, 8), -1, dtype=np.int64)
+        self._topo_start = self._topo_start_buf[:count]
+        #: rebuild/delta instrumentation (streaming stats surface):
+        #: full rebuilds vs suffix splices and total cells respliced
+        self.topo_stats: Dict[str, int] = {
+            "rebuilds": 0, "delta_ops": 0, "delta_cells": 0}
         for ci in range(len(self.chains)):
             self.attach(ci)
 
@@ -224,7 +246,8 @@ class ChainArena:
         idx_seg[:] = -1
         idx_seg[ids] = np.arange(n, dtype=np.int64)
         self.owner[b:b + int(self.n0[ci])] = ci
-        self._topo_dirty = True
+        # topology upkeep belongs to the callers: __init__ starts
+        # dirty and admit() splices the new block in incrementally
 
     # ------------------------------------------------------------------
     # slot lifecycle
@@ -271,10 +294,13 @@ class ChainArena:
             self._n0_buf = append_cell(self._n0_buf, count, n)
             self._len_buf = append_cell(self._len_buf, count, n)
             self._live_buf = append_cell(self._live_buf, count, True)
+            self._topo_start_buf = append_cell(self._topo_start_buf,
+                                               count, -1)
             self.base = self._base_buf[:count]
             self.n0 = self._n0_buf[:count]
             self.length = self._len_buf[:count]
             self.live = self._live_buf[:count]
+            self._topo_start = self._topo_start_buf[:count]
         self.attach(ci)
         self.live_cells += n
         if self.live_cells > self.peak_cells:
@@ -282,7 +308,154 @@ class ChainArena:
         self.n_live += 1
         if self.n_live > self.peak_live:
             self.peak_live = self.n_live
+        self._topo_insert(ci)
         return ci
+
+    def reserve_batch(self, ns: Sequence[int]) -> List[int]:
+        """:meth:`reserve` for a run of admissions (hot intake path).
+
+        Identical best-fit hole choice and row recycling per entry,
+        with the per-call attribute traffic hoisted and the row-table
+        writes batched into a few fancy-index stores.  Stops at the
+        first entry no hole fits — the caller compacts or grows and
+        retries the remainder — and returns the reserved chain ids of
+        the fitted prefix, in order.
+        """
+        free = self.free
+        free_ids = self.free_ids
+        chains = self.chains
+        out: List[int] = []
+        rec_ci: List[int] = []
+        rec_off: List[int] = []
+        rec_n: List[int] = []
+        live_cells = self.live_cells
+        n_live = self.n_live
+        for n in ns:
+            best = -1
+            best_size = 0
+            for i, (_, size) in enumerate(free):
+                if size >= n and (best < 0 or size < best_size):
+                    best = i
+                    best_size = size
+                    if size == n:          # exact fit: cannot do better
+                        break
+            if best < 0:
+                break
+            off, size = free[best]
+            if size == n:
+                del free[best]
+            else:
+                free[best] = (off + n, size - n)
+            if free_ids:
+                ci = free_ids.pop(0)       # lowest first: deterministic
+                chains[ci] = None
+                rec_ci.append(ci)
+                rec_off.append(off)
+                rec_n.append(n)
+            else:
+                ci = len(chains)
+                chains.append(None)
+                count = ci + 1
+                self._base_buf = append_cell(self._base_buf, count, off)
+                self._n0_buf = append_cell(self._n0_buf, count, n)
+                self._len_buf = append_cell(self._len_buf, count, n)
+                self._live_buf = append_cell(self._live_buf, count, True)
+                self._topo_start_buf = append_cell(self._topo_start_buf,
+                                                   count, -1)
+                self.base = self._base_buf[:count]
+                self.n0 = self._n0_buf[:count]
+                self.length = self._len_buf[:count]
+                self.live = self._live_buf[:count]
+                self._topo_start = self._topo_start_buf[:count]
+            out.append(ci)
+            live_cells += n
+            n_live += 1
+        if rec_ci:
+            # recycled rows: one fancy-index store per table (appended
+            # rows were already written through append_cell)
+            rec = np.asarray(rec_ci, dtype=np.int64)
+            self.base[rec] = rec_off
+            self.n0[rec] = rec_n
+            self.length[rec] = rec_n
+            self.live[rec] = True
+        self.live_cells = live_cells
+        if live_cells > self.peak_cells:
+            self.peak_cells = live_cells
+        self.n_live = n_live
+        if n_live > self.peak_live:
+            self.peak_live = n_live
+        return out
+
+    def topo_admit_batch(self, cis: Sequence[int]) -> None:
+        """Batched :meth:`_topo_insert` for an intake burst.
+
+        Every admitted row is stamped with the *burst's* lowest
+        insertion position rather than its own — a conservative
+        membership key (>= the damage mark at stamp time, <= the row's
+        true position, so the ``key >= damage`` membership test stays
+        exact and the next patch recomputes every stamped start) — and
+        one tail scan replaces the per-admission scans.
+        """
+        if not self._topo_live() or not len(cis):
+            return
+        ci0 = min(cis)
+        tail = self._topo_start[ci0 + 1:]
+        present = tail[tail >= 0]
+        p0 = int(present.min()) if len(present) else self._topo_len
+        self._topo_start[cis] = p0
+        if p0 < self._topo_p0:
+            self._topo_p0 = p0
+
+    def attach_batch(self, cis: Sequence[int],
+                     arrs: Sequence[np.ndarray],
+                     codes: Sequence[np.ndarray],
+                     zero_counts: Sequence[int]) -> None:
+        """Adopt a burst of reserved slots in one splice.
+
+        ``cis``/``arrs``/``codes``/``zero_counts`` are parallel: each
+        slot from :meth:`reserve` receives its chain's positions and
+        pre-computed edge codes through a single fleet-wide scatter.
+        Fresh chains carry ids ``0..n-1`` in chain order, so the id and
+        index tables fill from the identity layout, and the chain
+        object is a lightweight view over the slot (no per-chain
+        encode, validation or dict build) exactly like
+        :meth:`revive_chain` produces.
+        """
+        k = len(cis)
+        cis_a = np.asarray(cis, dtype=np.int64)
+        ns = np.fromiter((len(a) for a in arrs), np.int64, count=k)
+        total = int(ns.sum())
+        rep = np.repeat(np.arange(k, dtype=np.int64), ns)
+        within = np.arange(total, dtype=np.int64) \
+            - np.repeat(np.cumsum(ns) - ns, ns)
+        dst = self.base[cis_a][rep] + within
+        self.pos[dst] = np.concatenate(arrs) if k > 1 else arrs[0]
+        self.codes[dst] = np.concatenate(codes) if k > 1 else codes[0]
+        # fresh slots are exactly n cells (n0 == n): the identity
+        # id/index layout covers the whole slot, no -1 backfill needed
+        self.ids[dst] = within
+        self.index[dst] = within
+        self.owner[dst] = cis_a[rep]
+        for j in range(k):
+            ci = int(cis_a[j])
+            b = int(self.base[ci])
+            n = int(ns[j])
+            chain = ClosedChain.__new__(ClosedChain)
+            chain._arr = self.pos[b:b + n]
+            buf = self.codes[b:b + n]
+            chain._codes_buf = buf
+            chain._codes_cache = buf
+            chain._codes_list_cache = None
+            chain._codes_view_cache = None
+            chain._pos_cache = None
+            chain._invalid_edges = int(zero_counts[j])
+            chain._next_id = n
+            chain._ids = list(range(n))
+            # fresh __new__ object: no id dict to drop, the lazy
+            # __getattr__ builds it on first by-id access
+            chain._ids_arr_cache = None
+            chain._index_arr_cache = None
+            self.chains[ci] = chain
 
     def _release_slot(self, off: int, size: int) -> None:
         """Insert a hole into the free list, coalescing neighbours."""
@@ -310,7 +483,13 @@ class ChainArena:
         self.live_cells -= int(self.n0[ci])
         self.n_live -= 1
         bisect.insort(self.free_ids, ci)
-        self._topo_dirty = True
+        if self._topo_live():
+            p0 = int(self._topo_start[ci])
+            self._topo_start[ci] = -1
+            if p0 < self._topo_p0:
+                self._topo_p0 = p0
+        else:
+            self._topo_dirty = True
 
     def retire_batch(self, cis: np.ndarray) -> None:
         """Retire many chains at once: one merge pass over the free list.
@@ -345,7 +524,13 @@ class ChainArena:
             else:
                 merged.append(nxt)
         self.free = merged
-        self._topo_dirty = True
+        if self._topo_live():
+            p0 = int(self._topo_start[cis].min())
+            self._topo_start[cis] = -1
+            if p0 < self._topo_p0:
+                self._topo_p0 = p0
+        else:
+            self._topo_dirty = True
 
     # ------------------------------------------------------------------
     def _repoint(self, ci: int) -> None:
@@ -431,7 +616,7 @@ class ChainArena:
 
     # ------------------------------------------------------------------
     def topology(self) -> Topology:
-        """Compact live-cell arrays, rebuilt lazily after layout changes.
+        """Compact live-cell arrays, incrementally maintained.
 
         Returns ``(cells, cell_chain, prev_pos, next_pos)``: the global
         cell indices of every live robot in fleet order, the owning
@@ -441,9 +626,151 @@ class ChainArena:
         The fleet-wide recognisers (merge RLE scan, run-start scan)
         evaluate their rolled-code comparisons through these instead of
         per-chain ``np.roll`` calls.
+
+        Layout churn no longer forces a from-scratch rebuild: retire,
+        admit and contraction splice their deltas into persistent
+        buffers (:meth:`_topo_patch`), and only :meth:`compact`,
+        :meth:`grow` and :meth:`restore_state` — the sites that move
+        slot bases wholesale — still flag ``_topo_dirty`` and pay the
+        full O(live span) pass here.  The returned views alias the
+        internal buffers: hold them within one pipeline stage only,
+        never across a layout change.
         """
         if not self._topo_dirty and self._topo is not None:
+            if self._topo_p0 != _TOPO_CLEAN:
+                self._topo_patch(self._topo_p0)
             return self._topo
+        self._topo_start.fill(-1)
+        self._topo_fill(0, self.live_indices())
+        self._topo_dirty = False
+        self._topo_p0 = _TOPO_CLEAN
+        self.topo_stats["rebuilds"] += 1
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # incremental topology (DESIGN.md §2.14)
+    # ------------------------------------------------------------------
+    def _topo_live(self) -> bool:
+        """Whether the compact arrays (and block starts) are exact."""
+        return self._topo is not None and not self._topo_dirty
+
+    def _topo_buffers(self, total: int, keep: int) -> List[np.ndarray]:
+        """The four persistent buffers, grown to ``total`` cells.
+
+        ``keep`` is the prefix length that must survive a
+        reallocation (the untouched part of a suffix splice); growth
+        doubles, so a steady stream of patches never reallocates.
+        """
+        bufs = self._topo_bufs
+        if bufs is None or len(bufs[0]) < total:
+            cap = max(total, 2 * len(bufs[0]) if bufs is not None else 0, 16)
+            grown = [np.empty(cap, dtype=np.int64) for _ in range(4)]
+            if bufs is not None and keep:
+                for dst, src in zip(grown, bufs):
+                    dst[:keep] = src[:keep]
+            self._topo_bufs = bufs = grown
+        return bufs
+
+    def _topo_fill(self, p0: int, rows: np.ndarray) -> None:
+        """Recompute the compact arrays from position ``p0`` onward.
+
+        ``rows`` are the chain rows whose blocks occupy positions
+        ``p0:`` in fleet order (ascending chain id — blocks are laid
+        out by chain id, so among suffix rows ascending id *is*
+        ascending block start).  One vectorised repeat/cumsum pass —
+        the same math as the old full rebuild, restricted to the
+        suffix — recomputes cells, owners and the cyclic prev/next
+        positions, and refreshes ``_topo_start`` for the moved rows.
+        """
+        lens = self.length[rows]
+        tail = int(lens.sum())
+        total = p0 + tail
+        bufs = self._topo_buffers(total, p0)
+        starts = p0 + np.cumsum(lens) - lens
+        self._topo_start[rows] = starts
+        rep = np.repeat(np.arange(len(rows), dtype=np.int64), lens)
+        within = np.arange(tail, dtype=np.int64) - \
+            np.repeat(starts - p0, lens)
+        lr = lens[rep]
+        cells_b, chain_b, prev_b, next_b = bufs
+        cells_b[p0:total] = self.base[rows][rep] + within
+        chain_b[p0:total] = rows[rep]
+        idx = np.arange(p0, total, dtype=np.int64)
+        pv = idx - 1
+        first = within == 0
+        pv[first] = (idx + lr - 1)[first]
+        prev_b[p0:total] = pv
+        nx = idx + 1
+        last = within == lr - 1
+        nx[last] = (idx - lr + 1)[last]
+        next_b[p0:total] = nx
+        self._topo_len = total
+        self._topo = (cells_b[:total], chain_b[:total],
+                      prev_b[:total], next_b[:total])
+
+    def _topo_patch(self, p0: int) -> None:
+        """Z-set style suffix splice: re-derive positions ``p0:``.
+
+        Every layout delta — a retired block deleted, an admitted
+        block inserted, contracted blocks shrunk — leaves the compact
+        arrays exact below the first affected position; the rows still
+        present at or above it are exactly those whose recorded block
+        start is ``>= p0`` (deleted rows were reset to -1 first, an
+        inserted row was stamped with its insertion position, and
+        recorded starts — stale in *value* above the damage point —
+        stay exact as membership/order keys, since blocks only shift
+        within the damaged suffix and fleet order among them is
+        ascending chain id).  Deltas accumulate as a single damage
+        low-water mark (``_topo_p0``), so a whole churn round's worth
+        of retires, admissions and contractions costs one vectorised
+        suffix rewrite of O(cells after the lowest edit) — not O(live
+        span), and not one pass per operation.
+        """
+        rows = np.flatnonzero(self._topo_start >= p0)
+        self._topo_fill(p0, rows)
+        self._topo_p0 = _TOPO_CLEAN
+        self.topo_stats["delta_ops"] += 1
+        self.topo_stats["delta_cells"] += self._topo_len - p0
+
+    def _topo_insert(self, ci: int) -> None:
+        """Splice a freshly admitted chain's block into the topology.
+
+        The block belongs between its chain-id neighbours: insertion
+        position is the smallest block start among live rows with a
+        larger id (the topology tail length when there is none).
+        No-op (stays dirty) when a full rebuild is already pending.
+        """
+        if not self._topo_live():
+            return
+        tail = self._topo_start[ci + 1:]
+        present = tail[tail >= 0]
+        p0 = int(present.min()) if len(present) else self._topo_len
+        self._topo_start[ci] = p0
+        if p0 < self._topo_p0:
+            self._topo_p0 = p0
+
+    def topo_contract(self, cis: np.ndarray) -> None:
+        """Re-splice after contraction shrank ``cis``'s lengths.
+
+        Called by the fleet contraction once per round, after
+        ``length`` is final for every contracted chain; one suffix
+        splice from the lowest affected block start covers them all.
+        """
+        if not self._topo_live():
+            self._topo_dirty = True
+            return
+        cis = np.asarray(cis, dtype=np.int64)
+        p0 = int(self._topo_start[cis].min())
+        if p0 < self._topo_p0:
+            self._topo_p0 = p0
+
+    def topology_reference(self) -> Topology:
+        """From-scratch topology (the debug cross-check oracle).
+
+        Recomputes all four arrays from ``base``/``length`` exactly as
+        the pre-incremental rebuild did, without touching the
+        maintained buffers; :meth:`verify_topology` compares the two.
+        """
         live = self.live_indices()
         lens = self.length[live]
         total = int(lens.sum())
@@ -459,9 +786,31 @@ class ChainArena:
         next_pos = idx + 1
         last = within == lr - 1
         next_pos[last] = (idx - lr + 1)[last]
-        self._topo = (cells, live[rep], prev_pos, next_pos)
-        self._topo_dirty = False
-        return self._topo
+        return cells, live[rep], prev_pos, next_pos
+
+    def verify_topology(self) -> None:
+        """Assert the maintained topology equals a from-scratch rebuild.
+
+        The debug cross-check of the delta algebra: element-equality
+        of all four compact arrays, plus block-start consistency when
+        the maintained state is live.  Raises ``AssertionError`` on
+        the first mismatch (used by the invariant-checking tier and
+        the lifecycle property tests; never on the hot path).
+        """
+        ref = self.topology_reference()
+        cur = self.topology()
+        names = ("cells", "cell_chain", "prev_pos", "next_pos")
+        for name, a, b in zip(names, cur, ref):
+            if not np.array_equal(a, b):
+                raise AssertionError(
+                    f"incremental topology diverged in {name}: "
+                    f"maintained {a!r} != rebuilt {b!r}")
+        if self._topo_live():
+            live = self.live_indices()
+            lens = self.length[live]
+            starts = np.cumsum(lens) - lens
+            if not np.array_equal(self._topo_start[live], starts):
+                raise AssertionError("topology block starts diverged")
 
     # ------------------------------------------------------------------
     def gathered_mask(self, cis: Optional[np.ndarray] = None
@@ -524,6 +873,13 @@ class ChainArena:
             "peak_cells": int(self.peak_cells),
             "n_live": int(self.n_live),
             "peak_live": int(self.peak_live),
+            # instrumentation counters ride along so resumed streams
+            # report cumulative rebuild/delta totals, not post-crash
+            # partials (the arrays themselves are derived state and
+            # rebuild on restore)
+            "topo_rebuilds": int(self.topo_stats["rebuilds"]),
+            "topo_delta_ops": int(self.topo_stats["delta_ops"]),
+            "topo_delta_cells": int(self.topo_stats["delta_cells"]),
         }
         return arrays, meta
 
@@ -565,6 +921,16 @@ class ChainArena:
         self.peak_live = int(meta["peak_live"])
         self._topo = None
         self._topo_dirty = True
+        self._topo_bufs = None
+        self._topo_len = 0
+        self._topo_p0 = _TOPO_CLEAN
+        self._topo_start_buf = np.full(max(count, 8), -1, dtype=np.int64)
+        self._topo_start = self._topo_start_buf[:count]
+        self.topo_stats = {
+            "rebuilds": int(meta.get("topo_rebuilds", 0)),
+            "delta_ops": int(meta.get("topo_delta_ops", 0)),
+            "delta_cells": int(meta.get("topo_delta_cells", 0)),
+        }
         return self
 
     def revive_chain(self, ci: int) -> ClosedChain:

@@ -362,7 +362,9 @@ class BatchSimulator:
     def _stream_inprocess(self, stream, slots, max_rounds, progress,
                           wal_dir=None, snapshot_every=512, faults=None,
                           resume=False, on_error="raise"):
+        import time as _time
         from repro.core.engine_fleet import FleetKernel
+        t0 = _time.perf_counter()
         if resume:
             kernel, gen = FleetKernel.restore_stream(wal_dir, stream,
                                                      progress=progress)
@@ -383,6 +385,7 @@ class BatchSimulator:
                                          snapshot_every=snapshot_every,
                                          faults=faults, on_error=on_error)
         arena = kernel.arena
+        elapsed = _time.perf_counter() - t0
         self.last_stream_stats = {
             "workers": 1,
             "admitted": kernel.stream_stats["admitted"],
@@ -397,6 +400,16 @@ class BatchSimulator:
             "peak_cells": arena.peak_cells,
             "arena_span": arena.span,
             "rounds": kernel.round_index,
+            # incremental-topology telemetry (DESIGN.md §2.14): how
+            # often the arena fell back to a full O(cells) rebuild vs
+            # patching the damaged suffix, and how many cells those
+            # patches spliced — the churn-efficiency signal the
+            # stream_churn* bench rows record
+            "topo_rebuilds": arena.topo_stats["rebuilds"],
+            "topo_delta_ops": arena.topo_stats["delta_ops"],
+            "topo_delta_cells": arena.topo_stats["delta_cells"],
+            "rounds_per_s": round(kernel.round_index / elapsed, 1)
+            if elapsed > 0 else 0.0,
         }
 
     def _stream_pool(self, stream, slots, max_rounds, progress, faults=None,

@@ -696,8 +696,21 @@ class ClosedChain:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def __getattr__(self, name):
+        # the id -> index dict materialises lazily: chains that are
+        # only ever driven through the arena's flat tables (the fleet
+        # tier's streaming intake and retirement) never pay the build
+        if name == "_index_of_id":
+            d = {rid: i for i, rid in enumerate(self._ids)}
+            self._index_of_id = d
+            return d
+        raise AttributeError(name)
+
     def _rebuild_index(self) -> None:
-        self._index_of_id = {rid: i for i, rid in enumerate(self._ids)}
+        try:
+            del self._index_of_id
+        except AttributeError:
+            pass
         self._ids_arr_cache = None
         self._index_arr_cache = None
 

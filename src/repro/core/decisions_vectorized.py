@@ -518,13 +518,18 @@ def decide_and_apply_fleet(arena, registry: RunRegistry, params: Parameters,
         raise LocalityViolation(
             f"passing distance {params.passing_distance} exceeds viewing "
             f"path length {params.viewing_path_length}")
-    cc = data[slots, COL_CHAIN]
-    rr = data[slots, COL_ROBOT]
-    dd = data[slots, COL_DIRN]
-    mm = data[slots, COL_MODE]
-    tt = data[slots, COL_TARGET]
-    st = data[slots, COL_STEPS]
-    ap = (data[slots, COL_AXY] != 0).astype(np.int64)
+    # one row gather instead of seven column gathers: the live rows are
+    # snapshotted once and the columns are views into the copy (the
+    # registry writes below never alias them), which matters on
+    # churn-heavy fleets where this runs every round over small R
+    rows = data[slots]
+    cc = rows[:, COL_CHAIN]
+    rr = rows[:, COL_ROBOT]
+    dd = rows[:, COL_DIRN]
+    mm = rows[:, COL_MODE]
+    tt = rows[:, COL_TARGET]
+    st = rows[:, COL_STEPS]
+    ap = (rows[:, COL_AXY] != 0).astype(np.int64)
 
     bs = arena.base[cc]
     nn = arena.length[cc]

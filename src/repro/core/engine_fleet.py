@@ -48,7 +48,7 @@ from repro.core.decisions_vectorized import (
 )
 from repro.core.engine_vectorized import find_merge_patterns_np
 from repro.core.events import RoundReport
-from repro.core.merges import plan_merges_arrays
+from repro.core.merges import plan_merges_arrays, segment_min_lookup
 from repro.core.results import ChainOutcome, GatheringResult
 from repro.core.runs import (
     MODE_INIT_CORNER,
@@ -191,11 +191,12 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
     """Fleet-wide merge planning over global cells.
 
     Lifts :func:`repro.core.merges._plan_arrays_np` to the arena:
-    black expansion, the per-black minimum pattern length
-    (``np.minimum.at`` over the span), white-of-shorter-black
-    cancellation and the Fig. 3a/3b hop resolution all run once for
-    every pattern of every chain.  Segment bases keep chains disjoint,
-    so the per-chain results match the per-chain planner exactly.
+    black expansion, the per-black minimum pattern length (the shared
+    sort+reduceat fold, :func:`repro.core.merges.segment_min_lookup`),
+    white-of-shorter-black cancellation and the Fig. 3a/3b hop
+    resolution all run once for every pattern of every chain.  Segment
+    bases keep chains disjoint, so the per-chain results match the
+    per-chain planner exactly.
     """
     base = arena.base
     n = arena.length[pch]
@@ -206,12 +207,10 @@ def _fleet_plan_merges(arena: ChainArena, pch: np.ndarray, fb: np.ndarray,
         - np.repeat(np.cumsum(kk) - kk, kk)
     black_g = b[rep] + (fb[rep] + offs) % n[rep]
 
-    min_k = arena.scratch.take("merge_min_k", arena.span, np.int64,
-                               fill=np.iinfo(np.int64).max)
-    np.minimum.at(min_k, black_g, kk[rep])
     w0 = b + (fb - 1) % n
     w1 = b + (fb + kk) % n
-    keep = ~((min_k[w0] < kk) | (min_k[w1] < kk))
+    mk0, mk1 = segment_min_lookup(black_g, kk[rep], w0, w1)
+    keep = ~((mk0 < kk) | (mk1 < kk))
 
     part_flat = arena.scratch.take("merge_part", arena.span, bool,
                                    fill=False)
@@ -423,6 +422,9 @@ class FleetKernel:
             "admitted": 0, "compactions": 0, "grows": 0,
             "fault_crashed": 0, "fault_perturbed": 0,
             "quarantined": 0, "mid_crashed": 0, "mid_restarted": 0}
+        #: per-size round-budget memo (admission hot path: a uniform
+        #: stream re-derives the same handful of budgets all run)
+        self._budget_memo: Dict[int, int] = {}
         #: pending mid-run fault triggers: chain row -> (kind, local
         #: round).  Registered at admission from the fault plan, fired
         #: at round boundaries, persisted in snapshots (a fired fault
@@ -468,8 +470,8 @@ class FleetKernel:
         return ext
 
     # ------------------------------------------------------------------
-    def admit(self, chain: ClosedChain, slots_hint: Optional[int] = None
-              ) -> int:
+    def admit(self, chain: ClosedChain, slots_hint: Optional[int] = None,
+              _ext: Optional[int] = None) -> int:
         """Admit a chain into a reclaimed arena slot (streaming tier).
 
         Best-fit over the free holes; when fragmentation blocks a fit
@@ -497,11 +499,20 @@ class FleetKernel:
             self.stream_stats["grows"] += 1
             ci = arena.admit(chain)
         self._single = False
-        ext = self._next_ext()
+        ext = self._next_ext() if _ext is None else _ext
+        self._register_row(ci, n, ext)
+        return ci
+
+    def _register_row(self, ci: int, n: int, ext: int) -> None:
+        """Fleet-side row bookkeeping for one admission (any intake path)."""
+        budget = self._budget_memo.get(n)
+        if budget is None:
+            budget = self.params.round_budget(n)
+            self._budget_memo[n] = budget
         if ci < len(self._n0):             # recycled row: reset in place
             self._n0[ci] = n
             self.birth[ci] = self.round_index
-            self._budgets[ci] = self.params.round_budget(n)
+            self._budgets[ci] = budget
             self.reports[ci] = []
             self.results[ci] = None
             self._ext_of[ci] = ext
@@ -511,14 +522,212 @@ class FleetKernel:
             self._birth_buf = append_cell(self._birth_buf, count,
                                           self.round_index)
             self._budget_buf = append_cell(self._budget_buf, count,
-                                           self.params.round_budget(n))
+                                           budget)
             self.birth = self._birth_buf[:count]
             self._budgets = self._budget_buf[:count]
             self.reports.append([])
             self.results.append(None)
             self._ext_of.append(ext)
         self.stream_stats["admitted"] += 1
-        return ci
+
+    def _register_rows(self, cis: List[int], ns: List[int],
+                       exts: List[int]) -> None:
+        """Batched :meth:`_register_row` for one reserved run."""
+        n0 = self._n0
+        reports = self.reports
+        results = self.results
+        ext_of = self._ext_of
+        memo = self._budget_memo
+        rec: List[int] = []
+        buds: List[int] = []
+        for ci, n, ext in zip(cis, ns, exts):
+            if ci < len(n0):               # recycled row: reset in place
+                n0[ci] = n
+                reports[ci] = []
+                results[ci] = None
+                ext_of[ci] = ext
+                b = memo.get(n)
+                if b is None:
+                    b = self.params.round_budget(n)
+                    memo[n] = b
+                rec.append(ci)
+                buds.append(b)
+            else:
+                self._register_row(ci, n, ext)
+        if rec:
+            idx = np.asarray(rec, dtype=np.int64)
+            self.birth[idx] = self.round_index
+            self._budgets[idx] = buds
+            self.stream_stats["admitted"] += len(rec)
+
+    # ------------------------------------------------------------------
+    def _admit_batch(self, pulled: List[Tuple[int, object]],
+                     slots_hint: Optional[int], quarantine: bool
+                     ) -> Tuple[List[int], List[Tuple[int, Exception]]]:
+        """Admit one intake burst: batched parse, validate and attach.
+
+        ``pulled`` is the burst's ``(stream index, payload)`` list in
+        stream order.  Raw point sequences — the streaming tier's
+        common case — parse, validate and edge-encode in one
+        vectorised pass over the concatenated burst and land in the
+        arena through :meth:`ChainArena.reserve` +
+        :meth:`ChainArena.attach_batch` splices; ``ClosedChain``
+        payloads and entries the batch pass rejects fall back to the
+        per-chain path, whose constructor raises the exact per-chain
+        error for quarantine.  The admission order, hole choices,
+        compaction/grow points and error messages are identical to
+        admitting each entry through :meth:`admit`.  Returns
+        ``(admitted chain ids, quarantined (index, error) pairs)``.
+        """
+        arena = self.arena
+        payloads: List[object] = []
+        arrs: List[Optional[np.ndarray]] = []
+        # fast path: a burst of plain point lists (the streaming tier's
+        # normal diet) parses as ONE C-level array build over the
+        # concatenated points; anything else — or a burst the combined
+        # parse rejects — drops to the per-item parse below
+        flat: Optional[List] = []
+        counts: List[int] = []
+        for _ext, payload in pulled:
+            if flat is not None and type(payload) is list and payload:
+                flat.extend(payload)
+                counts.append(len(payload))
+            else:
+                flat = None
+        if flat is not None:
+            try:
+                combined = np.array(flat, dtype=np.int64)
+            except (ValueError, TypeError):
+                combined = None
+            if combined is not None and combined.ndim == 2 \
+                    and combined.shape[1] == 2:
+                payloads = [payload for _ext, payload in pulled]
+                hi = 0
+                for c in counts:
+                    lo = hi
+                    hi += c
+                    arrs.append(combined[lo:hi])
+            else:
+                flat = None
+        if flat is None:
+            for _ext, payload in pulled:
+                a = None
+                if not isinstance(payload, ClosedChain):
+                    try:
+                        if not isinstance(payload, np.ndarray):
+                            payload = list(payload)
+                        a = np.array(payload,
+                                     dtype=np.int64).reshape(-1, 2)
+                    except (ValueError, TypeError):
+                        a = None
+                    if a is not None and len(a) == 0:
+                        a = None           # "empty chain": per-chain error
+                payloads.append(payload)
+                arrs.append(a)
+        good = [i for i, a in enumerate(arrs) if a is not None]
+        if good:
+            # the whole burst validates and edge-encodes as one
+            # segmented array (same codes as encode_edges: -1 zero
+            # edge, -2 broken), so per-chain work only remains for
+            # rejected entries
+            ns = np.fromiter((arrs[i].shape[0] for i in good), np.int64,
+                             count=len(good))
+            offs = np.cumsum(ns)
+            starts = offs - ns
+            pts = np.concatenate([arrs[i] for i in good]) \
+                if len(good) > 1 else arrs[good[0]]
+            succ = np.arange(1, len(pts) + 1, dtype=np.int64)
+            succ[offs - 1] = starts        # cyclic wrap per segment
+            e = pts[succ] - pts
+            dx, dy = e[:, 0], e[:, 1]
+            code = np.where(dy == 0, 1 - dx, 2 - dy)
+            man = np.abs(dx) + np.abs(dy)
+            code[man != 1] = -2
+            code[man == 0] = -1
+            zcs = np.add.reduceat((code == -1).astype(np.int64), starts)
+            bad = np.add.reduceat((code == -2).astype(np.int64),
+                                  starts) > 0
+            if self._validate:
+                bad = bad | (zcs > 0) | (ns < 4) | (ns % 2 != 0)
+        fresh: List[int] = []
+        qpairs: List[Tuple[int, Exception]] = []
+        pend_ci: List[int] = []
+        pend_pos: List[np.ndarray] = []
+        pend_codes: List[np.ndarray] = []
+        pend_zc: List[int] = []
+
+        def flush() -> None:
+            # attach everything reserved so far; must run before any
+            # operation that walks the live chain objects
+            if pend_ci:
+                arena.topo_admit_batch(pend_ci)
+                arena.attach_batch(pend_ci, pend_pos, pend_codes, pend_zc)
+                del pend_ci[:], pend_pos[:], pend_codes[:], pend_zc[:]
+
+        run: List[Tuple[int, int, np.ndarray]] = []   # (ext, seg j, arr)
+
+        def do_run() -> None:
+            # reserve + register a run of batch-validated entries;
+            # when a hole is missing mid-run, attach what fits, then
+            # compact or grow (the same escalation admit() uses) and
+            # retry the remainder
+            k = 0
+            while k < len(run):
+                tail = run[k:]
+                ns_run = [int(ns[j]) for _e, j, _a in tail]
+                got = arena.reserve_batch(ns_run)
+                for (ext, j, a), ci in zip(tail, got):
+                    pend_ci.append(ci)
+                    pend_pos.append(a)
+                    pend_codes.append(code[starts[j]:offs[j]])
+                    pend_zc.append(int(zcs[j]))
+                    fresh.append(ci)
+                self._register_rows(got, ns_run[:len(got)],
+                                    [e for e, _j, _a in
+                                     tail[:len(got)]])
+                k += len(got)
+                if k < len(run):
+                    n = ns_run[len(got)]
+                    flush()
+                    if arena.free_cells >= n:
+                        arena.compact()
+                        self.stream_stats["compactions"] += 1
+                    else:
+                        want = arena.live_cells + n
+                        if slots_hint is not None:
+                            want = max(want, slots_hint * n)
+                        arena.grow(max(want, 2 * arena.span,
+                                       arena.span + n))
+                        self.stream_stats["grows"] += 1
+            del run[:]
+
+        gpos = 0
+        for i, (ext, _) in enumerate(pulled):
+            a = arrs[i]
+            if a is not None:
+                j = gpos
+                gpos += 1
+                if not bad[j]:
+                    run.append((ext, j, a))
+                    continue
+                payload = a                # rejected: re-run per chain
+            else:
+                payload = payloads[i]
+            do_run()
+            flush()
+            try:
+                ci = self.admit(self._as_chain(payload),
+                                slots_hint=slots_hint, _ext=ext)
+            except (ChainError, ValueError, TypeError) as exc:
+                if not quarantine:
+                    raise
+                qpairs.append((ext, exc))
+                continue
+            fresh.append(ci)
+        do_run()
+        flush()
+        self._single = False
+        return fresh, qpairs
 
     # ------------------------------------------------------------------
     def run(self, max_rounds: Optional[int] = None,
@@ -671,6 +880,20 @@ class FleetKernel:
             if wal is not None and delivered:
                 wal.append("yield", i=delivered)
 
+        def quar(idx, exc):
+            # poisoned stream entry: the input never became a live
+            # chain, so quarantine consumes its stream index (gap,
+            # never a shift) and yields a structured error outcome
+            self.stream_stats["quarantined"] += 1
+            if wal is not None:
+                wal.append("quarantine", i=idx,
+                           r=self.round_index, stage="admit",
+                           error=type(exc).__name__)
+            return emit([(idx, ChainOutcome(
+                index=idx, error=type(exc).__name__,
+                message=str(exc), stage="admit",
+                quarantined=True))])
+
         if wal is not None:
             snap()                         # baseline (or resume re-base)
         last_snap_round = self.round_index
@@ -705,59 +928,65 @@ class FleetKernel:
                 fresh: List[int] = []
                 while not exhausted and (slots is None
                                          or arena.n_live < slots):
-                    try:
-                        nxt = next(it)
-                    except StopIteration:
-                        exhausted = True
-                        break
-                    consumed += 1
-                    try:
+                    # pull one intake burst, then admit it through one
+                    # batched parse/validate/attach pass; quarantined
+                    # and dropped entries free their budget for the
+                    # outer loop's next burst
+                    pulled: List[Tuple[int, object]] = []
+                    while not exhausted and (
+                            slots is None
+                            or arena.n_live + len(pulled) < slots):
+                        try:
+                            nxt = next(it)
+                        except StopIteration:
+                            exhausted = True
+                            break
+                        consumed += 1
+                        # the stream index is consumed at pull time so
+                        # every entry of the burst decides faults under
+                        # its own index (dropped and quarantined
+                        # entries keep theirs: gaps, never shifts);
+                        # inline _next_ext — this runs once per entry
+                        if self._ext_list is None:
+                            idx = self._submitted
+                            self._submitted += 1
+                        else:
+                            idx = self._next_ext()
                         if faults is not None:
-                            idx = self._peek_ext()
                             kind = faults.decide(idx)
                             if kind == "crash":
-                                # dropped entries still consume a stream
-                                # index: survivors keep their positions
-                                # and the output gains a gap, never a
-                                # shift
-                                self._next_ext()
                                 self.stream_stats["fault_crashed"] += 1
                                 if wal is not None:
                                     wal.append("fault", i=idx,
                                                kind="crash")
                                 continue
                             if kind == "perturb":
-                                c = self._as_chain(nxt)
+                                try:
+                                    c = self._as_chain(nxt)
+                                except (ChainError, ValueError,
+                                        TypeError) as exc:
+                                    if not quarantine:
+                                        raise
+                                    yield from quar(idx, exc)
+                                    continue
                                 nxt = faults.mutate(idx, c.positions)
                                 self.stream_stats["fault_perturbed"] += 1
                                 if wal is not None:
                                     wal.append("fault", i=idx,
                                                kind="perturb")
-                        ci = self.admit(self._as_chain(nxt),
-                                        slots_hint=slots)
-                    except (ChainError, ValueError, TypeError) as exc:
-                        # poisoned stream entry: the input never became
-                        # a live chain, so quarantine consumes its
-                        # stream index (gap, never a shift) and yields
-                        # a structured error outcome
-                        if not quarantine:
-                            raise
-                        idx = self._next_ext()
-                        self.stream_stats["quarantined"] += 1
-                        if wal is not None:
-                            wal.append("quarantine", i=idx,
-                                       r=self.round_index, stage="admit",
-                                       error=type(exc).__name__)
-                        yield from emit([(idx, ChainOutcome(
-                            index=idx, error=type(exc).__name__,
-                            message=str(exc), stage="admit",
-                            quarantined=True))])
+                        pulled.append((idx, nxt))
+                    if not pulled:
                         continue
+                    batch_fresh, qpairs = self._admit_batch(
+                        pulled, slots, quarantine)
                     if faults is not None:
-                        mid = faults.decide_mid(self._ext_of[ci])
-                        if mid is not None:
-                            self._mid_faults[ci] = mid
-                    fresh.append(ci)
+                        for ci in batch_fresh:
+                            mid = faults.decide_mid(self._ext_of[ci])
+                            if mid is not None:
+                                self._mid_faults[ci] = mid
+                    fresh.extend(batch_fresh)
+                    for idx, exc in qpairs:
+                        yield from quar(idx, exc)
                 if wal is not None and fresh:
                     # one record per intake burst, not per chain
                     wal.append("admit", i=[self._ext_of[ci] for ci in fresh],
@@ -1483,7 +1712,6 @@ class FleetKernel:
             else:
                 for c in cis_list:
                     self._ids_dirty[c] = None
-            arena._topo_dirty = True
             contracted.extend(cis_list)
 
         # --- wrap-around pairs: after the interior collapse no two
@@ -1535,7 +1763,11 @@ class FleetKernel:
                 length[ci] = nl - 1
                 self._ids_dirty[ci] = None   # wrap shuffles; full rebuild
                 contracted.append(ci)
-            arena._topo_dirty = True
+
+        if contracted:
+            # one suffix splice covers every contracted chain, now
+            # that each length is final (interior and wrap alike)
+            arena.topo_contract(np.asarray(contracted, dtype=np.int64))
 
         if not len(removed_interior) and not wrap_removed:
             return
@@ -1716,6 +1948,10 @@ class FleetKernel:
         """Per-chain model invariants over the fleet state."""
         registry = self.registry
         arena = self.arena
+        # the delta-maintained topology must equal a from-scratch
+        # rebuild every round (DESIGN.md §2.14) — the cross-check that
+        # catches a bad splice the same round it happens
+        arena.verify_topology()
         for ci in list(self._ids_dirty):
             self._sync_ids(ci)
         if not self._single:

@@ -234,8 +234,9 @@ def plan_merges_arrays(patterns: List[MergePattern], n: int) -> KernelMergePlan:
 
     Black-index expansion, the short-pattern priority rule and the
     Fig. 3 overlap resolution all run as array passes: blacks unroll
-    via ``np.repeat``, the per-black minimum pattern length accumulates
-    with ``np.minimum.at``, and robots black in two patterns resolve
+    via ``np.repeat``, the per-black minimum pattern length folds with
+    the sort+reduceat pass of :func:`segment_min_lookup` (no atomic
+    scatter), and robots black in two patterns resolve
     their (necessarily perpendicular) diagonal hop by grouping the
     deduplicated ``(index, direction)`` pairs.  Small pattern sets take
     an equivalent tight Python loop instead (``_NUMPY_MIN_PATTERNS``).
@@ -245,6 +246,37 @@ def plan_merges_arrays(patterns: List[MergePattern], n: int) -> KernelMergePlan:
     if len(patterns) < _NUMPY_MIN_PATTERNS:
         return _plan_arrays_py(patterns, n)
     return _plan_arrays_np(patterns, n)
+
+
+def segment_min_lookup(keys: np.ndarray, values: np.ndarray,
+                       *queries: np.ndarray) -> List[np.ndarray]:
+    """Per-key minimum of ``values``, read back at each query array.
+
+    The sort+reduceat formulation of the planner's per-black
+    minimum-k fold (DESIGN.md §2.14), shared by the per-chain and
+    fleet planners: sort the (key, value) pairs once, segment-reduce
+    with ``np.minimum.reduceat`` at the run starts, then binary-search
+    the query cells against the distinct keys.  Keys absent from
+    ``keys`` read as INT64_MAX ("no pattern covers this cell").
+    Bit-identical to the ``np.minimum.at`` scatter it replaces, with
+    two O(m log m) passes instead of a buffered atomic scatter plus a
+    key-space-sized scratch fill.
+    """
+    order = np.argsort(keys)               # min is order-independent
+    ks = keys[order]
+    first = np.empty(len(ks), dtype=bool)
+    first[0] = True
+    np.not_equal(ks[1:], ks[:-1], out=first[1:])
+    seg = np.flatnonzero(first)
+    uk = ks[seg]
+    mins = np.minimum.reduceat(values[order], seg)
+    q = np.concatenate(queries) if len(queries) > 1 else queries[0]
+    j = np.searchsorted(uk, q)
+    np.minimum(j, len(uk) - 1, out=j)
+    res = np.where(uk[j] == q, mins[j], np.iinfo(np.int64).max)
+    if len(queries) == 1:
+        return [res]
+    return np.split(res, np.cumsum([len(x) for x in queries])[:-1])
 
 
 def _plan_arrays_np(patterns: List[MergePattern], n: int) -> KernelMergePlan:
@@ -262,11 +294,10 @@ def _plan_arrays_np(patterns: List[MergePattern], n: int) -> KernelMergePlan:
 
     # short-pattern priority: cancel a pattern whose white is a black of
     # a strictly shorter pattern (see module docstring)
-    min_k = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-    np.minimum.at(min_k, black_idx, k[rep])
     w0 = (fb - 1) % n
     w1 = (fb + k) % n
-    cancel = (min_k[w0] < k) | (min_k[w1] < k)
+    mk0, mk1 = segment_min_lookup(black_idx, k[rep], w0, w1)
+    cancel = (mk0 < k) | (mk1 < k)
     cancelled = int(np.count_nonzero(cancel))
     executing = [p for p, c in zip(patterns, cancel.tolist()) if not c]
 

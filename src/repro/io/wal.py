@@ -345,6 +345,7 @@ def load_fleet_snapshot(path: str) -> Tuple[Any, Dict[str, Any]]:
     kernel._mid_faults = {int(ci): (str(kind), int(trig))
                           for ci, (kind, trig)
                           in meta.get("mid_faults", {}).items()}
+    kernel._budget_memo = {}
     kernel._ext_list = None
     kernel._ext_pos = 0
     kernel._ids_dirty = {}

@@ -486,3 +486,182 @@ class TestStreamingEquivalence:
     def test_property_streams(self, fleet_pts, slots):
         assert_stream_equals_singles(fleet_pts, slots=slots,
                                      check_invariants=True)
+
+
+# ---------------------------------------------------------------------------
+# incremental topology (DESIGN.md §2.14)
+# ---------------------------------------------------------------------------
+
+class TestIncrementalTopology:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_ops_match_reference(self, data):
+        """Random retire/admit/move/contract/compact/grow sequences:
+        the delta-maintained arrays equal a from-scratch rebuild after
+        every single operation."""
+        rng = random.Random(data.draw(st.integers(0, 2 ** 16)))
+        sizes = [6, 8, 10, 14]
+        arena = ChainArena([ClosedChain(square_ring(rng.choice(sizes)))
+                            for _ in range(data.draw(st.integers(2, 5)))])
+        arena.topology()               # materialise the maintained state
+        live = set(range(len(arena.chains)))
+        ops = data.draw(st.lists(
+            st.sampled_from(["retire", "admit", "move", "contract",
+                             "compact", "grow", "read"]),
+            min_size=1, max_size=30))
+        for op in ops:
+            if op == "retire" and live:
+                ci = rng.choice(sorted(live))
+                live.discard(ci)
+                arena.retire(ci)
+            elif op == "admit":
+                chain = ClosedChain(square_ring(rng.choice(sizes)))
+                ci = arena.admit(chain)
+                if ci < 0:
+                    arena.grow(arena.span + chain.n)
+                    ci = arena.admit(chain)
+                live.add(ci)
+            elif op == "move" and live:
+                # robots moving never touches the topology arrays
+                ci = rng.choice(sorted(live))
+                b, n = int(arena.base[ci]), int(arena.length[ci])
+                arena.pos[b:b + n] += rng.choice([-1, 1])
+            elif op == "contract" and live:
+                # shrink like the contraction stage: lengths drop
+                # first, then one topo_contract covers every row
+                cis = [ci for ci in sorted(live)
+                       if int(arena.length[ci]) >= 6
+                       and rng.random() < 0.5]
+                if not cis:
+                    continue
+                for ci in cis:
+                    arena.length[ci] -= 2
+                arena.topo_contract(np.array(cis, dtype=np.int64))
+            elif op == "compact":
+                arena.compact()
+            elif op == "grow":
+                arena.grow(arena.span + rng.choice(sizes))
+            elif op == "read":
+                arena.topology()       # resolve pending damage mid-run
+            arena.verify_topology()
+
+    def test_retire_admit_patches_without_rebuild(self):
+        arena = ChainArena([ClosedChain(square_ring(8))
+                            for _ in range(4)])
+        arena.topology()
+        builds0 = arena.topo_stats["rebuilds"]
+        arena.retire(1)
+        arena.verify_topology()
+        ci = arena.admit(ClosedChain(square_ring(8)))
+        assert ci == 1
+        arena.verify_topology()
+        assert arena.topo_stats["rebuilds"] == builds0, \
+            "retire/admit churn must patch, not rebuild"
+        assert arena.topo_stats["delta_ops"] > 0
+
+    def test_batch_admission_stamps_conservative_keys(self):
+        # topo_admit_batch stamps every burst row with the burst's
+        # lowest insertion position; the next topology() call must
+        # resolve them all to exact block starts
+        arena = ChainArena([ClosedChain(square_ring(8))
+                            for _ in range(5)])
+        arena.topology()
+        arena.retire_batch(np.array([1, 3]))
+        arena.verify_topology()
+        got = arena.reserve_batch([28, 28])
+        assert got == [1, 3]
+        chains = [ClosedChain(square_ring(8)) for _ in got]
+        arena.topo_admit_batch(got)
+        arena.attach_batch(got,
+                           [c.positions_array() for c in chains],
+                           [c.edge_codes() for c in chains],
+                           [0, 0])
+        arena.verify_topology()
+        assert_arena_coherent(arena)
+
+    def test_churn_stream_bounds_rebuilds(self):
+        """Full rebuilds scale with compactions + grows, not rounds —
+        the bounded-rebuild claim of the delta algebra."""
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             keep_reports=False)
+        rings = [square_ring(3), square_ring(4)]
+        done = sum(1 for _ in sim.run_stream(
+            (list(rings[i % 2]) for i in range(400)), slots=16))
+        assert done == 400
+        stats = sim.last_stream_stats
+        assert stats["rounds"] > 20
+        assert stats["topo_delta_ops"] > 0
+        assert stats["topo_delta_cells"] > 0
+        assert stats["topo_rebuilds"] <= \
+            stats["compactions"] + stats["grows"] + 2
+        assert stats["topo_rebuilds"] < stats["rounds"] // 4
+        assert stats["rounds_per_s"] > 0
+
+    def test_streaming_with_invariant_checks_verifies_topology(self):
+        # check_invariants=True runs verify_topology every round; a
+        # churny mixed stream must survive the cross-check end to end
+        pts = [square_ring(8), square_ring(12), square_ring(8),
+               crenellation(3, 1, 4), square_ring(10), square_ring(8)]
+        assert_stream_equals_singles(pts, slots=2, check_invariants=True)
+
+
+# ---------------------------------------------------------------------------
+# batched intake (reserve_batch / attach_batch bursts)
+# ---------------------------------------------------------------------------
+
+class TestBatchIntake:
+    def test_burst_with_bad_entries_quarantines_in_stream_order(self):
+        broken = [(0, 0), (5, 5), (1, 0), (1, 1)]      # non-unit edge
+        stream = [list(square_ring(8)), list(broken),
+                  list(square_ring(10)), [], list(square_ring(12))]
+        kernel = FleetKernel([], keep_reports=False)
+        outs = list(kernel.run_stream(iter(stream), slots=8,
+                                      on_error="quarantine"))
+        by_idx = dict(outs)
+        assert sorted(by_idx) == [0, 1, 2, 3, 4]
+        assert not by_idx[1].ok and by_idx[1].quarantined
+        assert not by_idx[3].ok and by_idx[3].quarantined
+        # quarantine outcomes surface before any gathered result
+        order = [idx for idx, _ in outs]
+        assert order.index(1) < min(order.index(i) for i in (0, 2, 4))
+        for i in (0, 2, 4):
+            single = Simulator(stream[i], engine="kernel").run()
+            got = by_idx[i]
+            res = got.result if hasattr(got, "result") else got
+            assert res.rounds == single.rounds
+            assert res.final_positions == single.final_positions
+
+    def test_burst_error_messages_match_per_chain_constructor(self):
+        broken = [(0, 0), (5, 5), (1, 0), (1, 1)]
+        kernel = FleetKernel([], keep_reports=False)
+        outs = dict(kernel.run_stream(iter([list(broken)]), slots=4,
+                                      on_error="quarantine"))
+        try:
+            ClosedChain(list(broken))
+            raise AssertionError("constructor should reject this chain")
+        except Exception as exc:           # noqa: BLE001 - mirror check
+            assert outs[0].message == str(exc)
+            assert outs[0].error == type(exc).__name__
+
+    def test_burst_mixed_payload_types(self):
+        # ndarray, ClosedChain and list payloads in one burst all land
+        # identically to their per-chain admissions
+        pts = [square_ring(8), square_ring(10), square_ring(12)]
+        payloads = [np.array(pts[0]), ClosedChain(pts[1]), list(pts[2])]
+        singles = [Simulator(list(p), engine="kernel").run() for p in pts]
+        sim = BatchSimulator([], engine="kernel", backend="fleet",
+                             keep_reports=True)
+        got = dict(sim.run_stream(iter(payloads), slots=3))
+        for i, s in enumerate(singles):
+            assert _result_key(got[i]) == _result_key(s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(closed_chain_positions(max_cells=18),
+                    min_size=3, max_size=8),
+           st.integers(min_value=2, max_value=4))
+    def test_property_burst_admissions(self, fleet_pts, slots):
+        # property drive of the batched intake: whatever the burst
+        # geometry (hole reuse, grows, splits), results stay
+        # bit-identical to single-chain runs
+        assert_stream_equals_singles(fleet_pts, slots=slots,
+                                     check_invariants=False)
