@@ -323,3 +323,63 @@ def test_stream_throughput(benchmark, stream_name):
                 "rounds_per_s"):
         if key in stats:
             benchmark.extra_info[key] = stats[key]
+
+
+SERVICES = {
+    # end-to-end service row (DESIGN.md §2.15): the stream4096_slots256
+    # workload submitted over loopback TCP through the NDJSON protocol
+    # and the fair admission queue, results pushed back frame by frame.
+    # The delta vs the plain stream row is the whole service tax —
+    # framing, JSON codec both ways, queue handoff, executor bridge
+    "service4096_slots256": (4096, 256, 60),
+}
+
+
+@pytest.mark.parametrize("service_name", sorted(SERVICES))
+def test_service_throughput(benchmark, service_name):
+    """Chains-per-second of the TCP gathering service (§2.15).
+
+    One pipelining client floods the submission socket with acks
+    suppressed (``ack: false`` — backpressure is pure TCP flow
+    control) while the demuxing reader consumes result frames
+    concurrently; the measured span covers connect → every result
+    delivered → graceful shutdown.  Occupancy stays at the slot
+    budget exactly as in the file-fed stream rows.
+    """
+    import asyncio
+    from repro.service.client import GatherClient
+    from repro.service.server import GatherService
+    chains, slots, max_n = SERVICES[service_name]
+    payload = list(_STREAM_RING)
+
+    async def session():
+        svc = GatherService(slots=slots)
+        await svc.start()
+        cli = await GatherClient.connect("127.0.0.1", svc.port)
+        for _ in range(chains):
+            await cli.submit_nowait(payload)
+        gathered = 0
+        async for frame in cli.results(expect=chains, timeout=600):
+            gathered += (frame["status"] == "result"
+                         and frame["gathered"])
+        await cli.shutdown()
+        await asyncio.wait_for(svc.wait_finished(), 120)
+        await cli.close()
+        return gathered, svc.sim.last_stream_stats
+
+    def run():
+        return asyncio.run(session())
+
+    gathered, stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert gathered == chains
+    assert stats["peak_live_chains"] <= slots
+    assert stats["peak_cells"] <= slots * max_n
+    benchmark.extra_info["chains"] = chains
+    benchmark.extra_info["slots"] = slots
+    benchmark.extra_info["peak_live_chains"] = stats["peak_live_chains"]
+    benchmark.extra_info["peak_cells"] = stats["peak_cells"]
+    benchmark.extra_info["arena_span"] = stats["arena_span"]
+    for key in ("topo_rebuilds", "topo_delta_ops", "topo_delta_cells",
+                "rounds_per_s"):
+        if key in stats:
+            benchmark.extra_info[key] = stats[key]

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Load-replay harness for the gathering service (DESIGN.md §2.15).
+
+Spawns ``repro serve`` as a real subprocess, then replays a large
+queued-submission corpus — one million chains by default — against it
+from ``--clients`` concurrent pipelining connections, recording the
+sustained end-to-end throughput (submitted → result frame received).
+Submissions use ``ack: false``, so backpressure is exerted purely by
+TCP flow control plus the bounded admission queue; the harness also
+polls ``status`` frames on a side connection and reports peak queue
+depth and kernel occupancy, verifying that a million-submission replay
+never grows the backlog past the configured capacity.
+
+This is the operational companion to the gated
+``service4096_slots256`` row in ``BENCH_engines.json`` (recorded by
+``scripts/run_benchmarks.py`` from ``benchmarks/bench_engines.py``):
+the bench row is deliberately small enough to re-measure in CI; this
+harness is the soak run that proves the same service sustains the rate
+for minutes at ≥1M submissions, optionally multi-worker.
+
+Usage::
+
+    python scripts/load_harness.py                     # 1M chains, 1 client
+    python scripts/load_harness.py --chains 50000 --clients 4 --workers 2
+    python scripts/load_harness.py --smoke             # 20k-chain quick pass
+
+Exit status 0 when every submission came back as a ``result`` frame
+and the queue-depth bound held; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.chains import square_ring                      # noqa: E402
+from repro.service.client import GatherClient             # noqa: E402
+
+RING8 = [list(p) for p in square_ring(8)]    # n=28, gathers in ~15 rounds
+
+
+def start_service(args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    cmd = [sys.executable, "-m", "repro.cli", "serve",
+           "--port", "0", "--slots", str(args.slots),
+           "--workers", str(args.workers), "--queue", str(args.queue)]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            env=env, cwd=REPO_ROOT)
+    line = proc.stdout.readline()
+    if "serving on" not in line:
+        raise RuntimeError(f"service failed to start: {line!r}")
+    port = int(line.split("(")[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+async def replay_client(port: int, chains: int, stats: dict) -> int:
+    """Pipeline ``chains`` submissions, count result frames back."""
+    cli = await GatherClient.connect("127.0.0.1", port)
+    got = 0
+
+    async def pump_results():
+        nonlocal got
+        while got < chains:
+            frame = await cli.next_result(timeout=600)
+            if frame["status"] != "result" or not frame["gathered"]:
+                stats["anomalies"] += 1
+            got += 1
+            stats["received"] += 1
+
+    reader = asyncio.ensure_future(pump_results())
+    for _ in range(chains):
+        await cli.submit_nowait(RING8)
+        stats["submitted"] += 1
+    await reader
+    await cli.close()
+    return got
+
+
+async def poll_status(port: int, stats: dict, done: asyncio.Event,
+                      interval: float) -> None:
+    """Side connection sampling ``status`` frames during the replay."""
+    cli = await GatherClient.connect("127.0.0.1", port)
+    try:
+        while not done.is_set():
+            doc = await cli.status()
+            stats["peak_queue_depth"] = max(stats["peak_queue_depth"],
+                                            doc["peak_queue_depth"])
+            stats["peak_occupancy"] = max(stats["peak_occupancy"],
+                                          doc.get("occupancy", 0))
+            stats["samples"].append(
+                {"t": round(time.monotonic() - stats["t0"], 2),
+                 "served": doc["served"],
+                 "queue_depth": doc["queue_depth"],
+                 "chains_per_s": doc["chains_per_s"]})
+            try:
+                await asyncio.wait_for(done.wait(), interval)
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        await cli.close()
+
+
+async def run_load(port: int, args) -> dict:
+    stats = {"submitted": 0, "received": 0, "anomalies": 0,
+             "peak_queue_depth": 0, "peak_occupancy": 0,
+             "samples": [], "t0": time.monotonic()}
+    per = args.chains // args.clients
+    counts = [per + (1 if i < args.chains % args.clients else 0)
+              for i in range(args.clients)]
+    done = asyncio.Event()
+    poller = asyncio.ensure_future(
+        poll_status(port, stats, done, args.status_interval))
+    t0 = time.monotonic()
+    totals = await asyncio.gather(
+        *(replay_client(port, c, stats) for c in counts))
+    stats["wall_s"] = round(time.monotonic() - t0, 3)
+    done.set()
+    await poller
+    stats["received_total"] = sum(totals)
+    stats["chains_per_s"] = round(args.chains / stats["wall_s"], 1)
+    # graceful shutdown so the subprocess exits 0
+    cli = await GatherClient.connect("127.0.0.1", port)
+    await cli.drain(timeout=120)
+    await cli.shutdown()
+    await cli.close()
+    return stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--chains", type=int, default=1_000_000,
+                        help="total submissions to replay (default: 1M)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="concurrent pipelining connections")
+    parser.add_argument("--slots", type=int, default=256,
+                        help="service slot budget")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="service worker processes")
+    parser.add_argument("--queue", type=int, default=4096,
+                        help="admission queue capacity")
+    parser.add_argument("--status-interval", type=float, default=2.0,
+                        help="seconds between status samples")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick pass: 20k chains, 2 clients")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full stats document as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.chains = min(args.chains, 20_000)
+        args.clients = max(args.clients, 2)
+
+    proc, port = start_service(args)
+    try:
+        stats = asyncio.run(run_load(port, args))
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=120)
+
+    ok = (stats["received_total"] == args.chains
+          and stats["anomalies"] == 0
+          and stats["peak_queue_depth"] <= args.queue)
+    print(f"load harness: {args.chains} chains via {args.clients} "
+          f"client(s) -> {stats['received_total']} results in "
+          f"{stats['wall_s']}s ({stats['chains_per_s']} chains/s "
+          f"sustained, peak queue {stats['peak_queue_depth']}"
+          f"/{args.queue}, peak occupancy {stats['peak_occupancy']}"
+          f"/{args.slots}, anomalies={stats['anomalies']})")
+    if args.json:
+        print(json.dumps(stats, indent=1))
+    print("load harness: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

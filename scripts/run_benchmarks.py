@@ -142,6 +142,25 @@ def condense(raw: dict) -> dict:
         if row.get("chains"):
             row["stream_chains_per_s"] = round(row["chains"]
                                                / entry["min_s"], 1)
+    # service rows (DESIGN.md §2.15): the same streaming workload end
+    # to end over loopback TCP — NDJSON framing, fair admission queue,
+    # executor bridge — so stream-vs-service is the protocol tax
+    for entry in entries:
+        params = entry.get("params") or {}
+        if not entry["name"].startswith("test_service_throughput["):
+            continue
+        info = entry.get("extra_info", {})
+        row = matrix.setdefault(params["service_name"], {})
+        row.update({
+            "chains": info.get("chains"),
+            "slots": info.get("slots"),
+            "peak_live_chains": info.get("peak_live_chains"),
+            "peak_cells": info.get("peak_cells"),
+            "service_min_s": entry["min_s"],
+        })
+        if row.get("chains"):
+            row["service_chains_per_s"] = round(row["chains"]
+                                                / entry["min_s"], 1)
     if matrix:
         derived["scenario_matrix"] = dict(sorted(matrix.items()))
     for size in (64, 256, 1024):
@@ -216,7 +235,9 @@ def check_regression(fresh: dict, baseline_path: str, threshold: float) -> int:
                              ("stream4096_slots256_supervised",
                               "stream_chains_per_s"),
                              ("stream_churn8192_slots512",
-                              "stream_chains_per_s")):
+                              "stream_chains_per_s"),
+                             ("service4096_slots256",
+                              "service_chains_per_s")):
         base_fleet = committed.get("derived", {}).get(
             "scenario_matrix", {}).get(fleet_key, {})
         fresh_fleet = fresh.get("derived", {}).get(
@@ -261,8 +282,8 @@ def main(argv=None) -> int:
                         help="output path (default: BENCH_engines.json at repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke: the large-ring engine comparison "
-                             "plus the gated fleet and streaming "
-                             "throughput rows")
+                             "plus the gated fleet, streaming and "
+                             "service throughput rows")
     parser.add_argument("--check-against", metavar="BASELINE_JSON",
                         help="fail (exit 2) when the fresh large_ring_side60 "
                              "timings exceed this committed baseline by more "
@@ -275,12 +296,14 @@ def main(argv=None) -> int:
     if args.smoke:
         selectors = ["benchmarks/bench_engines.py::test_large_ring_by_engine",
                      "benchmarks/bench_engines.py::test_fleet_throughput",
-                     "benchmarks/bench_engines.py::test_stream_throughput"]
+                     "benchmarks/bench_engines.py::test_stream_throughput",
+                     "benchmarks/bench_engines.py::test_service_throughput"]
         # fleet1024_merge_dense smokes on the fleet backend only — the
         # per-chain process backend at 1024 chains costs seconds and
         # guards nothing the 128-chain row doesn't already cover
         extra = ["-k", "large_ring or fleet256 or fleet128_merge_dense "
                        "or stream4096 or stream_churn8192 "
+                       "or service4096 "
                        "or (fleet1024_merge_dense and not process)"]
     else:
         selectors = ["benchmarks/bench_engines.py"]

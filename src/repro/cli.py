@@ -8,6 +8,7 @@ Usage examples::
     python -m repro batch --family random --sizes 96 --repeat 20 --json
     python -m repro render --family octagon --n 64 --svg out.svg
     python -m repro experiment --ids EXP-T1 EXP-FIG --quick --workers 2
+    python -m repro serve --slots 256 --wal /var/lib/repro/wal
     python -m repro families
 """
 
@@ -103,7 +104,16 @@ def _iter_jsonl_chains(path: str, skip_bad: bool = False, on_bad=None):
     stream index (the scheduler never sees them), so the dead-letter
     line number is the only handle back to the input.
     """
-    fh = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    if path == "-":
+        fh = sys.stdin
+        # a detached or closed stdin (`0<&-`, daemonised parents) is an
+        # *empty* stream, not a crash: the batch reports 0/0 and exits
+        # 0, exactly like `printf '' |` — distinguishable from a parse
+        # failure, which still aborts
+        if fh is None or getattr(fh, "closed", False):
+            return
+    else:
+        fh = open(path, "r", encoding="utf-8")
     try:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
@@ -126,30 +136,18 @@ def _iter_jsonl_chains(path: str, skip_bad: bool = False, on_bad=None):
 def _open_stream_out(path: str, resume: bool):
     """The NDJSON output file and the stream indices it already holds.
 
-    On ``--resume`` the existing file is the idempotence ledger: a
-    torn trailing line (the crash window between write and flush
-    completion) is truncated away, every complete line's ``chain``
-    index joins the seen set, and new lines append — so the finished
-    file is byte-identical to an uninterrupted run's.
+    Delegates to :func:`repro.io.serialization.open_ndjson_ledger`
+    (shared with the service tier, §2.15): on ``--resume`` the torn
+    trailing line is truncated, complete lines' ``chain`` indices join
+    the seen set, and new lines append — the finished file is
+    byte-identical to an uninterrupted run's.
     """
-    import os
-    seen = set()
-    if resume and os.path.exists(path):
-        with open(path, "rb") as fh:
-            data = fh.read()
-        keep = data.rfind(b"\n") + 1
-        for line in data[:keep].splitlines():
-            if line.strip():
-                try:
-                    seen.add(json.loads(line)["chain"])
-                except (ValueError, KeyError) as exc:
-                    raise SystemExit(f"{path}: corrupt NDJSON line "
-                                     f"cannot be resumed: {exc}")
-        if keep < len(data):
-            with open(path, "r+b") as fh:
-                fh.truncate(keep)
-        return open(path, "a", encoding="utf-8"), seen
-    return open(path, "w", encoding="utf-8"), seen
+    from repro.errors import ChainError
+    from repro.io.serialization import open_ndjson_ledger
+    try:
+        return open_ndjson_ledger(path, resume)
+    except ChainError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_batch_stream(args) -> int:
@@ -327,6 +325,38 @@ def cmd_wal_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Gathering-as-a-service: NDJSON-over-TCP front-end (§2.15)."""
+    import asyncio
+    from repro.service.server import GatherService, serve
+    try:
+        svc = GatherService(
+            host=args.host, port=args.port, slots=args.slots,
+            workers=args.workers or 1, queue_capacity=args.queue,
+            params=_params(args), wal_dir=args.wal, resume=args.resume,
+            snapshot_every=args.snapshot_every, max_rounds=args.max_rounds,
+            max_chain=args.max_chain, check_invariants=args.check)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    def ready(s):
+        # parse-friendly ready line: harnesses read the bound port here
+        print(f"serving on {s.host}:{s.port} (slots={s.slots}, "
+              f"workers={s.workers}, queue={s.queue_capacity}"
+              f"{', wal=' + s.wal_dir if s.wal_dir else ''})", flush=True)
+
+    try:
+        asyncio.run(serve(svc, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    except Exception as exc:
+        print(f"service failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"served {svc.served} chains", flush=True)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import run_experiments, format_markdown_report
     results = run_experiments(ids=args.ids or None, quick=args.quick,
@@ -465,6 +495,51 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--k-max", type=int, dest="k_max",
                    help="merge length cap (default: viewing - 1)")
     b.set_defaults(func=cmd_batch)
+
+    s = sub.add_parser(
+        "serve",
+        help="gathering-as-a-service: accept chain submissions over "
+             "NDJSON TCP and stream results back as they finish")
+    s.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    s.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: pick a free port and print "
+                        "it in the ready line)")
+    s.add_argument("--slots", type=int, default=256,
+                   help="streaming slot budget shared by all clients "
+                        "(default 256)")
+    s.add_argument("--workers", type=int, default=None,
+                   help="shard the stream across a supervised process "
+                        "pool (default: in-process kernel)")
+    s.add_argument("--queue", type=int, default=None,
+                   help="admission queue capacity; submissions beyond it "
+                        "get a backpressure frame and park (default: "
+                        "slots)")
+    s.add_argument("--wal", metavar="DIR",
+                   help="write-ahead-log the service to DIR (submissions, "
+                        "admission order, results ledger + kernel WAL) so "
+                        "a killed service can --resume")
+    s.add_argument("--resume", action="store_true",
+                   help="resume a killed --wal service: replay accepted "
+                        "submissions in logged admission order and "
+                        "complete the results ledger byte-identically")
+    s.add_argument("--snapshot-every", type=int, default=512,
+                   dest="snapshot_every", metavar="R",
+                   help="rounds between WAL snapshots (default 512)")
+    s.add_argument("--max-chain", type=int, default=4096, dest="max_chain",
+                   metavar="N",
+                   help="largest accepted submission; longer chains are "
+                        "rejected with a bad-line frame (default 4096)")
+    s.add_argument("--max-rounds", type=int, default=None,
+                   help="round budget per admitted chain; over-budget "
+                        "chains come back quarantined (default: 3n+50)")
+    s.add_argument("--check", action="store_true",
+                   help="enable per-round invariant checking")
+    s.add_argument("--viewing", type=int, help="viewing path length (default 11)")
+    s.add_argument("--interval", type=int, help="run start interval L (default 13)")
+    s.add_argument("--k-max", type=int, dest="k_max",
+                   help="merge length cap (default: viewing - 1)")
+    s.set_defaults(func=cmd_serve)
 
     e = sub.add_parser("experiment", help="run reproduction experiments")
     e.add_argument("--ids", nargs="*", help="experiment ids (default: all)")

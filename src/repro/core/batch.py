@@ -223,6 +223,12 @@ class BatchSimulator:
         self.validate_initial = validate_initial
         #: occupancy telemetry of the last exhausted :meth:`run_stream`
         self.last_stream_stats: Optional[Dict[str, int]] = None
+        #: the live in-process kernel of a running :meth:`run_stream`
+        #: (None before the stream starts and on the pool path) — the
+        #: service tier reads occupancy/topology telemetry off it for
+        #: ``status`` frames (§2.15); reads are racy-but-monotone
+        #: scalars, fine for metrics, not for control flow
+        self.stream_kernel = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -348,7 +354,21 @@ class BatchSimulator:
                 "sharded WAL streaming cannot keep per-round reports "
                 "(the shard results ledger archives scalar outcomes); "
                 "set keep_reports=False")
-        stream = itertools.chain(iter(self.positions), iter(chains))
+        from repro.core.admission import is_admission_source
+        if is_admission_source(chains):
+            # admission-source protocol (§2.15): hand the source
+            # through untouched so the kernel's pull loop sees its
+            # ``take`` — wrapping it in itertools.chain would demote
+            # it to a finite iterator and close the stream on the
+            # first starvation
+            if self.positions:
+                raise ValueError(
+                    "constructor chains cannot precede an admission "
+                    "source; construct BatchSimulator([]) and submit "
+                    "everything through the source")
+            stream = chains
+        else:
+            stream = itertools.chain(iter(self.positions), iter(chains))
         if self.workers <= 1:
             yield from self._stream_inprocess(stream, slots, max_rounds,
                                               progress, wal_dir,
@@ -368,6 +388,7 @@ class BatchSimulator:
         if resume:
             kernel, gen = FleetKernel.restore_stream(wal_dir, stream,
                                                      progress=progress)
+            self.stream_kernel = kernel
             yield from gen
         else:
             kernel = FleetKernel([], params=self.params,
@@ -378,6 +399,7 @@ class BatchSimulator:
             if wal_dir is not None:
                 from repro.io.wal import WalWriter
                 wal = WalWriter(wal_dir)
+            self.stream_kernel = kernel
             yield from kernel.run_stream(stream, slots=slots,
                                          max_rounds=max_rounds,
                                          progress=progress, release=True,

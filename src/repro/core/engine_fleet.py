@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.grid.lattice import Vec
+from repro.core.admission import Starved
 from repro.core.arena import ChainArena, append_cell
 from repro.core.chain import CODE_TO_DIR, ClosedChain, MergeRecord
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
@@ -823,6 +824,12 @@ class FleetKernel:
             self._ext_pos = 0
         arena = self.arena
         it = iter(chains)
+        # admission-source protocol (§2.15): a live source can answer
+        # "nothing right now" (Starved) without ending the stream —
+        # plain iterables keep the exact next()/StopIteration path
+        take = getattr(it, "take", None)
+        if take is not None and not callable(take):
+            take = None
         self._wal = wal
         skip: set = set()
         consumed = 0
@@ -924,20 +931,33 @@ class FleetKernel:
                 if pairs:
                     retired = True
                     yield from emit(pairs)
+            starved = False
             while True:
                 fresh: List[int] = []
-                while not exhausted and (slots is None
-                                         or arena.n_live < slots):
+                while not exhausted and not starved \
+                        and (slots is None or arena.n_live < slots):
                     # pull one intake burst, then admit it through one
                     # batched parse/validate/attach pass; quarantined
                     # and dropped entries free their budget for the
                     # outer loop's next burst
                     pulled: List[Tuple[int, object]] = []
-                    while not exhausted and (
+                    while not exhausted and not starved and (
                             slots is None
                             or arena.n_live + len(pulled) < slots):
                         try:
-                            nxt = next(it)
+                            if take is None:
+                                nxt = next(it)
+                            else:
+                                # an open-but-empty source must not
+                                # stall live chains: pull without
+                                # blocking while anything can step or
+                                # is already pulled, park only when
+                                # the arena is fully drained
+                                nxt = take(block=(arena.n_live == 0
+                                                  and not pulled))
+                        except Starved:
+                            starved = True
+                            break
                         except StopIteration:
                             exhausted = True
                             break
@@ -1015,7 +1035,13 @@ class FleetKernel:
                 snap()
                 last_snap_round = self.round_index
             if arena.n_live == 0:
-                break
+                if exhausted:
+                    break
+                # an admission source is open but starved and nothing
+                # is live: loop back into the (now blocking) pull
+                # instead of ending the stream — unreachable for plain
+                # iterables, whose pull loop only stops on exhaustion
+                continue
             self._maybe_compact_registry()
             try:
                 self._step_round()

@@ -40,6 +40,7 @@ from dataclasses import replace
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Tuple)
 
+from repro.core.admission import Starved
 from repro.core.config import DEFAULT_PARAMETERS, Parameters
 from repro.core.results import ChainOutcome
 from repro.errors import WorkerCrashError
@@ -376,10 +377,13 @@ def pool_stream(stream: Iterable,
                                    message=msg, stage="worker",
                                    retries=ch.retries, quarantined=True))]
 
-    def drain(min_inflight: int):
+    def drain(min_inflight: int, timeout: Optional[float] = None):
         nonlocal crashes, done, pool, probation
         while len(inflight) > min_inflight:
-            ready, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+            ready, _ = wait(set(inflight), timeout=timeout,
+                            return_when=FIRST_COMPLETED)
+            if not ready:
+                return                 # timed poll: nothing finished yet
             casualties: List[_Chunk] = []
             broke = False
             for fut in ready:
@@ -446,8 +450,47 @@ def pool_stream(stream: Iterable,
                 probation = sum(len(q) for q in pending)
             dispatch_all()
 
+    take = getattr(stream, "take", None)
+    if take is not None and not callable(take):
+        take = None
+    it = iter(stream)
     try:
-        for i, c in enumerate(stream):
+        i = -1
+        while True:
+            if take is None:
+                try:
+                    c = next(it)
+                except StopIteration:
+                    break
+            else:
+                # admission-source intake (§2.15): starvation flushes
+                # the partial buffers as chunks — queued submissions
+                # must not wait for chunk_size while the wire is idle
+                # — then keeps in-flight results draining on a short
+                # poll until the next submission or close
+                try:
+                    c = take()
+                except StopIteration:
+                    break
+                except Starved:
+                    flushed = False
+                    for k in range(workers):
+                        if buffers[k]:
+                            queue_fresh(k)
+                            flushed = True
+                    if flushed:
+                        dispatch_all()
+                    if inflight:
+                        yield from drain(0, timeout=0.02)
+                        dispatch_all()
+                        continue
+                    try:
+                        c = take(block=True, timeout=0.1)
+                    except Starved:
+                        continue
+                    except StopIteration:
+                        break
+            i += 1
             if faults is not None:
                 kind = faults.decide(i)
                 if kind == "crash":

@@ -1,0 +1,23 @@
+"""Gathering-as-a-service: the asyncio submission front-end (§2.15).
+
+The network face of the streaming tier: an NDJSON-over-TCP server
+(:class:`GatherService`, ``repro serve``) accepts chain submissions
+over the wire, feeds them through a bounded, per-client-fair admission
+queue (:class:`FairAdmissionQueue`) into
+:meth:`~repro.core.batch.BatchSimulator.run_stream`, and pushes
+``result`` / ``quarantined`` / ``bad-line`` frames back as chains
+finish.  :class:`GatherClient` is the matching asyncio client library.
+"""
+
+from repro.service.protocol import (MAX_CHAIN, MAX_LINE, PROTOCOL_VERSION,
+                                    ProtocolError, encode_frame,
+                                    parse_positions, read_frames)
+from repro.service.queue import FairAdmissionQueue
+from repro.service.server import GatherService, serve
+from repro.service.client import GatherClient
+
+__all__ = [
+    "MAX_CHAIN", "MAX_LINE", "PROTOCOL_VERSION", "ProtocolError",
+    "encode_frame", "parse_positions", "read_frames",
+    "FairAdmissionQueue", "GatherService", "serve", "GatherClient",
+]

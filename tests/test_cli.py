@@ -109,6 +109,26 @@ class TestBatchStream:
         assert main(["batch", "--stream", "-"]) == 0
         assert "1/1 gathered" in capsys.readouterr().out
 
+    def test_stream_closed_stdin_is_empty_stream(self, capsys, monkeypatch):
+        # a detached stdin (`repro batch --stream - 0<&-`, daemonised
+        # parents) used to crash iterating None; it must behave exactly
+        # like an empty pipe: clean 0/0 stats, exit 0
+        import io
+        closed = io.StringIO()
+        closed.close()
+        for stand_in in (None, closed):
+            monkeypatch.setattr("sys.stdin", stand_in)
+            assert main(["batch", "--stream", "-"]) == 0
+            assert "0/0 gathered" in capsys.readouterr().out
+
+    def test_stream_closed_stdin_writes_clean_wal(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.setattr("sys.stdin", None)
+        wal = str(tmp_path / "wal")
+        assert main(["batch", "--stream", "-", "--wal", wal]) == 0
+        text = (tmp_path / "wal" / "wal.ndjson").read_text()
+        assert '"stream_end"' in text
+
     def test_stream_budget_exit_code(self, tmp_path, capsys):
         path = self._write_jsonl(tmp_path, [square_ring(20)])
         assert main(["batch", "--stream", path, "--max-rounds", "2"]) == 2
