@@ -31,6 +31,15 @@ death.  Four modes:
     ledger (never abort the stream), and the good chains' results
     must match the clean run's under the index remap.
 
+``shm-kill``
+    Run the zero-copy slab tier (``--backend shm --workers --wal``,
+    §2.16) and SIGKILL individual *shard workers* at seeded shard-WAL
+    rounds.  The parent must salvage published ledger rows, respawn
+    the shard over the same slab region and replay the survivors: the
+    run completes rc=0 with zero lost or duplicated results, per-chain
+    output identical to the single-worker run's, and zero leaked
+    ``/dev/shm`` segments after exit.
+
 Exit status 0 iff the mode's contract held.
 
 Usage::
@@ -67,7 +76,8 @@ def make_stream(path: str, chains: int, seed: int) -> None:
 
 def batch_cmd(jsonl: str, out: str, slots: int, wal: str | None,
               resume: bool = False, workers: int | None = None,
-              dead_letter: str | None = None) -> list:
+              dead_letter: str | None = None,
+              backend: str | None = None) -> list:
     cmd = [sys.executable, "-m", "repro.cli", "batch", "--stream", jsonl,
            "--slots", str(slots), "--out", out, "--snapshot-every", "16"]
     if wal:
@@ -78,6 +88,8 @@ def batch_cmd(jsonl: str, out: str, slots: int, wal: str | None,
         cmd += ["--workers", str(workers)]
     if dead_letter:
         cmd += ["--dead-letter", dead_letter]
+    if backend:
+        cmd += ["--backend", backend]
     return cmd
 
 
@@ -463,6 +475,91 @@ def mode_worker_kill(args, tmp: str, jsonl: str, env: dict) -> int:
 
 
 # ----------------------------------------------------------------------
+# mode: shm-kill (§2.16 slab shard recovery)
+# ----------------------------------------------------------------------
+def shm_segments() -> set:
+    import glob
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def mode_shm_kill(args, tmp: str, jsonl: str, env: dict) -> int:
+    clean = os.path.join(tmp, "clean.ndjson")
+    subprocess.run(batch_cmd(jsonl, clean, args.slots, wal=None),
+                   env=env, check=True, stdout=subprocess.DEVNULL)
+    clean_rows = sorted(load_ndjson(clean), key=lambda d: d["chain"])
+
+    segs_before = shm_segments()
+    wal = os.path.join(tmp, "wal")
+    out = os.path.join(tmp, "sharded.ndjson")
+    rng = random.Random(args.seed ^ 0x51AB)
+    hi = args.max_round if args.max_round else 12
+    targets = sorted(rng.randrange(1, 1 + hi) for _ in range(args.kills))
+    print(f"[crash-harness] shm-kill: {args.chains} chains, "
+          f"workers={args.workers}, shard-round targets {targets}")
+
+    proc = subprocess.Popen(
+        batch_cmd(jsonl, out, args.slots, wal, workers=args.workers,
+                  backend="shm"),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    delivered = 0
+    try:
+        while proc.poll() is None:
+            if delivered < len(targets) \
+                    and shard_round(wal) >= targets[delivered]:
+                kids = child_pids(proc.pid)
+                if kids:
+                    victim = rng.choice(kids)
+                    try:
+                        os.kill(victim, signal.SIGKILL)
+                    except OSError:
+                        continue           # worker raced to exit; retry
+                    delivered += 1
+                    print(f"[crash-harness] SIGKILL shard worker "
+                          f"pid={victim} "
+                          f"(shard round >= {targets[delivered - 1]})")
+            time.sleep(0.002)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.read().decode())
+        print(f"[crash-harness] shm run died rc={proc.returncode} — "
+              f"shard respawn failed to absorb the kills", file=sys.stderr)
+        return 1
+    if delivered < len(targets):
+        print(f"[crash-harness] note: only {delivered}/{len(targets)} kills "
+              f"delivered (run finished first)")
+
+    leaked = shm_segments() - segs_before
+    if leaked:
+        print(f"[crash-harness] LEAKED shared-memory segments: "
+              f"{sorted(leaked)}", file=sys.stderr)
+        return 1
+
+    rows = load_ndjson(out)
+    indices = [d["chain"] for d in rows]
+    if len(set(indices)) != len(indices):
+        print("[crash-harness] DUPLICATED results after shard recovery",
+              file=sys.stderr)
+        return 1
+    rows = sorted(rows, key=lambda d: d["chain"])
+    if rows != clean_rows:
+        print(f"[crash-harness] MISMATCH: clean {len(clean_rows)} rows, "
+              f"sharded {len(rows)} rows", file=sys.stderr)
+        for x, y in zip(clean_rows, rows):
+            if x != y:
+                print(f"  first diff:\n   clean: {x}\n   shard: {y}",
+                      file=sys.stderr)
+                break
+        return 1
+    print(f"[crash-harness] OK: {len(rows)} results, zero lost/duplicated, "
+          f"identical to single-worker run, zero leaked segments "
+          f"({delivered} shard-worker kills)")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # mode: poison (§2.13 quarantine)
 # ----------------------------------------------------------------------
 def mode_poison(args, tmp: str, jsonl: str, env: dict) -> int:
@@ -535,7 +632,7 @@ def mode_poison(args, tmp: str, jsonl: str, env: dict) -> int:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--mode", choices=("cli-kill", "worker-kill", "poison",
-                                       "service-kill"),
+                                       "service-kill", "shm-kill"),
                     default="cli-kill")
     ap.add_argument("--chains", type=int, default=120)
     ap.add_argument("--slots", type=int, default=16)
@@ -558,6 +655,8 @@ def main(argv=None) -> int:
         return mode_service_kill(args, tmp, jsonl, env)
     if args.mode == "worker-kill":
         return mode_worker_kill(args, tmp, jsonl, env)
+    if args.mode == "shm-kill":
+        return mode_shm_kill(args, tmp, jsonl, env)
     if args.mode == "poison":
         return mode_poison(args, tmp, jsonl, env)
     return mode_cli_kill(args, tmp, jsonl, env)

@@ -23,6 +23,7 @@ Usage::
     python scripts/load_harness.py                     # 1M chains, 1 client
     python scripts/load_harness.py --chains 50000 --clients 4 --workers 2
     python scripts/load_harness.py --smoke             # 20k-chain quick pass
+    python scripts/load_harness.py --smoke --backend shm   # soak the slab tier
 
 Exit status 0 when every submission came back as a ``result`` frame
 and the queue-depth bound held; 1 otherwise.
@@ -146,6 +147,14 @@ def main(argv=None) -> int:
                         help="service slot budget")
     parser.add_argument("--workers", type=int, default=1,
                         help="service worker processes")
+    parser.add_argument("--backend", choices=("auto", "fleet", "shm"),
+                        default="auto",
+                        help="execution tier to soak: 'shm' forces the "
+                             "zero-copy shard tier (workers >= 2, "
+                             "DESIGN.md §2.16), 'fleet' the in-process "
+                             "kernel (workers = 1); 'auto' follows "
+                             "--workers, which is how the service itself "
+                             "picks the tier")
     parser.add_argument("--queue", type=int, default=4096,
                         help="admission queue capacity")
     parser.add_argument("--status-interval", type=float, default=2.0,
@@ -158,6 +167,10 @@ def main(argv=None) -> int:
     if args.smoke:
         args.chains = min(args.chains, 20_000)
         args.clients = max(args.clients, 2)
+    if args.backend == "shm" and args.workers < 2:
+        args.workers = 2
+    elif args.backend == "fleet":
+        args.workers = 1
 
     proc, port = start_service(args)
     try:

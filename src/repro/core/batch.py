@@ -18,6 +18,18 @@ Two in-process backends execute the fleet (DESIGN.md §2.10):
 * ``"process"`` — one simulation per chain through
   :class:`~repro.core.simulator.Simulator` (any engine).
 
+A third, multi-process backend scales the fleet without copying it:
+
+* ``"shm"`` — the zero-copy shared-memory shard tier
+  (:mod:`repro.core.shm`, DESIGN.md §2.16).  One
+  ``multiprocessing.shared_memory`` slab holds K disjoint shard
+  regions; K worker processes each step a fleet kernel over their
+  region.  The parent parses each intake burst once, writes the cells
+  straight into the slab and sends five-integer tickets; workers
+  publish eight-word result rows into a shared ledger ring.  No chain
+  or result payload ever crosses a pipe.  Per-chain results are
+  bit-identical to ``backend="fleet"`` per stream index.
+
 The streaming tier (DESIGN.md §2.11) lifts the fleet backend from
 one-shot to pipeline: :meth:`BatchSimulator.run_stream` /
 :func:`gather_stream` consume an *iterator* of chains, keep the arena
@@ -56,7 +68,7 @@ from repro.core.config import DEFAULT_PARAMETERS, Parameters
 from repro.core.simulator import ENGINES, GatheringResult, Simulator
 
 #: Fleet execution backends accepted by :class:`BatchSimulator`.
-BACKENDS = ("auto", "fleet", "process")
+BACKENDS = ("auto", "fleet", "process", "shm")
 
 #: One batch job: everything a worker needs to gather one chain.
 _Job = Tuple[List[tuple], Parameters, str, bool, Optional[int], bool, bool]
@@ -175,8 +187,11 @@ class BatchSimulator:
         variant), ``"vectorized"`` or ``"reference"``.
     backend:
         ``"fleet"`` (shared-array fleet kernel, kernel engine only),
-        ``"process"`` (one simulation per chain), or ``"auto"``
-        (default): fleet whenever the engine is ``"kernel"``.
+        ``"process"`` (one simulation per chain), ``"shm"`` (zero-copy
+        shared-memory shard tier: ``workers`` slab-backed kernel
+        processes, kernel engine only, ``keep_reports=False``), or
+        ``"auto"`` (default): fleet whenever the engine is
+        ``"kernel"``.
     check_invariants:
         Per-round invariant checking for every simulation (slow).
     workers:
@@ -205,9 +220,9 @@ class BatchSimulator:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
-        if backend == "fleet" and engine != "kernel":
+        if backend in ("fleet", "shm") and engine != "kernel":
             raise ValueError(
-                "backend='fleet' executes the kernel round pipeline; "
+                f"backend={backend!r} executes the kernel round pipeline; "
                 f"engine {engine!r} needs backend='process'")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -266,6 +281,8 @@ class BatchSimulator:
         workers = min(self.workers, total) if total else 1
         if self.backend == "fleet":
             results = self._run_fleet(max_rounds, workers, progress, total)
+        elif self.backend == "shm":
+            results = self._run_shm(max_rounds, progress, total)
         else:
             results = self._run_process(max_rounds, workers, progress, total)
         return BatchResult(results=results,
@@ -283,7 +300,8 @@ class BatchSimulator:
                    resume: bool = False,
                    on_error: str = "raise",
                    max_retries: int = 3,
-                   backoff: float = 0.05
+                   backoff: float = 0.05,
+                   shard_cells: Optional[int] = None
                    ) -> Iterator[Tuple[int, GatheringResult]]:
         """Stream chains through a bounded arena; yield as they finish.
 
@@ -307,8 +325,17 @@ class BatchSimulator:
         the occupancy telemetry (peak live chains / cells, admission
         and compaction counts) of the in-process kernel.
 
-        Streaming executes on the fleet backend only (the process
-        backend has no shared arena to bound).
+        Streaming executes on the fleet and shm backends only (the
+        process backend has no shared arena to bound).
+        ``backend="shm"`` (§2.16) replaces the pickling pool with the
+        zero-copy shard tier: ``workers`` slab-backed kernel processes
+        fed by tickets into one shared-memory slab, results published
+        through shared ledger rings.  Results stay bit-identical per
+        stream index; ``keep_reports`` must be ``False``, ``resume``
+        is unsupported (per-shard WALs are effect logs — the service
+        tier's results ledger provides exactly-once re-feeding), and
+        ``shard_cells`` optionally pins the per-shard slab size in
+        cells (default: sized from the first burst).
 
         Durability (§2.12): ``wal_dir`` write-ahead-logs the stream
         (one snapshot every ``snapshot_every`` rounds) so a killed run
@@ -335,15 +362,30 @@ class BatchSimulator:
         fault *crashes* always yield ``ChainOutcome`` records — they
         are planned degradations, not errors.
         """
-        if self.backend != "fleet":
+        if self.backend not in ("fleet", "shm"):
             raise ValueError(
-                "run_stream() executes on the fleet backend "
+                "run_stream() executes on the fleet or shm backend "
                 f"(engine='kernel'); this simulator resolved to "
                 f"backend={self.backend!r}")
         if slots < 1:
             raise ValueError("slots must be >= 1")
         if resume and wal_dir is None:
             raise ValueError("resume=True needs wal_dir")
+        if self.backend == "shm":
+            if resume:
+                raise ValueError(
+                    "backend='shm' streams are not snapshot-resumable: "
+                    "the per-shard worker WALs are effect logs (audit / "
+                    "fault forensics), not parent-resumable snapshots — "
+                    "re-feed the stream, or use the service tier, whose "
+                    "results ledger makes re-feeding exactly-once")
+            if self.keep_reports:
+                raise ValueError(
+                    "backend='shm' publishes results through the shared "
+                    "ledger (scalar rows + slab positions); per-round "
+                    "reports never cross — set keep_reports=False")
+        elif shard_cells is not None:
+            raise ValueError("shard_cells applies to backend='shm' only")
         if resume and self.workers > 1:
             raise ValueError(
                 "top-level resume is single-process (shard WALs already "
@@ -369,7 +411,11 @@ class BatchSimulator:
             stream = chains
         else:
             stream = itertools.chain(iter(self.positions), iter(chains))
-        if self.workers <= 1:
+        if self.backend == "shm":
+            yield from self._stream_shm(stream, slots, max_rounds, progress,
+                                        faults, wal_dir, snapshot_every,
+                                        on_error, shard_cells)
+        elif self.workers <= 1:
             yield from self._stream_inprocess(stream, slots, max_rounds,
                                               progress, wal_dir,
                                               snapshot_every, faults, resume,
@@ -456,6 +502,49 @@ class BatchSimulator:
                                stats=stats,
                                as_positions=self._as_positions)
         self.last_stream_stats = stats
+
+    def _stream_shm(self, stream, slots, max_rounds, progress, faults=None,
+                    wal_dir=None, snapshot_every=512, on_error="raise",
+                    shard_cells=None):
+        # the zero-copy shard tier (§2.16): one shared slab, K kernel
+        # workers, ticket admission and ledger-ring results.  The stats
+        # dict is installed *before* the stream runs and mutated live
+        # (per-shard occupancy and chains/s), so the service tier can
+        # read scaling telemetry off it mid-stream.
+        from repro.core.shm import shm_stream
+        stats: Dict[str, object] = {}
+        self.last_stream_stats = stats
+        self.stream_kernel = None      # kernels live in the shard workers
+        yield from shm_stream(stream, params=self.params,
+                              workers=self.workers, slots=slots,
+                              max_rounds=max_rounds,
+                              check_invariants=self.check_invariants,
+                              validate_initial=self.validate_initial,
+                              faults=faults, wal_dir=wal_dir,
+                              snapshot_every=snapshot_every,
+                              on_error=on_error, progress=progress,
+                              stats=stats, shard_cells=shard_cells)
+
+    # ------------------------------------------------------------------
+    def _run_shm(self, max_rounds: Optional[int],
+                 progress: Optional[Callable[[int, int], None]],
+                 total: int) -> List[GatheringResult]:
+        """Shm backend one-shot: stream the batch, reassemble in order."""
+        if self.keep_reports:
+            raise ValueError(
+                "backend='shm' cannot keep per-round reports; "
+                "set keep_reports=False")
+        results: List[Optional[GatheringResult]] = [None] * total
+        if total == 0:
+            return []
+        done = 0
+        for idx, res in self._stream_shm(iter(self.positions), max(1, total),
+                                         max_rounds, None):
+            results[idx] = res
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def _run_fleet(self, max_rounds: Optional[int], workers: int,
@@ -545,7 +634,9 @@ def gather_stream(chains: Iterable,
                   resume: bool = False,
                   on_error: str = "raise",
                   max_retries: int = 3,
-                  backoff: float = 0.05
+                  backoff: float = 0.05,
+                  backend: str = "fleet",
+                  shard_cells: Optional[int] = None
                   ) -> Iterator[Tuple[int, GatheringResult]]:
     """Stream a chain iterator through a bounded fleet (convenience API).
 
@@ -559,17 +650,21 @@ def gather_stream(chains: Iterable,
     :func:`gather_batch` on the same inputs.  ``wal_dir`` /
     ``snapshot_every`` / ``faults`` / ``resume`` pass through to
     :meth:`BatchSimulator.run_stream` (durability tier, §2.12).
+    ``backend="shm"`` runs the zero-copy shared-memory shard tier
+    (§2.16) instead of the in-process fleet / pickling pool;
+    ``shard_cells`` pins its per-shard slab size.
     """
     sim = BatchSimulator([], params=params, engine="kernel",
                          check_invariants=check_invariants,
                          workers=workers, keep_reports=keep_reports,
                          validate_initial=validate_initial,
-                         backend="fleet")
+                         backend=backend)
     return sim.run_stream(chains, slots=slots, max_rounds=max_rounds,
                           progress=progress, wal_dir=wal_dir,
                           snapshot_every=snapshot_every, faults=faults,
                           resume=resume, on_error=on_error,
-                          max_retries=max_retries, backoff=backoff)
+                          max_retries=max_retries, backoff=backoff,
+                          shard_cells=shard_cells)
 
 
 def gather_batch(chains: Sequence[Union[ClosedChain, Sequence[tuple]]],

@@ -32,7 +32,8 @@ ablations go through the reference pipeline's scheduler hook).
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, List, NamedTuple, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -72,6 +73,132 @@ _CODE_TO_DIR = CODE_TO_DIR
 _DIR_TABLE = np.array(CODE_TO_DIR, dtype=np.int64)
 
 _EMPTY_CELLS = np.empty(0, dtype=np.int64)
+
+
+class SlotTicket(NamedTuple):
+    """One parent-placed slab admission (shared-memory shard tier).
+
+    The parent parses a burst once, writes positions and edge codes
+    straight into the shard's slab region, and hands the worker only
+    this descriptor — the worker adopts the slot *in place*
+    (:meth:`ChainArena.adopt_slots`), so admission crosses the process
+    boundary without re-serialising a single robot.  ``mid`` carries
+    the chain's pre-decided mid-run fault trigger (the parent owns the
+    fault plan; intake faults never reach the worker).
+    """
+
+    ext: int                               #: external stream index
+    base: int                              #: slab cell offset
+    n: int                                 #: chain length (== slot size)
+    zc: int                                #: zero-edge count at admission
+    mid: Optional[Tuple[str, int]] = None  #: (kind, local round) or None
+
+
+class SlimResult(NamedTuple):
+    """A retired chain's scalar outcome row (shared-memory handoff).
+
+    What a shard worker publishes instead of a full
+    :class:`GatheringResult`: the final positions already sit in the
+    slab at ``[base, base + final_n)`` — the parent materialises the
+    result from there, so the handoff moves eight integers per chain.
+    """
+
+    gathered: bool
+    rounds: int
+    initial_n: int
+    final_n: int
+    base: int
+
+
+def parse_burst(payload_list: List[object], validate: bool):
+    """Parse one intake burst into arrays (the batched-admission seam).
+
+    Factored out of :meth:`FleetKernel._admit_batch` so the
+    shared-memory parent (DESIGN.md §2.16) runs the *identical* parse,
+    validation and edge-encode before writing chains into the slab —
+    admission order, rejection set and edge codes cannot diverge
+    between the in-process and sharded tiers.
+
+    Returns ``(payloads, arrs, code, starts, offs, ns, zcs, bad)``:
+    ``arrs`` aligns with ``payloads`` (``None`` where the batch parse
+    rejected the entry — those re-run through the per-chain
+    constructor for its exact error); the remaining arrays describe
+    the *good* subsequence segment-wise — concatenated edge ``code``
+    with per-segment ``starts``/``offs`` bounds, lengths ``ns``,
+    zero-edge counts ``zcs`` and the per-segment reject flag ``bad``
+    (all ``None`` when nothing batch-parsed).
+    """
+    payloads: List[object] = []
+    arrs: List[Optional[np.ndarray]] = []
+    # fast path: a burst of plain point lists (the streaming tier's
+    # normal diet) parses as ONE C-level array build over the
+    # concatenated points; anything else — or a burst the combined
+    # parse rejects — drops to the per-item parse below
+    flat: Optional[List] = []
+    counts: List[int] = []
+    for payload in payload_list:
+        if flat is not None and type(payload) is list and payload:
+            flat.extend(payload)
+            counts.append(len(payload))
+        else:
+            flat = None
+    if flat is not None:
+        try:
+            combined = np.array(flat, dtype=np.int64)
+        except (ValueError, TypeError):
+            combined = None
+        if combined is not None and combined.ndim == 2 \
+                and combined.shape[1] == 2:
+            payloads = list(payload_list)
+            hi = 0
+            for c in counts:
+                lo = hi
+                hi += c
+                arrs.append(combined[lo:hi])
+        else:
+            flat = None
+    if flat is None:
+        for payload in payload_list:
+            a = None
+            if not isinstance(payload, ClosedChain):
+                try:
+                    if not isinstance(payload, np.ndarray):
+                        payload = list(payload)
+                    a = np.array(payload,
+                                 dtype=np.int64).reshape(-1, 2)
+                except (ValueError, TypeError):
+                    a = None
+                if a is not None and len(a) == 0:
+                    a = None               # "empty chain": per-chain error
+            payloads.append(payload)
+            arrs.append(a)
+    good = [i for i, a in enumerate(arrs) if a is not None]
+    code = starts = offs = ns = zcs = bad = None
+    if good:
+        # the whole burst validates and edge-encodes as one
+        # segmented array (same codes as encode_edges: -1 zero
+        # edge, -2 broken), so per-chain work only remains for
+        # rejected entries
+        ns = np.fromiter((arrs[i].shape[0] for i in good), np.int64,
+                         count=len(good))
+        offs = np.cumsum(ns)
+        starts = offs - ns
+        pts = np.concatenate([arrs[i] for i in good]) \
+            if len(good) > 1 else arrs[good[0]]
+        succ = np.arange(1, len(pts) + 1, dtype=np.int64)
+        succ[offs - 1] = starts            # cyclic wrap per segment
+        e = pts[succ] - pts
+        dx, dy = e[:, 0], e[:, 1]
+        code = np.where(dy == 0, 1 - dx, 2 - dy)
+        man = np.abs(dx) + np.abs(dy)
+        code[man != 1] = -2
+        code[man == 0] = -1
+        zcs = np.add.reduceat((code == -1).astype(np.int64), starts)
+        bad = np.add.reduceat((code == -2).astype(np.int64),
+                              starts) > 0
+        if validate:
+            bad = bad | (zcs > 0) | (ns < 4) | (ns % 2 != 0)
+    return payloads, arrs, code, starts, offs, ns, zcs, bad
 
 
 def _sorted_unique(a: np.ndarray) -> np.ndarray:
@@ -445,6 +572,10 @@ class FleetKernel:
         #: splice plan (removed positions / survivor overwrites) so the
         #: sync can edit the live caches in place
         self._ids_dirty: Dict[int, Optional[dict]] = {}
+        #: shared-memory handoff mode (§2.16): retire yields
+        #: :class:`SlimResult` rows — final positions stay in the slab
+        #: for the parent to read — instead of materialised results
+        self.slim_results = False
 
     # ------------------------------------------------------------------
     def _as_chain(self, c: Union[ClosedChain, Sequence[Vec]]) -> ClosedChain:
@@ -579,77 +710,18 @@ class FleetKernel:
         compaction/grow points and error messages are identical to
         admitting each entry through :meth:`admit`.  Returns
         ``(admitted chain ids, quarantined (index, error) pairs)``.
+
+        Shared-memory shards (§2.16) feed :class:`SlotTicket`
+        descriptors instead of payloads: the parent already parsed,
+        validated and wrote the burst into this worker's slab region,
+        so the whole burst adopts in place — no parse, no validation,
+        no cell writes.
         """
         arena = self.arena
-        payloads: List[object] = []
-        arrs: List[Optional[np.ndarray]] = []
-        # fast path: a burst of plain point lists (the streaming tier's
-        # normal diet) parses as ONE C-level array build over the
-        # concatenated points; anything else — or a burst the combined
-        # parse rejects — drops to the per-item parse below
-        flat: Optional[List] = []
-        counts: List[int] = []
-        for _ext, payload in pulled:
-            if flat is not None and type(payload) is list and payload:
-                flat.extend(payload)
-                counts.append(len(payload))
-            else:
-                flat = None
-        if flat is not None:
-            try:
-                combined = np.array(flat, dtype=np.int64)
-            except (ValueError, TypeError):
-                combined = None
-            if combined is not None and combined.ndim == 2 \
-                    and combined.shape[1] == 2:
-                payloads = [payload for _ext, payload in pulled]
-                hi = 0
-                for c in counts:
-                    lo = hi
-                    hi += c
-                    arrs.append(combined[lo:hi])
-            else:
-                flat = None
-        if flat is None:
-            for _ext, payload in pulled:
-                a = None
-                if not isinstance(payload, ClosedChain):
-                    try:
-                        if not isinstance(payload, np.ndarray):
-                            payload = list(payload)
-                        a = np.array(payload,
-                                     dtype=np.int64).reshape(-1, 2)
-                    except (ValueError, TypeError):
-                        a = None
-                    if a is not None and len(a) == 0:
-                        a = None           # "empty chain": per-chain error
-                payloads.append(payload)
-                arrs.append(a)
-        good = [i for i, a in enumerate(arrs) if a is not None]
-        if good:
-            # the whole burst validates and edge-encodes as one
-            # segmented array (same codes as encode_edges: -1 zero
-            # edge, -2 broken), so per-chain work only remains for
-            # rejected entries
-            ns = np.fromiter((arrs[i].shape[0] for i in good), np.int64,
-                             count=len(good))
-            offs = np.cumsum(ns)
-            starts = offs - ns
-            pts = np.concatenate([arrs[i] for i in good]) \
-                if len(good) > 1 else arrs[good[0]]
-            succ = np.arange(1, len(pts) + 1, dtype=np.int64)
-            succ[offs - 1] = starts        # cyclic wrap per segment
-            e = pts[succ] - pts
-            dx, dy = e[:, 0], e[:, 1]
-            code = np.where(dy == 0, 1 - dx, 2 - dy)
-            man = np.abs(dx) + np.abs(dy)
-            code[man != 1] = -2
-            code[man == 0] = -1
-            zcs = np.add.reduceat((code == -1).astype(np.int64), starts)
-            bad = np.add.reduceat((code == -2).astype(np.int64),
-                                  starts) > 0
-            if self._validate:
-                bad = bad | (zcs > 0) | (ns < 4) | (ns % 2 != 0)
+        if pulled and type(pulled[0][1]) is SlotTicket:
+            return self._adopt_batch(pulled), []
+        payloads, arrs, code, starts, offs, ns, zcs, bad = parse_burst(
+            [payload for _ext, payload in pulled], self._validate)
         fresh: List[int] = []
         qpairs: List[Tuple[int, Exception]] = []
         pend_ci: List[int] = []
@@ -729,6 +801,30 @@ class FleetKernel:
         flush()
         self._single = False
         return fresh, qpairs
+
+    # ------------------------------------------------------------------
+    def _adopt_batch(self, pulled: List[Tuple[int, "SlotTicket"]]
+                     ) -> List[int]:
+        """Adopt one burst of parent-placed slab slots (§2.16).
+
+        The cell data is already resident at each ticket's
+        ``[base, base + n)``; the arena carves the dictated ranges out
+        of its free list (the parent's allocator mirror made the same
+        carves, so the two free lists track the same hole set) and the
+        fleet rows register under the tickets' external indices.
+        Compaction and growth are structurally unreachable on this
+        path — the parent owns placement.
+        """
+        tickets = [t for _i, t in pulled]
+        ns = [t.n for t in tickets]
+        cis = self.arena.adopt_slots([t.base for t in tickets], ns,
+                                     [t.zc for t in tickets])
+        self._register_rows(cis, ns, [t.ext for t in tickets])
+        for ci, t in zip(cis, tickets):
+            if t.mid is not None:
+                self._mid_faults[ci] = (str(t.mid[0]), int(t.mid[1]))
+        self._single = False
+        return cis
 
     # ------------------------------------------------------------------
     def run(self, max_rounds: Optional[int] = None,
@@ -1173,6 +1269,30 @@ class FleetKernel:
                 registry.drop_slots(drop)
         wall = time.perf_counter() - t0
         out: List[Tuple[int, GatheringResult]] = []
+        if self.slim_results:
+            # shared-memory handoff: the final positions already sit in
+            # the slab at [base, base + final_n) — skip the per-chain
+            # cache settlement and tuple-list build entirely and let
+            # the parent materialise the result from the shared cells
+            for ci, g in zip(cis.tolist(), np.asarray(gathered).tolist()):
+                self._ids_dirty.pop(ci, None)
+                out.append((self._ext_of[ci], SlimResult(
+                    gathered=bool(g),
+                    rounds=self.round_index - int(self.birth[ci]),
+                    initial_n=self._n0[ci],
+                    final_n=int(arena.length[ci]),
+                    base=int(arena.base[ci]))))
+                if release:
+                    self.reports[ci] = []
+                    arena.chains[ci] = None  # type: ignore[call-overload]
+            if self._wal is not None:
+                self._wal.append("retire", r=self.round_index,
+                                 c=cis.tolist(),
+                                 i=[self._ext_of[ci]
+                                    for ci in cis.tolist()],
+                                 g=np.asarray(gathered, np.int64).tolist())
+            arena.retire_batch(cis)
+            return out
         for ci, g in zip(cis.tolist(), np.asarray(gathered).tolist()):
             self._sync_ids(ci)
             chain = arena.chains[ci]

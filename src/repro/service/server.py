@@ -33,7 +33,10 @@ accepts in accept order), the kernel restores its snapshot and
 fast-forwards through the replay, and the ledger dedupes re-yields —
 the finished ``results.ndjson`` is byte-identical to an uninterrupted
 run's.  Resumed entries have no live client; they complete into the
-ledger only.
+ledger only.  ``service.json`` records the worker count, so a killed
+``--workers K`` service restores its full shard set (the shm tier,
+§2.16) — there the kernel re-runs the replay deterministically from
+scratch and the ledger dedup alone provides exactly-once.
 
 Result frames are written without awaiting ``drain()`` (they originate
 on the kernel thread); a client that stops reading accumulates server
@@ -58,6 +61,9 @@ from repro.service.queue import FairAdmissionQueue
 SUBMISSIONS_LOG = "submissions.jsonl"
 INTAKE_LOG = "intake.jsonl"
 RESULTS_LEDGER = "results.ndjson"
+#: Service WAL header: the topology a --resume must restore (worker
+#: count decides the execution tier, which no per-stream log records)
+SERVICE_HEADER = "service.json"
 
 
 class _Client:
@@ -100,10 +106,6 @@ class GatherService:
                  check_invariants: bool = False):
         if resume and wal_dir is None:
             raise ValueError("resume=True needs wal_dir")
-        if resume and workers > 1:
-            raise ValueError("service resume is single-process; "
-                             "set workers=1 (shard WALs already recover "
-                             "crashed workers under a live service)")
         self.host = host
         self.port = port
         self.slots = slots
@@ -151,6 +153,18 @@ class GatherService:
             os.makedirs(self.wal_dir, exist_ok=True)
             subs_path = os.path.join(self.wal_dir, SUBMISSIONS_LOG)
             intake_path = os.path.join(self.wal_dir, INTAKE_LOG)
+            header_path = os.path.join(self.wal_dir, SERVICE_HEADER)
+            if self.resume and os.path.exists(header_path):
+                # the recorded topology wins: a killed --workers K
+                # service restores its full shard set, not the default
+                with open(header_path, "r", encoding="utf-8") as fh:
+                    header = json.load(fh)
+                self.workers = int(header.get("workers", self.workers))
+            else:
+                with open(header_path, "w", encoding="utf-8") as fh:
+                    json.dump({"workers": self.workers,
+                               "slots": self.slots}, fh)
+                    fh.write("\n")
             if self.resume:
                 accepts = [[tuple(p) for p in doc["chain"]]
                            for doc in _load_jsonl(subs_path)]
@@ -175,8 +189,12 @@ class GatherService:
             on_take=self._log_take if self._intake_fh is not None else None)
         if replay:
             self.queue.feed_replay(replay)
+        # workers >= 2 runs the zero-copy shared-memory shard tier
+        # (§2.16): K slab-backed kernel processes, crash-respawning
+        # shards, per-shard WALs under wal_dir/shard-<k>
         self.sim = BatchSimulator(
-            [], params=self.params, engine="kernel", backend="fleet",
+            [], params=self.params, engine="kernel",
+            backend="shm" if self.workers > 1 else "fleet",
             workers=self.workers, keep_reports=False,
             check_invariants=self.check_invariants)
         self._kernel_task = self._loop.run_in_executor(
@@ -220,10 +238,16 @@ class GatherService:
 
     def _kernel_main(self) -> None:
         try:
+            # the shm tier has no kernel-level snapshot resume (per-
+            # shard WALs are effect logs); exactly-once on resume comes
+            # from the service-level replay (queue feed_replay) plus
+            # the results-ledger dedup below, so the stream re-runs
+            # deterministically and only unseen indices append
+            resume = self.resume and self.sim.backend != "shm"
             gen = self.sim.run_stream(
                 self.queue, slots=self.slots, max_rounds=self.max_rounds,
                 wal_dir=self.wal_dir, snapshot_every=self.snapshot_every,
-                resume=self.resume, on_error="quarantine")
+                resume=resume, on_error="quarantine")
             for idx, payload in gen:
                 doc = self._outcome_doc(idx, payload)
                 if self._ledger_fh is not None \
@@ -424,6 +448,18 @@ class GatherService:
                 "topo_rebuilds": int(arena.topo_stats["rebuilds"]),
                 "topo_delta_ops": int(arena.topo_stats["delta_ops"]),
                 "topo_delta_cells": int(arena.topo_stats["delta_cells"]),
+            })
+        stream_stats = getattr(self.sim, "last_stream_stats", None)
+        if stream_stats and "per_shard" in stream_stats:
+            # shm tier: the parent scheduler maintains these live —
+            # per-shard occupancy, throughput and respawn counts make
+            # the scale-out observable from a status frame
+            doc.update({
+                "occupancy": sum(r["live"]
+                                 for r in stream_stats["per_shard"]),
+                "respawns": stream_stats.get("respawns", 0),
+                "per_shard": [dict(r)
+                              for r in stream_stats["per_shard"]],
             })
         return doc
 

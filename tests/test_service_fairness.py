@@ -220,8 +220,10 @@ class TestServiceKillResume:
         assert (sorted(rows, key=lambda r: r["chain"])
                 == sorted(ref_rows, key=lambda r: r["chain"]))
 
-    def test_resume_requires_single_worker(self):
-        with pytest.raises(ValueError, match="single-process"):
-            GatherService(wal_dir="x", resume=True, workers=2)
+    def test_resume_requires_wal_dir(self):
+        # multi-worker resume is supported since the shm tier (the
+        # service.json header restores the shard set); only a missing
+        # wal_dir is rejected
+        GatherService(wal_dir="x", resume=True, workers=2)
         with pytest.raises(ValueError, match="wal_dir"):
             GatherService(resume=True)
